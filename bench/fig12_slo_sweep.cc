@@ -1,0 +1,144 @@
+// Figure 12 + §5.3 — SLO maintenance under different thresholds.
+//
+// Part 1 (§5.3): all 16 cases under Atropos with the default 20% SLO; report
+// each case's mean latency increase over the non-overloaded baseline and
+// whether the SLO was met. The paper meets it in 14/16 cases (c3 reaches 23%
+// and c12 26%, limited by the minimum interval between cancellations).
+//
+// Part 2 (Fig 12): the six plotted cases (c1, c2, c10, c11, c14, c15) swept
+// over SLO thresholds {10, 20, 40, 60}% — a stricter SLO makes Atropos cancel
+// more tasks to hold the goal.
+
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/workload/cases.h"
+
+namespace atropos {
+namespace {
+
+// Mean-latency increase over baseline, as a fraction.
+double LatencyIncrease(const CaseResult& run, const CaseResult& base) {
+  double b = base.metrics.latency.Mean();
+  if (b <= 0) {
+    return 0;
+  }
+  double v = run.metrics.latency.Mean() / b - 1.0;
+  return v < 0 ? 0 : v;
+}
+
+void Run() {
+  std::printf("Figure 12 / section 5.3: maintaining the SLO under resource overload\n\n");
+
+  // ---- Part 1: all 16 cases at the default 20% SLO.
+  TextTable part1({"case", "latency increase", "SLO (20%) met", "cancels"});
+  int met = 0;
+  for (int c = 1; c <= 16; c++) {
+    CaseRunOptions base_opt;
+    base_opt.inject_culprits = false;
+    base_opt.duration = Seconds(40);
+    CaseResult base = RunCase(c, base_opt);
+
+    // The paper reproduces each case as a single overload event over a long
+    // run; a sparse culprit stream (~1-2 events in 40 s) replicates that.
+    CaseRunOptions opt;
+    opt.controller = ControllerKind::kAtropos;
+    opt.slo_latency_increase = 0.20;
+    opt.duration = Seconds(40);
+    opt.culprit_scale = 0.15;
+    CaseResult r = RunCase(c, opt);
+
+    double inc = LatencyIncrease(r, base);
+    bool ok = inc <= 0.20;
+    met += ok ? 1 : 0;
+    part1.AddRow({"c" + std::to_string(c), TextTable::Pct(inc, 1), ok ? "yes" : "NO",
+                  std::to_string(r.controller_actions)});
+  }
+  std::printf("(a) All 16 cases at the 20%% SLO — met in %d/16\n%s\n", met,
+              part1.Render().c_str());
+
+  // ---- Part 2: SLO sweep on the six plotted cases.
+  const int kCases[] = {1, 2, 10, 11, 14, 15};
+  const double kSlos[] = {0.10, 0.20, 0.40, 0.60};
+  TextTable part2({"case", "10% SLO", "20% SLO", "40% SLO", "60% SLO",
+                   "cancels @10%", "cancels @60%"});
+  for (int c : kCases) {
+    CaseRunOptions base_opt;
+    base_opt.inject_culprits = false;
+    base_opt.duration = Seconds(40);
+    CaseResult base = RunCase(c, base_opt);
+
+    std::vector<std::string> row{"c" + std::to_string(c)};
+    uint64_t cancels_strict = 0;
+    uint64_t cancels_loose = 0;
+    for (double slo : kSlos) {
+      CaseRunOptions opt;
+      opt.controller = ControllerKind::kAtropos;
+      opt.slo_latency_increase = slo;
+      opt.duration = Seconds(40);
+      opt.culprit_scale = 0.15;
+      CaseResult r = RunCase(c, opt);
+      row.push_back(TextTable::Pct(LatencyIncrease(r, base), 1));
+      if (slo == 0.10) {
+        cancels_strict = r.controller_actions;
+      }
+      if (slo == 0.60) {
+        cancels_loose = r.controller_actions;
+      }
+    }
+    row.push_back(std::to_string(cancels_strict));
+    row.push_back(std::to_string(cancels_loose));
+    part2.AddRow(row);
+  }
+  std::printf("(b) Latency increase under SLO thresholds 10/20/40/60%%\n%s\n",
+              part2.Render().c_str());
+  std::printf(
+      "expected shape: latency increase stays at or below each threshold, and a\n"
+      "stricter SLO drives more cancellations.\n\n");
+
+  // ---- Part 3 (§5.3 trade-off): the minimum interval between consecutive
+  // cancellations. The two cases with continuous culprit streams (c9, c12 —
+  // the paper's SLO misses) need many cancellations; a conservative interval
+  // trades recovery speed for cancellation safety.
+  const TimeMicros kIntervals[] = {Millis(25), Millis(50), Millis(200), Millis(800)};
+  TextTable part3({"case", "25ms", "50ms", "200ms", "800ms", "cancels @25ms",
+                   "cancels @800ms"});
+  for (int c : {9, 12}) {
+    CaseRunOptions base_opt;
+    base_opt.inject_culprits = false;
+    CaseResult base = RunCase(c, base_opt);
+    std::vector<std::string> row{"c" + std::to_string(c)};
+    uint64_t strict = 0;
+    uint64_t loose = 0;
+    for (TimeMicros interval : kIntervals) {
+      CaseRunOptions opt;
+      opt.controller = ControllerKind::kAtropos;
+      opt.min_cancel_interval = interval;
+      CaseResult r = RunCase(c, opt);
+      row.push_back(TextTable::Pct(LatencyIncrease(r, base), 1));
+      if (interval == Millis(25)) {
+        strict = r.controller_actions;
+      }
+      if (interval == Millis(800)) {
+        loose = r.controller_actions;
+      }
+    }
+    row.push_back(std::to_string(strict));
+    row.push_back(std::to_string(loose));
+    part3.AddRow(row);
+  }
+  std::printf(
+      "(c) Latency increase under min-cancel-interval 25/50/200/800 ms\n%s\n"
+      "expected shape: with many concurrent culprits, a long interval between\n"
+      "cancellations slows recovery — the mechanism behind the paper's two\n"
+      "SLO misses (c3 at 23%%, c12 at 26%%).\n",
+      part3.Render().c_str());
+}
+
+}  // namespace
+}  // namespace atropos
+
+int main() {
+  atropos::Run();
+  return 0;
+}

@@ -1,0 +1,238 @@
+// Figure 13 — effectiveness of the multi-objective cancellation policy.
+//
+// All 16 cases under three Atropos victim-selection policies:
+//   multi-objective — Pareto non-dominated set + contention-weighted
+//                     scalarization over predicted future gains (§3.5);
+//   heuristic       — greedy: max gain on the single most contended resource;
+//   current-usage   — multi-objective shape, but scoring current holdings
+//                     instead of predicted future gain.
+// Normalized throughput against the non-overloaded baseline. Expected shape:
+// multi-objective >= the baselines, with the gap largest where multiple
+// resources are contended or where near-complete hogs would fool the
+// current-usage metric.
+
+#include <cstdio>
+
+#include "src/apps/minidb.h"
+#include "src/common/table.h"
+#include "src/workload/cases.h"
+
+namespace atropos {
+namespace {
+
+struct AblationResult {
+  int first_victim_type = -1;
+  uint64_t first_victim_key = 0;
+  TimeMicros first_cancel_time = 0;
+  uint64_t cancels = 0;
+  uint64_t overload_windows = 0;
+  TimeMicros p99 = 0;
+};
+
+// Runs an ablation scenario under one policy and reports which task was
+// cancelled first plus how long the overload lasted (resource-overload
+// windows are a direct recovery-time proxy at 50 ms per window).
+AblationResult RunAblation(bool multi_resource, ControllerKind kind) {
+  Executor executor;
+  ControllerParams params;
+  auto MakeSurface = [](App* app) { return app; };
+  (void)MakeSurface;
+
+  // Build controller and app directly (same wiring as RunCase).
+  struct Proxy final : ControlSurface {
+    ControlSurface* real = nullptr;
+    void CancelTask(uint64_t key, CancelReason reason) override {
+      if (real != nullptr) {
+        real->CancelTask(key, reason);
+      }
+    }
+    void ThrottleTask(uint64_t key, double factor) override {
+      if (real != nullptr) {
+        real->ThrottleTask(key, factor);
+      }
+    }
+  } proxy;
+  auto controller = MakeController(kind, executor.clock(), &proxy, params);
+
+  MiniDbOptions opt;
+  opt.use_buffer_pool = true;
+  opt.use_io = true;  // misses go to a shared disk: dumps actually thrash
+  opt.use_table_locks = multi_resource;
+  // Large enough that ONE dump displaces the hot set only partially (below
+  // the SLO breach); overload needs both culprits, so the first decision
+  // point sees both.
+  opt.pool.capacity_pages = multi_resource ? 1500 : 5000;
+  opt.pages_per_table = 8192;
+  opt.hot_pages_per_table = 256;
+  opt.point_select_cost = 1000;
+  opt.row_update_cost = 1000;
+  MiniDb app(executor, controller.get(), opt);
+  proxy.real = &app;
+
+  FrontendOptions fopt;
+  fopt.duration = Seconds(10);
+  fopt.warmup = Seconds(2);
+  fopt.tick_window = params.window;
+  Frontend frontend(executor, app, *controller, fopt);
+
+  TrafficSpec victims;
+  victims.type = kDbPointSelect;
+  victims.qps = 1500;
+  victims.arg_modulo = 5;
+  frontend.AddTraffic(victims);
+
+  if (!multi_resource) {
+    // Progress-contrast ablation: a short dump (nearly done at detection
+    // time) and a full dump that just started. Current-usage picks the
+    // nearly-finished one (it holds more pages); future gain picks the
+    // fresh one.
+    // The small dump alone stays under the SLO breach; the big dump arriving
+    // at 4 s tips the system over, so the first cancellation decision sees a
+    // ~75%-complete small dump next to a ~10%-complete big one.
+    OneShotSpec small_dump{kDbDumpQuery, Seconds(3), (4096ull << 8) | 0, 1, false};
+    OneShotSpec big_dump{kDbDumpQuery, Seconds(4), (8192ull << 8) | 1, 1, false};
+    frontend.AddOneShot(small_dump);
+    frontend.AddOneShot(big_dump);
+  } else {
+    // Multi-resource ablation: an ALTER TABLE (gains on the table lock AND
+    // the buffer pool) next to a SELECT FOR UPDATE (lock only). The greedy
+    // single-resource heuristic scores only the most contended resource.
+    TrafficSpec lock_victims;
+    lock_victims.type = kDbInsert;
+    lock_victims.qps = 400;
+    lock_victims.arg_modulo = 1;  // all on the ALTER's table
+    frontend.AddTraffic(lock_victims);
+    // The table lock is the single most contended resource, but its only
+    // holder is a non-cancellable maintenance operation (marked unsafe to
+    // kill). The greedy heuristic fixates on that resource and finds no
+    // victim; multi-objective still relieves the buffer pool by cancelling
+    // the dump.
+    OneShotSpec sfu{kDbSelectForUpdate, Seconds(3), 0, 1, false, /*non_cancellable=*/true};
+    OneShotSpec dump{kDbDumpQuery, Seconds(3) + Millis(100), (8192ull << 8) | 2, 1, false};
+    frontend.AddOneShot(sfu);
+    frontend.AddOneShot(dump);
+  }
+
+  AblationResult out;
+  if (auto* runtime = dynamic_cast<AtroposRuntime*>(controller.get()); runtime != nullptr) {
+    runtime->SetCancelObserver([&out, &frontend, &executor](uint64_t key, double score) {
+      if (out.first_victim_type < 0) {
+        out.first_victim_type = frontend.TypeOfKey(key);
+        out.first_victim_key = key;
+        out.first_cancel_time = executor.now();
+      }
+    });
+  }
+  RunMetrics m = frontend.Run();
+  out.p99 = m.P99();
+  if (auto* runtime = dynamic_cast<AtroposRuntime*>(controller.get()); runtime != nullptr) {
+    out.cancels = runtime->stats().cancels_issued;
+    out.overload_windows = runtime->stats().resource_overload_windows;
+  }
+  return out;
+}
+
+const char* TypeName(int type) {
+  switch (type) {
+    case kDbDumpQuery:
+      return "dump";
+    case kDbSelectForUpdate:
+      return "select-for-update";
+    case kDbAlterTable:
+      return "alter-table";
+    case kDbPointSelect:
+      return "point-select(!)";
+    case kDbInsert:
+      return "insert(!)";
+    default:
+      return "?";
+  }
+}
+
+void Run() {
+  std::printf("Figure 13: comparison of cancellation policies\n\n");
+
+  const ControllerKind kPolicies[] = {ControllerKind::kAtropos, ControllerKind::kAtroposHeuristic,
+                                      ControllerKind::kAtroposCurrentUsage};
+
+  TextTable tput({"case", "multi-objective", "heuristic", "current-usage"});
+  TextTable p99({"case", "multi-objective", "heuristic", "current-usage"});
+  double sums[3] = {0};
+  for (int c = 1; c <= 16; c++) {
+    CaseRunOptions base_opt;
+    base_opt.inject_culprits = false;
+    CaseResult base = RunCase(c, base_opt);
+    double base_tput = base.metrics.ThroughputQps();
+    double base_p99 = static_cast<double>(base.metrics.P99());
+
+    std::vector<std::string> trow{"c" + std::to_string(c)};
+    std::vector<std::string> lrow{"c" + std::to_string(c)};
+    for (int k = 0; k < 3; k++) {
+      CaseRunOptions opt;
+      opt.controller = kPolicies[k];
+      CaseResult r = RunCase(c, opt);
+      double nt = base_tput == 0 ? 0 : r.metrics.ThroughputQps() / base_tput;
+      sums[k] += nt;
+      trow.push_back(TextTable::Num(nt, 3));
+      lrow.push_back(TextTable::Num(
+          base_p99 == 0 ? 0 : static_cast<double>(r.metrics.P99()) / base_p99, 1));
+    }
+    tput.AddRow(trow);
+    p99.AddRow(lrow);
+  }
+  tput.AddRow({"avg", TextTable::Num(sums[0] / 16, 3), TextTable::Num(sums[1] / 16, 3),
+               TextTable::Num(sums[2] / 16, 3)});
+  std::printf("(a) Normalized throughput across the 16 cases\n%s\n", tput.Render().c_str());
+  std::printf("(b) Normalized p99 latency across the 16 cases\n%s\n", p99.Render().c_str());
+  std::printf(
+      "Single-culprit cases barely differentiate the policies (any of them\n"
+      "finds the lone hog); the decision-level differences show in the\n"
+      "targeted ablations below.\n\n");
+
+  // ---- Decision-level ablations.
+  const ControllerKind kKinds[] = {ControllerKind::kAtropos, ControllerKind::kAtroposHeuristic,
+                                   ControllerKind::kAtroposCurrentUsage};
+  const char* kNames2[] = {"multi-objective", "heuristic", "current-usage"};
+
+  std::printf(
+      "(c) Progress-contrast ablation: a nearly-finished short dump next to a\n"
+      "    just-started full dump on the buffer pool.\n");
+  TextTable abl1({"policy", "first victim", "at (s)", "cancels", "overload windows", "p99(ms)"});
+  for (int k = 0; k < 3; k++) {
+    AblationResult r = RunAblation(/*multi_resource=*/false, kKinds[k]);
+    abl1.AddRow({kNames2[k],
+                 std::string(TypeName(r.first_victim_type)) + "#" +
+                     std::to_string(r.first_victim_key),
+                 TextTable::Num(ToSeconds(r.first_cancel_time), 2), std::to_string(r.cancels),
+                 std::to_string(r.overload_windows), TextTable::Num(ToMillis(r.p99), 2)});
+  }
+  std::printf("%s\n", abl1.Render().c_str());
+
+  std::printf(
+      "(d) Multi-resource ablation: the most contended resource (table lock)\n"
+      "    is held by a non-cancellable maintenance op while a dump hogs the\n"
+      "    buffer pool.\n");
+  TextTable abl2({"policy", "first victim", "at (s)", "cancels", "overload windows", "p99(ms)"});
+  for (int k = 0; k < 3; k++) {
+    AblationResult r = RunAblation(/*multi_resource=*/true, kKinds[k]);
+    abl2.AddRow({kNames2[k],
+                 std::string(TypeName(r.first_victim_type)) + "#" +
+                     std::to_string(r.first_victim_key),
+                 TextTable::Num(ToSeconds(r.first_cancel_time), 2), std::to_string(r.cancels),
+                 std::to_string(r.overload_windows), TextTable::Num(ToMillis(r.p99), 2)});
+  }
+  std::printf("%s\n", abl2.Render().c_str());
+  std::printf(
+      "expected: in (c) current-usage wastes its cancellation on the\n"
+      "nearly-finished dump and pays for it in p99; in (d) the greedy\n"
+      "heuristic fixates on the lock (no cancellable victim there) and never\n"
+      "relieves the pool, while the multi-objective policy cancels the dump.\n");
+}
+
+}  // namespace
+}  // namespace atropos
+
+int main() {
+  atropos::Run();
+  return 0;
+}

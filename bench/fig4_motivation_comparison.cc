@@ -1,0 +1,70 @@
+// Figure 4 — Protego vs pBox vs Atropos on the table-lock overload (case c1),
+// across offered loads. Metrics normalized by the non-overloaded run at the
+// same load: normalized throughput (4a), normalized p99 (4b), drop rate (4c).
+//
+// Expected shape: Protego bounds latency by dropping many victim requests
+// (high drop rate, reduced throughput); pBox throttles but cannot release the
+// held locks (latency unbounded); Atropos cancels the culprits and keeps
+// throughput ~1 with a negligible drop rate.
+
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/workload/cases.h"
+
+namespace atropos {
+namespace {
+
+void Run() {
+  std::printf("Figure 4: Protego, pBox, and Atropos on the table-lock overload (case c1)\n\n");
+
+  const ControllerKind kControllers[] = {ControllerKind::kProtego, ControllerKind::kPBox,
+                                         ControllerKind::kAtropos};
+
+  TextTable tput({"load x", "protego", "pbox", "atropos"});
+  TextTable p99({"load x", "protego", "pbox", "atropos"});
+  TextTable drop({"load x", "protego", "pbox", "atropos"});
+
+  for (double scale : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0}) {
+    CaseRunOptions base_opt;
+    base_opt.inject_culprits = false;
+    base_opt.load_scale = scale;
+    CaseResult base = RunCase(1, base_opt);
+    double base_tput = base.metrics.ThroughputQps();
+    double base_p99 = static_cast<double>(base.metrics.P99());
+
+    std::vector<std::string> trow{TextTable::Num(scale, 1)};
+    std::vector<std::string> lrow{TextTable::Num(scale, 1)};
+    std::vector<std::string> drow{TextTable::Num(scale, 1)};
+    for (ControllerKind kind : kControllers) {
+      CaseRunOptions opt;
+      opt.controller = kind;
+      opt.load_scale = scale;
+      CaseResult r = RunCase(1, opt);
+      trow.push_back(
+          TextTable::Num(base_tput == 0 ? 0 : r.metrics.ThroughputQps() / base_tput, 2));
+      lrow.push_back(TextTable::Num(
+          base_p99 == 0 ? 0 : static_cast<double>(r.metrics.P99()) / base_p99, 1));
+      drow.push_back(TextTable::Pct(r.metrics.DropRate(), 2));
+    }
+    tput.AddRow(trow);
+    p99.AddRow(lrow);
+    drop.AddRow(drow);
+  }
+
+  std::printf("(a) Normalized throughput\n%s\n", tput.Render().c_str());
+  std::printf("(b) Normalized p99 latency\n%s\n", p99.Render().c_str());
+  std::printf("(c) Drop rate\n%s\n", drop.Render().c_str());
+  std::printf(
+      "expected shape: Atropos sustains ~1.0 normalized throughput with ~0%% drops;\n"
+      "Protego trades a large drop rate for bounded latency; pBox cannot release\n"
+      "held locks and leaves p99 orders of magnitude above baseline.\n");
+}
+
+}  // namespace
+}  // namespace atropos
+
+int main() {
+  atropos::Run();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 3 — evaluated software and integration effort.
+//
+// Prints the paper's per-application integration cost (lines of code added)
+// alongside live measurements from this repository's simulated applications:
+// registered resources, background tasks, and the tracing-event volume of a
+// one-second reference workload.
+
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/study/integration_effort.h"
+
+namespace atropos {
+namespace {
+
+void Run() {
+  std::printf("Table 3: evaluated software and integration effort\n\n");
+  TextTable paper({"Software", "Language", "Category", "SLOC", "SLOC Added"});
+  for (const IntegrationEffort& row : PaperIntegrationEffort()) {
+    paper.AddRow({row.software, row.language, row.category, row.sloc,
+                  std::to_string(row.sloc_added)});
+  }
+  std::printf("(a) Paper-reported integration effort\n%s\n", paper.Render().c_str());
+
+  TextTable repo({"Simulated app", "Resources registered", "Background tasks",
+                  "Trace events (1s reference run)"});
+  for (const RepoIntegration& row : MeasureRepoIntegration()) {
+    repo.AddRow({row.app, std::to_string(row.resources_registered),
+                 std::to_string(row.background_tasks), std::to_string(row.trace_events)});
+  }
+  std::printf("(b) This repository's integration surface (measured live)\n%s\n",
+              repo.Render().c_str());
+  std::printf(
+      "Apps with more application resources need more instrumentation sites —\n"
+      "the paper's MySQL (74 lines, ~20 resources) vs etcd (22 lines) gradient.\n");
+}
+
+}  // namespace
+}  // namespace atropos
+
+int main() {
+  atropos::Run();
+  return 0;
+}

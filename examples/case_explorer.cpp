@@ -1,0 +1,109 @@
+// case_explorer — run any of the 16 reproduced overload cases under any
+// controller and inspect what happened.
+//
+//   ./case_explorer <case 1..16> [controller] [--no-culprits] [--slo=0.2]
+//
+// controller: none | atropos | atropos-heuristic | atropos-current-usage |
+//             protego | pbox | darc | parties
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/common/logging.h"
+#include "src/workload/cases.h"
+
+namespace atropos {
+namespace {
+
+ControllerKind ParseController(const std::string& name) {
+  if (name == "atropos") {
+    return ControllerKind::kAtropos;
+  }
+  if (name == "atropos-heuristic") {
+    return ControllerKind::kAtroposHeuristic;
+  }
+  if (name == "atropos-current-usage") {
+    return ControllerKind::kAtroposCurrentUsage;
+  }
+  if (name == "protego") {
+    return ControllerKind::kProtego;
+  }
+  if (name == "pbox") {
+    return ControllerKind::kPBox;
+  }
+  if (name == "darc") {
+    return ControllerKind::kDarc;
+  }
+  if (name == "parties") {
+    return ControllerKind::kParties;
+  }
+  return ControllerKind::kNone;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("usage: %s <case 1..16> [controller] [--no-culprits] [--slo=0.2]\n", argv[0]);
+    return 1;
+  }
+  int case_id = std::atoi(argv[1]);
+  if (case_id < 1 || case_id > kNumCases) {
+    std::printf("case must be in 1..%d\n", kNumCases);
+    return 1;
+  }
+
+  CaseRunOptions options;
+  options.verbose = true;
+  for (int i = 2; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg == "--debug") {
+      SetLogLevel(LogLevel::kDebug);
+    } else if (arg == "--no-culprits") {
+      options.inject_culprits = false;
+    } else if (arg.rfind("--slo=", 0) == 0) {
+      options.slo_latency_increase = std::atof(arg.c_str() + 6);
+    } else {
+      options.controller = ParseController(arg);
+    }
+  }
+
+  const CaseInfo& info = CaseCatalog()[static_cast<size_t>(case_id - 1)];
+  std::printf("case c%d: %s (%s) — %s / %s\n", info.id, info.app, info.paper_app,
+              info.resource_type, info.resource);
+  std::printf("trigger: %s\n", info.trigger);
+  std::printf("controller: %s, culprits: %s\n\n",
+              std::string(ControllerKindName(options.controller)).c_str(),
+              options.inject_culprits ? "on" : "off");
+
+  CaseResult result = RunCase(case_id, options);
+  const RunMetrics& m = result.metrics;
+  std::printf("\narrivals            %llu\n", static_cast<unsigned long long>(m.arrivals));
+  std::printf("completed           %llu (%.1f qps)\n",
+              static_cast<unsigned long long>(m.completed), m.ThroughputQps());
+  std::printf("p50 / p99 latency   %.2f ms / %.2f ms\n", ToMillis(m.P50()), ToMillis(m.P99()));
+  std::printf("cancelled / retried %llu / %llu\n", static_cast<unsigned long long>(m.cancelled),
+              static_cast<unsigned long long>(m.retried));
+  std::printf("dropped / rejected  %llu / %llu (drop rate %.3f%%)\n",
+              static_cast<unsigned long long>(m.dropped),
+              static_cast<unsigned long long>(m.rejected), m.DropRate() * 100.0);
+  std::printf("controller actions  %llu\n",
+              static_cast<unsigned long long>(result.controller_actions));
+  const AtroposStats& s = result.atropos_stats;
+  if (s.windows > 0) {
+    std::printf(
+        "atropos: windows=%llu suspected=%llu resource-overload=%llu cancels=%llu "
+        "suppressed(interval)=%llu suppressed(no-victim)=%llu\n",
+        static_cast<unsigned long long>(s.windows),
+        static_cast<unsigned long long>(s.suspected_overload_windows),
+        static_cast<unsigned long long>(s.resource_overload_windows),
+        static_cast<unsigned long long>(s.cancels_issued),
+        static_cast<unsigned long long>(s.cancels_suppressed_interval),
+        static_cast<unsigned long long>(s.cancels_suppressed_no_victim));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace atropos
+
+int main(int argc, char** argv) { return atropos::Run(argc, argv); }

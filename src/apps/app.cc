@@ -1,0 +1,118 @@
+#include "src/apps/app.h"
+
+namespace atropos {
+
+void App::Cancel(uint64_t key) {
+  auto it = live_.find(key);
+  if (it == live_.end()) {
+    return;
+  }
+  auto c = cancellable_.find(key);
+  if (c != cancellable_.end() && !c->second) {
+    return;  // explicitly excluded from cancellation (§3.5 safety contract)
+  }
+  it->second.cancelled = true;
+  it->second.token->Cancel();
+}
+
+void App::ThrottleTask(uint64_t key, double factor) {
+  auto it = live_.find(key);
+  if (it != live_.end()) {
+    it->second.throttle = factor < 1.0 ? 1.0 : factor;
+  }
+}
+
+void App::CancelTask(uint64_t key, CancelReason reason) {
+  auto it = live_.find(key);
+  if (it != live_.end()) {
+    it->second.cancel_reason = reason;
+  }
+  Cancel(key);
+}
+
+CancelToken* App::BeginTask(uint64_t key, bool cancellable) {
+  LiveTask task;
+  task.token = std::make_unique<CancelToken>(executor_);
+  CancelToken* token = task.token.get();
+  live_[key] = std::move(task);
+  cancellable_[key] = cancellable;
+  return token;
+}
+
+void App::FinishTask(const AppRequest& req, const CompletionFn& done, const Status& status) {
+  OutcomeKind outcome = OutcomeKind::kCompleted;
+  auto it = live_.find(req.key);
+  CancelReason reason = CancelReason::kCulprit;
+  if (it != live_.end()) {
+    reason = it->second.cancel_reason;
+  }
+  switch (status.code()) {
+    case StatusCode::kOk:
+      outcome = OutcomeKind::kCompleted;
+      break;
+    case StatusCode::kCancelled:
+      outcome =
+          reason == CancelReason::kVictimDrop ? OutcomeKind::kDropped : OutcomeKind::kCancelled;
+      break;
+    case StatusCode::kResourceExhausted:
+      outcome = OutcomeKind::kRejected;
+      break;
+    default:
+      outcome = OutcomeKind::kDropped;
+      break;
+  }
+  live_.erase(req.key);
+  cancellable_.erase(req.key);
+  if (done) {
+    done(req, outcome);
+  }
+}
+
+TimeMicros App::Scaled(uint64_t key, TimeMicros t) const {
+  auto it = live_.find(key);
+  if (it == live_.end() || it->second.throttle <= 1.0) {
+    return t;
+  }
+  return static_cast<TimeMicros>(static_cast<double>(t) * it->second.throttle);
+}
+
+CancelToken* App::TokenOf(uint64_t key) {
+  auto it = live_.find(key);
+  return it == live_.end() ? nullptr : it->second.token.get();
+}
+
+void App::InitClientGates(int num_classes, int64_t parties_capacity) {
+  // Gates start effectively unbounded; they only bind once a controller
+  // (PARTIES) assigns shares of `parties_capacity`.
+  gate_slots_ = parties_capacity;
+  class_gates_.clear();
+  for (int i = 0; i < num_classes; i++) {
+    class_gates_.push_back(std::make_unique<AdjustableLimiter>(executor_, int64_t{1} << 40));
+  }
+}
+
+void App::SetClientShare(int client_class, double share) {
+  if (client_class < 0 || static_cast<size_t>(client_class) >= class_gates_.size()) {
+    return;
+  }
+  auto limit = static_cast<int64_t>(share * static_cast<double>(gate_slots_));
+  class_gates_[static_cast<size_t>(client_class)]->SetLimit(limit < 1 ? 1 : limit);
+}
+
+Task<Status> App::GateEnter(const AppRequest& req, CancelToken* token) {
+  if (class_gates_.empty()) {
+    co_return Status::Ok();
+  }
+  size_t idx = static_cast<size_t>(req.client_class) % class_gates_.size();
+  co_return co_await class_gates_[idx]->Acquire(req.key, token);
+}
+
+void App::GateExit(const AppRequest& req) {
+  if (class_gates_.empty()) {
+    return;
+  }
+  size_t idx = static_cast<size_t>(req.client_class) % class_gates_.size();
+  class_gates_[idx]->Release(req.key);
+}
+
+}  // namespace atropos

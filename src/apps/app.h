@@ -1,0 +1,116 @@
+// Common application framework for the four simulated servers.
+//
+// An App serves typed requests as detached simulation coroutines, exposes the
+// application's safe cancellation initiator (§2.4/§3.6: set a flag that the
+// handler observes at checkpoints and that aborts its blocking waits), and
+// implements the ControlSurface actions it supports (cancel, throttle, worker
+// reservation, client shares).
+
+#ifndef SRC_APPS_APP_H_
+#define SRC_APPS_APP_H_
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/atropos/controller.h"
+#include "src/atropos/instrument.h"
+#include "src/common/status.h"
+#include "src/sim/cancel.h"
+#include "src/sim/coro.h"
+#include "src/sim/executor.h"
+#include "src/sim/task.h"
+
+namespace atropos {
+
+// Keys at or above this base identify application background tasks (backup
+// thread, purge, WAL flusher, vacuum, ...); frontend request keys stay below.
+inline constexpr uint64_t kBackgroundKeyBase = 1ull << 40;
+
+struct AppRequest {
+  uint64_t key = 0;          // unique task key (also the Atropos task key)
+  int type = 0;              // app-specific request type enum
+  int client_class = 0;      // tenant / client grouping (PARTIES)
+  uint64_t arg = 0;          // type-specific parameter (table id, span, ...)
+  bool non_cancellable = false;  // re-executed request (§4 fairness)
+};
+
+enum class OutcomeKind {
+  kCompleted = 0,
+  kCancelled = 1,  // culprit cancellation (may be re-executed)
+  kDropped = 2,    // victim drop (returned to the client as an error)
+  kRejected = 3,   // admission rejection (backlog full)
+};
+
+using CompletionFn = std::function<void(const AppRequest&, OutcomeKind)>;
+
+class App : public ControlSurface {
+ public:
+  ~App() override = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Starts serving `req` as a detached coroutine; `done` fires exactly once.
+  virtual void Start(const AppRequest& req, CompletionFn done) = 0;
+
+  // The application's cancellation initiator (sql_kill / KILL QUERY analog):
+  // marks the task and aborts its cancellable waits. Tasks registered
+  // non-cancellable (re-executed work, unsafe background tasks) ignore it.
+  virtual void Cancel(uint64_t key);
+
+  // Stops background tasks so the simulation drains.
+  virtual void Shutdown() = 0;
+
+  void CancelTask(uint64_t key, CancelReason reason) override;
+  void ThrottleTask(uint64_t key, double factor) override;
+  // PARTIES: resizes a client class's concurrency share.
+  void SetClientShare(int client_class, double share) override;
+
+ protected:
+  // Book-keeping for an in-flight request or background task.
+  struct LiveTask {
+    std::unique_ptr<CancelToken> token;
+    CancelReason cancel_reason = CancelReason::kCulprit;
+    bool cancelled = false;
+    double throttle = 1.0;
+  };
+
+  explicit App(Executor& executor, OverloadController* controller)
+      : executor_(executor), controller_(controller) {}
+
+  // Creates the live entry + cancel token for `key`; pre-cancelled entries
+  // are not created for non-cancellable requests — they still get a token
+  // but Cancel() on them is a no-op (the app-level safety contract).
+  CancelToken* BeginTask(uint64_t key, bool cancellable = true);
+
+  // Maps the handler's final status to an OutcomeKind using the recorded
+  // cancellation reason, erases the live entry, and invokes `done`.
+  void FinishTask(const AppRequest& req, const CompletionFn& done, const Status& status);
+
+  // Throttle-aware delay scaling (pBox penalties).
+  TimeMicros Scaled(uint64_t key, TimeMicros t) const;
+
+  CancelToken* TokenOf(uint64_t key);
+  bool IsLive(uint64_t key) const { return live_.count(key) != 0; }
+  size_t live_count() const { return live_.size(); }
+
+  // Client-class admission gates (PARTIES shares). Gates start effectively
+  // unbounded; SetClientShare resizes them against `parties_capacity` (the
+  // app's nominal concurrency).
+  void InitClientGates(int num_classes, int64_t parties_capacity);
+  Task<Status> GateEnter(const AppRequest& req, CancelToken* token);
+  void GateExit(const AppRequest& req);
+
+  Executor& executor_;
+  OverloadController* controller_;
+  std::unordered_map<uint64_t, LiveTask> live_;
+  std::unordered_map<uint64_t, bool> cancellable_;
+  std::vector<std::unique_ptr<AdjustableLimiter>> class_gates_;
+  int64_t gate_slots_ = 0;
+};
+
+}  // namespace atropos
+
+#endif  // SRC_APPS_APP_H_

@@ -1,0 +1,128 @@
+#include "src/atropos/capi.h"
+
+#include <array>
+
+namespace atropos {
+
+namespace {
+
+AtroposRuntime* g_runtime = nullptr;
+Cancellable* g_current = nullptr;
+void (*g_cancel_action)(uint64_t) = nullptr;
+// Lazily registered default resource instances, one per facade type.
+std::array<ResourceId, 3> g_default_resources = {kInvalidResourceId, kInvalidResourceId,
+                                                 kInvalidResourceId};
+
+ResourceId DefaultResource(CApiResourceType type) {
+  auto idx = static_cast<size_t>(type);
+  if (g_default_resources[idx] == kInvalidResourceId && g_runtime != nullptr) {
+    switch (type) {
+      case CApiResourceType::LOCK:
+        g_default_resources[idx] = g_runtime->RegisterResource("capi_lock", ResourceClass::kLock);
+        break;
+      case CApiResourceType::MEMORY:
+        g_default_resources[idx] =
+            g_runtime->RegisterResource("capi_memory", ResourceClass::kMemory);
+        break;
+      case CApiResourceType::QUEUE:
+        g_default_resources[idx] =
+            g_runtime->RegisterResource("capi_queue", ResourceClass::kQueue);
+        break;
+    }
+  }
+  return g_default_resources[idx];
+}
+
+}  // namespace
+
+void InstallGlobalRuntime(AtroposRuntime* runtime) {
+  g_runtime = runtime;
+  g_current = nullptr;
+  g_cancel_action = nullptr;
+  g_default_resources.fill(kInvalidResourceId);
+}
+
+AtroposRuntime* GlobalRuntime() { return g_runtime; }
+
+Cancellable* createCancel(uint64_t key) {
+  if (g_runtime == nullptr) {
+    return nullptr;
+  }
+  g_runtime->OnTaskRegistered(key, /*background=*/false);
+  return new Cancellable{key};
+}
+
+void freeCancel(Cancellable* c) {
+  if (c == nullptr) {
+    return;
+  }
+  if (g_runtime != nullptr) {
+    g_runtime->OnTaskFreed(c->key);
+  }
+  if (g_current == c) {
+    g_current = nullptr;
+  }
+  delete c;
+}
+
+void setCancelAction(void (*func)(uint64_t)) {
+  g_cancel_action = func;
+  if (g_runtime != nullptr) {
+    g_runtime->SetCancelAction([](uint64_t key) {
+      if (g_cancel_action != nullptr) {
+        g_cancel_action(key);
+      }
+    });
+  }
+}
+
+Cancellable* SetCurrentCancellable(Cancellable* c) {
+  Cancellable* prev = g_current;
+  g_current = c;
+  return prev;
+}
+
+void getResource(long value, CApiResourceType rsc_type) {
+  if (g_runtime == nullptr || g_current == nullptr || value <= 0) {
+    return;
+  }
+  g_runtime->OnGet(g_current->key, DefaultResource(rsc_type), static_cast<uint64_t>(value));
+}
+
+void freeResource(long value, CApiResourceType rsc_type) {
+  if (g_runtime == nullptr || g_current == nullptr || value <= 0) {
+    return;
+  }
+  g_runtime->OnFree(g_current->key, DefaultResource(rsc_type), static_cast<uint64_t>(value));
+}
+
+void slowByResource(long value, CApiResourceType rsc_type) {
+  if (g_runtime == nullptr || g_current == nullptr || value <= 0) {
+    return;
+  }
+  g_runtime->OnUsage(g_current->key, DefaultResource(rsc_type),
+                     /*waited=*/static_cast<TimeMicros>(value), /*used=*/0);
+}
+
+void slowByResourceBegin(CApiResourceType rsc_type) {
+  if (g_runtime == nullptr || g_current == nullptr) {
+    return;
+  }
+  g_runtime->OnWaitBegin(g_current->key, DefaultResource(rsc_type));
+}
+
+void slowByResourceEnd(CApiResourceType rsc_type) {
+  if (g_runtime == nullptr || g_current == nullptr) {
+    return;
+  }
+  g_runtime->OnWaitEnd(g_current->key, DefaultResource(rsc_type));
+}
+
+void reportProgress(uint64_t done, uint64_t total) {
+  if (g_runtime == nullptr || g_current == nullptr) {
+    return;
+  }
+  g_runtime->OnProgress(g_current->key, done, total);
+}
+
+}  // namespace atropos

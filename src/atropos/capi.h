@@ -1,0 +1,75 @@
+// Paper-faithful integration facade (Fig 6 of the paper).
+//
+// The core library API (AtroposRuntime) is explicit about task identity and
+// resource instances. Real applications, however, integrate through the thin
+// C-style surface the paper presents: createCancel / freeCancel /
+// setCancelAction and getResource / freeResource / slowByResource with an
+// implicit "current task" (in the paper: the calling thread; here: a
+// scope-managed current cancellable). This facade provides exactly that
+// surface on top of a process-global runtime; the quickstart example uses it.
+
+#ifndef SRC_ATROPOS_CAPI_H_
+#define SRC_ATROPOS_CAPI_H_
+
+#include <cstdint>
+
+#include "src/atropos/runtime.h"
+
+namespace atropos {
+
+// Fig 6b: the unified resource-type enum. Each type maps to one implicitly
+// registered default resource instance in the global runtime.
+enum class CApiResourceType { LOCK = 0, MEMORY = 1, QUEUE = 2 };
+
+// Opaque handle for a registered cancellable task (Fig 6a).
+struct Cancellable {
+  uint64_t key;
+};
+
+// Installs the runtime the facade forwards to. Must be called before any
+// other facade function; passing nullptr uninstalls.
+void InstallGlobalRuntime(AtroposRuntime* runtime);
+AtroposRuntime* GlobalRuntime();
+
+// ---- Fig 6a: task scope & cancellation action -----------------------------
+Cancellable* createCancel(uint64_t key);
+void freeCancel(Cancellable* c);
+void setCancelAction(void (*func)(uint64_t key));
+
+// Sets the task that subsequent tracing calls are attributed to (the paper
+// uses the calling thread identity; simulated tasks set this explicitly).
+// Returns the previous current task so scopes can nest.
+Cancellable* SetCurrentCancellable(Cancellable* c);
+
+// RAII scope for the current task.
+class CancellableScope {
+ public:
+  explicit CancellableScope(Cancellable* c) : previous_(SetCurrentCancellable(c)) {}
+  ~CancellableScope() { SetCurrentCancellable(previous_); }
+  CancellableScope(const CancellableScope&) = delete;
+  CancellableScope& operator=(const CancellableScope&) = delete;
+
+ private:
+  Cancellable* previous_;
+};
+
+// ---- Fig 6b: resource tracing ----------------------------------------------
+// `value` carries the operation magnitude: units acquired/released for get /
+// free, and the stall duration in microseconds for slowByResource.
+void getResource(long value, CApiResourceType rsc_type);
+void freeResource(long value, CApiResourceType rsc_type);
+void slowByResource(long value, CApiResourceType rsc_type);
+
+// Bracketing extension to the paper's API: a stall reported only after it
+// completes is invisible while a task is blocked behind a long holder, so
+// long convoys would go undetected until they resolve. Bracketing the wait
+// makes in-progress stalls count toward contention.
+void slowByResourceBegin(CApiResourceType rsc_type);
+void slowByResourceEnd(CApiResourceType rsc_type);
+
+// Progress reporting for applications with quantifiable progress (§3.4).
+void reportProgress(uint64_t done, uint64_t total);
+
+}  // namespace atropos
+
+#endif  // SRC_ATROPOS_CAPI_H_

@@ -1,0 +1,68 @@
+// End-to-end overload detection (paper §3.3).
+//
+// Following the Breakwater-style signal the paper adopts: when windowed p99
+// latency exceeds the SLO while throughput stays flat (not growing with the
+// latency), the window is flagged as a suspected overload. The estimator then
+// confirms whether a specific application resource is the bottleneck.
+
+#ifndef SRC_ATROPOS_DETECTOR_H_
+#define SRC_ATROPOS_DETECTOR_H_
+
+#include <deque>
+
+#include "src/atropos/config.h"
+#include "src/common/clock.h"
+
+namespace atropos {
+
+class OverloadDetector {
+ public:
+  explicit OverloadDetector(const AtroposConfig& config);
+
+  struct WindowSample {
+    uint64_t completions = 0;
+    TimeMicros p99 = 0;
+    // Number of still-running requests older than the SLO latency. Without
+    // this, a hard stall is invisible: blocked requests never complete, so
+    // the completion-only p99 is computed over the unaffected survivors and
+    // looks healthy. A *count* (not the single oldest age) is used so that
+    // one legitimately long-running query does not read as a stall — only a
+    // convoy of overdue requests does.
+    uint64_t overdue_actives = 0;
+  };
+
+  enum class Signal {
+    kCalibrating,         // still learning the baseline
+    kNormal,              // no SLO violation
+    kSuspectedOverload,   // SLO violated with flat throughput
+    kDemandOverload,      // SLO violated but throughput still growing
+  };
+
+  Signal OnWindow(const WindowSample& sample);
+
+  bool calibrated() const { return calibrated_; }
+  TimeMicros baseline_p99() const { return baseline_p99_; }
+  // Latency target: baseline p99 * (1 + slo_latency_increase).
+  TimeMicros slo_latency() const;
+
+  // Allows scenarios to inject a known non-overloaded baseline instead of
+  // calibrating online.
+  void SetBaseline(TimeMicros baseline_p99);
+
+ private:
+  AtroposConfig config_;
+  bool calibrated_ = false;
+  TimeMicros baseline_p99_ = 0;
+
+  // Calibration accumulators.
+  int calibration_seen_ = 0;
+  std::deque<TimeMicros> calibration_p99s_;
+
+  // Recent peak throughput (completions/window) with slow decay, for the
+  // "throughput remains flat" test.
+  double peak_rate_ = 0.0;
+};
+
+}  // namespace atropos
+
+#endif  // SRC_ATROPOS_DETECTOR_H_

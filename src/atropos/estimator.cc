@@ -1,0 +1,202 @@
+#include "src/atropos/estimator.h"
+
+#include <algorithm>
+
+namespace atropos {
+
+namespace {
+
+// Future-gain factor (1 - p) / p of §3.4: a task at 10% progress with usage U
+// is predicted to demand 9U more; one at 90% only U/9.
+double FutureFactor(double progress) {
+  return (1.0 - progress) / progress;
+}
+
+}  // namespace
+
+Estimator::Output Estimator::Estimate(std::map<TaskId, TaskRecord>& tasks,
+                                      std::map<ResourceId, ResourceRecord>& resources,
+                                      TimeMicros exec_time, TimeMicros window_start,
+                                      TimeMicros now) {
+  Output out;
+
+  // ---- Per-resource window wait/hold: closed intervals were folded into
+  // the resource windows as they completed; add the still-open intervals of
+  // live tasks, clipped to this window.
+  struct Delta {
+    TimeMicros wait = 0;
+    TimeMicros hold = 0;
+  };
+  std::map<ResourceId, Delta> deltas;
+  for (auto& [tid, task] : tasks) {
+    for (auto& [rid, usage] : task.usage) {
+      Delta& d = deltas[rid];
+      if (usage.waiting) {
+        TimeMicros from = std::max(usage.wait_started_at, window_start);
+        if (now > from) {
+          d.wait += now - from;
+        }
+      }
+      if (usage.active_units > 0) {
+        TimeMicros from = std::max(usage.hold_started_at, window_start);
+        if (now > from) {
+          d.hold += now - from;
+        }
+      }
+    }
+  }
+  for (auto& [rid, res] : resources) {
+    Delta& d = deltas[rid];
+    d.wait += res.window.wait_time;
+    d.hold += res.window.hold_time;
+  }
+
+  // ---- Contention levels (§3.4 formulas, §3.5 normalization).
+  double t_exec = static_cast<double>(std::max<TimeMicros>(exec_time, 1));
+  for (auto& [rid, res] : resources) {
+    ResourceMetrics m;
+    m.id = rid;
+    m.cls = res.cls;
+    const Delta d = deltas[rid];
+    switch (res.cls) {
+      case ResourceClass::kMemory: {
+        // Eviction ratio sum(E_i) / sum(M_i); D_r = eviction time weighted by
+        // the contention level.
+        double gets = static_cast<double>(std::max<uint64_t>(res.window.gets, 1));
+        m.contention_raw = static_cast<double>(res.window.slow_events) / gets;
+        m.delay = static_cast<TimeMicros>(static_cast<double>(d.wait) * std::min(m.contention_raw, 1.0));
+        break;
+      }
+      case ResourceClass::kLock:
+      case ResourceClass::kQueue:
+      case ResourceClass::kCpu:
+      case ResourceClass::kIo: {
+        // Wait-vs-use ratio; D_r is the measured waiting time.
+        double hold = static_cast<double>(std::max<TimeMicros>(d.hold, 1));
+        m.contention_raw = static_cast<double>(d.wait) / hold;
+        m.delay = d.wait;
+        break;
+      }
+    }
+    // Normalized per resource as the fraction of window execution lost to
+    // this resource: D_r / (T_base + D_r). Bounded in [0, 1) and independent
+    // of stalls on *other* resources (a lock convoy must not dilute the
+    // buffer pool's contention by inflating a shared denominator).
+    m.contention_norm =
+        static_cast<double>(m.delay) / (t_exec + static_cast<double>(m.delay));
+    if (calibrating_) {
+      // Record the healthy level; nothing is overloaded while calibrating.
+      Baseline& baseline = baseline_contention_[rid];
+      baseline.sum += m.contention_norm;
+      baseline.windows++;
+    } else {
+      // Contention saturates near 1.0 in a full stall (T_exec then consists
+      // of the blocked time itself), so the baseline-scaled floor is capped
+      // below that ceiling.
+      double floor = std::max(config_.contention_threshold,
+                              std::min(config_.contention_baseline_factor *
+                                           BaselineContention(rid),
+                                       0.75));
+      m.overloaded = m.contention_norm >= floor;
+    }
+    if (m.overloaded) {
+      out.resource_overload = true;
+    }
+    out.all_resources.push_back(m);
+  }
+
+  // ---- Policy input: objectives are the overloaded resources.
+  for (const ResourceMetrics& m : out.all_resources) {
+    if (m.overloaded) {
+      out.policy_input.resources.push_back(m);
+    }
+  }
+  const auto& objectives = out.policy_input.resources;
+  if (objectives.empty()) {
+    return out;
+  }
+
+  // Raw gains per (task, objective).
+  struct Row {
+    TaskId task;
+    bool cancellable;
+    std::vector<double> gain;
+    std::vector<double> current;
+  };
+  std::vector<Row> rows;
+  double min_time_gain =
+      config_.min_gain_window_fraction * static_cast<double>(config_.window);
+  for (auto& [tid, task] : tasks) {
+    if (!task.alive) {
+      continue;
+    }
+    Row row;
+    row.task = tid;
+    row.cancellable = task.cancellable && task.cancel_count < config_.max_cancels_per_task;
+    double factor = FutureFactor(task.Progress(config_.default_progress));
+    bool significant = false;
+    for (const ResourceMetrics& m : objectives) {
+      auto it = task.usage.find(m.id);
+      if (it == task.usage.end()) {
+        row.gain.push_back(0.0);
+        row.current.push_back(0.0);
+        continue;
+      }
+      const TaskResourceUsage& u = it->second;
+      double current = 0.0;
+      if (m.cls == ResourceClass::kMemory) {
+        // Pages (units) held right now.
+        current = static_cast<double>(u.held_now());
+      } else {
+        // Accumulated holding/usage time (µs).
+        current = static_cast<double>(u.HoldTimeAt(now));
+      }
+      row.current.push_back(current);
+      double gain = current * factor;
+      row.gain.push_back(gain);
+      double floor = m.cls == ResourceClass::kMemory ? config_.min_gain_memory_units
+                                                     : min_time_gain;
+      if (gain >= floor) {
+        significant = true;
+      }
+    }
+    // A task predicted to release less than the significance floor resolves
+    // itself faster than cancelling it would; it is never a useful victim.
+    if (!significant) {
+      row.cancellable = false;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // Normalize each objective column to [0, 1] so that units (pages vs µs) are
+  // comparable when scalarized (§3.5's "make contention level comparable"
+  // requirement applies to gains too once multiple resources mix).
+  for (size_t r = 0; r < objectives.size(); r++) {
+    double max_gain = 0.0;
+    double max_cur = 0.0;
+    for (const Row& row : rows) {
+      max_gain = std::max(max_gain, row.gain[r]);
+      max_cur = std::max(max_cur, row.current[r]);
+    }
+    for (Row& row : rows) {
+      if (max_gain > 0.0) {
+        row.gain[r] /= max_gain;
+      }
+      if (max_cur > 0.0) {
+        row.current[r] /= max_cur;
+      }
+    }
+  }
+
+  for (Row& row : rows) {
+    PolicyInput::Candidate c;
+    c.task = row.task;
+    c.cancellable = row.cancellable;
+    c.gains = std::move(row.gain);
+    c.current_usage = std::move(row.current);
+    out.policy_input.candidates.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace atropos

@@ -1,0 +1,369 @@
+#include "src/atropos/runtime.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace atropos {
+
+std::string_view ResourceClassName(ResourceClass cls) {
+  switch (cls) {
+    case ResourceClass::kLock:
+      return "lock";
+    case ResourceClass::kMemory:
+      return "memory";
+    case ResourceClass::kQueue:
+      return "queue";
+    case ResourceClass::kCpu:
+      return "cpu";
+    case ResourceClass::kIo:
+      return "io";
+  }
+  return "unknown";
+}
+
+AtroposRuntime::AtroposRuntime(Clock* clock, AtroposConfig config)
+    : clock_(clock),
+      config_(config),
+      detector_(config),
+      estimator_(config),
+      effective_mode_(config.timestamp_mode) {
+  window_start_ = clock_->NowMicros();
+  cached_now_ = window_start_;
+}
+
+ResourceId AtroposRuntime::RegisterResource(std::string name, ResourceClass cls) {
+  ResourceId id = next_resource_id_++;
+  ResourceRecord rec;
+  rec.id = id;
+  rec.cls = cls;
+  rec.name = std::move(name);
+  resources_.emplace(id, std::move(rec));
+  return id;
+}
+
+const ResourceRecord* AtroposRuntime::FindResource(ResourceId id) const {
+  auto it = resources_.find(id);
+  return it == resources_.end() ? nullptr : &it->second;
+}
+
+const TaskRecord* AtroposRuntime::FindTask(uint64_t key) const {
+  auto it = key_to_task_.find(key);
+  if (it == key_to_task_.end()) {
+    return nullptr;
+  }
+  auto t = tasks_.find(it->second);
+  return t == tasks_.end() ? nullptr : &t->second;
+}
+
+TimeMicros AtroposRuntime::TraceNow() {
+  if (effective_mode_ == TimestampMode::kPerEvent) {
+    cached_now_ = clock_->NowMicros();
+    return cached_now_;
+  }
+  // Sampled mode: reuse the cached timestamp within the sampling interval —
+  // the batching that amortizes timestamp retrieval (§3.2). In a real
+  // deployment the refresh is driven by a timer; here the interval check
+  // plays that role without a second clock source.
+  TimeMicros now = clock_->NowMicros();
+  if (now >= cached_now_ + config_.timestamp_sample_interval) {
+    cached_now_ = now - now % config_.timestamp_sample_interval;
+  }
+  return cached_now_;
+}
+
+void AtroposRuntime::OnTaskRegistered(uint64_t key, bool background, bool cancellable) {
+  TaskId id = next_task_id_++;
+  TaskRecord rec;
+  rec.id = id;
+  rec.key = key;
+  rec.created_at = clock_->NowMicros();
+  rec.background = background;
+  rec.cancellable = cancellable;
+  // §4: a re-executed (previously cancelled) task is non-cancellable so the
+  // next overload targets a different culprit.
+  if (cancelled_keys_.count(key) != 0) {
+    rec.cancellable = false;
+    cancelled_keys_.erase(key);
+  }
+  // Replace any stale registration under the same key.
+  auto old = key_to_task_.find(key);
+  if (old != key_to_task_.end()) {
+    tasks_.erase(old->second);
+  }
+  key_to_task_[key] = id;
+  tasks_.emplace(id, std::move(rec));
+}
+
+void AtroposRuntime::OnTaskFreed(uint64_t key) {
+  auto it = key_to_task_.find(key);
+  if (it == key_to_task_.end()) {
+    return;
+  }
+  tasks_.erase(it->second);
+  key_to_task_.erase(it);
+  active_requests_.erase(key);
+}
+
+TaskRecord* AtroposRuntime::Lookup(uint64_t key) {
+  auto it = key_to_task_.find(key);
+  if (it == key_to_task_.end()) {
+    stats_.ignored_events++;
+    return nullptr;
+  }
+  return &tasks_.find(it->second)->second;
+}
+
+TaskResourceUsage* AtroposRuntime::UsageFor(uint64_t key, ResourceId resource) {
+  TaskRecord* task = Lookup(key);
+  if (task == nullptr) {
+    return nullptr;
+  }
+  return &task->usage[resource];
+}
+
+void AtroposRuntime::OnGet(uint64_t key, ResourceId resource, uint64_t amount) {
+  stats_.trace_events++;
+  TaskResourceUsage* usage = UsageFor(key, resource);
+  if (usage == nullptr) {
+    return;
+  }
+  TimeMicros now = TraceNow();
+  usage->acquired += amount;
+  if (usage->active_units == 0) {
+    usage->hold_started_at = now;
+  }
+  usage->active_units += amount;
+  auto res = resources_.find(resource);
+  if (res != resources_.end()) {
+    // Window gets count API calls, not units: the §3.4 eviction ratio is
+    // "slowByResource calls / getResource calls" regardless of whether a call
+    // acquires one page or a multi-KB allocation.
+    res->second.window.gets++;
+    res->second.total_gets += amount;
+  }
+}
+
+void AtroposRuntime::OnFree(uint64_t key, ResourceId resource, uint64_t amount) {
+  stats_.trace_events++;
+  TaskResourceUsage* usage = UsageFor(key, resource);
+  if (usage == nullptr) {
+    return;
+  }
+  TimeMicros now = TraceNow();
+  usage->released += amount;
+  uint64_t dec = std::min(usage->active_units, amount);
+  usage->active_units -= dec;
+  auto res = resources_.find(resource);
+  if (usage->active_units == 0 && dec > 0 && now > usage->hold_started_at) {
+    usage->hold_time += now - usage->hold_started_at;
+    if (res != resources_.end()) {
+      // Window counters take the part of the closed interval inside this
+      // window; earlier parts were visible as an open interval before.
+      TimeMicros from = std::max(usage->hold_started_at, window_start_);
+      if (now > from) {
+        res->second.window.hold_time += now - from;
+      }
+    }
+  }
+  if (res != resources_.end()) {
+    res->second.window.frees += amount;
+  }
+}
+
+void AtroposRuntime::OnWaitBegin(uint64_t key, ResourceId resource) {
+  stats_.trace_events++;
+  TaskResourceUsage* usage = UsageFor(key, resource);
+  if (usage == nullptr || usage->waiting) {
+    return;
+  }
+  usage->waiting = true;
+  usage->wait_started_at = TraceNow();
+}
+
+void AtroposRuntime::OnWaitEnd(uint64_t key, ResourceId resource) {
+  stats_.trace_events++;
+  TaskResourceUsage* usage = UsageFor(key, resource);
+  if (usage == nullptr || !usage->waiting) {
+    return;
+  }
+  TimeMicros now = TraceNow();
+  usage->waiting = false;
+  if (now > usage->wait_started_at) {
+    usage->wait_time += now - usage->wait_started_at;
+  }
+  usage->slow_events++;
+  auto res = resources_.find(resource);
+  if (res != resources_.end()) {
+    res->second.window.slow_events++;
+    res->second.total_slow_events++;
+    TimeMicros from = std::max(usage->wait_started_at, window_start_);
+    if (now > from) {
+      res->second.window.wait_time += now - from;
+    }
+  }
+}
+
+void AtroposRuntime::OnUsage(uint64_t key, ResourceId resource, TimeMicros waited,
+                             TimeMicros used) {
+  stats_.trace_events++;
+  TaskResourceUsage* usage = UsageFor(key, resource);
+  if (usage == nullptr) {
+    return;
+  }
+  usage->wait_time += waited;
+  usage->hold_time += used;
+  auto res = resources_.find(resource);
+  if (res != resources_.end()) {
+    res->second.window.wait_time += waited;
+    res->second.window.hold_time += used;
+    if (waited > 0) {
+      res->second.window.slow_events++;
+      res->second.total_slow_events++;
+    }
+  }
+  if (waited > 0) {
+    usage->slow_events++;
+  }
+}
+
+void AtroposRuntime::OnRequestStart(uint64_t key, int request_type, int client_class) {
+  active_requests_[key] = ActiveRequest{clock_->NowMicros(), client_class};
+}
+
+void AtroposRuntime::OnRequestEnd(uint64_t key, TimeMicros latency, int request_type,
+                                  int client_class) {
+  if (config_.slo_client_class < 0 || client_class == config_.slo_client_class) {
+    window_latency_.Record(latency);
+    window_completions_++;
+  }
+  // T_exec contribution, clipped to the window so long requests don't inflate
+  // the denominator with execution that belongs to earlier windows.
+  TimeMicros now = clock_->NowMicros();
+  TimeMicros in_window = now > window_start_ ? now - window_start_ : 0;
+  window_exec_time_ += std::min(latency, in_window);
+  active_requests_.erase(key);
+}
+
+void AtroposRuntime::OnProgress(uint64_t key, uint64_t done, uint64_t total) {
+  TaskRecord* task = Lookup(key);
+  if (task == nullptr) {
+    return;
+  }
+  task->has_progress = true;
+  task->progress_done = done;
+  task->progress_total = total;
+}
+
+void AtroposRuntime::Tick() {
+  TimeMicros now = clock_->NowMicros();
+  stats_.windows++;
+
+  // ---- Detection (§3.3).
+  OverloadDetector::WindowSample sample;
+  sample.completions = window_completions_;
+  sample.p99 = window_latency_.P99();
+  if (detector_.calibrated()) {
+    TimeMicros slo = detector_.slo_latency();
+    for (const auto& [key, req] : active_requests_) {
+      if (config_.slo_client_class >= 0 && req.client_class != config_.slo_client_class) {
+        continue;  // long-running batch requests are not SLO violations
+      }
+      if (now > req.start && now - req.start > slo) {
+        sample.overdue_actives++;
+      }
+    }
+  }
+  OverloadDetector::Signal signal = detector_.OnWindow(sample);
+
+  // Aggressive per-event timestamps while an overload is suspected (§3.2).
+  effective_mode_ = signal == OverloadDetector::Signal::kSuspectedOverload
+                        ? TimestampMode::kPerEvent
+                        : config_.timestamp_mode;
+
+  // ---- Estimation (§3.4). T_base is the window's productive execution
+  // time: completed request time, floored at the window length. In-flight
+  // blocked time is deliberately excluded — it shows up as the per-resource
+  // delay D_r, not in the shared denominator.
+  TimeMicros exec = std::max<TimeMicros>(window_exec_time_, now - window_start_);
+  estimator_.SetCalibrating(!detector_.calibrated());
+  Estimator::Output est = estimator_.Estimate(tasks_, resources_, exec, window_start_, now);
+  last_metrics_ = est.all_resources;
+
+  calm_windows_ = est.resource_overload ? 0 : calm_windows_ + 1;
+
+  // ---- Cancellation decision (§3.5–3.6).
+  switch (signal) {
+    case OverloadDetector::Signal::kSuspectedOverload: {
+      stats_.suspected_overload_windows++;
+      if (!est.resource_overload) {
+        // Regular overload: defer to whatever admission control is in place
+        // (§3.3); Atropos itself takes no action.
+        break;
+      }
+      stats_.resource_overload_windows++;
+      if (!config_.cancellation_enabled) {
+        break;
+      }
+      if (ever_cancelled_ && now < last_cancel_time_ + config_.min_cancel_interval) {
+        stats_.cancels_suppressed_interval++;
+        break;
+      }
+      PolicyDecision decision = SelectVictim(config_.policy, est.policy_input);
+      if (!decision.found()) {
+        stats_.cancels_suppressed_no_victim++;
+        if (GetLogLevel() <= LogLevel::kDebug) {
+          for (const auto& m : est.policy_input.resources) {
+            LOG_DEBUG("no-victim: resource %u C=%.3f delay=%llu", m.id, m.contention_norm,
+                      static_cast<unsigned long long>(m.delay));
+          }
+          for (const auto& c : est.policy_input.candidates) {
+            double g = c.gains.empty() ? 0.0 : c.gains[0];
+            if (g > 0.0 || !c.cancellable) {
+              const TaskRecord& rec = tasks_.find(c.task)->second;
+              LOG_DEBUG("  cand key=%llu cancellable=%d gain0=%.4f",
+                        static_cast<unsigned long long>(rec.key), c.cancellable ? 1 : 0, g);
+            }
+          }
+        }
+        break;
+      }
+      TaskRecord& victim = tasks_.find(decision.victim)->second;
+      victim.cancel_count++;
+      victim.cancelled_at = now;
+      cancelled_keys_.insert(victim.key);
+      last_cancel_time_ = now;
+      ever_cancelled_ = true;
+      stats_.cancels_issued++;
+      LOG_INFO("atropos: cancelling task key=%llu score=%.3f",
+               static_cast<unsigned long long>(victim.key), decision.score);
+      if (cancel_observer_) {
+        cancel_observer_(victim.key, decision.score);
+      }
+      // Safe cancellation through the application's initiator (§3.6).
+      if (cancel_action_) {
+        cancel_action_(victim.key);
+      } else if (surface_ != nullptr) {
+        surface_->CancelTask(victim.key, CancelReason::kCulprit);
+      }
+      break;
+    }
+    case OverloadDetector::Signal::kDemandOverload:
+      stats_.demand_overload_windows++;
+      break;
+    case OverloadDetector::Signal::kNormal:
+    case OverloadDetector::Signal::kCalibrating:
+      break;
+  }
+
+  // ---- Roll the window.
+  window_latency_.Reset();
+  window_completions_ = 0;
+  window_exec_time_ = 0;
+  window_start_ = now;
+  for (auto& [rid, res] : resources_) {
+    res.window.Reset();
+  }
+}
+
+}  // namespace atropos

@@ -1,0 +1,157 @@
+// The Atropos runtime manager (paper §3, Fig 5).
+//
+// Implements the full control loop: task registration (§3.1), per-task
+// resource usage tracking with sampled/per-event timestamps (§3.2), overload
+// detection (§3.3), contention/gain estimation (§3.4), victim selection
+// (§3.5), and safe cancellation through the application's registered
+// initiator with fairness bookkeeping (§3.6, §4).
+//
+// The runtime is itself an OverloadController, so applications integrate it
+// exactly like the baseline controllers: feed the instrumentation stream and
+// call Tick() once per window.
+
+#ifndef SRC_ATROPOS_RUNTIME_H_
+#define SRC_ATROPOS_RUNTIME_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/atropos/accounting.h"
+#include "src/atropos/config.h"
+#include "src/atropos/controller.h"
+#include "src/atropos/detector.h"
+#include "src/atropos/estimator.h"
+#include "src/atropos/policy.h"
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+
+namespace atropos {
+
+// Aggregate counters exported for tests and benches.
+struct AtroposStats {
+  uint64_t windows = 0;
+  uint64_t suspected_overload_windows = 0;
+  uint64_t demand_overload_windows = 0;
+  uint64_t resource_overload_windows = 0;
+  uint64_t cancels_issued = 0;
+  uint64_t cancels_suppressed_interval = 0;  // skipped due to min_cancel_interval
+  uint64_t cancels_suppressed_no_victim = 0;
+  uint64_t trace_events = 0;
+  uint64_t ignored_events = 0;  // tracing calls against unregistered keys
+};
+
+class AtroposRuntime final : public OverloadController {
+ public:
+  AtroposRuntime(Clock* clock, AtroposConfig config);
+
+  std::string_view name() const override { return "atropos"; }
+
+  // ---- Integration API (paper Fig 6a) -----------------------------------
+  // The application's cancellation initiator; invoked with the task key.
+  void SetCancelAction(std::function<void(uint64_t)> initiator) {
+    cancel_action_ = std::move(initiator);
+  }
+  void SetControlSurface(ControlSurface* surface) { surface_ = surface; }
+
+  // ---- Resource registration ---------------------------------------------
+  ResourceId RegisterResource(std::string name, ResourceClass cls) override;
+  const ResourceRecord* FindResource(ResourceId id) const;
+
+  // ---- Instrumentation stream (OverloadController) ------------------------
+  void OnTaskRegistered(uint64_t key, bool background, bool cancellable = true) override;
+  void OnTaskFreed(uint64_t key) override;
+  void OnGet(uint64_t key, ResourceId resource, uint64_t amount) override;
+  void OnFree(uint64_t key, ResourceId resource, uint64_t amount) override;
+  void OnWaitBegin(uint64_t key, ResourceId resource) override;
+  void OnWaitEnd(uint64_t key, ResourceId resource) override;
+  void OnRequestStart(uint64_t key, int request_type, int client_class) override;
+  void OnRequestEnd(uint64_t key, TimeMicros latency, int request_type,
+                    int client_class) override;
+  void OnProgress(uint64_t key, uint64_t done, uint64_t total) override;
+
+  // Completed wait+use report in one call; used by CPU/IO adapters that learn
+  // both durations only after the fact.
+  void OnUsage(uint64_t key, ResourceId resource, TimeMicros waited, TimeMicros used);
+
+  // ---- Control loop --------------------------------------------------------
+  // Closes the current window: detection, estimation, and (when confirmed)
+  // cancellation of the selected culprit.
+  void Tick() override;
+
+  // ---- Fairness / re-execution (§4) ---------------------------------------
+  // True after `reexec_calm_windows` consecutive windows without resource
+  // overload — the "sustained resource availability" condition for retrying
+  // cancelled work.
+  bool ReexecutionRecommended() const override {
+    return calm_windows_ >= config_.reexec_calm_windows;
+  }
+
+  // ---- Introspection -------------------------------------------------------
+  const AtroposStats& stats() const { return stats_; }
+  const AtroposConfig& config() const { return config_; }
+  const OverloadDetector& detector() const { return detector_; }
+  // Normalized contention of the last closed window, by resource.
+  const std::vector<ResourceMetrics>& last_metrics() const { return last_metrics_; }
+  TimestampMode effective_timestamp_mode() const { return effective_mode_; }
+  const TaskRecord* FindTask(uint64_t key) const;
+  size_t live_task_count() const { return key_to_task_.size(); }
+
+  // Test hook observing every issued cancellation.
+  void SetCancelObserver(std::function<void(uint64_t key, double score)> observer) {
+    cancel_observer_ = std::move(observer);
+  }
+
+ private:
+  TaskRecord* Lookup(uint64_t key);
+  TaskResourceUsage* UsageFor(uint64_t key, ResourceId resource);
+  // Timestamp respecting the sampled/per-event mode (§3.2).
+  TimeMicros TraceNow();
+
+  Clock* clock_;
+  AtroposConfig config_;
+  OverloadDetector detector_;
+  Estimator estimator_;
+
+  std::function<void(uint64_t)> cancel_action_;
+  ControlSurface* surface_ = nullptr;
+  std::function<void(uint64_t, double)> cancel_observer_;
+
+  // Registries. std::map gives deterministic iteration order.
+  std::map<TaskId, TaskRecord> tasks_;
+  std::map<ResourceId, ResourceRecord> resources_;
+  std::unordered_map<uint64_t, TaskId> key_to_task_;
+  std::unordered_set<uint64_t> cancelled_keys_;  // keys whose re-registration is non-cancellable
+  TaskId next_task_id_ = 1;
+  ResourceId next_resource_id_ = 1;
+
+  // Window state.
+  LatencyHistogram window_latency_;
+  uint64_t window_completions_ = 0;
+  TimeMicros window_exec_time_ = 0;  // T_exec accumulator (completed requests)
+  TimeMicros window_start_ = 0;
+  struct ActiveRequest {
+    TimeMicros start = 0;
+    int client_class = 0;
+  };
+  std::unordered_map<uint64_t, ActiveRequest> active_requests_;
+
+  // Cancellation pacing & fairness.
+  TimeMicros last_cancel_time_ = 0;
+  bool ever_cancelled_ = false;
+  int calm_windows_ = 0;
+
+  // Timestamp sampling.
+  TimestampMode effective_mode_;
+  TimeMicros cached_now_ = 0;
+
+  std::vector<ResourceMetrics> last_metrics_;
+  AtroposStats stats_;
+};
+
+}  // namespace atropos
+
+#endif  // SRC_ATROPOS_RUNTIME_H_

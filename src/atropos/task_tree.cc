@@ -1,0 +1,109 @@
+#include "src/atropos/task_tree.h"
+
+#include <algorithm>
+
+namespace atropos {
+
+void TaskTree::Register(uint64_t key, uint64_t parent, int node) {
+  Node& entry = tasks_[key];  // may already exist as a placeholder parent
+  entry.parent = parent;
+  entry.node_id = node;
+  if (parent != 0) {
+    // The parent may not have registered yet (out-of-order arrival); create
+    // its placeholder so the child link is never lost.
+    Node& parent_entry = tasks_[parent];
+    if (std::find(parent_entry.children.begin(), parent_entry.children.end(), key) ==
+        parent_entry.children.end()) {
+      parent_entry.children.push_back(key);
+    }
+  }
+}
+
+void TaskTree::Unregister(uint64_t key) {
+  auto it = tasks_.find(key);
+  if (it == tasks_.end()) {
+    return;
+  }
+  uint64_t parent = it->second.parent;
+  // Re-root surviving children to the grandparent so cancellation of an
+  // ancestor still reaches them.
+  for (uint64_t child : it->second.children) {
+    auto c = tasks_.find(child);
+    if (c != tasks_.end()) {
+      c->second.parent = parent;
+    }
+    if (parent != 0) {
+      tasks_[parent].children.push_back(child);
+    }
+  }
+  if (parent != 0) {
+    auto p = tasks_.find(parent);
+    if (p != tasks_.end()) {
+      auto& siblings = p->second.children;
+      siblings.erase(std::remove(siblings.begin(), siblings.end(), key), siblings.end());
+    }
+  }
+  tasks_.erase(it);
+  pending_.erase(key);  // finishing counts as the acknowledgement
+}
+
+void TaskTree::CollectSubtree(uint64_t key, std::vector<uint64_t>* out) const {
+  auto it = tasks_.find(key);
+  if (it == tasks_.end()) {
+    return;
+  }
+  out->push_back(key);
+  for (uint64_t child : it->second.children) {
+    CollectSubtree(child, out);
+  }
+}
+
+std::vector<uint64_t> TaskTree::Subtree(uint64_t key) const {
+  std::vector<uint64_t> out;
+  CollectSubtree(key, &out);
+  return out;
+}
+
+void TaskTree::Cancel(uint64_t key) {
+  TimeMicros now = clock_->NowMicros();
+  for (uint64_t task : Subtree(key)) {
+    auto it = tasks_.find(task);
+    if (it == tasks_.end() || pending_.count(task) != 0) {
+      continue;  // already in flight
+    }
+    dispatch_(it->second.node_id, task);
+    pending_[task] = Pending{it->second.node_id, now, 1};
+  }
+}
+
+void TaskTree::Ack(uint64_t key) { pending_.erase(key); }
+
+void TaskTree::Tick() {
+  TimeMicros now = clock_->NowMicros();
+  std::vector<uint64_t> orphans;
+  for (auto& [key, pending] : pending_) {
+    if (now < pending.dispatched_at + config_.ack_timeout) {
+      continue;
+    }
+    if (pending.attempts > config_.max_retries) {
+      orphans.push_back(key);
+      continue;
+    }
+    // Retry: the node may have missed the first delivery (idempotent).
+    dispatch_(pending.node_id, key);
+    pending.dispatched_at = now;
+    pending.attempts++;
+  }
+  for (uint64_t key : orphans) {
+    int node = pending_[key].node_id;
+    pending_.erase(key);
+    // The node is unreachable (crash / partition): hand the task to the
+    // application's reconciliation path and forget its subtree links.
+    if (on_orphan_) {
+      on_orphan_(node, key);
+    }
+    Unregister(key);
+  }
+}
+
+}  // namespace atropos

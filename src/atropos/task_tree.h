@@ -1,0 +1,99 @@
+// Distributed cancellation propagation (paper §4, future work).
+//
+// "Its abstractions, however, can extend to distributed systems where a
+// single user request may span multiple nodes. In such cases, the Atropos
+// task manager could associate child tasks with their root request and
+// propagate cancellation signals. Extending cancellation to distributed
+// systems also requires handling failures such as crashes, timeouts, or
+// network partitions."
+//
+// TaskTree implements that extension: tasks register with a parent (roots
+// have none) and a node id; cancelling a root fans the initiator out to every
+// live descendant, tracks per-task acknowledgements, retries unacknowledged
+// deliveries, and reports tasks that never acknowledge (crashed/partitioned
+// nodes) as orphans so the application can reconcile them.
+
+#ifndef SRC_ATROPOS_TASK_TREE_H_
+#define SRC_ATROPOS_TASK_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace atropos {
+
+struct TaskTreeConfig {
+  // How long a dispatched cancellation may stay unacknowledged before retry.
+  TimeMicros ack_timeout = Millis(500);
+  int max_retries = 2;
+};
+
+class TaskTree {
+ public:
+  // `dispatch` delivers a cancellation signal for `key` to `node` (e.g. an
+  // RPC). It may be called multiple times for the same key (retries), so it
+  // must be idempotent on the receiving side.
+  using DispatchFn = std::function<void(int node, uint64_t key)>;
+  // Called when a task exhausted its retries without acknowledging.
+  using OrphanFn = std::function<void(int node, uint64_t key)>;
+
+  TaskTree(Clock* clock, TaskTreeConfig config, DispatchFn dispatch, OrphanFn on_orphan)
+      : clock_(clock),
+        config_(config),
+        dispatch_(std::move(dispatch)),
+        on_orphan_(std::move(on_orphan)) {}
+
+  // Registers `key` running on `node` as a child of `parent` (0 = root).
+  // Registration order is not constrained: a child may register before its
+  // parent (out-of-order RPC arrival).
+  void Register(uint64_t key, uint64_t parent, int node);
+
+  // Removes a finished task. Its children (if any) are re-rooted to its
+  // parent so a later cancellation still reaches them.
+  void Unregister(uint64_t key);
+
+  // Cancels `key` and every live descendant: dispatches the signal to each
+  // and starts the acknowledgement clock.
+  void Cancel(uint64_t key);
+
+  // A node confirms that `key`'s cancellation took effect.
+  void Ack(uint64_t key);
+
+  // Drives retries and orphan detection; call periodically (e.g. per window).
+  void Tick();
+
+  bool IsRegistered(uint64_t key) const { return tasks_.count(key) != 0; }
+  size_t live_count() const { return tasks_.size(); }
+  size_t pending_ack_count() const { return pending_.size(); }
+  // All live descendants of `key`, including itself (DFS order).
+  std::vector<uint64_t> Subtree(uint64_t key) const;
+
+ private:
+  struct Node {
+    uint64_t parent = 0;
+    int node_id = 0;
+    std::vector<uint64_t> children;
+  };
+  struct Pending {
+    int node_id = 0;
+    TimeMicros dispatched_at = 0;
+    int attempts = 0;
+  };
+
+  void CollectSubtree(uint64_t key, std::vector<uint64_t>* out) const;
+
+  Clock* clock_;
+  TaskTreeConfig config_;
+  DispatchFn dispatch_;
+  OrphanFn on_orphan_;
+
+  std::map<uint64_t, Node> tasks_;
+  std::map<uint64_t, Pending> pending_;  // dispatched, not yet acknowledged
+};
+
+}  // namespace atropos
+
+#endif  // SRC_ATROPOS_TASK_TREE_H_

@@ -1,0 +1,39 @@
+// Core identifier and enum types of the Atropos framework.
+
+#ifndef SRC_ATROPOS_TYPES_H_
+#define SRC_ATROPOS_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace atropos {
+
+// Identifies one registered cancellable task (paper §3.1). Assigned by the
+// runtime; distinct from the application-provided key.
+using TaskId = uint64_t;
+inline constexpr TaskId kInvalidTaskId = 0;
+
+// Identifies one registered application resource instance (e.g. "the buffer
+// pool", "table locks", "the InnoDB ticket queue").
+using ResourceId = uint32_t;
+inline constexpr ResourceId kInvalidResourceId = 0;
+
+// The unified application-resource classes of §3.2. kCpu/kIo extend the
+// paper's three classes to its "system resource" cases (c8, c12), which the
+// paper monitors through cgroups; here the simulated devices report through
+// the same tracing interface.
+enum class ResourceClass {
+  kLock = 0,    // synchronization resources
+  kMemory = 1,  // memory pools / caches
+  kQueue = 2,   // application-managed task queues
+  kCpu = 3,     // system CPU
+  kIo = 4,      // system I/O
+};
+
+inline constexpr int kNumResourceClasses = 5;
+
+std::string_view ResourceClassName(ResourceClass cls);
+
+}  // namespace atropos
+
+#endif  // SRC_ATROPOS_TYPES_H_

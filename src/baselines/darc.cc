@@ -1,0 +1,43 @@
+#include "src/baselines/darc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atropos {
+
+void Darc::Tick() {
+  // Find the fastest adequately-profiled type.
+  double min_mean = 0.0;
+  int short_type = -1;
+  for (const auto& [type, p] : profiles_) {
+    if (p.count < static_cast<uint64_t>(config_.min_samples)) {
+      continue;
+    }
+    double mean = p.Mean();
+    if (short_type < 0 || mean < min_mean) {
+      min_mean = mean;
+      short_type = type;
+    }
+  }
+  if (short_type < 0) {
+    return;
+  }
+  // Is there a meaningfully heavier type? If not, no reservation is needed.
+  bool heavy_exists = false;
+  for (const auto& [type, p] : profiles_) {
+    if (type != short_type && p.count >= static_cast<uint64_t>(config_.min_samples) &&
+        p.Mean() > min_mean * config_.short_type_factor) {
+      heavy_exists = true;
+      break;
+    }
+  }
+  int reserve = heavy_exists ? static_cast<int>(std::lround(
+                                   config_.reserve_fraction * config_.total_workers))
+                             : 0;
+  if (reserve != reserved_) {
+    reserved_ = reserve;
+    surface_->SetTypeReservation(short_type, reserve);
+  }
+}
+
+}  // namespace atropos

@@ -1,0 +1,115 @@
+// Log-linear latency histogram (HdrHistogram-style) plus windowed metrics.
+//
+// LatencyHistogram records microsecond values into log-linear buckets with
+// bounded relative error, supporting cheap percentile queries. It is the
+// measurement primitive behind every throughput/p99 series in the benchmark
+// harnesses.
+
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace atropos {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(TimeMicros value);
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  TimeMicros min() const { return count_ == 0 ? 0 : min_; }
+  TimeMicros max() const { return max_; }
+  double Mean() const;
+
+  // Value at quantile q in [0, 1]; returns 0 for an empty histogram.
+  TimeMicros Percentile(double q) const;
+
+  TimeMicros P50() const { return Percentile(0.50); }
+  TimeMicros P99() const { return Percentile(0.99); }
+  TimeMicros P999() const { return Percentile(0.999); }
+
+ private:
+  // Buckets: 64 ranges by leading bit, each split into kSubBuckets linear
+  // sub-buckets => ~1.6% max relative error.
+  static constexpr int kSubBucketBits = 6;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  static int BucketIndex(uint64_t value);
+  static uint64_t BucketMidpoint(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  TimeMicros min_ = 0;
+  TimeMicros max_ = 0;
+};
+
+// Tracks completions over fixed windows to produce a throughput series and
+// detect "throughput remains flat" (the Breakwater-style overload signal).
+class ThroughputMeter {
+ public:
+  explicit ThroughputMeter(TimeMicros window = Millis(100)) : window_(window) {}
+
+  void RecordCompletion(TimeMicros now) {
+    RollTo(now);
+    current_count_++;
+    total_++;
+  }
+
+  // Completions/second over the most recently *closed* window.
+  double LastWindowRate(TimeMicros now) {
+    RollTo(now);
+    return static_cast<double>(last_count_) / ToSeconds(window_);
+  }
+
+  uint64_t total() const { return total_; }
+  TimeMicros window() const { return window_; }
+
+ private:
+  void RollTo(TimeMicros now) {
+    TimeMicros idx = now / window_;
+    if (idx == current_window_) {
+      return;
+    }
+    last_count_ = (idx == current_window_ + 1) ? current_count_ : 0;
+    current_window_ = idx;
+    current_count_ = 0;
+  }
+
+  TimeMicros window_;
+  TimeMicros current_window_ = 0;
+  uint64_t current_count_ = 0;
+  uint64_t last_count_ = 0;
+  uint64_t total_ = 0;
+};
+
+// Online mean/variance (Welford).
+class RunningStats {
+ public:
+  void Add(double x) {
+    n_++;
+    double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double Variance() const { return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1); }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace atropos
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

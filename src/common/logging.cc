@@ -1,0 +1,45 @@
+#include "src/common/logging.h"
+
+#include <cstdarg>
+#include <cstring>
+
+namespace atropos {
+
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace internal {
+
+void LogLine(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  const char* base = std::strrchr(file, '/');
+  base = base != nullptr ? base + 1 : file;
+  std::fprintf(stderr, "[%s %s:%d] ", LevelTag(level), base, line);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace internal
+}  // namespace atropos

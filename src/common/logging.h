@@ -1,0 +1,37 @@
+// Minimal leveled logging. Off by default so deterministic benchmark output
+// stays clean; tests and debugging sessions can raise the level.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <utility>
+
+namespace atropos {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+void LogLine(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+}  // namespace internal
+
+#define ATROPOS_LOG(level, ...)                                                  \
+  do {                                                                           \
+    if (static_cast<int>(level) >= static_cast<int>(::atropos::GetLogLevel())) { \
+      ::atropos::internal::LogLine(level, __FILE__, __LINE__, __VA_ARGS__);      \
+    }                                                                            \
+  } while (0)
+
+#define LOG_DEBUG(...) ATROPOS_LOG(::atropos::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) ATROPOS_LOG(::atropos::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARNING(...) ATROPOS_LOG(::atropos::LogLevel::kWarning, __VA_ARGS__)
+#define LOG_ERROR(...) ATROPOS_LOG(::atropos::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace atropos
+
+#endif  // SRC_COMMON_LOGGING_H_

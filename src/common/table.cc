@@ -1,0 +1,86 @@
+#include "src/common/table.h"
+
+#include <cstdio>
+
+namespace atropos {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::Pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); c++) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); c++) {
+      if (row[c].size() > widths[c]) {
+        widths[c] = row[c].size();
+      }
+    }
+  }
+
+  auto append_row = [&](std::string& out, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); c++) {
+      if (c > 0) {
+        out += "  ";
+      }
+      out += row[c];
+      out.append(widths[c] - row[c].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!out.empty() && out.back() == ' ') {
+      out.pop_back();
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  append_row(out, header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); c++) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    append_row(out, row);
+  }
+  return out;
+}
+
+std::string TextTable::RenderCsv() const {
+  std::string out;
+  auto append = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); c++) {
+      if (c > 0) {
+        out += ',';
+      }
+      out += row[c];
+    }
+    out += '\n';
+  };
+  append(header_);
+  for (const auto& row : rows_) {
+    append(row);
+  }
+  return out;
+}
+
+}  // namespace atropos

@@ -1,0 +1,40 @@
+// Aligned-text and CSV table rendering for the benchmark harnesses.
+//
+// Every figure/table bench builds one of these and prints it, so that the
+// output matches the rows/series the paper reports and is trivially diffable.
+
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace atropos {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Appends a row; shorter rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+  static std::string Pct(double fraction, int precision = 2);  // 0.034 -> "3.40%"
+
+  // Monospace-aligned rendering with a separator under the header.
+  std::string Render() const;
+
+  // RFC-4180-ish CSV (no quoting needed for our numeric content).
+  std::string RenderCsv() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace atropos
+
+#endif  // SRC_COMMON_TABLE_H_

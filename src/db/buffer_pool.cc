@@ -1,0 +1,109 @@
+#include "src/db/buffer_pool.h"
+
+#include "src/sim/coro.h"
+
+namespace atropos {
+
+Task<PageAccess> BufferPool::Access(uint64_t key, uint64_t page_id, bool write,
+                                    CancelToken* token) {
+  PageAccess out;
+  if (token != nullptr && token->cancelled()) {
+    out.status = Status::Cancelled("page access cancelled at checkpoint");
+    co_return out;
+  }
+
+  auto it = frames_.find(page_id);
+  if (it != frames_.end()) {
+    // Hit: touch LRU, pay the in-memory cost.
+    hits_++;
+    out.hit = true;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(page_id);
+    it->second.lru_pos = lru_.begin();
+    if (write) {
+      it->second.dirty = true;
+    }
+    co_await Delay{executor_, options_.hit_cost};
+    out.status = Status::Ok();
+    co_return out;
+  }
+
+  // Miss. Make room first so the capacity invariant holds across the awaits.
+  misses_++;
+  if (frames_.size() >= options_.capacity_pages && !lru_.empty()) {
+    uint64_t victim_page = lru_.back();
+    auto victim = frames_.find(victim_page);
+    bool dirty = victim->second.dirty;
+    uint64_t owner = victim->second.owner_key;
+    lru_.pop_back();
+    frames_.erase(victim);
+    evictions_++;
+    out.evicted = true;
+    out.stall = dirty ? options_.dirty_evict_cost : options_.clean_evict_cost;
+    // Attribute the freed page to the task that loaded it and the stall to
+    // the task that had to evict (Fig 8: freeResource in buf_LRU_free,
+    // slowByResource after the eviction scan). The bracket spans the read-back
+    // too: under contention the page would otherwise have been resident, so
+    // the whole evict-and-reload is contention-induced delay.
+    if (tracer_ != nullptr) {
+      tracer_->OnFree(owner, resource_, 1);
+      tracer_->OnWaitBegin(key, resource_);
+    }
+    if (options_.device != nullptr && dirty) {
+      co_await options_.device->Transfer(options_.page_bytes, token, nullptr);
+    } else {
+      co_await Delay{executor_, out.stall};
+    }
+  }
+
+  if (options_.device != nullptr) {
+    co_await options_.device->Transfer(options_.page_bytes, token, nullptr);
+  } else {
+    co_await Delay{executor_, options_.miss_cost};
+  }
+  if (out.evicted && tracer_ != nullptr) {
+    tracer_->OnWaitEnd(key, resource_);
+  }
+  if (token != nullptr && token->cancelled()) {
+    out.status = Status::Cancelled("page access cancelled after disk read");
+    co_return out;
+  }
+
+  // Another task may have loaded the page while this one was reading; the
+  // late copy simply refreshes it.
+  auto existing = frames_.find(page_id);
+  if (existing != frames_.end()) {
+    lru_.erase(existing->second.lru_pos);
+    lru_.push_front(page_id);
+    existing->second.lru_pos = lru_.begin();
+    if (write) {
+      existing->second.dirty = true;
+    }
+    out.status = Status::Ok();
+    co_return out;
+  }
+
+  lru_.push_front(page_id);
+  Frame frame;
+  frame.owner_key = key;
+  frame.dirty = write;
+  frame.lru_pos = lru_.begin();
+  frames_.emplace(page_id, frame);
+  if (tracer_ != nullptr) {
+    tracer_->OnGet(key, resource_, 1);
+  }
+  out.status = Status::Ok();
+  co_return out;
+}
+
+uint64_t BufferPool::ResidentOwnedBy(uint64_t key) const {
+  uint64_t n = 0;
+  for (const auto& [page, frame] : frames_) {
+    if (frame.owner_key == key) {
+      n++;
+    }
+  }
+  return n;
+}
+
+}  // namespace atropos

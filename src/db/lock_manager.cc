@@ -1,0 +1,26 @@
+#include "src/db/lock_manager.h"
+
+namespace atropos {
+
+Task<Status> TableLockManager::AcquireAllExclusive(uint64_t key, CancelToken* token,
+                                                   int* acquired_out) {
+  int acquired = 0;
+  for (int i = 0; i < num_tables(); i++) {
+    Status s = co_await table(i).AcquireExclusive(key, token);
+    if (!s.ok()) {
+      *acquired_out = acquired;
+      co_return s;
+    }
+    acquired++;
+  }
+  *acquired_out = acquired;
+  co_return Status::Ok();
+}
+
+void TableLockManager::ReleaseAllExclusive(uint64_t key, int acquired) {
+  for (int i = 0; i < acquired; i++) {
+    table(i).ReleaseExclusive(key);
+  }
+}
+
+}  // namespace atropos

@@ -1,0 +1,68 @@
+#include "src/db/mvcc.h"
+
+#include <algorithm>
+
+namespace atropos {
+
+Task<Status> MvccTable::BulkWrite(uint64_t key, uint64_t rows, CancelToken* token) {
+  active_writers_++;
+  if (tracer_ != nullptr) {
+    tracer_->OnGet(key, resource_, 1);
+  }
+  Status result = Status::Ok();
+  uint64_t written = 0;
+  while (written < rows) {
+    if (token != nullptr && token->cancelled()) {
+      result = Status::Cancelled("bulk write cancelled at batch checkpoint");
+      break;
+    }
+    uint64_t batch = std::min(options_.write_batch, rows - written);
+    co_await Delay{executor_, options_.write_cost_per_row * batch};
+    debt_ += batch;
+    written += batch;
+    if (tracer_ != nullptr) {
+      tracer_->OnProgress(key, written, rows);
+    }
+  }
+  active_writers_--;
+  if (tracer_ != nullptr) {
+    tracer_->OnFree(key, resource_, 1);
+  }
+  co_return result;
+}
+
+Task<Status> MvccTable::Read(uint64_t key, CancelToken* token) {
+  if (token != nullptr && token->cancelled()) {
+    co_return Status::Cancelled("read cancelled at checkpoint");
+  }
+  co_await Delay{executor_, options_.read_base_cost};
+  TimeMicros penalty = options_.read_cost_per_1k_debt * (debt_ / 1000);
+  if (penalty > 0) {
+    if (tracer_ != nullptr) {
+      tracer_->OnWaitBegin(key, resource_);
+    }
+    co_await Delay{executor_, penalty};
+    if (tracer_ != nullptr) {
+      tracer_->OnWaitEnd(key, resource_);
+    }
+  }
+  co_return Status::Ok();
+}
+
+void MvccTable::StartPruner(uint64_t key, CancelToken* stop) { PrunerLoop(key, stop); }
+
+Coro MvccTable::PrunerLoop(uint64_t key, CancelToken* stop) {
+  co_await BindExecutor{executor_};
+  while (!stop->cancelled()) {
+    co_await Delay{executor_, options_.prune_interval};
+    if (stop->cancelled()) {
+      break;
+    }
+    if (active_writers_ > 0 || debt_ == 0) {
+      continue;  // pruning cannot pass an active writer's snapshot
+    }
+    debt_ -= std::min(debt_, options_.prune_batch);
+  }
+}
+
+}  // namespace atropos

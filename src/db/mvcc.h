@@ -1,0 +1,60 @@
+// MVCC version-chain model (PostgreSQL case c6).
+//
+// A bulk write creates many row versions ("version debt") on a table; until
+// pruned, every reader pays a version-chain-walk penalty proportional to the
+// debt. The pruner only makes progress while no writer is active on the
+// table — so a long bulk write is the culprit that slows every reader down.
+
+#ifndef SRC_DB_MVCC_H_
+#define SRC_DB_MVCC_H_
+
+#include "src/atropos/instrument.h"
+#include "src/sim/coro.h"
+
+namespace atropos {
+
+struct MvccOptions {
+  TimeMicros write_cost_per_row = 20;
+  TimeMicros read_base_cost = 30;
+  // Extra read cost per 1000 versions of debt.
+  TimeMicros read_cost_per_1k_debt = 120;
+  uint64_t prune_batch = 3000;
+  TimeMicros prune_interval = 2000;
+  // Rows written per cancellation checkpoint inside a bulk write.
+  uint64_t write_batch = 50;
+};
+
+class MvccTable {
+ public:
+  MvccTable(Executor& executor, const MvccOptions& options, OverloadController* tracer,
+            ResourceId resource)
+      : executor_(executor), options_(options), tracer_(tracer), resource_(resource) {}
+
+  // Writes `rows` row versions in cancellable batches. The writer holds one
+  // unit of the MVCC resource for its whole duration (it blocks pruning).
+  // Reports progress per batch (GetNext-style).
+  Task<Status> BulkWrite(uint64_t key, uint64_t rows, CancelToken* token);
+
+  // Reads one row, paying the version-walk penalty.
+  Task<Status> Read(uint64_t key, CancelToken* token);
+
+  void StartPruner(uint64_t key, CancelToken* stop);
+
+  uint64_t version_debt() const { return debt_; }
+  int active_writers() const { return active_writers_; }
+
+ private:
+  Coro PrunerLoop(uint64_t key, CancelToken* stop);
+
+  Executor& executor_;
+  MvccOptions options_;
+  OverloadController* tracer_;
+  ResourceId resource_;
+
+  uint64_t debt_ = 0;
+  int active_writers_ = 0;
+};
+
+}  // namespace atropos
+
+#endif  // SRC_DB_MVCC_H_

@@ -1,0 +1,84 @@
+#include "src/db/undo_log.h"
+
+#include <algorithm>
+
+namespace atropos {
+
+UndoLog::UndoLog(Executor& executor, const UndoLogOptions& options, OverloadController* tracer,
+                 ResourceId resource)
+    : executor_(executor),
+      options_(options),
+      tracer_(tracer),
+      resource_(resource),
+      undo_mutex_(executor, tracer, resource) {}
+
+Task<Status> UndoLog::Append(uint64_t key, CancelToken* token) {
+  Status s = co_await undo_mutex_.Acquire(key, token);
+  if (!s.ok()) {
+    co_return s;
+  }
+  total_appended_++;
+  co_await Delay{executor_, options_.append_base_cost};
+  TimeMicros penalty = BacklogPenalty();
+  if (penalty > 0) {
+    // History-list pressure: the slow part of the append, reported as a stall
+    // on the undo resource so the contention level reflects it.
+    if (tracer_ != nullptr) {
+      tracer_->OnWaitBegin(key, resource_);
+    }
+    co_await Delay{executor_, penalty};
+    if (tracer_ != nullptr) {
+      tracer_->OnWaitEnd(key, resource_);
+    }
+  }
+  undo_mutex_.Release(key);
+  co_return Status::Ok();
+}
+
+void UndoLog::PinSnapshot(uint64_t key) {
+  pins_.emplace(key, total_appended_);
+  if (tracer_ != nullptr) {
+    // The pin holds the undo history open: modelled as holding one unit of
+    // the undo resource for the pin's duration.
+    tracer_->OnGet(key, resource_, 1);
+  }
+}
+
+void UndoLog::UnpinSnapshot(uint64_t key) {
+  if (pins_.erase(key) == 0) {
+    return;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->OnFree(key, resource_, 1);
+  }
+}
+
+void UndoLog::StartPurge(uint64_t key, CancelToken* stop) { PurgeLoop(key, stop); }
+
+Coro UndoLog::PurgeLoop(uint64_t key, CancelToken* stop) {
+  co_await BindExecutor{executor_};
+  while (!stop->cancelled()) {
+    co_await Delay{executor_, options_.purge_interval};
+    if (stop->cancelled()) {
+      break;
+    }
+    // Purge may only truncate history up to the oldest pinned snapshot: a
+    // long-running reader keeps everything appended after its pin alive.
+    uint64_t limit = total_appended_;
+    for (const auto& [pin_key, marker] : pins_) {
+      limit = std::min(limit, marker);
+    }
+    if (purged_upto_ >= limit) {
+      continue;
+    }
+    Status s = co_await undo_mutex_.Acquire(key, stop);
+    if (!s.ok()) {
+      break;
+    }
+    co_await Delay{executor_, options_.purge_round_cost};
+    purged_upto_ += std::min(limit - purged_upto_, options_.purge_batch);
+    undo_mutex_.Release(key);
+  }
+}
+
+}  // namespace atropos

@@ -1,0 +1,69 @@
+// Undo log with background purge (MySQL case c3).
+//
+// Writers append undo records whose cost grows with the backlog of
+// unpurged history. The purge task truncates the backlog, but cannot advance
+// past the oldest pinned snapshot — so one long-running read that pins an old
+// snapshot makes the backlog (and with it every writer's append cost and the
+// undo-mutex hold times) grow without bound. The culprit is the pinning read.
+
+#ifndef SRC_DB_UNDO_LOG_H_
+#define SRC_DB_UNDO_LOG_H_
+
+#include <unordered_map>
+
+#include "src/atropos/instrument.h"
+#include "src/sim/coro.h"
+
+namespace atropos {
+
+struct UndoLogOptions {
+  TimeMicros append_base_cost = 10;
+  // Extra append cost per 1000 records of backlog (history list length).
+  TimeMicros append_cost_per_1k_backlog = 150;
+  uint64_t purge_batch = 2000;          // records truncated per purge round
+  TimeMicros purge_interval = 2000;     // purge cadence
+  TimeMicros purge_round_cost = 300;    // time purge holds the undo mutex
+};
+
+class UndoLog {
+ public:
+  UndoLog(Executor& executor, const UndoLogOptions& options, OverloadController* tracer,
+          ResourceId resource);
+
+  // Appends one undo record on behalf of a write; cost scales with backlog.
+  Task<Status> Append(uint64_t key, CancelToken* token);
+
+  // Pins / unpins a read snapshot. While any snapshot is pinned the purge
+  // task cannot truncate history created after the pin.
+  void PinSnapshot(uint64_t key);
+  void UnpinSnapshot(uint64_t key);
+
+  // Background purge loop; runs until `stop` is cancelled.
+  void StartPurge(uint64_t key, CancelToken* stop);
+
+  uint64_t backlog() const { return total_appended_ - purged_upto_; }
+  bool pinned() const { return !pins_.empty(); }
+
+ private:
+  Coro PurgeLoop(uint64_t key, CancelToken* stop);
+  TimeMicros BacklogPenalty() const {
+    return options_.append_cost_per_1k_backlog * (backlog() / 1000);
+  }
+
+  Executor& executor_;
+  UndoLogOptions options_;
+  OverloadController* tracer_;
+  ResourceId resource_;
+
+  InstrumentedMutex undo_mutex_;
+  // Monotone record counters: backlog = total_appended_ - purged_upto_.
+  uint64_t total_appended_ = 0;
+  uint64_t purged_upto_ = 0;
+  // key -> record index at pin time. Purge cannot pass the oldest marker:
+  // history created after a pinned snapshot must be kept for that reader.
+  std::unordered_map<uint64_t, uint64_t> pins_;
+};
+
+}  // namespace atropos
+
+#endif  // SRC_DB_UNDO_LOG_H_

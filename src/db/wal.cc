@@ -1,0 +1,82 @@
+#include "src/db/wal.h"
+
+namespace atropos {
+
+WriteAheadLog::WriteAheadLog(Executor& executor, const WalOptions& options,
+                             OverloadController* tracer, ResourceId resource)
+    : executor_(executor),
+      options_(options),
+      tracer_(tracer),
+      resource_(resource),
+      log_mutex_(executor, tracer, resource),
+      group_flushed_(std::make_shared<SimEvent>(executor)) {}
+
+Task<Status> WriteAheadLog::Append(uint64_t key, uint64_t records, CancelToken* token) {
+  // Append under the log mutex; cost scales with the record count, so a bulk
+  // transaction occupies the mutex for a long stretch.
+  Status s = co_await log_mutex_.Acquire(key, token);
+  if (!s.ok()) {
+    co_return s;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->OnGet(key, resource_, records);
+  }
+  pending_records_ += records;
+  co_await Delay{executor_, options_.append_cost * records};
+  log_mutex_.Release(key);
+  co_return Status::Ok();
+}
+
+Task<Status> WriteAheadLog::WaitFlush(uint64_t key, uint64_t records, CancelToken* token) {
+  std::shared_ptr<SimEvent> group = group_flushed_;
+  if (tracer_ != nullptr) {
+    tracer_->OnWaitBegin(key, resource_);
+  }
+  Status flush = co_await group->Wait(token);
+  if (tracer_ != nullptr) {
+    tracer_->OnWaitEnd(key, resource_);
+    tracer_->OnFree(key, resource_, records);
+  }
+  co_return flush;
+}
+
+Task<Status> WriteAheadLog::AppendAndCommit(uint64_t key, uint64_t records, CancelToken* token) {
+  Status s = co_await Append(key, records, token);
+  if (!s.ok()) {
+    co_return s;
+  }
+  co_return co_await WaitFlush(key, records, token);
+}
+
+void WriteAheadLog::StartFlusher(uint64_t key, CancelToken* stop) {
+  FlusherLoop(key, stop);
+}
+
+Coro WriteAheadLog::FlusherLoop(uint64_t key, CancelToken* stop) {
+  co_await BindExecutor{executor_};
+  while (!stop->cancelled()) {
+    co_await Delay{executor_, options_.flush_interval};
+    if (stop->cancelled()) {
+      break;
+    }
+    if (pending_records_ == 0) {
+      continue;
+    }
+    // Take the log mutex for the duration of the flush: the bigger the
+    // group, the longer every appender is locked out.
+    Status s = co_await log_mutex_.Acquire(key, stop);
+    if (!s.ok()) {
+      break;
+    }
+    uint64_t batch = pending_records_;
+    pending_records_ = 0;
+    std::shared_ptr<SimEvent> group = group_flushed_;
+    group_flushed_ = std::make_shared<SimEvent>(executor_);
+    co_await Delay{executor_, options_.flush_base_cost + options_.flush_per_record * batch};
+    log_mutex_.Release(key);
+    flushes_++;
+    group->Set();
+  }
+}
+
+}  // namespace atropos

@@ -1,0 +1,66 @@
+// Write-ahead log with group commit (PostgreSQL case c7).
+//
+// Writers append records under the log mutex and then wait for the next
+// group flush. The flush duration grows with the number of records in the
+// group, so one bulk transaction appending thousands of records turns every
+// group commit into a convoy that stalls all other writers — the "background
+// WAL task causes group insertion and blocks other queries" overload.
+
+#ifndef SRC_DB_WAL_H_
+#define SRC_DB_WAL_H_
+
+#include <memory>
+
+#include "src/atropos/instrument.h"
+#include "src/sim/coro.h"
+
+namespace atropos {
+
+struct WalOptions {
+  TimeMicros append_cost = 5;          // copy one record under the log mutex
+  TimeMicros flush_base_cost = 200;    // fsync latency floor
+  TimeMicros flush_per_record = 20;    // additional time per flushed record
+  TimeMicros flush_interval = 1000;    // group commit cadence
+};
+
+class WriteAheadLog {
+ public:
+  WriteAheadLog(Executor& executor, const WalOptions& options, OverloadController* tracer,
+                ResourceId resource);
+
+  // Appends `records` under the log mutex without waiting for a flush; bulk
+  // writers call this in batches with cancellation checkpoints in between.
+  Task<Status> Append(uint64_t key, uint64_t records, CancelToken* token);
+
+  // Waits for the next group flush (commit durability point) and releases the
+  // appender's record attribution.
+  Task<Status> WaitFlush(uint64_t key, uint64_t records, CancelToken* token);
+
+  // Convenience: Append + WaitFlush.
+  Task<Status> AppendAndCommit(uint64_t key, uint64_t records, CancelToken* token);
+
+  // Background flusher loop. `key` identifies the flusher task for tracing.
+  // Runs until `stop` is cancelled.
+  void StartFlusher(uint64_t key, CancelToken* stop);
+
+  uint64_t pending_records() const { return pending_records_; }
+  uint64_t flushes() const { return flushes_; }
+
+ private:
+  Coro FlusherLoop(uint64_t key, CancelToken* stop);
+
+  Executor& executor_;
+  WalOptions options_;
+  OverloadController* tracer_;
+  ResourceId resource_;
+
+  InstrumentedMutex log_mutex_;
+  uint64_t pending_records_ = 0;
+  uint64_t flushes_ = 0;
+  // One-shot event per group; swapped at each flush.
+  std::shared_ptr<SimEvent> group_flushed_;
+};
+
+}  // namespace atropos
+
+#endif  // SRC_DB_WAL_H_

@@ -1,0 +1,46 @@
+#include "src/sim/cpu.h"
+
+#include <algorithm>
+
+namespace atropos {
+
+Task<Status> CpuPool::Consume(TimeMicros cpu_time, CancelToken* token, UsageObserver* observer) {
+  TimeMicros remaining = cpu_time;
+  while (remaining > 0) {
+    if (token != nullptr && token->cancelled()) {
+      co_return Status::Cancelled("cpu consume cancelled at checkpoint");
+    }
+    TimeMicros wait_start = executor_.now();
+    Status s = co_await cores_.Acquire(1, token);
+    if (!s.ok()) {
+      co_return s;
+    }
+    TimeMicros waited = executor_.now() - wait_start;
+    TimeMicros slice = std::min(quantum_, remaining);
+    co_await Delay{executor_, slice};
+    cores_.Release(1);
+    remaining -= slice;
+    if (observer != nullptr) {
+      observer->OnUsage(waited, slice);
+    }
+  }
+  co_return Status::Ok();
+}
+
+Task<Status> IoDevice::Transfer(uint64_t bytes, CancelToken* token, UsageObserver* observer) {
+  TimeMicros wait_start = executor_.now();
+  Status s = co_await lock_.Acquire(token);
+  if (!s.ok()) {
+    co_return s;
+  }
+  TimeMicros waited = executor_.now() - wait_start;
+  TimeMicros service = ServiceTime(bytes);
+  co_await Delay{executor_, service};
+  lock_.Release();
+  if (observer != nullptr) {
+    observer->OnUsage(waited, service);
+  }
+  co_return Status::Ok();
+}
+
+}  // namespace atropos

@@ -1,0 +1,78 @@
+// Simulated multi-core CPU with quantum-sliced FIFO sharing.
+//
+// A task consuming N microseconds of CPU repeatedly claims a core for one
+// quantum and re-queues, which approximates round-robin processor sharing:
+// long-running queries inflate the queueing delay of short requests — the
+// contention mechanism behind case c12 (Elasticsearch CPU overload).
+
+#ifndef SRC_SIM_CPU_H_
+#define SRC_SIM_CPU_H_
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/sim/cancel.h"
+#include "src/sim/coro.h"
+#include "src/sim/executor.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace atropos {
+
+// Receives per-slice accounting; applications adapt this to the Atropos
+// tracing APIs (slowByResource for waits, get/free for occupancy).
+class UsageObserver {
+ public:
+  virtual ~UsageObserver() = default;
+  // `waited`: time spent queued before this slice; `used`: time the resource
+  // was actually held/consumed.
+  virtual void OnUsage(TimeMicros waited, TimeMicros used) = 0;
+};
+
+class CpuPool {
+ public:
+  CpuPool(Executor& executor, uint64_t cores, TimeMicros quantum = Millis(1))
+      : executor_(executor), cores_(executor, cores), quantum_(quantum) {}
+
+  // Consumes `cpu_time` of CPU in FIFO-contended quantum slices. Checks the
+  // token between slices and aborts waits, returning kCancelled.
+  Task<Status> Consume(TimeMicros cpu_time, CancelToken* token = nullptr,
+                       UsageObserver* observer = nullptr);
+
+  uint64_t cores() const { return cores_.capacity(); }
+  size_t waiter_count() const { return cores_.waiter_count(); }
+  uint64_t idle_cores() const { return cores_.available(); }
+  TimeMicros quantum() const { return quantum_; }
+
+ private:
+  Executor& executor_;
+  SimSemaphore cores_;
+  TimeMicros quantum_;
+};
+
+// Serial I/O device with a fixed bandwidth; transfers queue FIFO. Models the
+// disk the PostgreSQL vacuum saturates in case c8.
+class IoDevice {
+ public:
+  IoDevice(Executor& executor, double bytes_per_second)
+      : executor_(executor), lock_(executor), bytes_per_second_(bytes_per_second) {}
+
+  Task<Status> Transfer(uint64_t bytes, CancelToken* token = nullptr,
+                        UsageObserver* observer = nullptr);
+
+  TimeMicros ServiceTime(uint64_t bytes) const {
+    return static_cast<TimeMicros>(static_cast<double>(bytes) / bytes_per_second_ *
+                                   static_cast<double>(kMicrosPerSecond));
+  }
+
+  size_t waiter_count() const { return lock_.waiter_count(); }
+  bool busy() const { return lock_.held(); }
+
+ private:
+  Executor& executor_;
+  SimMutex lock_;
+  double bytes_per_second_;
+};
+
+}  // namespace atropos
+
+#endif  // SRC_SIM_CPU_H_

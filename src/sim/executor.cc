@@ -1,0 +1,35 @@
+#include "src/sim/executor.h"
+
+#include <utility>
+
+namespace atropos {
+
+uint64_t Executor::Run(TimeMicros until) {
+  uint64_t processed = 0;
+  while (!events_.empty()) {
+    const Event& top = events_.top();
+    if (top.time > until) {
+      // Leave future events queued; advance the clock to the horizon so that
+      // callers observing now() see the full elapsed interval.
+      if (until != std::numeric_limits<TimeMicros>::max() && until > clock_.NowMicros()) {
+        clock_.SetTime(until);
+      }
+      return processed;
+    }
+    Event ev = top;
+    events_.pop();
+    clock_.SetTime(ev.time);
+    processed++;
+    if (ev.handle) {
+      ev.handle.resume();
+    } else if (ev.callback) {
+      ev.callback();
+    }
+  }
+  if (until != std::numeric_limits<TimeMicros>::max() && until > clock_.NowMicros()) {
+    clock_.SetTime(until);
+  }
+  return processed;
+}
+
+}  // namespace atropos

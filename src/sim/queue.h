@@ -1,0 +1,196 @@
+// Bounded FIFO queue with blocking push/pop and direct handoff.
+//
+// Models application-managed task queues (the paper's QUEUE resource class):
+// thread-pool work queues, InnoDB admission, Solr's search queue. Values are
+// handed directly from a completing push to the longest-waiting pop so that
+// FIFO order is exact even under cancellation.
+
+#ifndef SRC_SIM_QUEUE_H_
+#define SRC_SIM_QUEUE_H_
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+#include "src/sim/cancel.h"
+#include "src/sim/executor.h"
+#include "src/sim/wait.h"
+
+namespace atropos {
+
+template <typename T>
+class BoundedQueue final : public WaiterOwner {
+ public:
+  BoundedQueue(Executor& executor, size_t capacity) : executor_(executor), capacity_(capacity) {}
+
+  class Pusher {
+   public:
+    Pusher(BoundedQueue& q, T value, CancelToken* token)
+        : queue_(q), value_(std::move(value)), token_(token) {}
+
+    bool await_ready() {
+      if (token_ != nullptr && token_->cancelled()) {
+        node_.result = Status::Cancelled("push aborted before suspend");
+        return true;
+      }
+      if (queue_.TryDeliverOrStash(value_)) {
+        node_.result = Status::Ok();
+        return true;
+      }
+      return false;
+    }
+
+    void await_suspend(std::coroutine_handle<> h) {
+      node_.handle = h;
+      node_.owner = &queue_;
+      node_.token = token_;
+      node_.tag = kPushTag;
+      node_.slot = &value_;
+      queue_.pushers_.PushBack(&node_);
+      if (token_ != nullptr) {
+        token_->Register(&node_);
+      }
+    }
+
+    Status await_resume() { return node_.result; }
+
+   private:
+    BoundedQueue& queue_;
+    T value_;
+    CancelToken* token_;
+    WaitNode node_;
+  };
+
+  class Popper {
+   public:
+    Popper(BoundedQueue& q, CancelToken* token) : queue_(q), token_(token) {}
+
+    bool await_ready() {
+      if (token_ != nullptr && token_->cancelled()) {
+        status_ = Status::Cancelled("pop aborted before suspend");
+        return true;
+      }
+      if (!queue_.poppers_.empty()) {
+        return false;  // FIFO: earlier poppers go first
+      }
+      if (!queue_.items_.empty()) {
+        value_.emplace(std::move(queue_.items_.front()));
+        queue_.items_.pop_front();
+        status_ = Status::Ok();
+        queue_.DrainPushers();
+        return true;
+      }
+      return false;
+    }
+
+    void await_suspend(std::coroutine_handle<> h) {
+      node_.handle = h;
+      node_.owner = &queue_;
+      node_.token = token_;
+      node_.tag = kPopTag;
+      node_.slot = &value_;
+      queue_.poppers_.PushBack(&node_);
+      if (token_ != nullptr) {
+        token_->Register(&node_);
+      }
+    }
+
+    StatusOr<T> await_resume() {
+      Status s = node_.handle ? node_.result : status_;
+      if (!s.ok()) {
+        return s;
+      }
+      return std::move(*value_);
+    }
+
+   private:
+    BoundedQueue& queue_;
+    CancelToken* token_;
+    Status status_;
+    std::optional<T> value_;
+    WaitNode node_;
+  };
+
+  // co_await queue.Push(v) -> Status; blocks while full.
+  Pusher Push(T value, CancelToken* token = nullptr) {
+    return Pusher(*this, std::move(value), token);
+  }
+  // co_await queue.Pop() -> StatusOr<T>; blocks while empty.
+  Popper Pop(CancelToken* token = nullptr) { return Popper(*this, token); }
+
+  // Non-blocking push; returns false if the queue is full.
+  bool TryPush(T value) {
+    if (TryDeliverOrStash(value)) {
+      return true;
+    }
+    return false;
+  }
+
+  size_t size() const { return items_.size(); }
+  size_t capacity() const { return capacity_; }
+  size_t waiting_pushers() const { return pushers_.size(); }
+  size_t waiting_poppers() const { return poppers_.size(); }
+
+  void CancelWaiter(WaitNode& node) override {
+    if (node.tag == kPushTag) {
+      pushers_.Remove(&node);
+    } else {
+      poppers_.Remove(&node);
+    }
+    Finish(&node, Status::Cancelled("queue wait cancelled"));
+    // A cancelled popper frees nothing, but a cancelled pusher at the head of
+    // a full queue changes nothing either; no regrant needed beyond drains
+    // already driven by pops.
+  }
+
+ private:
+  static constexpr int kPushTag = 1;
+  static constexpr int kPopTag = 2;
+
+  // Either hands the value to a waiting popper or stashes it if there is
+  // room. Returns false when the push must block.
+  bool TryDeliverOrStash(T& value) {
+    if (!poppers_.empty()) {
+      WaitNode* popper = poppers_.PopFront();
+      auto* slot = static_cast<std::optional<T>*>(popper->slot);
+      slot->emplace(std::move(value));
+      Finish(popper, Status::Ok());
+      return true;
+    }
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(value));
+      return true;
+    }
+    return false;
+  }
+
+  // After a pop frees space, admit blocked pushers in order.
+  void DrainPushers() {
+    while (!pushers_.empty() && items_.size() < capacity_) {
+      WaitNode* pusher = pushers_.PopFront();
+      auto* slot = static_cast<T*>(pusher->slot);
+      items_.push_back(std::move(*slot));
+      Finish(pusher, Status::Ok());
+    }
+  }
+
+  void Finish(WaitNode* node, Status status) {
+    if (node->token != nullptr) {
+      node->token->Unregister(node);
+      node->token = nullptr;
+    }
+    node->result = std::move(status);
+    executor_.ResumeAfter(0, node->handle);
+  }
+
+  Executor& executor_;
+  size_t capacity_;
+  std::deque<T> items_;
+  WaitList pushers_;
+  WaitList poppers_;
+};
+
+}  // namespace atropos
+
+#endif  // SRC_SIM_QUEUE_H_

@@ -1,0 +1,120 @@
+// Intrusive wait-list plumbing shared by all blocking simulation primitives.
+//
+// A coroutine that blocks on a primitive embeds a WaitNode in its awaiter
+// (which lives in the coroutine frame, so the storage is stable across
+// suspension). The primitive links the node into its wait list; a CancelToken
+// can later ask the owning primitive to abort the wait, which is how Atropos
+// cancellation interrupts tasks blocked on locks and queues.
+
+#ifndef SRC_SIM_WAIT_H_
+#define SRC_SIM_WAIT_H_
+
+#include <coroutine>
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace atropos {
+
+class CancelToken;
+class WaitList;
+class WaitNode;
+
+// A primitive that parks waiters. CancelWaiter must unlink the node, complete
+// it with kCancelled, and re-run any grant logic that the removal enables
+// (e.g. a semaphore whose blocked head was cancelled).
+class WaiterOwner {
+ public:
+  virtual ~WaiterOwner() = default;
+  virtual void CancelWaiter(WaitNode& node) = 0;
+
+ protected:
+  WaiterOwner() = default;
+};
+
+// One parked coroutine. Lives inside the awaiter object in the coroutine
+// frame; never heap-allocated by the primitives.
+class WaitNode {
+ public:
+  std::coroutine_handle<> handle;
+  Status result;
+  WaiterOwner* owner = nullptr;
+  CancelToken* token = nullptr;
+  int tag = 0;          // primitive-specific role (e.g. reader/writer)
+  uint64_t amount = 0;  // primitive-specific quantity (e.g. semaphore units)
+  void* slot = nullptr;  // primitive-specific value transfer (e.g. queue item)
+
+  bool linked() const { return list_ != nullptr; }
+
+ private:
+  friend class WaitList;
+  WaitList* list_ = nullptr;
+  WaitNode* prev_ = nullptr;
+  WaitNode* next_ = nullptr;
+};
+
+// Intrusive FIFO list of WaitNodes.
+class WaitList {
+ public:
+  WaitList() = default;
+  WaitList(const WaitList&) = delete;
+  WaitList& operator=(const WaitList&) = delete;
+
+  bool empty() const { return head_ == nullptr; }
+  WaitNode* front() const { return head_; }
+
+  void PushBack(WaitNode* node) {
+    node->list_ = this;
+    node->prev_ = tail_;
+    node->next_ = nullptr;
+    if (tail_ != nullptr) {
+      tail_->next_ = node;
+    } else {
+      head_ = node;
+    }
+    tail_ = node;
+    size_++;
+  }
+
+  WaitNode* PopFront() {
+    WaitNode* node = head_;
+    if (node != nullptr) {
+      Remove(node);
+    }
+    return node;
+  }
+
+  void Remove(WaitNode* node) {
+    if (node->list_ != this) {
+      return;
+    }
+    if (node->prev_ != nullptr) {
+      node->prev_->next_ = node->next_;
+    } else {
+      head_ = node->next_;
+    }
+    if (node->next_ != nullptr) {
+      node->next_->prev_ = node->prev_;
+    } else {
+      tail_ = node->prev_;
+    }
+    node->list_ = nullptr;
+    node->prev_ = nullptr;
+    node->next_ = nullptr;
+    size_--;
+  }
+
+  size_t size() const { return size_; }
+
+  // Iteration (used by rwlock grant logic).
+  WaitNode* Next(WaitNode* node) const { return node->next_; }
+
+ private:
+  WaitNode* head_ = nullptr;
+  WaitNode* tail_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace atropos
+
+#endif  // SRC_SIM_WAIT_H_

@@ -1,0 +1,76 @@
+#include "src/study/cancellation_survey.h"
+
+namespace atropos {
+
+const std::vector<SurveyAggregate>& SurveyAggregates() {
+  static const std::vector<SurveyAggregate> kAggregates = {
+      {"C/C++", 60, 49, 46},
+      {"Java", 34, 25, 25},
+      {"Go", 44, 32, 29},
+      {"Python", 13, 9, 9},
+  };
+  return kAggregates;
+}
+
+const std::vector<SurveyExemplar>& SurveyExemplars() {
+  static const std::vector<SurveyExemplar> kExemplars = {
+      {"MySQL", "C/C++", true, true, "KILL QUERY / sql_kill() sets THD::killed, checked at row checkpoints"},
+      {"PostgreSQL", "C/C++", true, true, "pg_cancel_backend() -> SIGINT -> CHECK_FOR_INTERRUPTS() macro"},
+      {"MariaDB", "C/C++", true, true, "KILL [HARD|SOFT] via thd_kill_level checks"},
+      {"SQLite", "C/C++", true, true, "sqlite3_interrupt() checked in the VDBE loop"},
+      {"Redis", "C/C++", true, true, "CLIENT KILL / script kill flag polled by the Lua engine"},
+      {"MongoDB", "C/C++", true, true, "killOp() marks OperationContext; checked at yield points"},
+      {"Apache httpd", "C/C++", true, false, "graceful stop only; no per-request script termination (paper §5.2)"},
+      {"nginx", "C/C++", true, true, "connection close aborts request processing at event boundaries"},
+      {"RocksDB", "C/C++", true, true, "CancelAllBackgroundWork() and ROCKSDB manual compaction canceled flag"},
+      {"ClickHouse", "C/C++", true, true, "KILL QUERY checked between processing blocks"},
+      {"memcached", "C/C++", false, false, "simple per-op KV store; operations too short to cancel"},
+      {"LevelDB", "C/C++", false, false, "library; no request abstraction"},
+      {"Elasticsearch", "Java", true, true, "_tasks/_cancel API; CancellableTask::onCancelled"},
+      {"Solr", "Java", true, true, "queryCancellation API / timeAllowed with cancellable collectors"},
+      {"Lucene", "Java", true, true, "ExitableDirectoryReader checks QueryTimeout between docs"},
+      {"Cassandra", "Java", true, true, "monitoring abort via MonitorableImpl::abort between rows"},
+      {"HBase", "Java", true, true, "RpcCall abort + scanner lease expiry"},
+      {"Kafka", "Java", true, true, "KafkaFuture.cancel / request purgatory expiry"},
+      {"ZooKeeper", "Java", false, false, "requests are short atomic ops; no cancellation"},
+      {"Hadoop YARN", "Java", true, true, "killApplication RPC cancels the app's containers"},
+      {"etcd", "Go", true, true, "context.Context cancellation propagated through the request path"},
+      {"CockroachDB", "Go", true, true, "CANCEL QUERY statement; ctx cancellation at batch boundaries"},
+      {"Prometheus", "Go", true, true, "query ctx cancel; engine checks ctx.Err() per step"},
+      {"Caddy", "Go", true, true, "http.Request context cancellation"},
+      {"Kubernetes", "Go", true, true, "context cancellation + graceful pod termination"},
+      {"TiDB", "Go", true, true, "KILL TIDB query id; checked per executor chunk"},
+      {"bleve", "Go", true, false, "search library; cancellation left to the embedding app (case c16 link)"},
+      {"Gunicorn", "Python", true, true, "worker timeout SIGKILL + graceful SIGTERM"},
+      {"Celery", "Python", true, true, "task revoke(terminate=True)"},
+      {"Django", "Python", false, false, "request handlers run to completion; no built-in kill"},
+  };
+  return kExemplars;
+}
+
+bool ValidateSurvey() {
+  int total = 0;
+  int supporting = 0;
+  int initiator = 0;
+  for (const SurveyAggregate& row : SurveyAggregates()) {
+    if (row.supporting_cancel > row.applications || row.with_initiator > row.supporting_cancel) {
+      return false;
+    }
+    total += row.applications;
+    supporting += row.supporting_cancel;
+    initiator += row.with_initiator;
+  }
+  // Table 1 totals: 151 studied, 115 supporting (76%), 109 with initiators
+  // (95% of 115).
+  if (total != 151 || supporting != 115 || initiator != 109) {
+    return false;
+  }
+  for (const SurveyExemplar& e : SurveyExemplars()) {
+    if (e.has_initiator && !e.supports_cancel) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace atropos

@@ -1,0 +1,109 @@
+#include "src/study/integration_effort.h"
+
+#include <memory>
+
+#include "src/apps/minidb.h"
+#include "src/apps/minikv.h"
+#include "src/apps/minisearch.h"
+#include "src/apps/miniweb.h"
+#include "src/atropos/runtime.h"
+#include "src/workload/frontend.h"
+
+namespace atropos {
+
+const std::vector<IntegrationEffort>& PaperIntegrationEffort() {
+  static const std::vector<IntegrationEffort> kTable = {
+      {"MySQL", "C/C++", "Database", "2.33 M", 74},
+      {"PostgreSQL", "C/C++", "Database", "1.49 M", 59},
+      {"Apache", "C/C++", "Web Server", "1.98 K", 30},
+      {"Elasticsearch", "Java", "Search Engine", "3.2 M", 65},
+      {"Solr", "Java", "Search Engine", "961 K", 47},
+      {"etcd", "Go", "Key-Value Store", "244 K", 22},
+  };
+  return kTable;
+}
+
+namespace {
+
+RepoIntegration MeasureApp(const std::string& name, std::unique_ptr<App> (*factory)(
+                                                        Executor&, OverloadController*)) {
+  Executor executor;
+  AtroposConfig config;
+  config.baseline_p99 = Millis(10);
+  AtroposRuntime runtime(executor.clock(), config);
+  std::unique_ptr<App> app = factory(executor, &runtime);
+  runtime.SetControlSurface(app.get());
+
+  int background = 0;
+  int resources = 0;
+  {
+    // Count registered background tasks / resources before traffic runs.
+    background = static_cast<int>(runtime.live_task_count());
+    for (ResourceId id = 1; runtime.FindResource(id) != nullptr; id++) {
+      resources++;
+    }
+  }
+
+  FrontendOptions fopt;
+  fopt.duration = Seconds(1);
+  fopt.warmup = 0;
+  fopt.retry_cancelled = false;
+  Frontend frontend(executor, *app, runtime, fopt);
+  TrafficSpec traffic;
+  traffic.type = 0;  // each app's lightweight request type
+  traffic.qps = 500;
+  traffic.arg_modulo = 4;
+  frontend.AddTraffic(traffic);
+  frontend.Run();
+
+  RepoIntegration out;
+  out.app = name;
+  out.resources_registered = resources;
+  out.background_tasks = background;
+  out.trace_events = runtime.stats().trace_events;
+  return out;
+}
+
+std::unique_ptr<App> MakeDb(Executor& ex, OverloadController* ctl) {
+  MiniDbOptions opt;
+  opt.use_tickets = true;
+  opt.use_table_locks = true;
+  opt.use_buffer_pool = true;
+  opt.use_undo = true;
+  opt.use_mvcc = true;
+  opt.use_wal = true;
+  opt.use_io = true;
+  return std::make_unique<MiniDb>(ex, ctl, opt);
+}
+
+std::unique_ptr<App> MakeWeb(Executor& ex, OverloadController* ctl) {
+  return std::make_unique<MiniWeb>(ex, ctl, MiniWebOptions{});
+}
+
+std::unique_ptr<App> MakeSearch(Executor& ex, OverloadController* ctl) {
+  MiniSearchOptions opt;
+  opt.use_cache = true;
+  opt.use_heap = true;
+  opt.use_cpu = true;
+  opt.use_doc_locks = true;
+  opt.use_index_lock = true;
+  opt.use_queue = true;
+  return std::make_unique<MiniSearch>(ex, ctl, opt);
+}
+
+std::unique_ptr<App> MakeKv(Executor& ex, OverloadController* ctl) {
+  return std::make_unique<MiniKv>(ex, ctl, MiniKvOptions{});
+}
+
+}  // namespace
+
+std::vector<RepoIntegration> MeasureRepoIntegration() {
+  std::vector<RepoIntegration> out;
+  out.push_back(MeasureApp("minidb", &MakeDb));
+  out.push_back(MeasureApp("miniweb", &MakeWeb));
+  out.push_back(MeasureApp("minisearch", &MakeSearch));
+  out.push_back(MeasureApp("minikv", &MakeKv));
+  return out;
+}
+
+}  // namespace atropos

@@ -1,0 +1,43 @@
+// Integration-effort data behind Table 3 (paper §5.1).
+//
+// The paper reports the lines of code added to integrate Atropos into each of
+// the six applications. This module embeds those numbers and pairs them with
+// live measurements from this repository's simulated applications: how many
+// Atropos resources each app registers and how many tracing events one second
+// of its standard workload emits — the analogue of "how much instrumentation
+// the integration produced".
+
+#ifndef SRC_STUDY_INTEGRATION_EFFORT_H_
+#define SRC_STUDY_INTEGRATION_EFFORT_H_
+
+#include <string>
+#include <vector>
+
+namespace atropos {
+
+struct IntegrationEffort {
+  std::string software;
+  std::string language;
+  std::string category;
+  std::string sloc;       // application size as reported by the paper
+  int sloc_added = 0;     // paper: lines added for the Atropos integration
+};
+
+// The six rows of Table 3.
+const std::vector<IntegrationEffort>& PaperIntegrationEffort();
+
+struct RepoIntegration {
+  std::string app;
+  int resources_registered = 0;   // distinct application resources
+  int background_tasks = 0;       // background tasks registered
+  uint64_t trace_events = 0;      // tracing events in a 1 s reference run
+};
+
+// Measures the simulated apps live: constructs each with every subsystem
+// enabled, runs one second of reference traffic against an AtroposRuntime,
+// and reports the integration surface that resulted.
+std::vector<RepoIntegration> MeasureRepoIntegration();
+
+}  // namespace atropos
+
+#endif  // SRC_STUDY_INTEGRATION_EFFORT_H_

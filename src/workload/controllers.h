@@ -1,0 +1,46 @@
+// Factory for the overload controllers compared in the evaluation.
+
+#ifndef SRC_WORKLOAD_CONTROLLERS_H_
+#define SRC_WORKLOAD_CONTROLLERS_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/atropos/runtime.h"
+#include "src/baselines/darc.h"
+#include "src/baselines/parties.h"
+#include "src/baselines/pbox.h"
+#include "src/baselines/protego.h"
+
+namespace atropos {
+
+enum class ControllerKind {
+  kNone = 0,                  // uncontrolled ("Overload" curves)
+  kAtropos = 1,
+  kAtroposHeuristic = 2,      // Fig 13 baseline 1
+  kAtroposCurrentUsage = 3,   // Fig 13 baseline 2
+  kProtego = 4,
+  kPBox = 5,
+  kDarc = 6,
+  kParties = 7,
+};
+
+std::string_view ControllerKindName(ControllerKind kind);
+
+struct ControllerParams {
+  TimeMicros window = Millis(50);
+  double slo_latency_increase = 0.20;
+  TimeMicros baseline_p99 = 0;  // 0 = calibrate online from early windows
+  int total_workers = 16;       // DARC reservation pool size
+  bool cancellation_enabled = true;  // Fig 14: tracing on, actions off
+  TimestampMode timestamp_mode = TimestampMode::kSampled;
+  TimeMicros min_cancel_interval = Millis(50);
+};
+
+std::unique_ptr<OverloadController> MakeController(ControllerKind kind, Clock* clock,
+                                                   ControlSurface* surface,
+                                                   const ControllerParams& params);
+
+}  // namespace atropos
+
+#endif  // SRC_WORKLOAD_CONTROLLERS_H_

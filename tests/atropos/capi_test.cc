@@ -1,0 +1,106 @@
+#include "src/atropos/capi.h"
+
+#include <gtest/gtest.h>
+
+namespace atropos {
+namespace {
+
+std::vector<uint64_t>& CancelLog() {
+  static std::vector<uint64_t> log;
+  return log;
+}
+
+void RecordCancel(uint64_t key) { CancelLog().push_back(key); }
+
+class CApiTest : public ::testing::Test {
+ protected:
+  CApiTest() : clock_(0), runtime_(&clock_, Config()) {
+    InstallGlobalRuntime(&runtime_);
+    CancelLog().clear();
+  }
+  ~CApiTest() override { InstallGlobalRuntime(nullptr); }
+
+  static AtroposConfig Config() {
+    AtroposConfig cfg;
+    cfg.baseline_p99 = 1000;
+    cfg.timestamp_mode = TimestampMode::kPerEvent;
+    return cfg;
+  }
+
+  ManualClock clock_;
+  AtroposRuntime runtime_;
+};
+
+TEST_F(CApiTest, CreateAndFreeRegisterTasks) {
+  Cancellable* c = createCancel(7);
+  ASSERT_NE(c, nullptr);
+  EXPECT_NE(runtime_.FindTask(7), nullptr);
+  freeCancel(c);
+  EXPECT_EQ(runtime_.FindTask(7), nullptr);
+}
+
+TEST_F(CApiTest, TracingAttributedToCurrentCancellable) {
+  Cancellable* c = createCancel(7);
+  {
+    CancellableScope scope(c);
+    getResource(10, CApiResourceType::MEMORY);
+    slowByResource(500, CApiResourceType::MEMORY);
+    freeResource(4, CApiResourceType::MEMORY);
+    reportProgress(3, 10);
+  }
+  const TaskRecord* task = runtime_.FindTask(7);
+  ASSERT_NE(task, nullptr);
+  ASSERT_EQ(task->usage.size(), 1u);
+  const TaskResourceUsage& u = task->usage.begin()->second;
+  EXPECT_EQ(u.acquired, 10u);
+  EXPECT_EQ(u.released, 4u);
+  EXPECT_EQ(u.wait_time, 500u);
+  EXPECT_TRUE(task->has_progress);
+  EXPECT_EQ(task->progress_done, 3u);
+  freeCancel(c);
+}
+
+TEST_F(CApiTest, TracingWithoutCurrentTaskIsIgnored) {
+  getResource(10, CApiResourceType::LOCK);
+  EXPECT_EQ(runtime_.stats().trace_events, 0u);
+}
+
+TEST_F(CApiTest, ScopesNest) {
+  Cancellable* a = createCancel(1);
+  Cancellable* b = createCancel(2);
+  {
+    CancellableScope outer(a);
+    getResource(1, CApiResourceType::LOCK);
+    {
+      CancellableScope inner(b);
+      getResource(1, CApiResourceType::LOCK);
+    }
+    getResource(1, CApiResourceType::LOCK);
+  }
+  EXPECT_EQ(runtime_.FindTask(1)->usage.begin()->second.acquired, 2u);
+  EXPECT_EQ(runtime_.FindTask(2)->usage.begin()->second.acquired, 1u);
+  freeCancel(a);
+  freeCancel(b);
+}
+
+TEST_F(CApiTest, SetCancelActionRoutesToFunctionPointer) {
+  setCancelAction(&RecordCancel);
+  Cancellable* culprit = createCancel(100);
+  Cancellable* victim = createCancel(200);
+  {
+    CancellableScope scope(culprit);
+    getResource(1, CApiResourceType::LOCK);
+  }
+  // Victim stalls on the same default lock resource.
+  runtime_.OnRequestStart(200, 0, 0);
+  runtime_.OnWaitBegin(200, runtime_.FindTask(100)->usage.begin()->first);
+  clock_.Advance(Millis(100));
+  runtime_.Tick();
+  ASSERT_EQ(CancelLog().size(), 1u);
+  EXPECT_EQ(CancelLog()[0], 100u);
+  freeCancel(culprit);
+  freeCancel(victim);
+}
+
+}  // namespace
+}  // namespace atropos

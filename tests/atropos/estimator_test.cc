@@ -1,0 +1,230 @@
+#include "src/atropos/estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace atropos {
+namespace {
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  EstimatorTest() {
+    config_.contention_threshold = 0.10;
+    config_.default_progress = 0.5;
+  }
+
+  TaskRecord& AddTask(TaskId id, bool cancellable = true) {
+    TaskRecord rec;
+    rec.id = id;
+    rec.key = id;
+    rec.cancellable = cancellable;
+    return tasks_.emplace(id, std::move(rec)).first->second;
+  }
+
+  ResourceRecord& AddResource(ResourceId id, ResourceClass cls) {
+    ResourceRecord rec;
+    rec.id = id;
+    rec.cls = cls;
+    return resources_.emplace(id, std::move(rec)).first->second;
+  }
+
+  AtroposConfig config_;
+  std::map<TaskId, TaskRecord> tasks_;
+  std::map<ResourceId, ResourceRecord> resources_;
+};
+
+TEST_F(EstimatorTest, IdleSystemHasNoContention) {
+  AddResource(1, ResourceClass::kLock);
+  AddTask(10);
+  Estimator est(config_);
+  est.SetCalibrating(false);
+  auto out = est.Estimate(tasks_, resources_, /*exec_time=*/Millis(100), /*window_start=*/0,
+                          /*now=*/Millis(100));
+  ASSERT_EQ(out.all_resources.size(), 1u);
+  EXPECT_FALSE(out.resource_overload);
+  EXPECT_EQ(out.all_resources[0].contention_norm, 0.0);
+}
+
+TEST_F(EstimatorTest, LockWaitTimeDrivesContention) {
+  AddResource(1, ResourceClass::kLock);
+  TaskRecord& holder = AddTask(10);
+  TaskRecord& waiter = AddTask(11);
+  // Holder has held the lock since t=0; waiter blocked since t=10ms.
+  holder.usage[1].acquired = 1;
+  holder.usage[1].active_units = 1;
+  holder.usage[1].hold_started_at = 0;
+  waiter.usage[1].waiting = true;
+  waiter.usage[1].wait_started_at = Millis(10);
+
+  Estimator est(config_);
+  est.SetCalibrating(false);
+  auto out = est.Estimate(tasks_, resources_, Millis(100), 0, Millis(100));
+  const ResourceMetrics& m = out.all_resources[0];
+  // D_r = 90ms of waiting; T_base = 100ms -> C_r = 90/(100+90) = 0.474.
+  EXPECT_NEAR(m.contention_norm, 90.0 / 190.0, 0.01);
+  EXPECT_TRUE(m.overloaded);
+  EXPECT_TRUE(out.resource_overload);
+}
+
+TEST_F(EstimatorTest, HolderGainsExceedWaiterGains) {
+  AddResource(1, ResourceClass::kLock);
+  TaskRecord& holder = AddTask(10);
+  TaskRecord& waiter = AddTask(11);
+  holder.usage[1].acquired = 1;
+  holder.usage[1].active_units = 1;
+  holder.usage[1].hold_started_at = 0;
+  waiter.usage[1].waiting = true;
+  waiter.usage[1].wait_started_at = Millis(10);
+
+  Estimator est(config_);
+  est.SetCalibrating(false);
+  auto out = est.Estimate(tasks_, resources_, Millis(100), 0, Millis(100));
+  ASSERT_EQ(out.policy_input.candidates.size(), 2u);
+  const auto& holder_cand = out.policy_input.candidates[0];
+  const auto& waiter_cand = out.policy_input.candidates[1];
+  ASSERT_EQ(holder_cand.task, 10u);
+  EXPECT_GT(holder_cand.gains[0], waiter_cand.gains[0]);
+  EXPECT_EQ(waiter_cand.gains[0], 0.0);  // the victim holds nothing
+}
+
+TEST_F(EstimatorTest, MemoryEvictionRatioDrivesContention) {
+  ResourceRecord& pool = AddResource(1, ResourceClass::kMemory);
+  TaskRecord& hog = AddTask(10);
+  // Window saw 100 page gets and 60 evictions, with 50ms of eviction stalls
+  // (closed waits land in the resource's window counters).
+  pool.window.gets = 100;
+  pool.window.slow_events = 60;
+  pool.window.wait_time = Millis(50);
+  hog.usage[1].acquired = 500;
+  hog.usage[1].released = 100;
+  hog.usage[1].slow_events = 60;
+
+  Estimator est(config_);
+  est.SetCalibrating(false);
+  auto out = est.Estimate(tasks_, resources_, Millis(100), 0, Millis(100));
+  const ResourceMetrics& m = out.all_resources[0];
+  EXPECT_NEAR(m.contention_raw, 0.6, 1e-9);
+  // D_r = 50ms * 0.6 = 30ms -> C_r = 30/(100+30) = 0.231.
+  EXPECT_NEAR(m.contention_norm, 30.0 / 130.0, 0.01);
+  EXPECT_TRUE(m.overloaded);
+}
+
+TEST_F(EstimatorTest, FutureGainPrefersEarlyProgressTask) {
+  ResourceRecord& pool = AddResource(1, ResourceClass::kMemory);
+  pool.window.gets = 100;
+  pool.window.slow_events = 100;
+  pool.window.wait_time = Millis(20);
+  // §3.4: query A 90% done holding 400 pages; query B 10% done holding 300.
+  TaskRecord& a = AddTask(10);
+  a.usage[1].acquired = 400;
+  a.has_progress = true;
+  a.progress_done = 90;
+  a.progress_total = 100;
+  TaskRecord& b = AddTask(11);
+  b.usage[1].acquired = 300;
+  b.has_progress = true;
+  b.progress_done = 10;
+  b.progress_total = 100;
+
+  Estimator est(config_);
+  est.SetCalibrating(false);
+  auto out = est.Estimate(tasks_, resources_, Millis(100), 0, Millis(100));
+  ASSERT_TRUE(out.resource_overload);
+  const auto& ca = out.policy_input.candidates[0];
+  const auto& cb = out.policy_input.candidates[1];
+  // gain(A) = 400 * (0.1/0.9) ≈ 44; gain(B) = 300 * (0.9/0.1) = 2700.
+  EXPECT_LT(ca.gains[0], cb.gains[0]);
+  // But by current usage, A holds more.
+  EXPECT_GT(ca.current_usage[0], cb.current_usage[0]);
+}
+
+TEST_F(EstimatorTest, GainsNormalizedToUnitRange) {
+  ResourceRecord& pool = AddResource(1, ResourceClass::kMemory);
+  pool.window.gets = 10;
+  pool.window.slow_events = 10;
+  pool.window.wait_time = Millis(50);
+  TaskRecord& big = AddTask(10);
+  big.usage[1].acquired = 100000;
+  TaskRecord& small = AddTask(11);
+  small.usage[1].acquired = 10;
+
+  Estimator est(config_);
+  est.SetCalibrating(false);
+  auto out = est.Estimate(tasks_, resources_, Millis(100), 0, Millis(100));
+  for (const auto& c : out.policy_input.candidates) {
+    for (double g : c.gains) {
+      EXPECT_GE(g, 0.0);
+      EXPECT_LE(g, 1.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(out.policy_input.candidates[0].gains[0], 1.0);
+}
+
+TEST_F(EstimatorTest, OpenWaitsAreClippedToTheWindow) {
+  AddResource(1, ResourceClass::kLock);
+  TaskRecord& waiter = AddTask(11);
+  waiter.usage[1].waiting = true;
+  waiter.usage[1].wait_started_at = 0;
+
+  Estimator est(config_);
+  est.SetCalibrating(false);
+  // First window [0, 100ms): 100ms of open waiting -> C = 100/(100+100).
+  auto out1 = est.Estimate(tasks_, resources_, Millis(100), 0, Millis(100));
+  EXPECT_NEAR(out1.all_resources[0].contention_norm, 0.5, 0.01);
+  // Second window [100ms, 200ms): only the new 100ms counts.
+  auto out2 = est.Estimate(tasks_, resources_, Millis(100), Millis(100), Millis(200));
+  EXPECT_NEAR(out2.all_resources[0].contention_norm, 0.5, 0.01);
+  EXPECT_EQ(out2.all_resources[0].delay, Millis(100));
+}
+
+TEST_F(EstimatorTest, ClosedWaitsFromFreedTasksStillCount) {
+  // A victim waited 60ms and completed (its task record is gone); the
+  // runtime folded the closed wait into the resource window counters.
+  ResourceRecord& lock = AddResource(1, ResourceClass::kLock);
+  lock.window.wait_time = Millis(60);
+  lock.window.slow_events = 30;
+  TaskRecord& holder = AddTask(10);
+  holder.usage[1].acquired = 1;
+  holder.usage[1].active_units = 1;
+  holder.usage[1].hold_started_at = 0;
+
+  Estimator est(config_);
+  est.SetCalibrating(false);
+  auto out = est.Estimate(tasks_, resources_, Millis(100), 0, Millis(100));
+  EXPECT_NEAR(out.all_resources[0].contention_norm, 60.0 / 160.0, 0.01);
+  EXPECT_TRUE(out.resource_overload);
+  // The live holder is the gain candidate.
+  ASSERT_FALSE(out.policy_input.candidates.empty());
+  EXPECT_GT(out.policy_input.candidates[0].gains[0], 0.0);
+}
+
+TEST_F(EstimatorTest, NonCancellableTasksFlaggedInPolicyInput) {
+  ResourceRecord& pool = AddResource(1, ResourceClass::kMemory);
+  pool.window.gets = 10;
+  pool.window.slow_events = 10;
+  pool.window.wait_time = Millis(50);
+  TaskRecord& t = AddTask(10, /*cancellable=*/false);
+  t.usage[1].acquired = 100;
+
+  Estimator est(config_);
+  est.SetCalibrating(false);
+  auto out = est.Estimate(tasks_, resources_, Millis(100), 0, Millis(100));
+  ASSERT_EQ(out.policy_input.candidates.size(), 1u);
+  EXPECT_FALSE(out.policy_input.candidates[0].cancellable);
+}
+
+TEST_F(EstimatorTest, QueueClassUsesWaitHoldRatio) {
+  ResourceRecord& queue = AddResource(1, ResourceClass::kQueue);
+  AddTask(10);
+  // Tasks waited 90ms in the queue this window, executed 10ms after leaving.
+  queue.window.wait_time = Millis(90);
+  queue.window.hold_time = Millis(10);
+
+  Estimator est(config_);
+  est.SetCalibrating(false);
+  auto out = est.Estimate(tasks_, resources_, Millis(100), 0, Millis(100));
+  EXPECT_NEAR(out.all_resources[0].contention_raw, 9.0, 0.01);
+  EXPECT_NEAR(out.all_resources[0].contention_norm, 90.0 / 190.0, 0.01);
+}
+
+}  // namespace
+}  // namespace atropos

@@ -1,0 +1,264 @@
+#include "src/atropos/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace atropos {
+namespace {
+
+AtroposConfig TestConfig() {
+  AtroposConfig cfg;
+  cfg.window = Millis(100);
+  cfg.baseline_p99 = 1000;  // 1ms baseline, SLO = 1.2ms
+  cfg.slo_latency_increase = 0.20;
+  cfg.contention_threshold = 0.10;
+  cfg.min_cancel_interval = Millis(200);
+  cfg.timestamp_mode = TimestampMode::kPerEvent;
+  return cfg;
+}
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeTest() : clock_(0), runtime_(&clock_, TestConfig()) {
+    runtime_.SetCancelAction([this](uint64_t key) { cancelled_.push_back(key); });
+    lock_ = runtime_.RegisterResource("table_lock", ResourceClass::kLock);
+  }
+
+  // Drives one window: healthy victims complete fast (below SLO) unless a
+  // stall is simulated.
+  void HealthyWindow() {
+    for (int i = 0; i < 50; i++) {
+      runtime_.OnRequestEnd(9999, /*latency=*/900, 0, 0);
+    }
+    clock_.Advance(Millis(100));
+    runtime_.Tick();
+  }
+
+  ManualClock clock_;
+  AtroposRuntime runtime_;
+  ResourceId lock_;
+  std::vector<uint64_t> cancelled_;
+};
+
+TEST_F(RuntimeTest, ResourceRegistration) {
+  const ResourceRecord* rec = runtime_.FindResource(lock_);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->name, "table_lock");
+  EXPECT_EQ(rec->cls, ResourceClass::kLock);
+  EXPECT_EQ(runtime_.FindResource(999), nullptr);
+}
+
+TEST_F(RuntimeTest, TaskLifecycle) {
+  runtime_.OnTaskRegistered(42, false);
+  EXPECT_NE(runtime_.FindTask(42), nullptr);
+  EXPECT_EQ(runtime_.live_task_count(), 1u);
+  runtime_.OnTaskFreed(42);
+  EXPECT_EQ(runtime_.FindTask(42), nullptr);
+  EXPECT_EQ(runtime_.live_task_count(), 0u);
+}
+
+TEST_F(RuntimeTest, TracingAgainstUnregisteredKeyIsIgnored) {
+  runtime_.OnGet(777, lock_, 1);
+  EXPECT_EQ(runtime_.stats().ignored_events, 1u);
+}
+
+TEST_F(RuntimeTest, HoldAndWaitAccounting) {
+  runtime_.OnTaskRegistered(1, false);
+  runtime_.OnTaskRegistered(2, false);
+  runtime_.OnGet(1, lock_, 1);
+  clock_.Advance(Millis(10));
+  runtime_.OnWaitBegin(2, lock_);
+  clock_.Advance(Millis(30));
+  runtime_.OnWaitEnd(2, lock_);
+  runtime_.OnFree(1, lock_, 1);
+
+  const TaskRecord* holder = runtime_.FindTask(1);
+  const TaskRecord* waiter = runtime_.FindTask(2);
+  EXPECT_EQ(holder->usage.at(lock_).hold_time, Millis(40));
+  EXPECT_EQ(holder->usage.at(lock_).held_now(), 0u);
+  EXPECT_EQ(waiter->usage.at(lock_).wait_time, Millis(30));
+  EXPECT_EQ(waiter->usage.at(lock_).slow_events, 1u);
+}
+
+TEST_F(RuntimeTest, NoCancellationWithoutOverload) {
+  runtime_.OnTaskRegistered(1, false);
+  for (int w = 0; w < 10; w++) {
+    HealthyWindow();
+  }
+  EXPECT_TRUE(cancelled_.empty());
+  EXPECT_EQ(runtime_.stats().cancels_issued, 0u);
+}
+
+// The central behaviour: a lock-holding culprit stalls victims; Atropos
+// cancels the holder, not the waiters.
+TEST_F(RuntimeTest, CancelsLockHolderUnderOverload) {
+  runtime_.OnTaskRegistered(100, false);  // culprit
+  runtime_.OnTaskRegistered(200, false);  // victim
+  runtime_.OnTaskRegistered(201, false);  // victim
+
+  runtime_.OnGet(100, lock_, 1);  // culprit takes the lock...
+  runtime_.OnWaitBegin(200, lock_);
+  runtime_.OnWaitBegin(201, lock_);
+
+  // Latency blows past the SLO while throughput is flat.
+  for (int w = 0; w < 3 && cancelled_.empty(); w++) {
+    for (int i = 0; i < 20; i++) {
+      runtime_.OnRequestEnd(9999, /*latency=*/50000, 0, 0);
+    }
+    clock_.Advance(Millis(100));
+    runtime_.Tick();
+  }
+  ASSERT_EQ(cancelled_.size(), 1u);
+  EXPECT_EQ(cancelled_[0], 100u);  // the holder, not a waiter
+  EXPECT_GE(runtime_.stats().resource_overload_windows, 1u);
+}
+
+TEST_F(RuntimeTest, StalledSystemStillCancels) {
+  runtime_.OnTaskRegistered(100, false);
+  runtime_.OnTaskRegistered(200, false);
+  runtime_.OnRequestStart(200, 0, 0);  // the victim is an in-flight request
+  runtime_.OnGet(100, lock_, 1);
+  runtime_.OnWaitBegin(200, lock_);
+  // Zero completions: a full stall.
+  for (int w = 0; w < 3 && cancelled_.empty(); w++) {
+    clock_.Advance(Millis(100));
+    runtime_.Tick();
+  }
+  ASSERT_EQ(cancelled_.size(), 1u);
+  EXPECT_EQ(cancelled_[0], 100u);
+}
+
+TEST_F(RuntimeTest, MinCancelIntervalSuppressesBackToBackCancels) {
+  // Two culprits; only one cancellation may be issued per interval.
+  runtime_.OnTaskRegistered(100, false);
+  runtime_.OnTaskRegistered(101, false);
+  runtime_.OnTaskRegistered(200, false);
+  runtime_.OnRequestStart(200, 0, 0);
+  runtime_.OnGet(100, lock_, 1);
+  runtime_.OnGet(101, lock_, 1);
+  runtime_.OnWaitBegin(200, lock_);
+  clock_.Advance(Millis(100));
+  runtime_.Tick();  // first cancel
+  clock_.Advance(Millis(100));
+  runtime_.Tick();  // suppressed: within min_cancel_interval (200ms)
+  EXPECT_EQ(cancelled_.size(), 1u);
+  EXPECT_GE(runtime_.stats().cancels_suppressed_interval, 1u);
+  clock_.Advance(Millis(150));
+  runtime_.Tick();  // now past the interval
+  EXPECT_EQ(cancelled_.size(), 2u);
+}
+
+TEST_F(RuntimeTest, CancelledTaskNotCancelledTwice) {
+  runtime_.OnTaskRegistered(100, false);
+  runtime_.OnTaskRegistered(200, false);
+  runtime_.OnRequestStart(200, 0, 0);
+  runtime_.OnGet(100, lock_, 1);
+  runtime_.OnWaitBegin(200, lock_);
+  clock_.Advance(Millis(100));
+  runtime_.Tick();
+  ASSERT_EQ(cancelled_.size(), 1u);
+  // Culprit ignores the cancel (keeps holding); next eligible window must not
+  // target it again (max_cancels_per_task = 1), and no other task has gain.
+  clock_.Advance(Millis(300));
+  runtime_.Tick();
+  EXPECT_EQ(cancelled_.size(), 1u);
+  EXPECT_GE(runtime_.stats().cancels_suppressed_no_victim, 1u);
+}
+
+TEST_F(RuntimeTest, ReRegisteredCancelledKeyIsNonCancellable) {
+  runtime_.OnTaskRegistered(100, false);
+  runtime_.OnTaskRegistered(200, false);
+  runtime_.OnRequestStart(200, 0, 0);
+  runtime_.OnGet(100, lock_, 1);
+  runtime_.OnWaitBegin(200, lock_);
+  clock_.Advance(Millis(100));
+  runtime_.Tick();
+  ASSERT_EQ(cancelled_.size(), 1u);
+  // The app frees the cancelled task and re-executes it under the same key.
+  runtime_.OnTaskFreed(100);
+  runtime_.OnTaskRegistered(100, false);
+  EXPECT_FALSE(runtime_.FindTask(100)->cancellable);
+}
+
+TEST_F(RuntimeTest, CancellationDisabledMeansDetectionOnly) {
+  AtroposConfig cfg = TestConfig();
+  cfg.cancellation_enabled = false;
+  AtroposRuntime rt(&clock_, cfg);
+  std::vector<uint64_t> cancels;
+  rt.SetCancelAction([&](uint64_t key) { cancels.push_back(key); });
+  ResourceId lk = rt.RegisterResource("l", ResourceClass::kLock);
+  rt.OnTaskRegistered(100, false);
+  rt.OnTaskRegistered(200, false);
+  rt.OnRequestStart(200, 0, 0);
+  rt.OnGet(100, lk, 1);
+  rt.OnWaitBegin(200, lk);
+  clock_.Advance(Millis(100));
+  rt.Tick();
+  EXPECT_TRUE(cancels.empty());
+  EXPECT_GE(rt.stats().resource_overload_windows, 1u);
+}
+
+TEST_F(RuntimeTest, TimestampModeEscalatesUnderSuspectedOverload) {
+  AtroposConfig cfg = TestConfig();
+  cfg.timestamp_mode = TimestampMode::kSampled;
+  AtroposRuntime rt(&clock_, cfg);
+  ResourceId lk = rt.RegisterResource("l", ResourceClass::kLock);
+  rt.OnTaskRegistered(100, false);
+  rt.OnTaskRegistered(200, false);
+  EXPECT_EQ(rt.effective_timestamp_mode(), TimestampMode::kSampled);
+  rt.OnRequestStart(200, 0, 0);
+  rt.OnGet(100, lk, 1);
+  rt.OnWaitBegin(200, lk);
+  clock_.Advance(Millis(100));
+  rt.Tick();
+  EXPECT_EQ(rt.effective_timestamp_mode(), TimestampMode::kPerEvent);
+}
+
+TEST_F(RuntimeTest, ReexecutionRecommendedAfterCalmWindows) {
+  runtime_.OnTaskRegistered(1, false);
+  for (int w = 0; w < runtime_.config().reexec_calm_windows - 1; w++) {
+    HealthyWindow();
+  }
+  EXPECT_FALSE(runtime_.ReexecutionRecommended());
+  HealthyWindow();
+  EXPECT_TRUE(runtime_.ReexecutionRecommended());
+}
+
+TEST_F(RuntimeTest, ProgressBiasesVictimSelection) {
+  // Two hogs on a memory pool: one nearly done, one just started. The one
+  // just started must be cancelled (§3.4 future-gain argument).
+  ResourceId pool = runtime_.RegisterResource("pool", ResourceClass::kMemory);
+  runtime_.OnTaskRegistered(300, false);  // nearly done
+  runtime_.OnTaskRegistered(301, false);  // just started
+  runtime_.OnTaskRegistered(400, false);  // victim
+
+  // Window 1: the hogs fill the pool (no contention yet).
+  runtime_.OnGet(300, pool, 900);
+  runtime_.OnProgress(300, 90, 100);
+  runtime_.OnGet(301, pool, 600);
+  runtime_.OnProgress(301, 10, 100);
+  for (int i = 0; i < 20; i++) {
+    runtime_.OnRequestEnd(9999, /*latency=*/900, 0, 0);  // healthy traffic
+  }
+  clock_.Advance(Millis(100));
+  runtime_.Tick();
+  EXPECT_TRUE(cancelled_.empty());
+
+  // Window 2: every victim page get forces an eviction (thrashing), and
+  // victim latency blows past the SLO with flat throughput.
+  for (int i = 0; i < 20; i++) {
+    runtime_.OnGet(400, pool, 1);
+    runtime_.OnWaitBegin(400, pool);
+    clock_.Advance(Millis(2));
+    runtime_.OnWaitEnd(400, pool);
+    runtime_.OnRequestEnd(9999, /*latency=*/5000, 0, 0);
+  }
+  clock_.Advance(Millis(60));
+  runtime_.Tick();
+  ASSERT_EQ(cancelled_.size(), 1u);
+  EXPECT_EQ(cancelled_[0], 301u);
+}
+
+}  // namespace
+}  // namespace atropos

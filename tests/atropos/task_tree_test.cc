@@ -1,0 +1,133 @@
+#include "src/atropos/task_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace atropos {
+namespace {
+
+class TaskTreeTest : public ::testing::Test {
+ protected:
+  TaskTreeTest()
+      : tree_(&clock_, Config(), [this](int node, uint64_t key) { dispatched_.emplace_back(node, key); },
+              [this](int node, uint64_t key) { orphans_.emplace_back(node, key); }) {}
+
+  static TaskTreeConfig Config() {
+    TaskTreeConfig cfg;
+    cfg.ack_timeout = Millis(100);
+    cfg.max_retries = 2;
+    return cfg;
+  }
+
+  int DispatchCount(uint64_t key) const {
+    int n = 0;
+    for (const auto& [node, k] : dispatched_) {
+      if (k == key) {
+        n++;
+      }
+    }
+    return n;
+  }
+
+  ManualClock clock_;
+  std::vector<std::pair<int, uint64_t>> dispatched_;
+  std::vector<std::pair<int, uint64_t>> orphans_;
+  TaskTree tree_;
+};
+
+TEST_F(TaskTreeTest, CancelPropagatesToAllDescendants) {
+  tree_.Register(1, 0, /*node=*/0);   // root on node 0
+  tree_.Register(2, 1, /*node=*/1);   // child on node 1
+  tree_.Register(3, 1, /*node=*/2);   // child on node 2
+  tree_.Register(4, 3, /*node=*/2);   // grandchild on node 2
+  tree_.Cancel(1);
+  ASSERT_EQ(dispatched_.size(), 4u);
+  EXPECT_EQ(tree_.pending_ack_count(), 4u);
+  // Delivered to the task's own node.
+  EXPECT_EQ(dispatched_[0], (std::pair<int, uint64_t>{0, 1}));
+  EXPECT_EQ(DispatchCount(4), 1);
+}
+
+TEST_F(TaskTreeTest, CancelSubtreeOnly) {
+  tree_.Register(1, 0, 0);
+  tree_.Register(2, 1, 1);
+  tree_.Register(3, 2, 1);
+  tree_.Register(10, 0, 0);  // unrelated root
+  tree_.Cancel(2);
+  EXPECT_EQ(dispatched_.size(), 2u);  // 2 and 3, not 1 or 10
+  EXPECT_EQ(DispatchCount(1), 0);
+  EXPECT_EQ(DispatchCount(10), 0);
+}
+
+TEST_F(TaskTreeTest, AckStopsRetries) {
+  tree_.Register(1, 0, 0);
+  tree_.Cancel(1);
+  tree_.Ack(1);
+  clock_.Advance(Millis(500));
+  tree_.Tick();
+  EXPECT_EQ(DispatchCount(1), 1);  // no retry after the ack
+  EXPECT_TRUE(orphans_.empty());
+}
+
+TEST_F(TaskTreeTest, UnacknowledgedDeliveryIsRetried) {
+  tree_.Register(1, 0, 0);
+  tree_.Cancel(1);
+  clock_.Advance(Millis(150));
+  tree_.Tick();
+  EXPECT_EQ(DispatchCount(1), 2);  // one retry
+  tree_.Ack(1);
+  clock_.Advance(Millis(150));
+  tree_.Tick();
+  EXPECT_EQ(DispatchCount(1), 2);
+}
+
+TEST_F(TaskTreeTest, ExhaustedRetriesReportOrphan) {
+  tree_.Register(1, 0, /*node=*/7);
+  tree_.Cancel(1);
+  for (int i = 0; i < 5; i++) {
+    clock_.Advance(Millis(150));
+    tree_.Tick();
+  }
+  ASSERT_EQ(orphans_.size(), 1u);
+  EXPECT_EQ(orphans_[0], (std::pair<int, uint64_t>{7, 1}));
+  EXPECT_FALSE(tree_.IsRegistered(1));
+  EXPECT_EQ(tree_.pending_ack_count(), 0u);
+}
+
+TEST_F(TaskTreeTest, UnregisterReRootsChildren) {
+  tree_.Register(1, 0, 0);
+  tree_.Register(2, 1, 1);
+  tree_.Register(3, 2, 2);  // grandchild under 2
+  tree_.Unregister(2);      // the middle task finishes
+  tree_.Cancel(1);
+  // The grandchild is still reachable from the root.
+  EXPECT_EQ(DispatchCount(3), 1);
+  EXPECT_EQ(DispatchCount(2), 0);
+}
+
+TEST_F(TaskTreeTest, OutOfOrderRegistrationKeepsLinks) {
+  // The child's registration RPC arrives before the parent's.
+  tree_.Register(2, 1, 1);
+  tree_.Register(1, 0, 0);
+  tree_.Cancel(1);
+  EXPECT_EQ(DispatchCount(2), 1);
+}
+
+TEST_F(TaskTreeTest, FinishingCountsAsAck) {
+  tree_.Register(1, 0, 0);
+  tree_.Cancel(1);
+  tree_.Unregister(1);  // the task completed/cleaned up
+  clock_.Advance(Millis(500));
+  tree_.Tick();
+  EXPECT_EQ(DispatchCount(1), 1);
+  EXPECT_TRUE(orphans_.empty());
+}
+
+TEST_F(TaskTreeTest, DoubleCancelDoesNotDoubleDispatch) {
+  tree_.Register(1, 0, 0);
+  tree_.Cancel(1);
+  tree_.Cancel(1);
+  EXPECT_EQ(DispatchCount(1), 1);
+}
+
+}  // namespace
+}  // namespace atropos

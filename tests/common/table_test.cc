@@ -1,0 +1,45 @@
+#include "src/common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace atropos {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"case", "throughput", "p99"});
+  t.AddRow({"c1", "0.96", "1.16"});
+  t.AddRow({"c10-long-name", "0.50", "12.00"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("case"), std::string::npos);
+  EXPECT_NE(out.find("c10-long-name"), std::string::npos);
+  // Header separator line exists.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::string csv = t.RenderCsv();
+  EXPECT_EQ(csv, "a,b,c\n1,,\n");
+}
+
+TEST(TextTableTest, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(3.0, 0), "3");
+}
+
+TEST(TextTableTest, PctFormatsFraction) {
+  EXPECT_EQ(TextTable::Pct(0.034, 1), "3.4%");
+  EXPECT_EQ(TextTable::Pct(1.0, 0), "100%");
+}
+
+TEST(TextTableTest, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace atropos

@@ -1,0 +1,126 @@
+#include "src/sim/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace atropos {
+namespace {
+
+struct RecordingObserver : UsageObserver {
+  TimeMicros total_wait = 0;
+  TimeMicros total_used = 0;
+  int slices = 0;
+  void OnUsage(TimeMicros waited, TimeMicros used) override {
+    total_wait += waited;
+    total_used += used;
+    slices++;
+  }
+};
+
+Coro Burn(Executor& ex, CpuPool& pool, TimeMicros cpu, CancelToken* token, UsageObserver* obs,
+          std::vector<std::pair<TimeMicros, Status>>& done) {
+  co_await BindExecutor{ex};
+  Status s = co_await pool.Consume(cpu, token, obs);
+  done.emplace_back(ex.now(), s);
+}
+
+TEST(CpuPoolTest, SingleTaskRunsUncontended) {
+  Executor ex;
+  CpuPool pool(ex, 2, Millis(1));
+  RecordingObserver obs;
+  std::vector<std::pair<TimeMicros, Status>> done;
+  Burn(ex, pool, Millis(5), nullptr, &obs, done);
+  ex.Run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].first, Millis(5));
+  EXPECT_EQ(obs.total_wait, 0u);
+  EXPECT_EQ(obs.total_used, Millis(5));
+  EXPECT_EQ(obs.slices, 5);
+}
+
+TEST(CpuPoolTest, ContentionStretchesCompletionTime) {
+  Executor ex;
+  CpuPool pool(ex, 1, Millis(1));
+  std::vector<std::pair<TimeMicros, Status>> done;
+  // Two 5ms tasks on one core: round-robin interleave, both finish ~10ms.
+  Burn(ex, pool, Millis(5), nullptr, nullptr, done);
+  Burn(ex, pool, Millis(5), nullptr, nullptr, done);
+  ex.Run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_GE(done[0].first, Millis(9));
+  EXPECT_EQ(done[1].first, Millis(10));
+}
+
+TEST(CpuPoolTest, LongTaskInflatesShortTaskWait) {
+  Executor ex;
+  CpuPool pool(ex, 1, Millis(1));
+  RecordingObserver short_obs;
+  std::vector<std::pair<TimeMicros, Status>> done;
+  Burn(ex, pool, Millis(50), nullptr, nullptr, done);    // hog
+  Burn(ex, pool, Millis(2), nullptr, &short_obs, done);  // victim
+  ex.Run();
+  // The short task had to share: it waited roughly as long as it ran.
+  EXPECT_GT(short_obs.total_wait, 0u);
+}
+
+TEST(CpuPoolTest, CancellationStopsMidway) {
+  Executor ex;
+  CpuPool pool(ex, 1, Millis(1));
+  CancelToken token(ex);
+  std::vector<std::pair<TimeMicros, Status>> done;
+  Burn(ex, pool, Millis(100), &token, nullptr, done);
+  ex.CallAt(Millis(10), [&] { token.Cancel(); });
+  ex.Run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_TRUE(done[0].second.IsCancelled());
+  EXPECT_LT(done[0].first, Millis(15));
+}
+
+Coro DoTransfer(Executor& ex, IoDevice& dev, uint64_t bytes, CancelToken* token,
+                UsageObserver* obs, std::vector<std::pair<TimeMicros, Status>>& done) {
+  co_await BindExecutor{ex};
+  Status s = co_await dev.Transfer(bytes, token, obs);
+  done.emplace_back(ex.now(), s);
+}
+
+TEST(IoDeviceTest, BandwidthDeterminesServiceTime) {
+  Executor ex;
+  IoDevice dev(ex, 1e6);  // 1 MB/s
+  std::vector<std::pair<TimeMicros, Status>> done;
+  DoTransfer(ex, dev, 500000, nullptr, nullptr, done);  // 0.5 MB => 0.5 s
+  ex.Run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].first, Seconds(0.5));
+}
+
+TEST(IoDeviceTest, TransfersQueueFifo) {
+  Executor ex;
+  IoDevice dev(ex, 1e6);
+  RecordingObserver obs2;
+  std::vector<std::pair<TimeMicros, Status>> done;
+  DoTransfer(ex, dev, 1000000, nullptr, nullptr, done);  // 1s
+  DoTransfer(ex, dev, 1000, nullptr, &obs2, done);       // waits 1s, runs 1ms
+  ex.Run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[1].first, Seconds(1.0) + Millis(1));
+  EXPECT_EQ(obs2.total_wait, Seconds(1.0));
+}
+
+TEST(IoDeviceTest, CancelAbortsQueuedTransfer) {
+  Executor ex;
+  IoDevice dev(ex, 1e6);
+  CancelToken token(ex);
+  std::vector<std::pair<TimeMicros, Status>> done;
+  DoTransfer(ex, dev, 1000000, nullptr, nullptr, done);
+  DoTransfer(ex, dev, 1000, &token, nullptr, done);
+  ex.CallAt(Millis(100), [&] { token.Cancel(); });
+  ex.Run();
+  ASSERT_EQ(done.size(), 2u);
+  // done[] order: cancelled waiter finishes first at 100ms.
+  EXPECT_TRUE(done[0].second.IsCancelled());
+  EXPECT_EQ(done[0].first, Millis(100));
+}
+
+}  // namespace
+}  // namespace atropos

@@ -1,0 +1,133 @@
+#include "src/sim/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/coro.h"
+
+namespace atropos {
+namespace {
+
+TEST(ExecutorTest, CallbacksFireInTimeOrder) {
+  Executor ex;
+  std::vector<int> order;
+  ex.CallAt(300, [&] { order.push_back(3); });
+  ex.CallAt(100, [&] { order.push_back(1); });
+  ex.CallAt(200, [&] { order.push_back(2); });
+  ex.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(ex.now(), 300u);
+}
+
+TEST(ExecutorTest, TiesFireInSubmissionOrder) {
+  Executor ex;
+  std::vector<int> order;
+  for (int i = 0; i < 10; i++) {
+    ex.CallAt(50, [&order, i] { order.push_back(i); });
+  }
+  ex.Run();
+  for (int i = 0; i < 10; i++) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(ExecutorTest, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Executor ex;
+  int fired = 0;
+  ex.CallAt(100, [&] { fired++; });
+  ex.CallAt(900, [&] { fired++; });
+  ex.Run(500);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(ex.now(), 500u);
+  EXPECT_TRUE(ex.has_pending());
+  ex.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ExecutorTest, EventsExactlyAtHorizonFire) {
+  Executor ex;
+  bool fired = false;
+  ex.CallAt(500, [&] { fired = true; });
+  ex.Run(500);
+  EXPECT_TRUE(fired);
+}
+
+TEST(ExecutorTest, ScheduledInPastClampsToNow) {
+  Executor ex;
+  ex.CallAt(1000, [&] {
+    // From inside an event at t=1000, scheduling "at 500" runs at 1000.
+    ex.CallAt(500, [&] { EXPECT_EQ(ex.now(), 1000u); });
+  });
+  ex.Run();
+}
+
+TEST(ExecutorTest, NestedSchedulingWorks) {
+  Executor ex;
+  int depth = 0;
+  std::function<void()> recur = [&] {
+    if (++depth < 5) {
+      ex.CallAfter(10, recur);
+    }
+  };
+  ex.CallAt(0, recur);
+  ex.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(ex.now(), 40u);
+}
+
+Coro SimpleProcess(Executor& ex, std::vector<TimeMicros>& times) {
+  co_await BindExecutor{ex};
+  times.push_back(ex.now());
+  co_await Delay{ex, 100};
+  times.push_back(ex.now());
+  co_await Delay{ex, 250};
+  times.push_back(ex.now());
+}
+
+TEST(CoroTest, DelaysAdvanceVirtualTime) {
+  Executor ex;
+  std::vector<TimeMicros> times;
+  SimpleProcess(ex, times);
+  ex.Run();
+  EXPECT_EQ(times, (std::vector<TimeMicros>{0, 100, 350}));
+  EXPECT_EQ(ex.live_procs(), 0);
+}
+
+Coro CountingProcess(Executor& ex, int& running) {
+  co_await BindExecutor{ex};
+  running++;
+  co_await Delay{ex, 10};
+  running--;
+}
+
+TEST(CoroTest, LiveProcAccountingTracksCompletion) {
+  Executor ex;
+  int running = 0;
+  CountingProcess(ex, running);
+  CountingProcess(ex, running);
+  EXPECT_EQ(ex.live_procs(), 2);
+  ex.Run();
+  EXPECT_EQ(running, 0);
+  EXPECT_EQ(ex.live_procs(), 0);
+}
+
+Coro YieldingProcess(Executor& ex, std::vector<int>& order, int id) {
+  co_await BindExecutor{ex};
+  order.push_back(id);
+  co_await YieldNow{ex};
+  order.push_back(id + 100);
+}
+
+TEST(CoroTest, YieldNowPreservesFifoFairness) {
+  Executor ex;
+  std::vector<int> order;
+  YieldingProcess(ex, order, 1);
+  YieldingProcess(ex, order, 2);
+  ex.Run();
+  // Both run their first half eagerly, then resume in spawn order.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 101, 102}));
+}
+
+}  // namespace
+}  // namespace atropos

@@ -1,0 +1,118 @@
+#include "src/sim/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/coro.h"
+
+namespace atropos {
+namespace {
+
+Coro Producer(Executor& ex, BoundedQueue<int>& q, std::vector<int> values, TimeMicros gap,
+              std::vector<std::pair<TimeMicros, Status>>& log) {
+  co_await BindExecutor{ex};
+  for (int v : values) {
+    Status s = co_await q.Push(v);
+    log.emplace_back(ex.now(), s);
+    if (gap > 0) {
+      co_await Delay{ex, gap};
+    }
+  }
+}
+
+Coro Consumer(Executor& ex, BoundedQueue<int>& q, int count, TimeMicros service,
+              CancelToken* token, std::vector<std::pair<TimeMicros, int>>& got) {
+  co_await BindExecutor{ex};
+  for (int i = 0; i < count; i++) {
+    StatusOr<int> v = co_await q.Pop(token);
+    if (!v.ok()) {
+      got.emplace_back(ex.now(), -1);
+      co_return;
+    }
+    got.emplace_back(ex.now(), *v);
+    co_await Delay{ex, service};
+  }
+}
+
+TEST(BoundedQueueTest, FifoDelivery) {
+  Executor ex;
+  BoundedQueue<int> q(ex, 10);
+  std::vector<std::pair<TimeMicros, Status>> pushed;
+  std::vector<std::pair<TimeMicros, int>> got;
+  Producer(ex, q, {1, 2, 3}, 0, pushed);
+  Consumer(ex, q, 3, 0, nullptr, got);
+  ex.Run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].second, 1);
+  EXPECT_EQ(got[1].second, 2);
+  EXPECT_EQ(got[2].second, 3);
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilPush) {
+  Executor ex;
+  BoundedQueue<int> q(ex, 10);
+  std::vector<std::pair<TimeMicros, int>> got;
+  Consumer(ex, q, 1, 0, nullptr, got);
+  ex.CallAt(500, [&] { EXPECT_TRUE(q.TryPush(42)); });
+  ex.Run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 500u);
+  EXPECT_EQ(got[0].second, 42);
+}
+
+TEST(BoundedQueueTest, PushBlocksWhenFull) {
+  Executor ex;
+  BoundedQueue<int> q(ex, 2);
+  std::vector<std::pair<TimeMicros, Status>> pushed;
+  std::vector<std::pair<TimeMicros, int>> got;
+  Producer(ex, q, {1, 2, 3, 4}, 0, pushed);  // third push must block
+  ex.CallAt(100, [&] { Consumer(ex, q, 4, 50, nullptr, got); });
+  ex.Run();
+  ASSERT_EQ(pushed.size(), 4u);
+  EXPECT_EQ(pushed[0].first, 0u);
+  EXPECT_EQ(pushed[1].first, 0u);
+  EXPECT_GE(pushed[2].first, 100u);  // unblocked by the first pop
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[3].second, 4);
+}
+
+TEST(BoundedQueueTest, CancelAbortsBlockedPop) {
+  Executor ex;
+  BoundedQueue<int> q(ex, 2);
+  CancelToken token(ex);
+  std::vector<std::pair<TimeMicros, int>> got;
+  Consumer(ex, q, 1, 0, &token, got);
+  ex.CallAt(70, [&] { token.Cancel(); });
+  ex.Run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 70u);
+  EXPECT_EQ(got[0].second, -1);  // cancelled sentinel
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  Executor ex;
+  BoundedQueue<int> q(ex, 1);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_FALSE(q.TryPush(2));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BoundedQueueTest, WaitingPoppersServedFifo) {
+  Executor ex;
+  BoundedQueue<int> q(ex, 4);
+  std::vector<std::pair<TimeMicros, int>> got_a;
+  std::vector<std::pair<TimeMicros, int>> got_b;
+  Consumer(ex, q, 1, 0, nullptr, got_a);
+  Consumer(ex, q, 1, 0, nullptr, got_b);
+  ex.CallAt(10, [&] { EXPECT_TRUE(q.TryPush(100)); });
+  ex.CallAt(20, [&] { EXPECT_TRUE(q.TryPush(200)); });
+  ex.Run();
+  ASSERT_EQ(got_a.size(), 1u);
+  ASSERT_EQ(got_b.size(), 1u);
+  EXPECT_EQ(got_a[0].second, 100);  // first waiter gets first item
+  EXPECT_EQ(got_b[0].second, 200);
+}
+
+}  // namespace
+}  // namespace atropos

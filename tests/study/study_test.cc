@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "src/study/cancellation_survey.h"
+#include "src/study/integration_effort.h"
+
+namespace atropos {
+namespace {
+
+TEST(CancellationSurveyTest, AggregatesMatchTable1Totals) {
+  EXPECT_TRUE(ValidateSurvey());
+  int total = 0;
+  int supporting = 0;
+  int initiator = 0;
+  for (const SurveyAggregate& row : SurveyAggregates()) {
+    total += row.applications;
+    supporting += row.supporting_cancel;
+    initiator += row.with_initiator;
+  }
+  EXPECT_EQ(total, 151);
+  EXPECT_EQ(supporting, 115);
+  EXPECT_EQ(initiator, 109);
+  // 76% support cancellation; 95% of those expose an initiator.
+  EXPECT_NEAR(100.0 * supporting / total, 76.0, 0.5);
+  EXPECT_NEAR(100.0 * initiator / supporting, 95.0, 0.5);
+}
+
+TEST(CancellationSurveyTest, ExemplarsAreConsistent) {
+  for (const SurveyExemplar& e : SurveyExemplars()) {
+    EXPECT_FALSE(e.application.empty());
+    EXPECT_FALSE(e.mechanism.empty());
+    if (e.has_initiator) {
+      EXPECT_TRUE(e.supports_cancel) << e.application;
+    }
+  }
+}
+
+TEST(IntegrationEffortTest, PaperTableHasSixApplications) {
+  const auto& table = PaperIntegrationEffort();
+  ASSERT_EQ(table.size(), 6u);
+  int max_added = 0;
+  for (const IntegrationEffort& row : table) {
+    EXPECT_GT(row.sloc_added, 0);
+    max_added = std::max(max_added, row.sloc_added);
+  }
+  EXPECT_EQ(max_added, 74);  // MySQL, per the paper
+}
+
+TEST(IntegrationEffortTest, LiveMeasurementCoversAllApps) {
+  auto rows = MeasureRepoIntegration();
+  ASSERT_EQ(rows.size(), 4u);
+  for (const RepoIntegration& row : rows) {
+    EXPECT_GT(row.resources_registered, 0) << row.app;
+    EXPECT_GT(row.trace_events, 0u) << row.app;
+  }
+  // MiniDb integrates the most resources, mirroring the paper's MySQL.
+  EXPECT_GE(rows[0].resources_registered, 7);
+}
+
+}  // namespace
+}  // namespace atropos

@@ -1,0 +1,104 @@
+// Property-style sweeps over whole-system invariants.
+
+#include <gtest/gtest.h>
+
+#include "src/workload/cases.h"
+
+namespace atropos {
+namespace {
+
+// Bit-for-bit determinism: the same case, seed, and controller must produce
+// identical metrics — the property every benchmark in this repo relies on.
+class DeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterminismTest, SameSeedSameResult) {
+  int case_id = GetParam();
+  CaseRunOptions opt;
+  opt.controller = ControllerKind::kAtropos;
+  opt.duration = Seconds(10);
+  opt.seed = 42;
+  CaseResult a = RunCase(case_id, opt);
+  CaseResult b = RunCase(case_id, opt);
+  EXPECT_EQ(a.metrics.arrivals, b.metrics.arrivals);
+  EXPECT_EQ(a.metrics.completed, b.metrics.completed);
+  EXPECT_EQ(a.metrics.cancelled, b.metrics.cancelled);
+  EXPECT_EQ(a.metrics.dropped, b.metrics.dropped);
+  EXPECT_EQ(a.metrics.P99(), b.metrics.P99());
+  EXPECT_EQ(a.controller_actions, b.controller_actions);
+}
+
+INSTANTIATE_TEST_SUITE_P(SampledCases, DeterminismTest, ::testing::Values(1, 5, 9, 12, 16));
+
+// Different seeds change arrival timing but not the qualitative outcome.
+TEST(DeterminismTest, DifferentSeedsStillRecover) {
+  for (uint64_t seed : {7ull, 99ull, 12345ull}) {
+    CaseRunOptions base_opt;
+    base_opt.inject_culprits = false;
+    base_opt.duration = Seconds(10);
+    base_opt.seed = seed;
+    CaseResult base = RunCase(4, base_opt);
+
+    CaseRunOptions opt;
+    opt.controller = ControllerKind::kAtropos;
+    opt.duration = Seconds(10);
+    opt.seed = seed;
+    CaseResult atr = RunCase(4, opt);
+    EXPECT_GT(atr.metrics.ThroughputQps(), 0.9 * base.metrics.ThroughputQps())
+        << "seed " << seed;
+  }
+}
+
+// Metric sanity across every (case, controller) pair: rates are rates,
+// fractions are fractions, and the books stay consistent.
+class MetricBoundsTest
+    : public ::testing::TestWithParam<std::tuple<int, ControllerKind>> {};
+
+TEST_P(MetricBoundsTest, MetricsWithinBounds) {
+  auto [case_id, kind] = GetParam();
+  CaseRunOptions opt;
+  opt.controller = kind;
+  opt.duration = Seconds(10);
+  CaseResult r = RunCase(case_id, opt);
+  const RunMetrics& m = r.metrics;
+  EXPECT_GT(m.arrivals, 0u);
+  EXPECT_GE(m.DropRate(), 0.0);
+  EXPECT_LE(m.DropRate(), 1.0);
+  // Completions cannot exceed class-0 arrivals plus retries.
+  EXPECT_LE(m.completed, m.arrivals + m.retried);
+  // Dropped + rejected never exceed what arrived.
+  EXPECT_LE(m.dropped + m.rejected, m.arrivals);
+  if (m.completed > 0) {
+    EXPECT_GE(m.P99(), m.P50());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MetricBoundsTest,
+    ::testing::Combine(::testing::Values(1, 2, 8, 11, 15, 16),
+                       ::testing::Values(ControllerKind::kNone, ControllerKind::kAtropos,
+                                         ControllerKind::kProtego, ControllerKind::kPBox)));
+
+// Atropos-specific invariants hold across all cases.
+class AtroposInvariantsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AtroposInvariantsTest, ContentionBoundedAndCancelsAccounted) {
+  CaseRunOptions opt;
+  opt.controller = ControllerKind::kAtropos;
+  opt.duration = Seconds(10);
+  CaseResult r = RunCase(GetParam(), opt);
+  const AtroposStats& s = r.atropos_stats;
+  EXPECT_GT(s.windows, 0u);
+  // Resource-overload windows are a subset of suspected windows.
+  EXPECT_LE(s.resource_overload_windows, s.suspected_overload_windows);
+  // Every cancellation came from a resource-overload window.
+  EXPECT_LE(s.cancels_issued, s.resource_overload_windows);
+  // Ignored events arise only from cache-eviction attribution to owners that
+  // already completed (pages outlive their loading request, Fig 8); they must
+  // stay a small fraction of the stream.
+  EXPECT_LT(s.ignored_events, s.trace_events / 5 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, AtroposInvariantsTest, ::testing::Range(1, 17));
+
+}  // namespace
+}  // namespace atropos
