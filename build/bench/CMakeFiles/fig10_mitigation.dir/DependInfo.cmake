@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_mitigation.cc" "bench/CMakeFiles/fig10_mitigation.dir/fig10_mitigation.cc.o" "gcc" "bench/CMakeFiles/fig10_mitigation.dir/fig10_mitigation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/atropos_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/atropos_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/atropos_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/atropos_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/atropos_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/atropos/CMakeFiles/atropos_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atropos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/atropos_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/atropos/CMakeFiles/atropos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atropos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mitigation.dir/fig10_mitigation.cc.o"
+  "CMakeFiles/fig10_mitigation.dir/fig10_mitigation.cc.o.d"
+  "fig10_mitigation"
+  "fig10_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_policy_ablation.dir/fig13_policy_ablation.cc.o"
+  "CMakeFiles/fig13_policy_ablation.dir/fig13_policy_ablation.cc.o.d"
+  "fig13_policy_ablation"
+  "fig13_policy_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_policy_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_bufferpool_dump.dir/fig2_bufferpool_dump.cc.o"
+  "CMakeFiles/fig2_bufferpool_dump.dir/fig2_bufferpool_dump.cc.o.d"
+  "fig2_bufferpool_dump"
+  "fig2_bufferpool_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bufferpool_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

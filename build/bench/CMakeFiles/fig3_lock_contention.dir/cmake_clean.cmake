@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_lock_contention.dir/fig3_lock_contention.cc.o"
+  "CMakeFiles/fig3_lock_contention.dir/fig3_lock_contention.cc.o.d"
+  "fig3_lock_contention"
+  "fig3_lock_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_lock_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

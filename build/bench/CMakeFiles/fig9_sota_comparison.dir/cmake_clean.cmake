@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_sota_comparison.dir/fig9_sota_comparison.cc.o"
+  "CMakeFiles/fig9_sota_comparison.dir/fig9_sota_comparison.cc.o.d"
+  "fig9_sota_comparison"
+  "fig9_sota_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sota_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cancellation_survey.dir/table1_cancellation_survey.cc.o"
+  "CMakeFiles/table1_cancellation_survey.dir/table1_cancellation_survey.cc.o.d"
+  "table1_cancellation_survey"
+  "table1_cancellation_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cancellation_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_integration_effort.dir/table3_integration_effort.cc.o"
+  "CMakeFiles/table3_integration_effort.dir/table3_integration_effort.cc.o.d"
+  "table3_integration_effort"
+  "table3_integration_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_integration_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_explorer.dir/case_explorer.cpp.o"
+  "CMakeFiles/case_explorer.dir/case_explorer.cpp.o.d"
+  "case_explorer"
+  "case_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

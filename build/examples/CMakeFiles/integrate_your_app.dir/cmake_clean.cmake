@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrate_your_app.dir/integrate_your_app.cpp.o"
+  "CMakeFiles/integrate_your_app.dir/integrate_your_app.cpp.o.d"
+  "integrate_your_app"
+  "integrate_your_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrate_your_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

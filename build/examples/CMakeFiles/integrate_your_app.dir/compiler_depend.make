@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for integrate_your_app.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atropos_apps.dir/app.cc.o"
+  "CMakeFiles/atropos_apps.dir/app.cc.o.d"
+  "CMakeFiles/atropos_apps.dir/minidb.cc.o"
+  "CMakeFiles/atropos_apps.dir/minidb.cc.o.d"
+  "CMakeFiles/atropos_apps.dir/minikv.cc.o"
+  "CMakeFiles/atropos_apps.dir/minikv.cc.o.d"
+  "CMakeFiles/atropos_apps.dir/minisearch.cc.o"
+  "CMakeFiles/atropos_apps.dir/minisearch.cc.o.d"
+  "CMakeFiles/atropos_apps.dir/miniweb.cc.o"
+  "CMakeFiles/atropos_apps.dir/miniweb.cc.o.d"
+  "libatropos_apps.a"
+  "libatropos_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atropos_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

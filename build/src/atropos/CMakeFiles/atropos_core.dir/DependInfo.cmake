@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atropos/capi.cc" "src/atropos/CMakeFiles/atropos_core.dir/capi.cc.o" "gcc" "src/atropos/CMakeFiles/atropos_core.dir/capi.cc.o.d"
+  "/root/repo/src/atropos/detector.cc" "src/atropos/CMakeFiles/atropos_core.dir/detector.cc.o" "gcc" "src/atropos/CMakeFiles/atropos_core.dir/detector.cc.o.d"
+  "/root/repo/src/atropos/estimator.cc" "src/atropos/CMakeFiles/atropos_core.dir/estimator.cc.o" "gcc" "src/atropos/CMakeFiles/atropos_core.dir/estimator.cc.o.d"
+  "/root/repo/src/atropos/policy.cc" "src/atropos/CMakeFiles/atropos_core.dir/policy.cc.o" "gcc" "src/atropos/CMakeFiles/atropos_core.dir/policy.cc.o.d"
+  "/root/repo/src/atropos/runtime.cc" "src/atropos/CMakeFiles/atropos_core.dir/runtime.cc.o" "gcc" "src/atropos/CMakeFiles/atropos_core.dir/runtime.cc.o.d"
+  "/root/repo/src/atropos/task_tree.cc" "src/atropos/CMakeFiles/atropos_core.dir/task_tree.cc.o" "gcc" "src/atropos/CMakeFiles/atropos_core.dir/task_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/atropos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

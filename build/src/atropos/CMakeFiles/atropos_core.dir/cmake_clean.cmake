@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atropos_core.dir/capi.cc.o"
+  "CMakeFiles/atropos_core.dir/capi.cc.o.d"
+  "CMakeFiles/atropos_core.dir/detector.cc.o"
+  "CMakeFiles/atropos_core.dir/detector.cc.o.d"
+  "CMakeFiles/atropos_core.dir/estimator.cc.o"
+  "CMakeFiles/atropos_core.dir/estimator.cc.o.d"
+  "CMakeFiles/atropos_core.dir/policy.cc.o"
+  "CMakeFiles/atropos_core.dir/policy.cc.o.d"
+  "CMakeFiles/atropos_core.dir/runtime.cc.o"
+  "CMakeFiles/atropos_core.dir/runtime.cc.o.d"
+  "CMakeFiles/atropos_core.dir/task_tree.cc.o"
+  "CMakeFiles/atropos_core.dir/task_tree.cc.o.d"
+  "libatropos_core.a"
+  "libatropos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atropos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

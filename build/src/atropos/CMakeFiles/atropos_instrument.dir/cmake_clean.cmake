@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atropos_instrument.dir/instrument.cc.o"
+  "CMakeFiles/atropos_instrument.dir/instrument.cc.o.d"
+  "libatropos_instrument.a"
+  "libatropos_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atropos_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

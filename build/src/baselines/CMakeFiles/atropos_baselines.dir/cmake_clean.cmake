@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atropos_baselines.dir/darc.cc.o"
+  "CMakeFiles/atropos_baselines.dir/darc.cc.o.d"
+  "CMakeFiles/atropos_baselines.dir/parties.cc.o"
+  "CMakeFiles/atropos_baselines.dir/parties.cc.o.d"
+  "CMakeFiles/atropos_baselines.dir/pbox.cc.o"
+  "CMakeFiles/atropos_baselines.dir/pbox.cc.o.d"
+  "CMakeFiles/atropos_baselines.dir/protego.cc.o"
+  "CMakeFiles/atropos_baselines.dir/protego.cc.o.d"
+  "libatropos_baselines.a"
+  "libatropos_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atropos_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

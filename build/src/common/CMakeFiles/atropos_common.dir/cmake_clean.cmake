@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atropos_common.dir/histogram.cc.o"
+  "CMakeFiles/atropos_common.dir/histogram.cc.o.d"
+  "CMakeFiles/atropos_common.dir/logging.cc.o"
+  "CMakeFiles/atropos_common.dir/logging.cc.o.d"
+  "CMakeFiles/atropos_common.dir/status.cc.o"
+  "CMakeFiles/atropos_common.dir/status.cc.o.d"
+  "CMakeFiles/atropos_common.dir/table.cc.o"
+  "CMakeFiles/atropos_common.dir/table.cc.o.d"
+  "libatropos_common.a"
+  "libatropos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atropos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/buffer_pool.cc" "src/db/CMakeFiles/atropos_db.dir/buffer_pool.cc.o" "gcc" "src/db/CMakeFiles/atropos_db.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/db/lock_manager.cc" "src/db/CMakeFiles/atropos_db.dir/lock_manager.cc.o" "gcc" "src/db/CMakeFiles/atropos_db.dir/lock_manager.cc.o.d"
+  "/root/repo/src/db/mvcc.cc" "src/db/CMakeFiles/atropos_db.dir/mvcc.cc.o" "gcc" "src/db/CMakeFiles/atropos_db.dir/mvcc.cc.o.d"
+  "/root/repo/src/db/undo_log.cc" "src/db/CMakeFiles/atropos_db.dir/undo_log.cc.o" "gcc" "src/db/CMakeFiles/atropos_db.dir/undo_log.cc.o.d"
+  "/root/repo/src/db/wal.cc" "src/db/CMakeFiles/atropos_db.dir/wal.cc.o" "gcc" "src/db/CMakeFiles/atropos_db.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/atropos/CMakeFiles/atropos_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/atropos/CMakeFiles/atropos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atropos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atropos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atropos_db.dir/buffer_pool.cc.o"
+  "CMakeFiles/atropos_db.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/atropos_db.dir/lock_manager.cc.o"
+  "CMakeFiles/atropos_db.dir/lock_manager.cc.o.d"
+  "CMakeFiles/atropos_db.dir/mvcc.cc.o"
+  "CMakeFiles/atropos_db.dir/mvcc.cc.o.d"
+  "CMakeFiles/atropos_db.dir/undo_log.cc.o"
+  "CMakeFiles/atropos_db.dir/undo_log.cc.o.d"
+  "CMakeFiles/atropos_db.dir/wal.cc.o"
+  "CMakeFiles/atropos_db.dir/wal.cc.o.d"
+  "libatropos_db.a"
+  "libatropos_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atropos_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atropos_kv.dir/store.cc.o"
+  "CMakeFiles/atropos_kv.dir/store.cc.o.d"
+  "libatropos_kv.a"
+  "libatropos_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atropos_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libatropos_kv.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atropos_search.dir/heap.cc.o"
+  "CMakeFiles/atropos_search.dir/heap.cc.o.d"
+  "libatropos_search.a"
+  "libatropos_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atropos_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

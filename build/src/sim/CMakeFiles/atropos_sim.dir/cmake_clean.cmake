@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atropos_sim.dir/cpu.cc.o"
+  "CMakeFiles/atropos_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/atropos_sim.dir/executor.cc.o"
+  "CMakeFiles/atropos_sim.dir/executor.cc.o.d"
+  "CMakeFiles/atropos_sim.dir/sync.cc.o"
+  "CMakeFiles/atropos_sim.dir/sync.cc.o.d"
+  "libatropos_sim.a"
+  "libatropos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atropos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

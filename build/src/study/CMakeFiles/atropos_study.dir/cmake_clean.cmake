@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atropos_study.dir/cancellation_survey.cc.o"
+  "CMakeFiles/atropos_study.dir/cancellation_survey.cc.o.d"
+  "CMakeFiles/atropos_study.dir/integration_effort.cc.o"
+  "CMakeFiles/atropos_study.dir/integration_effort.cc.o.d"
+  "libatropos_study.a"
+  "libatropos_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atropos_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

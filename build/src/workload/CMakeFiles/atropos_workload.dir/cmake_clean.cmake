@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atropos_workload.dir/cases.cc.o"
+  "CMakeFiles/atropos_workload.dir/cases.cc.o.d"
+  "CMakeFiles/atropos_workload.dir/controllers.cc.o"
+  "CMakeFiles/atropos_workload.dir/controllers.cc.o.d"
+  "CMakeFiles/atropos_workload.dir/frontend.cc.o"
+  "CMakeFiles/atropos_workload.dir/frontend.cc.o.d"
+  "libatropos_workload.a"
+  "libatropos_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atropos_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

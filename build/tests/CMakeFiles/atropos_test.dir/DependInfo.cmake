@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/atropos/capi_test.cc" "tests/CMakeFiles/atropos_test.dir/atropos/capi_test.cc.o" "gcc" "tests/CMakeFiles/atropos_test.dir/atropos/capi_test.cc.o.d"
+  "/root/repo/tests/atropos/detector_test.cc" "tests/CMakeFiles/atropos_test.dir/atropos/detector_test.cc.o" "gcc" "tests/CMakeFiles/atropos_test.dir/atropos/detector_test.cc.o.d"
+  "/root/repo/tests/atropos/estimator_test.cc" "tests/CMakeFiles/atropos_test.dir/atropos/estimator_test.cc.o" "gcc" "tests/CMakeFiles/atropos_test.dir/atropos/estimator_test.cc.o.d"
+  "/root/repo/tests/atropos/policy_test.cc" "tests/CMakeFiles/atropos_test.dir/atropos/policy_test.cc.o" "gcc" "tests/CMakeFiles/atropos_test.dir/atropos/policy_test.cc.o.d"
+  "/root/repo/tests/atropos/runtime_test.cc" "tests/CMakeFiles/atropos_test.dir/atropos/runtime_test.cc.o" "gcc" "tests/CMakeFiles/atropos_test.dir/atropos/runtime_test.cc.o.d"
+  "/root/repo/tests/atropos/task_tree_test.cc" "tests/CMakeFiles/atropos_test.dir/atropos/task_tree_test.cc.o" "gcc" "tests/CMakeFiles/atropos_test.dir/atropos/task_tree_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/atropos/CMakeFiles/atropos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atropos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atropos_test.dir/atropos/capi_test.cc.o"
+  "CMakeFiles/atropos_test.dir/atropos/capi_test.cc.o.d"
+  "CMakeFiles/atropos_test.dir/atropos/detector_test.cc.o"
+  "CMakeFiles/atropos_test.dir/atropos/detector_test.cc.o.d"
+  "CMakeFiles/atropos_test.dir/atropos/estimator_test.cc.o"
+  "CMakeFiles/atropos_test.dir/atropos/estimator_test.cc.o.d"
+  "CMakeFiles/atropos_test.dir/atropos/policy_test.cc.o"
+  "CMakeFiles/atropos_test.dir/atropos/policy_test.cc.o.d"
+  "CMakeFiles/atropos_test.dir/atropos/runtime_test.cc.o"
+  "CMakeFiles/atropos_test.dir/atropos/runtime_test.cc.o.d"
+  "CMakeFiles/atropos_test.dir/atropos/task_tree_test.cc.o"
+  "CMakeFiles/atropos_test.dir/atropos/task_tree_test.cc.o.d"
+  "atropos_test"
+  "atropos_test.pdb"
+  "atropos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atropos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/db/buffer_pool_test.cc" "tests/CMakeFiles/db_test.dir/db/buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/buffer_pool_test.cc.o.d"
+  "/root/repo/tests/db/db_substrate_test.cc" "tests/CMakeFiles/db_test.dir/db/db_substrate_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/db_substrate_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/atropos_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/atropos/CMakeFiles/atropos_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/atropos/CMakeFiles/atropos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/atropos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/atropos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
