@@ -10,18 +10,28 @@
 #include <cstdio>
 
 #include "src/common/table.h"
+#include "src/obs/obs.h"
 #include "src/workload/cases.h"
 
 namespace atropos {
 namespace {
 
-void Run() {
+void Run(const ObsCliArgs& cli) {
   std::printf("Figure 10: mitigation effectiveness of Atropos across 16 cases\n\n");
+
+  int first = cli.case_id > 0 ? cli.case_id : 1;
+  int last = cli.case_id > 0 ? cli.case_id : 16;
+  int ncases = last - first + 1;
+
+  if (!cli.trace_path.empty()) {
+    // Start from an empty trace; per-case flushes append to it.
+    WriteFile(cli.trace_path, "");
+  }
 
   TextTable table({"case", "overload tput", "atropos tput", "overload p99x", "atropos p99x",
                    "cancels", "drop rate"});
   double sums[4] = {0};
-  for (int c = 1; c <= 16; c++) {
+  for (int c = first; c <= last; c++) {
     CaseRunOptions base_opt;
     base_opt.inject_culprits = false;
     CaseResult base = RunCase(c, base_opt);
@@ -31,9 +41,22 @@ void Run() {
     CaseRunOptions over_opt;
     CaseResult over = RunCase(c, over_opt);
 
+    // Only the Atropos run is traced: that is the run whose decisions the
+    // flight recorder explains.
+    Observability obs;
+    obs.trace_path = cli.trace_path;
     CaseRunOptions atr_opt;
     atr_opt.controller = ControllerKind::kAtropos;
+    if (!cli.trace_path.empty()) {
+      atr_opt.obs = &obs;
+    }
     CaseResult atr = RunCase(c, atr_opt);
+    if (atr_opt.obs != nullptr) {
+      Status flushed = obs.Flush();
+      if (!flushed.ok()) {
+        std::fprintf(stderr, "trace flush failed: %s\n", flushed.ToString().c_str());
+      }
+    }
 
     double vals[4] = {
         base_tput == 0 ? 0 : over.metrics.ThroughputQps() / base_tput,
@@ -49,19 +72,29 @@ void Run() {
                   TextTable::Num(vals[3], 1), std::to_string(atr.controller_actions),
                   TextTable::Pct(atr.metrics.DropRate(), 3)});
   }
-  table.AddRow({"avg", TextTable::Num(sums[0] / 16, 2), TextTable::Num(sums[1] / 16, 2),
-                TextTable::Num(sums[2] / 16, 1), TextTable::Num(sums[3] / 16, 1), "", ""});
+  table.AddRow({"avg", TextTable::Num(sums[0] / ncases, 2), TextTable::Num(sums[1] / ncases, 2),
+                TextTable::Num(sums[2] / ncases, 1), TextTable::Num(sums[3] / ncases, 1), "",
+                ""});
   std::printf("%s\n", table.Render().c_str());
   std::printf(
       "tput / p99x normalized by each case's non-overloaded baseline. Expected:\n"
       "Atropos throughput ~1.0 everywhere with p99x orders of magnitude below the\n"
       "uncontrolled overload run, at a drop rate far below 1%%.\n");
+  if (!cli.trace_path.empty()) {
+    std::printf("trace: %s (events), %s (series)\n", cli.trace_path.c_str(),
+                SeriesPathFor(cli.trace_path).c_str());
+  }
 }
 
 }  // namespace
 }  // namespace atropos
 
-int main() {
-  atropos::Run();
+int main(int argc, char** argv) {
+  atropos::ObsCliArgs cli = atropos::ParseObsCli(argc, argv);
+  if (!cli.ok) {
+    std::fprintf(stderr, "%s\n", cli.error.c_str());
+    return 1;
+  }
+  atropos::Run(cli);
   return 0;
 }

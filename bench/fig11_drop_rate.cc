@@ -8,22 +8,38 @@
 #include <cstdio>
 
 #include "src/common/table.h"
+#include "src/obs/obs.h"
 #include "src/workload/cases.h"
 
 namespace atropos {
 namespace {
 
-void Run() {
+void Run(const ObsCliArgs& cli) {
   std::printf("Figure 11: drop rate of Atropos and Protego\n\n");
+  if (!cli.trace_path.empty()) {
+    WriteFile(cli.trace_path, "");
+  }
 
   const int kCases[] = {1, 3, 4, 6, 7, 8, 9, 12, 13, 14};
   TextTable table({"case", "atropos drop", "protego drop", "atropos cancels", "protego drops"});
   double atr_sum = 0;
   double pro_sum = 0;
+  int cases_run = 0;
   for (int c : kCases) {
+    if (cli.case_id > 0 && c != cli.case_id) {
+      continue;
+    }
+    Observability obs;
+    obs.trace_path = cli.trace_path;
     CaseRunOptions atr_opt;
     atr_opt.controller = ControllerKind::kAtropos;
+    if (!cli.trace_path.empty()) {
+      atr_opt.obs = &obs;
+    }
     CaseResult atr = RunCase(c, atr_opt);
+    if (atr_opt.obs != nullptr) {
+      obs.Flush();
+    }
 
     CaseRunOptions pro_opt;
     pro_opt.controller = ControllerKind::kProtego;
@@ -31,12 +47,16 @@ void Run() {
 
     atr_sum += atr.metrics.DropRate();
     pro_sum += pro.metrics.DropRate();
+    cases_run++;
     table.AddRow({"c" + std::to_string(c), TextTable::Pct(atr.metrics.DropRate(), 3),
                   TextTable::Pct(pro.metrics.DropRate(), 2),
                   std::to_string(atr.controller_actions),
                   std::to_string(pro.controller_actions)});
   }
-  table.AddRow({"avg", TextTable::Pct(atr_sum / 10, 3), TextTable::Pct(pro_sum / 10, 2), "", ""});
+  if (cases_run > 0) {
+    table.AddRow({"avg", TextTable::Pct(atr_sum / cases_run, 3),
+                  TextTable::Pct(pro_sum / cases_run, 2), "", ""});
+  }
   std::printf("%s\n", table.Render().c_str());
   std::printf(
       "expected shape: Protego's drop rate is orders of magnitude above Atropos'\n"
@@ -46,7 +66,12 @@ void Run() {
 }  // namespace
 }  // namespace atropos
 
-int main() {
-  atropos::Run();
+int main(int argc, char** argv) {
+  atropos::ObsCliArgs cli = atropos::ParseObsCli(argc, argv);
+  if (!cli.ok) {
+    std::fprintf(stderr, "%s\n", cli.error.c_str());
+    return 1;
+  }
+  atropos::Run(cli);
   return 0;
 }

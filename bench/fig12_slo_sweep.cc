@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "src/common/table.h"
+#include "src/obs/obs.h"
 #include "src/workload/cases.h"
 
 namespace atropos {
@@ -27,13 +28,19 @@ double LatencyIncrease(const CaseResult& run, const CaseResult& base) {
   return v < 0 ? 0 : v;
 }
 
-void Run() {
+void Run(const ObsCliArgs& cli) {
   std::printf("Figure 12 / section 5.3: maintaining the SLO under resource overload\n\n");
+  if (!cli.trace_path.empty()) {
+    WriteFile(cli.trace_path, "");
+  }
 
   // ---- Part 1: all 16 cases at the default 20% SLO.
   TextTable part1({"case", "latency increase", "SLO (20%) met", "cancels"});
   int met = 0;
   for (int c = 1; c <= 16; c++) {
+    if (cli.case_id > 0 && c != cli.case_id) {
+      continue;
+    }
     CaseRunOptions base_opt;
     base_opt.inject_culprits = false;
     base_opt.duration = Seconds(40);
@@ -41,12 +48,20 @@ void Run() {
 
     // The paper reproduces each case as a single overload event over a long
     // run; a sparse culprit stream (~1-2 events in 40 s) replicates that.
+    Observability obs;
+    obs.trace_path = cli.trace_path;
     CaseRunOptions opt;
     opt.controller = ControllerKind::kAtropos;
     opt.slo_latency_increase = 0.20;
     opt.duration = Seconds(40);
     opt.culprit_scale = 0.15;
+    if (!cli.trace_path.empty()) {
+      opt.obs = &obs;
+    }
     CaseResult r = RunCase(c, opt);
+    if (opt.obs != nullptr) {
+      obs.Flush();
+    }
 
     double inc = LatencyIncrease(r, base);
     bool ok = inc <= 0.20;
@@ -63,6 +78,9 @@ void Run() {
   TextTable part2({"case", "10% SLO", "20% SLO", "40% SLO", "60% SLO",
                    "cancels @10%", "cancels @60%"});
   for (int c : kCases) {
+    if (cli.case_id > 0 && c != cli.case_id) {
+      continue;
+    }
     CaseRunOptions base_opt;
     base_opt.inject_culprits = false;
     base_opt.duration = Seconds(40);
@@ -104,6 +122,9 @@ void Run() {
   TextTable part3({"case", "25ms", "50ms", "200ms", "800ms", "cancels @25ms",
                    "cancels @800ms"});
   for (int c : {9, 12}) {
+    if (cli.case_id > 0 && c != cli.case_id) {
+      continue;
+    }
     CaseRunOptions base_opt;
     base_opt.inject_culprits = false;
     CaseResult base = RunCase(c, base_opt);
@@ -138,7 +159,12 @@ void Run() {
 }  // namespace
 }  // namespace atropos
 
-int main() {
-  atropos::Run();
+int main(int argc, char** argv) {
+  atropos::ObsCliArgs cli = atropos::ParseObsCli(argc, argv);
+  if (!cli.ok) {
+    std::fprintf(stderr, "%s\n", cli.error.c_str());
+    return 1;
+  }
+  atropos::Run(cli);
   return 0;
 }

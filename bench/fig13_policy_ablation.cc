@@ -15,6 +15,7 @@
 
 #include "src/apps/minidb.h"
 #include "src/common/table.h"
+#include "src/obs/obs.h"
 #include "src/workload/cases.h"
 
 namespace atropos {
@@ -149,8 +150,11 @@ const char* TypeName(int type) {
   }
 }
 
-void Run() {
+void Run(const ObsCliArgs& cli) {
   std::printf("Figure 13: comparison of cancellation policies\n\n");
+  if (!cli.trace_path.empty()) {
+    WriteFile(cli.trace_path, "");
+  }
 
   const ControllerKind kPolicies[] = {ControllerKind::kAtropos, ControllerKind::kAtroposHeuristic,
                                       ControllerKind::kAtroposCurrentUsage};
@@ -158,7 +162,11 @@ void Run() {
   TextTable tput({"case", "multi-objective", "heuristic", "current-usage"});
   TextTable p99({"case", "multi-objective", "heuristic", "current-usage"});
   double sums[3] = {0};
+  int cases_run = 0;
   for (int c = 1; c <= 16; c++) {
+    if (cli.case_id > 0 && c != cli.case_id) {
+      continue;
+    }
     CaseRunOptions base_opt;
     base_opt.inject_culprits = false;
     CaseResult base = RunCase(c, base_opt);
@@ -168,20 +176,31 @@ void Run() {
     std::vector<std::string> trow{"c" + std::to_string(c)};
     std::vector<std::string> lrow{"c" + std::to_string(c)};
     for (int k = 0; k < 3; k++) {
+      Observability obs;
+      obs.trace_path = cli.trace_path;
       CaseRunOptions opt;
       opt.controller = kPolicies[k];
+      if (!cli.trace_path.empty()) {
+        opt.obs = &obs;
+      }
       CaseResult r = RunCase(c, opt);
+      if (opt.obs != nullptr) {
+        obs.Flush();
+      }
       double nt = base_tput == 0 ? 0 : r.metrics.ThroughputQps() / base_tput;
       sums[k] += nt;
       trow.push_back(TextTable::Num(nt, 3));
       lrow.push_back(TextTable::Num(
           base_p99 == 0 ? 0 : static_cast<double>(r.metrics.P99()) / base_p99, 1));
     }
+    cases_run++;
     tput.AddRow(trow);
     p99.AddRow(lrow);
   }
-  tput.AddRow({"avg", TextTable::Num(sums[0] / 16, 3), TextTable::Num(sums[1] / 16, 3),
-               TextTable::Num(sums[2] / 16, 3)});
+  if (cases_run > 0) {
+    tput.AddRow({"avg", TextTable::Num(sums[0] / cases_run, 3),
+                 TextTable::Num(sums[1] / cases_run, 3), TextTable::Num(sums[2] / cases_run, 3)});
+  }
   std::printf("(a) Normalized throughput across the 16 cases\n%s\n", tput.Render().c_str());
   std::printf("(b) Normalized p99 latency across the 16 cases\n%s\n", p99.Render().c_str());
   std::printf(
@@ -232,7 +251,12 @@ void Run() {
 }  // namespace
 }  // namespace atropos
 
-int main() {
-  atropos::Run();
+int main(int argc, char** argv) {
+  atropos::ObsCliArgs cli = atropos::ParseObsCli(argc, argv);
+  if (!cli.ok) {
+    std::fprintf(stderr, "%s\n", cli.error.c_str());
+    return 1;
+  }
+  atropos::Run(cli);
   return 0;
 }

@@ -10,13 +10,17 @@
 #include <cstdio>
 
 #include "src/common/table.h"
+#include "src/obs/obs.h"
 #include "src/workload/cases.h"
 
 namespace atropos {
 namespace {
 
-void Run() {
+void Run(const ObsCliArgs& cli) {
   std::printf("Figure 9: comparison with state-of-the-art systems (c1-c15)\n\n");
+  if (!cli.trace_path.empty()) {
+    WriteFile(cli.trace_path, "");
+  }
 
   const ControllerKind kControllers[] = {ControllerKind::kAtropos, ControllerKind::kProtego,
                                          ControllerKind::kPBox, ControllerKind::kDarc,
@@ -30,6 +34,9 @@ void Run() {
   int cases_run = 0;
 
   for (int c = 1; c <= 15; c++) {
+    if (cli.case_id > 0 && c != cli.case_id) {
+      continue;
+    }
     CaseRunOptions base_opt;
     base_opt.inject_culprits = false;
     CaseResult base = RunCase(c, base_opt);
@@ -39,9 +46,19 @@ void Run() {
     std::vector<std::string> trow{"c" + std::to_string(c)};
     std::vector<std::string> lrow{"c" + std::to_string(c)};
     for (int k = 0; k < 5; k++) {
+      Observability obs;
+      obs.trace_path = cli.trace_path;
       CaseRunOptions opt;
       opt.controller = kControllers[k];
+      // Trace the Atropos runs only — the flight recorder explains the
+      // cancellation decisions, which the baselines don't make.
+      if (!cli.trace_path.empty() && kControllers[k] == ControllerKind::kAtropos) {
+        opt.obs = &obs;
+      }
       CaseResult r = RunCase(c, opt);
+      if (opt.obs != nullptr) {
+        obs.Flush();
+      }
       double nt = base_tput == 0 ? 0 : r.metrics.ThroughputQps() / base_tput;
       double np = base_p99 == 0 ? 0 : static_cast<double>(r.metrics.P99()) / base_p99;
       tput_sum[k] += nt;
@@ -54,14 +71,16 @@ void Run() {
     p99.AddRow(lrow);
   }
 
-  std::vector<std::string> tavg{"avg"};
-  std::vector<std::string> lavg{"avg"};
-  for (int k = 0; k < 5; k++) {
-    tavg.push_back(TextTable::Num(tput_sum[k] / cases_run, 2));
-    lavg.push_back(TextTable::Num(p99_sum[k] / cases_run, 1));
+  if (cases_run > 0) {
+    std::vector<std::string> tavg{"avg"};
+    std::vector<std::string> lavg{"avg"};
+    for (int k = 0; k < 5; k++) {
+      tavg.push_back(TextTable::Num(tput_sum[k] / cases_run, 2));
+      lavg.push_back(TextTable::Num(p99_sum[k] / cases_run, 1));
+    }
+    tput.AddRow(tavg);
+    p99.AddRow(lavg);
   }
-  tput.AddRow(tavg);
-  p99.AddRow(lavg);
 
   std::printf("(a) Normalized throughput\n%s\n", tput.Render().c_str());
   std::printf("(b) Normalized p99 latency\n%s\n", p99.Render().c_str());
@@ -71,7 +90,12 @@ void Run() {
 }  // namespace
 }  // namespace atropos
 
-int main() {
-  atropos::Run();
+int main(int argc, char** argv) {
+  atropos::ObsCliArgs cli = atropos::ParseObsCli(argc, argv);
+  if (!cli.ok) {
+    std::fprintf(stderr, "%s\n", cli.error.c_str());
+    return 1;
+  }
+  atropos::Run(cli);
   return 0;
 }

@@ -1,0 +1,152 @@
+// Observability overhead (Fig 14 companion for src/obs).
+//
+// Part 1 (google-benchmark, real clock): per-call micro-costs of the obs
+// primitives — a counter increment, recording a flight event, and the
+// disabled-recorder path that every emission site reduces to when tracing is
+// off.
+//
+// Part 2 (wall clock): case c1 under Atropos, run repeatedly with (a) no
+// observability attached, (b) an attached but disabled recorder (the
+// "flight recorder stays on a production system" configuration), and
+// (c) full tracing. The acceptance bar is (b) within 5% of (a): an idle
+// recorder must be cheap enough to leave enabled everywhere.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/obs/obs.h"
+#include "src/workload/cases.h"
+
+namespace atropos {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Part 1: micro costs.
+
+void BM_CounterInc(benchmark::State& state) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("bench.counter");
+  for (auto _ : state) {
+    counter->Inc();
+  }
+  benchmark::DoNotOptimize(counter->value());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_RecorderRecord(benchmark::State& state) {
+  FlightRecorder recorder;
+  for (auto _ : state) {
+    FlightEvent ev;
+    ev.time = 1000;
+    ev.kind = ObsEventKind::kWindowClosed;
+    ev.value = 42.0;
+    ev.completions = 100;
+    recorder.Record(std::move(ev));
+  }
+  benchmark::DoNotOptimize(recorder.total_recorded());
+}
+BENCHMARK(BM_RecorderRecord);
+
+void BM_RecorderDisabled(benchmark::State& state) {
+  FlightRecorder recorder;
+  recorder.set_enabled(false);
+  for (auto _ : state) {
+    // Emission sites guard payload construction on enabled(), so the
+    // disabled path is this branch alone.
+    if (recorder.enabled()) {
+      FlightEvent ev;
+      ev.kind = ObsEventKind::kWindowClosed;
+      recorder.Record(std::move(ev));
+    }
+  }
+  benchmark::DoNotOptimize(recorder.total_recorded());
+}
+BENCHMARK(BM_RecorderDisabled);
+
+void BM_RegistrySnapshot100(benchmark::State& state) {
+  MetricsRegistry registry;
+  for (int i = 0; i < 100; i++) {
+    registry.GetCounter("bench.counter." + std::to_string(i))->Inc(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.TakeSnapshot());
+  }
+}
+BENCHMARK(BM_RegistrySnapshot100);
+
+// ---------------------------------------------------------------------------
+// Part 2: end-to-end wall-clock cost on case c1.
+
+double RunC1Seconds(Observability* obs) {
+  // One sample = several back-to-back 60 s-sim runs, so the measurement is
+  // well above timer granularity and allocator warm-up noise.
+  constexpr int kRunsPerSample = 5;
+  CaseRunOptions opt;
+  opt.controller = ControllerKind::kAtropos;
+  opt.duration = Seconds(60);
+  opt.obs = obs;
+  opt.post_mortem = false;  // measure instrumentation, not stdout rendering
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRunsPerSample; i++) {
+    CaseResult r = RunCase(1, opt);
+    benchmark::DoNotOptimize(r.metrics.completed);
+  }
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+void RunWallClockPart() {
+  constexpr int kReps = 3;
+  double off = 1e300;
+  double idle = 1e300;
+  double on = 1e300;
+  // Simulated runs are deterministic, so wall-clock time is the only thing
+  // observability can change; min-of-N suppresses scheduler noise.
+  for (int i = 0; i < kReps; i++) {
+    off = std::min(off, RunC1Seconds(nullptr));
+
+    Observability idle_obs;
+    idle_obs.recorder.set_enabled(false);
+    idle = std::min(idle, RunC1Seconds(&idle_obs));
+
+    Observability on_obs;
+    on = std::min(on, RunC1Seconds(&on_obs));
+  }
+
+  TextTable table({"configuration", "wall time (s)", "delta vs off"});
+  table.AddRow({"obs off", TextTable::Num(off, 3), "-"});
+  table.AddRow({"recorder idle (attached, disabled)", TextTable::Num(idle, 3),
+                TextTable::Pct(idle / off - 1.0, 2)});
+  table.AddRow({"full tracing", TextTable::Num(on, 3), TextTable::Pct(on / off - 1.0, 2)});
+  std::printf("%s\n", table.Render().c_str());
+
+  double idle_delta = idle / off - 1.0;
+  std::printf("idle-recorder delta: %.2f%% (acceptance bar: < 5%%) -> %s\n", idle_delta * 100.0,
+              idle_delta < 0.05 ? "PASS" : "FAIL");
+}
+
+}  // namespace
+}  // namespace atropos
+
+int main(int argc, char** argv) {
+  std::printf("Observability overhead\n\n");
+  std::printf("Part 1: obs primitive micro-costs (real clock, google-benchmark)\n");
+  int bench_argc = 2;
+  char arg0[] = "obs_overhead";
+  char arg1[] = "--benchmark_min_time=0.05s";
+  char* bench_argv[] = {arg0, arg1, nullptr};
+  if (argc > 1) {
+    benchmark::Initialize(&argc, argv);
+  } else {
+    benchmark::Initialize(&bench_argc, bench_argv);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf("\nPart 2: case c1 wall-clock with observability off / idle / on (min of 3)\n");
+  atropos::RunWallClockPart();
+  return 0;
+}

@@ -8,13 +8,17 @@
 #include <cstdio>
 
 #include "src/common/table.h"
+#include "src/obs/obs.h"
 #include "src/workload/cases.h"
 
 namespace atropos {
 namespace {
 
-void Run() {
+void Run(const ObsCliArgs& cli) {
   std::printf("Table 2: 16 real-world application resource overload cases\n\n");
+  if (!cli.trace_path.empty()) {
+    WriteFile(cli.trace_path, "");
+  }
 
   TextTable catalog({"id", "app (paper)", "resource type", "resource", "trigger"});
   for (const CaseInfo& info : CaseCatalog()) {
@@ -27,6 +31,9 @@ void Run() {
   TextTable results({"case", "base kQPS", "base p99(ms)", "overload tput", "overload p99x",
                      "atropos tput", "atropos p99x", "cancels", "reproduced"});
   for (const CaseInfo& info : CaseCatalog()) {
+    if (cli.case_id > 0 && info.id != cli.case_id) {
+      continue;
+    }
     CaseRunOptions base_opt;
     base_opt.inject_culprits = false;
     CaseResult base = RunCase(info.id, base_opt);
@@ -35,9 +42,17 @@ void Run() {
     over_opt.controller = ControllerKind::kNone;
     CaseResult over = RunCase(info.id, over_opt);
 
+    Observability obs;
+    obs.trace_path = cli.trace_path;
     CaseRunOptions atr_opt;
     atr_opt.controller = ControllerKind::kAtropos;
+    if (!cli.trace_path.empty()) {
+      atr_opt.obs = &obs;
+    }
     CaseResult atr = RunCase(info.id, atr_opt);
+    if (atr_opt.obs != nullptr) {
+      obs.Flush();
+    }
 
     double base_tput = base.metrics.ThroughputQps();
     double base_p99 = static_cast<double>(base.metrics.P99());
@@ -64,7 +79,12 @@ void Run() {
 }  // namespace
 }  // namespace atropos
 
-int main() {
-  atropos::Run();
+int main(int argc, char** argv) {
+  atropos::ObsCliArgs cli = atropos::ParseObsCli(argc, argv);
+  if (!cli.ok) {
+    std::fprintf(stderr, "%s\n", cli.error.c_str());
+    return 1;
+  }
+  atropos::Run(cli);
   return 0;
 }

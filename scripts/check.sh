@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Repo gate: full build + ctest, then the obs test suite under ASan/UBSan.
+#
+#   scripts/check.sh          # build + all tests + sanitized obs tests
+#   scripts/check.sh --fast   # skip the sanitizer stage
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+echo "== configure + build (build/) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "== ctest (build/) =="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== skipping sanitizer stage (--fast) =="
+  exit 0
+fi
+
+echo "== configure + build with ASan/UBSan (build-asan/) =="
+cmake -B build-asan -S . -DATROPOS_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$JOBS" --target obs_test workload_test
+
+echo "== obs + workload tests under ASan/UBSan =="
+./build-asan/tests/obs_test
+./build-asan/tests/workload_test
+
+echo "== all checks passed =="

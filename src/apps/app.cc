@@ -1,6 +1,26 @@
 #include "src/apps/app.h"
 
+#include <string>
+
 namespace atropos {
+
+namespace {
+
+std::string_view OutcomeName(OutcomeKind outcome) {
+  switch (outcome) {
+    case OutcomeKind::kCompleted:
+      return "completed";
+    case OutcomeKind::kCancelled:
+      return "cancelled";
+    case OutcomeKind::kDropped:
+      return "dropped";
+    case OutcomeKind::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 void App::Cancel(uint64_t key) {
   auto it = live_.find(key);
@@ -63,6 +83,20 @@ void App::FinishTask(const AppRequest& req, const CompletionFn& done, const Stat
   }
   live_.erase(req.key);
   cancellable_.erase(req.key);
+  if (metrics_ != nullptr) {
+    Counter*& by_type = type_counters_[req.type];
+    if (by_type == nullptr) {
+      by_type = metrics_->GetCounter(std::string(name()) + ".requests." +
+                                     std::string(RequestTypeName(req.type)));
+    }
+    by_type->Inc();
+    Counter*& by_outcome = outcome_counters_[static_cast<size_t>(outcome)];
+    if (by_outcome == nullptr) {
+      by_outcome =
+          metrics_->GetCounter(std::string(name()) + ".outcome." + std::string(OutcomeName(outcome)));
+    }
+    by_outcome->Inc();
+  }
   if (done) {
     done(req, outcome);
   }

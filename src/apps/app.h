@@ -9,6 +9,7 @@
 #ifndef SRC_APPS_APP_H_
 #define SRC_APPS_APP_H_
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <string_view>
@@ -18,6 +19,7 @@
 #include "src/atropos/controller.h"
 #include "src/atropos/instrument.h"
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 #include "src/sim/cancel.h"
 #include "src/sim/coro.h"
 #include "src/sim/executor.h"
@@ -59,6 +61,18 @@ class App : public ControlSurface {
   // marks the task and aborts its cancellable waits. Tasks registered
   // non-cancellable (re-executed work, unsafe background tasks) ignore it.
   virtual void Cancel(uint64_t key);
+
+  // Human-readable name for an app-specific request type enum value, e.g.
+  // "backup" for MiniDb's kDbBackup. Used by the trace exporters.
+  virtual std::string_view RequestTypeName(int type) const { return "request"; }
+
+  // Attach a metrics registry (non-owning). FinishTask then maintains
+  // "<app>.requests.<type>" and "<app>.outcome.<kind>" counters.
+  void SetMetrics(MetricsRegistry* metrics) {
+    metrics_ = metrics;
+    type_counters_.clear();
+    outcome_counters_.fill(nullptr);
+  }
 
   // Stops background tasks so the simulation drains.
   virtual void Shutdown() = 0;
@@ -105,6 +119,11 @@ class App : public ControlSurface {
 
   Executor& executor_;
   OverloadController* controller_;
+  MetricsRegistry* metrics_ = nullptr;
+  // Counter pointers are stable for the registry's lifetime, so FinishTask
+  // resolves each name once and increments through the cache afterwards.
+  std::unordered_map<int, Counter*> type_counters_;
+  std::array<Counter*, 4> outcome_counters_{};
   std::unordered_map<uint64_t, LiveTask> live_;
   std::unordered_map<uint64_t, bool> cancellable_;
   std::vector<std::unique_ptr<AdjustableLimiter>> class_gates_;

@@ -86,6 +86,47 @@ int MiniDb::TableOf(const AppRequest& req) const {
   return static_cast<int>(req.arg % static_cast<uint64_t>(options_.num_tables));
 }
 
+std::string_view MiniDb::RequestTypeName(int type) const {
+  switch (type) {
+    case kDbPointSelect:
+      return "point_select";
+    case kDbRowUpdate:
+      return "row_update";
+    case kDbDumpQuery:
+      return "dump_query";
+    case kDbTableScan:
+      return "table_scan";
+    case kDbBackup:
+      return "backup";
+    case kDbSlowQuery:
+      return "slow_query";
+    case kDbSelectForUpdate:
+      return "select_for_update";
+    case kDbInsert:
+      return "insert";
+    case kDbMvccRead:
+      return "mvcc_read";
+    case kDbMvccBulkWrite:
+      return "mvcc_bulk_write";
+    case kDbWalInsert:
+      return "wal_insert";
+    case kDbWalBulkInsert:
+      return "wal_bulk_insert";
+    case kDbIoQuery:
+      return "io_query";
+    case kDbVacuum:
+      return "vacuum";
+    case kDbUndoWrite:
+      return "undo_write";
+    case kDbOldSnapshotRead:
+      return "old_snapshot_read";
+    case kDbAlterTable:
+      return "alter_table";
+    default:
+      return "request";
+  }
+}
+
 void MiniDb::Start(const AppRequest& req, CompletionFn done) { Serve(req, std::move(done)); }
 
 Coro MiniDb::Serve(AppRequest req, CompletionFn done) {

@@ -97,6 +97,7 @@ class MiniDb final : public App {
   ~MiniDb() override;
 
   std::string_view name() const override { return "minidb"; }
+  std::string_view RequestTypeName(int type) const override;
   void Start(const AppRequest& req, CompletionFn done) override;
   void Shutdown() override;
   // DARC: reserving tickets for short requests caps slow-query concurrency.

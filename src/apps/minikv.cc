@@ -9,6 +9,17 @@ MiniKv::MiniKv(Executor& executor, OverloadController* controller, MiniKvOptions
   InitClientGates(/*num_classes=*/2, /*parties_capacity=*/64);
 }
 
+std::string_view MiniKv::RequestTypeName(int type) const {
+  switch (type) {
+    case kKvPointOp:
+      return "point_op";
+    case kKvRangeRead:
+      return "range_read";
+    default:
+      return "request";
+  }
+}
+
 void MiniKv::Start(const AppRequest& req, CompletionFn done) { Serve(req, std::move(done)); }
 
 Coro MiniKv::Serve(AppRequest req, CompletionFn done) {

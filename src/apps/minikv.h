@@ -29,6 +29,7 @@ class MiniKv final : public App {
   MiniKv(Executor& executor, OverloadController* controller, MiniKvOptions options);
 
   std::string_view name() const override { return "minikv"; }
+  std::string_view RequestTypeName(int type) const override;
   void Start(const AppRequest& req, CompletionFn done) override;
   void Shutdown() override {}
 

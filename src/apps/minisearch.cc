@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/sim/sleep.h"
+
 namespace atropos {
 
 namespace {
@@ -67,6 +69,31 @@ InstrumentedRwLock& MiniSearch::DocLock(uint64_t doc) {
   return *doc_locks_[doc % doc_locks_.size()];
 }
 
+std::string_view MiniSearch::RequestTypeName(int type) const {
+  switch (type) {
+    case kSearchQuery:
+      return "query";
+    case kSearchLargeQuery:
+      return "large_query";
+    case kSearchAggregation:
+      return "aggregation";
+    case kSearchLongQuery:
+      return "long_query";
+    case kSearchDocUpdate:
+      return "doc_update";
+    case kSearchDocRead:
+      return "doc_read";
+    case kSearchBooleanQuery:
+      return "boolean_query";
+    case kSearchCommit:
+      return "commit";
+    case kSearchRangeQuery:
+      return "range_query";
+    default:
+      return "request";
+  }
+}
+
 void MiniSearch::Start(const AppRequest& req, CompletionFn done) { Serve(req, std::move(done)); }
 
 Coro MiniSearch::Serve(AppRequest req, CompletionFn done) {
@@ -88,17 +115,27 @@ Coro MiniSearch::Serve(AppRequest req, CompletionFn done) {
 // the convoy of case c14.
 Coro MiniSearch::CommitLoop() {
   co_await BindExecutor{executor_};
+  // Interruptible sleeps: Shutdown() must quiesce the committer synchronously
+  // because the app (and commit_stop_ with it) is destroyed right after. Once
+  // a sleep reports kCancelled, no member may be touched except to release a
+  // lock we still hold — at that point Cancel() has not yet returned, so the
+  // app is still alive.
   while (!commit_stop_->cancelled()) {
-    co_await Delay{executor_, options_.commit_interval};
-    if (commit_stop_->cancelled()) {
+    // Named local on purpose: g++ 12 miscompiles `(co_await ...).ok()` in a
+    // condition inside this loop shape (resume pointer never stored).
+    Status slept = co_await InterruptibleSleep(executor_, options_.commit_interval, commit_stop_.get());
+    if (!slept.ok()) {
       break;
     }
     Status s = co_await index_lock_->AcquireExclusive(kCommitterKey, commit_stop_.get());
     if (!s.ok()) {
       break;
     }
-    co_await Delay{executor_, options_.commit_hold};
+    Status held = co_await InterruptibleSleep(executor_, options_.commit_hold, commit_stop_.get());
     index_lock_->ReleaseExclusive(kCommitterKey);
+    if (!held.ok()) {
+      break;
+    }
   }
 }
 

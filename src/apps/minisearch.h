@@ -80,6 +80,7 @@ class MiniSearch final : public App {
   ~MiniSearch() override;
 
   std::string_view name() const override { return "minisearch"; }
+  std::string_view RequestTypeName(int type) const override;
   void Start(const AppRequest& req, CompletionFn done) override;
   void Shutdown() override;
   void SetTypeReservation(int request_type, int workers) override;

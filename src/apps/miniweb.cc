@@ -22,6 +22,17 @@ void MiniWeb::SetTypeReservation(int request_type, int workers) {
   script_limiter_->SetLimit(std::max<int64_t>(cap, 1));
 }
 
+std::string_view MiniWeb::RequestTypeName(int type) const {
+  switch (type) {
+    case kWebStatic:
+      return "static";
+    case kWebScript:
+      return "script";
+    default:
+      return "request";
+  }
+}
+
 void MiniWeb::Start(const AppRequest& req, CompletionFn done) { Serve(req, std::move(done)); }
 
 Coro MiniWeb::Serve(AppRequest req, CompletionFn done) {

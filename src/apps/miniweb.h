@@ -38,6 +38,7 @@ class MiniWeb final : public App {
   MiniWeb(Executor& executor, OverloadController* controller, MiniWebOptions options);
 
   std::string_view name() const override { return "miniweb"; }
+  std::string_view RequestTypeName(int type) const override;
   void Start(const AppRequest& req, CompletionFn done) override;
   void Shutdown() override {}
 

@@ -72,17 +72,44 @@ PolicyDecision ScalarizeOver(const PolicyInput& input,
   return decision;
 }
 
+// Fills the decision trace: one entry per candidate, marking Pareto
+// survivors and their scalarized scores.
+void Explain(const PolicyInput& input,
+             const std::vector<const PolicyInput::Candidate*>& pareto_set,
+             bool use_current_usage, PolicyExplain* explain) {
+  if (explain == nullptr) {
+    return;
+  }
+  explain->entries.clear();
+  explain->entries.reserve(input.candidates.size());
+  for (const auto& c : input.candidates) {
+    PolicyExplain::Entry entry;
+    entry.task = c.task;
+    entry.cancellable = c.cancellable;
+    entry.gains = use_current_usage ? c.current_usage : c.gains;
+    for (const auto* p : pareto_set) {
+      if (p == &c) {
+        entry.pareto = true;
+        entry.score = Scalarize(input, use_current_usage ? c.current_usage : c.gains);
+        break;
+      }
+    }
+    explain->entries.push_back(std::move(entry));
+  }
+}
+
 }  // namespace
 
-PolicyDecision SelectMultiObjective(const PolicyInput& input) {
+PolicyDecision SelectMultiObjective(const PolicyInput& input, PolicyExplain* explain) {
   if (input.resources.empty()) {
     return {};
   }
   auto set = NonDominatedSet(input, /*use_current_usage=*/false);
+  Explain(input, set, /*use_current_usage=*/false, explain);
   return ScalarizeOver(input, set, /*use_current_usage=*/false);
 }
 
-PolicyDecision SelectHeuristic(const PolicyInput& input) {
+PolicyDecision SelectHeuristic(const PolicyInput& input, PolicyExplain* explain) {
   if (input.resources.empty()) {
     return {};
   }
@@ -93,8 +120,17 @@ PolicyDecision SelectHeuristic(const PolicyInput& input) {
       top = r;
     }
   }
+  if (explain != nullptr) {
+    explain->entries.clear();
+  }
   PolicyDecision decision;
   for (const auto& c : input.candidates) {
+    if (explain != nullptr) {
+      // The greedy policy has no Pareto filter: every cancellable candidate
+      // is in the scored set.
+      explain->entries.push_back(PolicyExplain::Entry{
+          c.task, c.cancellable, c.cancellable, c.cancellable ? c.gains[top] : 0.0, c.gains});
+    }
     if (!c.cancellable) {
       continue;
     }
@@ -112,25 +148,26 @@ PolicyDecision SelectHeuristic(const PolicyInput& input) {
   return decision;
 }
 
-PolicyDecision SelectCurrentUsage(const PolicyInput& input) {
+PolicyDecision SelectCurrentUsage(const PolicyInput& input, PolicyExplain* explain) {
   if (input.resources.empty()) {
     return {};
   }
   auto set = NonDominatedSet(input, /*use_current_usage=*/true);
+  Explain(input, set, /*use_current_usage=*/true, explain);
   return ScalarizeOver(input, set, /*use_current_usage=*/true);
 }
 
-PolicyDecision SelectVictim(PolicyKind kind, const PolicyInput& input) {
+PolicyDecision SelectVictim(PolicyKind kind, const PolicyInput& input, PolicyExplain* explain) {
   PolicyDecision decision;
   switch (kind) {
     case PolicyKind::kMultiObjective:
-      decision = SelectMultiObjective(input);
+      decision = SelectMultiObjective(input, explain);
       break;
     case PolicyKind::kHeuristic:
-      decision = SelectHeuristic(input);
+      decision = SelectHeuristic(input, explain);
       break;
     case PolicyKind::kCurrentUsage:
-      decision = SelectCurrentUsage(input);
+      decision = SelectCurrentUsage(input, explain);
       break;
   }
   // Never select a victim whose cancellation frees nothing anywhere.

@@ -38,22 +38,37 @@ struct PolicyDecision {
   bool found() const { return victim != kInvalidTaskId; }
 };
 
+// Optional decision trace: how every candidate fared, for the flight
+// recorder. Filled only when a non-null pointer is passed to the selectors,
+// so the normal control path pays nothing for it.
+struct PolicyExplain {
+  struct Entry {
+    TaskId task = kInvalidTaskId;
+    bool cancellable = false;
+    bool pareto = false;  // survived the non-dominated filter
+    double score = 0.0;   // scalarized score (0 when not scored)
+    std::vector<double> gains;
+  };
+  std::vector<Entry> entries;
+};
+
 // Returns true iff `a` dominates `b`: a is >= b on every objective and
 // strictly greater on at least one.
 bool Dominates(const std::vector<double>& a, const std::vector<double>& b);
 
 // Algorithm 1: non-dominated filter + contention-weighted scalarization.
-PolicyDecision SelectMultiObjective(const PolicyInput& input);
+PolicyDecision SelectMultiObjective(const PolicyInput& input, PolicyExplain* explain = nullptr);
 
 // Fig 13 baseline 1: greedy — highest gain on the single most contended
 // resource.
-PolicyDecision SelectHeuristic(const PolicyInput& input);
+PolicyDecision SelectHeuristic(const PolicyInput& input, PolicyExplain* explain = nullptr);
 
 // Fig 13 baseline 2: multi-objective shape, but scores use current usage
 // instead of predicted future gain.
-PolicyDecision SelectCurrentUsage(const PolicyInput& input);
+PolicyDecision SelectCurrentUsage(const PolicyInput& input, PolicyExplain* explain = nullptr);
 
-PolicyDecision SelectVictim(PolicyKind kind, const PolicyInput& input);
+PolicyDecision SelectVictim(PolicyKind kind, const PolicyInput& input,
+                            PolicyExplain* explain = nullptr);
 
 }  // namespace atropos
 

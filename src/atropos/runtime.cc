@@ -22,6 +22,24 @@ std::string_view ResourceClassName(ResourceClass cls) {
   return "unknown";
 }
 
+namespace {
+
+std::string_view SignalName(OverloadDetector::Signal signal) {
+  switch (signal) {
+    case OverloadDetector::Signal::kCalibrating:
+      return "calibrating";
+    case OverloadDetector::Signal::kNormal:
+      return "normal";
+    case OverloadDetector::Signal::kSuspectedOverload:
+      return "suspected_overload";
+    case OverloadDetector::Signal::kDemandOverload:
+      return "demand_overload";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
 AtroposRuntime::AtroposRuntime(Clock* clock, AtroposConfig config)
     : clock_(clock),
       config_(config),
@@ -276,6 +294,30 @@ void AtroposRuntime::Tick() {
   }
   OverloadDetector::Signal signal = detector_.OnWindow(sample);
 
+  // ---- Flight recording. `tracing` gates all payload construction so a
+  // detached or disabled recorder costs one branch per window.
+  const bool tracing = recorder_ != nullptr && recorder_->enabled();
+  if (tracing) {
+    FlightEvent ev;
+    ev.time = now;
+    ev.kind = ObsEventKind::kWindowClosed;
+    ev.value = static_cast<double>(sample.p99);
+    ev.label = std::string(SignalName(signal));
+    ev.completions = sample.completions;
+    ev.overdue = sample.overdue_actives;
+    recorder_->Record(std::move(ev));
+
+    bool overloaded = signal == OverloadDetector::Signal::kSuspectedOverload;
+    if (overloaded != recording_overload_) {
+      FlightEvent edge;
+      edge.time = now;
+      edge.kind = overloaded ? ObsEventKind::kOverloadEntered : ObsEventKind::kOverloadExited;
+      edge.label = std::string(SignalName(signal));
+      recorder_->Record(std::move(edge));
+      recording_overload_ = overloaded;
+    }
+  }
+
   // Aggressive per-event timestamps while an overload is suspected (§3.2).
   effective_mode_ = signal == OverloadDetector::Signal::kSuspectedOverload
                         ? TimestampMode::kPerEvent
@@ -302,6 +344,26 @@ void AtroposRuntime::Tick() {
         break;
       }
       stats_.resource_overload_windows++;
+      if (tracing) {
+        FlightEvent ev;
+        ev.time = now;
+        ev.kind = ObsEventKind::kContentionSnapshot;
+        for (const ResourceMetrics& m : est.all_resources) {
+          ObsResourceSample s;
+          s.id = m.id;
+          auto res = resources_.find(m.id);
+          if (res != resources_.end()) {
+            s.name = res->second.name;
+          }
+          s.cls = std::string(ResourceClassName(m.cls));
+          s.contention_raw = m.contention_raw;
+          s.contention_norm = m.contention_norm;
+          s.delay_us = static_cast<uint64_t>(m.delay);
+          s.overloaded = m.overloaded;
+          ev.resources.push_back(std::move(s));
+        }
+        recorder_->Record(std::move(ev));
+      }
       if (!config_.cancellation_enabled) {
         break;
       }
@@ -309,7 +371,30 @@ void AtroposRuntime::Tick() {
         stats_.cancels_suppressed_interval++;
         break;
       }
-      PolicyDecision decision = SelectVictim(config_.policy, est.policy_input);
+      PolicyExplain explain;
+      PolicyDecision decision =
+          SelectVictim(config_.policy, est.policy_input, tracing ? &explain : nullptr);
+      if (tracing) {
+        FlightEvent ev;
+        ev.time = now;
+        ev.kind = ObsEventKind::kPolicyDecision;
+        ev.value = decision.score;
+        for (const PolicyExplain::Entry& entry : explain.entries) {
+          ObsCandidateSample c;
+          auto task = tasks_.find(entry.task);
+          c.key = task != tasks_.end() ? task->second.key : 0;
+          if (entry.task == decision.victim) {
+            ev.key = c.key;
+          }
+          c.cancellable = entry.cancellable;
+          c.pareto = entry.pareto;
+          c.score = entry.score;
+          c.gains = entry.gains;
+          ev.candidates.push_back(std::move(c));
+        }
+        ev.label = decision.found() ? "victim_selected" : "no_victim";
+        recorder_->Record(std::move(ev));
+      }
       if (!decision.found()) {
         stats_.cancels_suppressed_no_victim++;
         if (GetLogLevel() <= LogLevel::kDebug) {
@@ -337,6 +422,16 @@ void AtroposRuntime::Tick() {
       stats_.cancels_issued++;
       LOG_INFO("atropos: cancelling task key=%llu score=%.3f",
                static_cast<unsigned long long>(victim.key), decision.score);
+      if (tracing) {
+        FlightEvent ev;
+        ev.time = now;
+        ev.kind = ObsEventKind::kCancelIssued;
+        ev.key = victim.key;
+        ev.value = decision.score;
+        // label is filled by the layer that can name the request type, via
+        // FlightRecorder::AnnotateLast right after the cancel observer fires.
+        recorder_->Record(std::move(ev));
+      }
       if (cancel_observer_) {
         cancel_observer_(victim.key, decision.score);
       }

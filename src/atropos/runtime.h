@@ -28,6 +28,7 @@
 #include "src/atropos/policy.h"
 #include "src/common/clock.h"
 #include "src/common/histogram.h"
+#include "src/obs/flight_recorder.h"
 
 namespace atropos {
 
@@ -105,6 +106,12 @@ class AtroposRuntime final : public OverloadController {
     cancel_observer_ = std::move(observer);
   }
 
+  // Attach a decision flight recorder (non-owning). Every window boundary,
+  // overload transition, contention snapshot, policy verdict, and issued
+  // cancellation is recorded; a null or disabled recorder costs one branch
+  // per Tick().
+  void SetRecorder(FlightRecorder* recorder) { recorder_ = recorder; }
+
  private:
   TaskRecord* Lookup(uint64_t key);
   TaskResourceUsage* UsageFor(uint64_t key, ResourceId resource);
@@ -119,6 +126,8 @@ class AtroposRuntime final : public OverloadController {
   std::function<void(uint64_t)> cancel_action_;
   ControlSurface* surface_ = nullptr;
   std::function<void(uint64_t, double)> cancel_observer_;
+  FlightRecorder* recorder_ = nullptr;
+  bool recording_overload_ = false;  // tracks entered/exited transitions
 
   // Registries. std::map gives deterministic iteration order.
   std::map<TaskId, TaskRecord> tasks_;

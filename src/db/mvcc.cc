@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/sim/sleep.h"
+
 namespace atropos {
 
 Task<Status> MvccTable::BulkWrite(uint64_t key, uint64_t rows, CancelToken* token) {
@@ -53,9 +55,13 @@ void MvccTable::StartPruner(uint64_t key, CancelToken* stop) { PrunerLoop(key, s
 
 Coro MvccTable::PrunerLoop(uint64_t key, CancelToken* stop) {
   co_await BindExecutor{executor_};
+  // Interruptible so Shutdown() quiesces the loop synchronously; never
+  // re-read `stop` after a kCancelled sleep.
   while (!stop->cancelled()) {
-    co_await Delay{executor_, options_.prune_interval};
-    if (stop->cancelled()) {
+    // Named local on purpose: g++ 12 miscompiles `(co_await ...).ok()` in a
+    // condition inside this loop shape (resume pointer never stored).
+    Status slept = co_await InterruptibleSleep(executor_, options_.prune_interval, stop);
+    if (!slept.ok()) {
       break;
     }
     if (active_writers_ > 0 || debt_ == 0) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/sim/sleep.h"
+
 namespace atropos {
 
 UndoLog::UndoLog(Executor& executor, const UndoLogOptions& options, OverloadController* tracer,
@@ -57,9 +59,15 @@ void UndoLog::StartPurge(uint64_t key, CancelToken* stop) { PurgeLoop(key, stop)
 
 Coro UndoLog::PurgeLoop(uint64_t key, CancelToken* stop) {
   co_await BindExecutor{executor_};
+  // The interval sleeps are interruptible so that Shutdown() quiesces the
+  // loop synchronously; once a sleep reports kCancelled we exit without
+  // re-reading `stop` (the owner may destroy it right after Cancel() returns).
   while (!stop->cancelled()) {
-    co_await Delay{executor_, options_.purge_interval};
-    if (stop->cancelled()) {
+    // NOTE: the sleep status must be bound to a named local; g++ 12 miscompiles
+    // `(co_await ...).ok()` used directly in a condition inside this loop shape
+    // (the coroutine frame's resume pointer is never stored).
+    Status slept = co_await InterruptibleSleep(executor_, options_.purge_interval, stop);
+    if (!slept.ok()) {
       break;
     }
     // Purge may only truncate history up to the oldest pinned snapshot: a
@@ -75,7 +83,11 @@ Coro UndoLog::PurgeLoop(uint64_t key, CancelToken* stop) {
     if (!s.ok()) {
       break;
     }
-    co_await Delay{executor_, options_.purge_round_cost};
+    Status round = co_await InterruptibleSleep(executor_, options_.purge_round_cost, stop);
+    if (!round.ok()) {
+      undo_mutex_.Release(key);
+      break;
+    }
     purged_upto_ += std::min(limit - purged_upto_, options_.purge_batch);
     undo_mutex_.Release(key);
   }

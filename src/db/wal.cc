@@ -1,5 +1,7 @@
 #include "src/db/wal.h"
 
+#include "src/sim/sleep.h"
+
 namespace atropos {
 
 WriteAheadLog::WriteAheadLog(Executor& executor, const WalOptions& options,
@@ -54,9 +56,13 @@ void WriteAheadLog::StartFlusher(uint64_t key, CancelToken* stop) {
 
 Coro WriteAheadLog::FlusherLoop(uint64_t key, CancelToken* stop) {
   co_await BindExecutor{executor_};
+  // Interval and flush sleeps are interruptible so Shutdown() quiesces the
+  // loop synchronously; after a kCancelled sleep we must not re-read `stop`.
   while (!stop->cancelled()) {
-    co_await Delay{executor_, options_.flush_interval};
-    if (stop->cancelled()) {
+    // Named local on purpose: g++ 12 miscompiles `(co_await ...).ok()` in a
+    // condition inside this loop shape (resume pointer never stored).
+    Status slept = co_await InterruptibleSleep(executor_, options_.flush_interval, stop);
+    if (!slept.ok()) {
       break;
     }
     if (pending_records_ == 0) {
@@ -72,10 +78,16 @@ Coro WriteAheadLog::FlusherLoop(uint64_t key, CancelToken* stop) {
     pending_records_ = 0;
     std::shared_ptr<SimEvent> group = group_flushed_;
     group_flushed_ = std::make_shared<SimEvent>(executor_);
-    co_await Delay{executor_, options_.flush_base_cost + options_.flush_per_record * batch};
+    Status flushed =
+        co_await InterruptibleSleep(executor_, options_.flush_base_cost + options_.flush_per_record * batch, stop);
     log_mutex_.Release(key);
     flushes_++;
+    // Complete the group even on shutdown so appenders already parked on it
+    // are not stranded.
     group->Set();
+    if (!flushed.ok()) {
+      break;
+    }
   }
 }
 

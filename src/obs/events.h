@@ -1,0 +1,77 @@
+// Structured decision events for the flight recorder.
+//
+// Every consequential step of the Atropos control loop — detector windows,
+// contention snapshots, policy verdicts, cancellations and their client-side
+// aftermath — is captured as one FlightEvent stamped with the virtual clock.
+// The schema is deliberately plain (ids, doubles, strings): events are
+// control-plane rate (a handful per 100 ms window), so readability of the
+// exported JSONL wins over byte-packing.
+//
+// This header depends only on src/common so that the recorder can be linked
+// from any layer (core runtime, workload, benches) without cycles.
+
+#ifndef SRC_OBS_EVENTS_H_
+#define SRC_OBS_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace atropos {
+
+enum class ObsEventKind {
+  kRunStart = 0,           // experiment begins; label = case/app name
+  kRunEnd = 1,             // experiment ends; value = p99 (µs), label = verdict
+  kWindowClosed = 2,       // detector window rolled; value = window p99 (µs)
+  kOverloadEntered = 3,    // detector signal became SuspectedOverload
+  kOverloadExited = 4,     // detector signal left SuspectedOverload
+  kContentionSnapshot = 5, // per-resource contention levels (resources[])
+  kPolicyDecision = 6,     // Pareto set + scalarized scores (candidates[])
+  kCancelIssued = 7,       // runtime issued a cancellation; key = victim
+  kCancelCompleted = 8,    // app observed the cancel; label = request type
+  kTaskRetried = 9,        // §4 re-execution dispatched
+  kTaskDropped = 10,       // retry deadline exceeded or victim drop
+};
+
+// Canonical lowercase event name, e.g. "cancel_issued".
+std::string_view ObsEventKindName(ObsEventKind kind);
+
+// One resource's estimator view at a window boundary.
+struct ObsResourceSample {
+  uint32_t id = 0;
+  std::string name;          // "table_locks", "buffer_pool", ...
+  std::string cls;           // "lock" / "memory" / "queue" / "cpu" / "io"
+  double contention_raw = 0.0;
+  double contention_norm = 0.0;
+  uint64_t delay_us = 0;
+  bool overloaded = false;
+};
+
+// One candidate task's policy view for a decision event.
+struct ObsCandidateSample {
+  uint64_t key = 0;
+  bool cancellable = false;
+  bool pareto = false;       // survived the non-dominated filter
+  double score = 0.0;        // scalarized (0 for non-Pareto candidates)
+  std::vector<double> gains; // normalized, aligned with the decision's objectives
+};
+
+struct FlightEvent {
+  uint64_t seq = 0;          // assigned by the recorder, monotonically
+  TimeMicros time = 0;       // virtual clock
+  ObsEventKind kind = ObsEventKind::kWindowClosed;
+  uint64_t key = 0;          // task key, when the event concerns one task
+  double value = 0.0;        // kind-specific scalar (p99 µs, score, case id)
+  std::string label;         // kind-specific text (signal, request type, verdict)
+  uint64_t completions = 0;  // window completions (detector events)
+  uint64_t overdue = 0;      // overdue in-flight requests (detector events)
+  std::vector<ObsResourceSample> resources;   // contention snapshots
+  std::vector<ObsCandidateSample> candidates; // policy decisions
+};
+
+}  // namespace atropos
+
+#endif  // SRC_OBS_EVENTS_H_

@@ -1,0 +1,47 @@
+// Structured exporters for flight-recorder events and metrics.
+//
+// Three formats, matching three audiences:
+//   - JSONL: one event per line, machine-readable, for trace tooling and the
+//     golden tests (`--trace=<path>` on the benches).
+//   - CSV: the SeriesRecorder's per-tick metric series, for plotting.
+//   - Post-mortem table: a human-readable recap of the decisions the
+//     controller made, auto-emitted when a run ends in violation.
+
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/events.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+
+namespace atropos {
+
+// Single-line JSON object for one event (no trailing newline). Field order
+// is fixed so exports are byte-stable across runs with equal inputs.
+std::string EventToJson(const FlightEvent& ev);
+
+// All events, one JSON object per line.
+std::string EventsToJsonl(const std::vector<FlightEvent>& events);
+
+// Appends `events` as JSONL to `path` (creating it if needed). Append mode
+// lets a multi-case bench accumulate every case into one trace file.
+Status WriteJsonl(const std::string& path, const std::vector<FlightEvent>& events);
+
+// CSV with header "time_s,<columns...>"; times rendered in seconds.
+std::string SeriesToCsv(const SeriesRecorder& series);
+
+Status WriteFile(const std::string& path, const std::string& contents);
+
+// Human-readable recap: one row per consequential event (overload episodes,
+// cancellations, retries, drops), plus a metrics footer. Emitted on runs
+// that end with SLO violations.
+std::string RenderPostMortem(const std::vector<FlightEvent>& events,
+                             const MetricsRegistry::Snapshot& metrics);
+
+}  // namespace atropos
+
+#endif  // SRC_OBS_EXPORT_H_

@@ -1,0 +1,79 @@
+#include "src/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace atropos {
+
+std::string_view ObsEventKindName(ObsEventKind kind) {
+  switch (kind) {
+    case ObsEventKind::kRunStart:
+      return "run_start";
+    case ObsEventKind::kRunEnd:
+      return "run_end";
+    case ObsEventKind::kWindowClosed:
+      return "window_closed";
+    case ObsEventKind::kOverloadEntered:
+      return "overload_entered";
+    case ObsEventKind::kOverloadExited:
+      return "overload_exited";
+    case ObsEventKind::kContentionSnapshot:
+      return "contention_snapshot";
+    case ObsEventKind::kPolicyDecision:
+      return "policy_decision";
+    case ObsEventKind::kCancelIssued:
+      return "cancel_issued";
+    case ObsEventKind::kCancelCompleted:
+      return "cancel_completed";
+    case ObsEventKind::kTaskRetried:
+      return "task_retried";
+    case ObsEventKind::kTaskDropped:
+      return "task_dropped";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity) : ring_(std::max<size_t>(capacity, 1)) {}
+
+void FlightRecorder::Record(FlightEvent ev) {
+  if (!enabled_) {
+    return;
+  }
+  ev.seq = total_++;
+  ring_[head_] = std::move(ev);
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) {
+    size_++;
+  }
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> out;
+  out.reserve(size_);
+  // Oldest event sits at head_ once the ring has wrapped, else at 0.
+  size_t start = size_ == ring_.size() ? head_ : 0;
+  for (size_t i = 0; i < size_; i++) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::AnnotateLast(ObsEventKind kind, const std::string& label) {
+  for (size_t i = 0; i < size_; i++) {
+    size_t idx = (head_ + ring_.size() - 1 - i) % ring_.size();
+    if (ring_[idx].kind == kind) {
+      if (ring_[idx].label.empty()) {
+        ring_[idx].label = label;
+      }
+      return;
+    }
+  }
+}
+
+void FlightRecorder::Clear() {
+  head_ = 0;
+  size_ = 0;
+  total_ = 0;
+}
+
+}  // namespace atropos

@@ -1,0 +1,61 @@
+#include "src/obs/obs.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace atropos {
+
+Status Observability::Flush() {
+  if (trace_path.empty()) {
+    return Status::Ok();
+  }
+  Status s = WriteJsonl(trace_path, recorder.Snapshot());
+  if (!s.ok()) {
+    return s;
+  }
+  if (!series.rows().empty()) {
+    s = WriteFile(SeriesPathFor(trace_path), SeriesToCsv(series));
+  }
+  return s;
+}
+
+void Observability::Reset() {
+  recorder.Clear();
+  series.Clear();
+}
+
+std::string SeriesPathFor(const std::string& trace_path) {
+  size_t dot = trace_path.rfind('.');
+  size_t slash = trace_path.rfind('/');
+  std::string stem = (dot != std::string::npos && (slash == std::string::npos || dot > slash))
+                         ? trace_path.substr(0, dot)
+                         : trace_path;
+  return stem + ".csv";
+}
+
+ObsCliArgs ParseObsCli(int argc, char** argv) {
+  ObsCliArgs args;
+  for (int i = 1; i < argc; i++) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace=", 8) == 0) {
+      args.trace_path = arg + 8;
+    } else if (std::strncmp(arg, "--case=", 7) == 0) {
+      char* end = nullptr;
+      long v = std::strtol(arg + 7, &end, 10);
+      if (end == arg + 7 || *end != '\0') {
+        args.ok = false;
+        args.error = std::string("invalid --case value: ") + arg;
+        return args;
+      }
+      args.case_id = static_cast<int>(v);
+    } else {
+      args.ok = false;
+      args.error = std::string("unknown argument: ") + arg +
+                   " (supported: --trace=<path> --case=N)";
+      return args;
+    }
+  }
+  return args;
+}
+
+}  // namespace atropos

@@ -1,0 +1,53 @@
+// Observability bundle: one object that owns the metrics registry, the
+// decision flight recorder, and the per-tick series — everything a run
+// needs to produce a trace. The workload runner owns one of these and hands
+// out non-owning pointers to the layers that emit into it.
+//
+// Also home of the shared bench CLI: every figure bench accepts
+// `--trace=<path>` (JSONL event dump; the metric series lands next to it
+// as <path minus extension>.csv) and `--case=N`.
+
+#ifndef SRC_OBS_OBS_H_
+#define SRC_OBS_OBS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/export.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+
+namespace atropos {
+
+struct Observability {
+  MetricsRegistry metrics;
+  FlightRecorder recorder;
+  SeriesRecorder series{{"completed", "cancelled", "dropped", "p99_ms"}};
+  std::string trace_path;  // empty => no file export on Flush()
+
+  // Appends the recorder's events to trace_path (JSONL) and rewrites the
+  // sibling CSV with the series so far. No-op without a trace path.
+  Status Flush();
+
+  // Clears the recorder and series between cases; metrics accumulate.
+  void Reset();
+};
+
+// Derived CSV path: "out.jsonl" -> "out.csv", "out" -> "out.csv".
+std::string SeriesPathFor(const std::string& trace_path);
+
+struct ObsCliArgs {
+  std::string trace_path;
+  int case_id = -1;  // -1 => bench default (all cases it covers)
+  bool ok = true;
+  std::string error;
+};
+
+// Parses the shared bench flags `--trace=<path>` and `--case=N`; unknown
+// arguments set ok=false so benches can print usage and exit.
+ObsCliArgs ParseObsCli(int argc, char** argv);
+
+}  // namespace atropos
+
+#endif  // SRC_OBS_OBS_H_

@@ -1,0 +1,102 @@
+// A token-interruptible timed sleep.
+//
+// Delay (coro.h) is the right primitive for modelled work: once started, the
+// cost is paid. Background maintenance loops need something different — they
+// park for long intervals and must observe shutdown *immediately*, because
+// their owner is about to be destroyed. InterruptibleSleep registers with a
+// CancelToken and, unlike the primitives in sync.h, resumes the sleeper
+// INLINE from Cancel(): by the time CancelToken::Cancel() returns, a loop
+// parked in an InterruptibleSleep has already run to its next suspension
+// point (typically completion). That synchronous quiesce is what makes
+// `Shutdown(); ~Owner();` safe without draining the event heap in between.
+//
+// Inline resume is safe here precisely because a sleep, unlike a mutex or
+// queue, has no shared grant state to re-run; the only loose end is the timer
+// event already sitting in the executor heap. The wait node is therefore
+// heap-allocated and the timer callback holds only a weak reference: if the
+// sleeper was cancelled (and its frame possibly destroyed), the timer finds
+// an expired pointer and does nothing.
+//
+// CAUTION: bind the awaited Status to a named local (`Status s = co_await
+// InterruptibleSleep(...); if (!s.ok()) ...`). g++ 12 miscompiles the
+// `(co_await ...).ok()` form inside `while (!token->cancelled())` loops —
+// the coroutine frame's resume pointer is never stored and the timer fires
+// into garbage.
+
+#ifndef SRC_SIM_SLEEP_H_
+#define SRC_SIM_SLEEP_H_
+
+#include <coroutine>
+#include <memory>
+#include <utility>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/sim/cancel.h"
+#include "src/sim/executor.h"
+#include "src/sim/wait.h"
+
+namespace atropos {
+
+class InterruptibleSleep final : public WaiterOwner {
+ public:
+  InterruptibleSleep(Executor& executor, TimeMicros delay, CancelToken* token)
+      : executor_(executor), delay_(delay), token_(token) {}
+
+  bool await_ready() {
+    if (token_ != nullptr && token_->cancelled()) {
+      result_ = Status::Cancelled("sleep aborted before suspend");
+      return true;
+    }
+    return false;
+  }
+
+  void await_suspend(std::coroutine_handle<> h) {
+    node_ = std::make_shared<WaitNode>();
+    node_->handle = h;
+    node_->owner = this;
+    node_->token = token_;
+    if (token_ != nullptr) {
+      token_->Register(node_.get());
+    }
+    std::weak_ptr<WaitNode> weak = node_;
+    executor_.CallAfter(delay_, [weak] {
+      std::shared_ptr<WaitNode> node = weak.lock();
+      if (node == nullptr) {
+        return;  // sleeper was cancelled; its frame may be gone
+      }
+      if (node->token != nullptr) {
+        node->token->Unregister(node.get());
+        node->token = nullptr;
+      }
+      node->result = Status::Ok();
+      node->handle.resume();
+    });
+  }
+
+  Status await_resume() {
+    if (node_ != nullptr) {
+      result_ = node_->result;
+      node_.reset();
+    }
+    return result_;
+  }
+
+  void CancelWaiter(WaitNode& node) override {
+    node.result = Status::Cancelled("sleep interrupted");
+    // Inline on purpose — see file comment. `node` (and this awaiter) may be
+    // destroyed when resume() returns; touch nothing afterwards.
+    node.handle.resume();
+  }
+
+ private:
+  Executor& executor_;
+  TimeMicros delay_;
+  CancelToken* token_;
+  std::shared_ptr<WaitNode> node_;
+  Status result_ = Status::Ok();
+};
+
+}  // namespace atropos
+
+#endif  // SRC_SIM_SLEEP_H_

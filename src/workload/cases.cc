@@ -408,13 +408,40 @@ CaseResult RunCase(int case_id, const CaseRunOptions& options) {
   fopt.seed = options.seed;
   fopt.tick_window = params.window;
   Frontend frontend(executor, *setup.app, *controller, fopt);
+  Observability* obs = options.obs;
+  if (obs != nullptr) {
+    frontend.SetObservability(obs);
+    FlightEvent start;
+    start.time = executor.now();
+    start.kind = ObsEventKind::kRunStart;
+    start.value = case_id;
+    start.label = "c" + std::to_string(case_id) + " " + std::string(setup.app->name()) + " " +
+                  std::string(ControllerKindName(options.controller));
+    obs->recorder.Record(std::move(start));
+  }
   if (auto* runtime = dynamic_cast<AtroposRuntime*>(controller.get()); runtime != nullptr) {
-    if (options.verbose) {
-      runtime->SetCancelObserver([&executor, &frontend](uint64_t key, double score) {
-        std::printf("  [%.2fs] cancel key=%llu type=%d score=%.3f\n", ToSeconds(executor.now()),
-                    static_cast<unsigned long long>(key), frontend.TypeOfKey(key), score);
-      });
+    if (obs != nullptr) {
+      runtime->SetRecorder(&obs->recorder);
     }
+    bool verbose = options.verbose;
+    App* app = setup.app.get();
+    // The observer fires right after the runtime records cancel_issued, so
+    // AnnotateLast can name the victim's request type — context the control
+    // loop itself does not have.
+    runtime->SetCancelObserver(
+        [&executor, &frontend, obs, app, verbose](uint64_t key, double score) {
+          int type = frontend.TypeOfKey(key);
+          if (obs != nullptr) {
+            obs->recorder.AnnotateLast(
+                ObsEventKind::kCancelIssued,
+                type >= 0 ? std::string(app->RequestTypeName(type)) : "background");
+          }
+          if (verbose) {
+            std::printf("  [%.2fs] cancel key=%llu type=%d score=%.3f\n",
+                        ToSeconds(executor.now()), static_cast<unsigned long long>(key), type,
+                        score);
+          }
+        });
   }
   for (const TrafficSpec& spec : setup.victims) {
     frontend.AddTraffic(spec);
@@ -431,11 +458,40 @@ CaseResult RunCase(int case_id, const CaseRunOptions& options) {
 
   CaseResult result;
   result.metrics = frontend.Run();
-  if (auto* runtime = dynamic_cast<AtroposRuntime*>(controller.get()); runtime != nullptr) {
+  auto* runtime = dynamic_cast<AtroposRuntime*>(controller.get());
+  if (runtime != nullptr) {
     result.atropos_stats = runtime->stats();
   }
   result.controller_actions = ControllerActions(controller.get());
   result.controller_name = std::string(ControllerKindName(options.controller));
+
+  if (obs != nullptr) {
+    // SLO verdict: the calibrated detector's threshold against the measured
+    // p99. Non-Atropos controllers have no detector; fall back to "overload
+    // windows were observed" via the run's cancellation/drop activity.
+    bool violated = false;
+    if (runtime != nullptr && runtime->detector().calibrated()) {
+      violated = result.metrics.P99() > runtime->detector().slo_latency();
+    } else {
+      violated = result.metrics.dropped + result.metrics.cancelled > 0;
+    }
+    Gauge* p99 = obs->metrics.GetGauge("run.c" + std::to_string(case_id) + ".p99_us");
+    p99->Set(static_cast<double>(result.metrics.P99()));
+    obs->metrics.GetGauge("run.c" + std::to_string(case_id) + ".throughput_qps")
+        ->Set(result.metrics.ThroughputQps());
+
+    FlightEvent end;
+    end.time = executor.now();
+    end.kind = ObsEventKind::kRunEnd;
+    end.value = static_cast<double>(result.metrics.P99());
+    end.label = violated ? "slo_violated" : "slo_met";
+    obs->recorder.Record(std::move(end));
+
+    if (violated && options.post_mortem) {
+      std::printf("%s\n",
+                  RenderPostMortem(obs->recorder.Snapshot(), obs->metrics.TakeSnapshot()).c_str());
+    }
+  }
   return result;
 }
 

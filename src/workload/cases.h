@@ -46,6 +46,12 @@ struct CaseRunOptions {
   // §5.3 discusses the aggressiveness-vs-safety trade-off this controls.
   TimeMicros min_cancel_interval = 0;
   bool verbose = false;               // print cancellation events as they happen
+  // Observability bundle (non-owning). When set, the run emits flight-recorder
+  // events (run/window/decision/cancellation), per-app request metrics, and a
+  // per-tick metric series into it; a post-mortem table is printed if the run
+  // ends in SLO violation (unless post_mortem is false).
+  Observability* obs = nullptr;
+  bool post_mortem = true;
 };
 
 struct CaseResult {

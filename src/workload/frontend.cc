@@ -108,7 +108,27 @@ Coro Frontend::TickLoop() {
       break;
     }
     controller_.Tick();
+    if (obs_ != nullptr && executor_.now() <= options_.duration) {
+      obs_->series.Sample(executor_.now(),
+                          {static_cast<double>(metrics_.completed),
+                           static_cast<double>(metrics_.cancelled),
+                           static_cast<double>(metrics_.dropped),
+                           static_cast<double>(metrics_.latency.P99()) / 1000.0});
+    }
   }
+}
+
+void Frontend::RecordClientEvent(ObsEventKind kind, const AppRequest& req, double value) {
+  if (obs_ == nullptr || !obs_->recorder.enabled()) {
+    return;
+  }
+  FlightEvent ev;
+  ev.time = executor_.now();
+  ev.kind = kind;
+  ev.key = req.key;
+  ev.value = value;
+  ev.label = std::string(app_.RequestTypeName(req.type));
+  obs_->recorder.Record(std::move(ev));
 }
 
 void Frontend::Submit(AppRequest req, TimeMicros first_arrival, bool background, bool is_retry,
@@ -164,6 +184,9 @@ void Frontend::OnDone(const AppRequest& req, OutcomeKind outcome, TimeMicros fir
       }
       break;
     case OutcomeKind::kCancelled: {
+      // The request observed its cancellation and unwound; the flip side of
+      // the runtime's cancel_issued event, with the request type named.
+      RecordClientEvent(ObsEventKind::kCancelCompleted, req, ToSeconds(latency));
       if (background) {
         metrics_.background_cancelled++;
         // Background tasks are guaranteed re-execution after their waiting
@@ -184,6 +207,7 @@ void Frontend::OnDone(const AppRequest& req, OutcomeKind outcome, TimeMicros fir
       break;
     }
     case OutcomeKind::kDropped:
+      RecordClientEvent(ObsEventKind::kTaskDropped, req, ToSeconds(latency));
       if (!background && measured) {
         metrics_.dropped++;
       }
@@ -220,6 +244,8 @@ Coro Frontend::RetryWorker() {
     }
     if (dropped) {
       // The request can no longer meet its SLO: drop it (§4).
+      RecordClientEvent(ObsEventKind::kTaskDropped, pending.req,
+                        ToSeconds(executor_.now() - pending.enqueued));
       if (!pending.background && InMeasuredWindow(pending.first_arrival)) {
         metrics_.dropped++;
       }
@@ -230,6 +256,8 @@ Coro Frontend::RetryWorker() {
     AppRequest retry = pending.req;
     retry.non_cancellable = true;
     metrics_.retried++;
+    RecordClientEvent(ObsEventKind::kTaskRetried, retry,
+                      ToSeconds(executor_.now() - pending.enqueued));
     SimEvent done(executor_);
     Submit(retry, pending.first_arrival, pending.background, /*is_retry=*/true, &done);
     co_await done.Wait();

@@ -16,6 +16,7 @@
 #include "src/atropos/controller.h"
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
+#include "src/obs/obs.h"
 #include "src/sim/coro.h"
 #include "src/sim/sync.h"
 
@@ -94,6 +95,15 @@ class Frontend {
     return it == key_types_.end() ? -1 : it->second;
   }
 
+  // Attach an observability bundle (non-owning): the app starts maintaining
+  // per-request metrics, client-side cancellation aftermath (completion of a
+  // cancel, retry, drop) lands in the flight recorder, and the tick loop
+  // samples the metric series.
+  void SetObservability(Observability* obs) {
+    obs_ = obs;
+    app_.SetMetrics(obs != nullptr ? &obs->metrics : nullptr);
+  }
+
   // Runs the whole experiment to completion (drains the simulation) and
   // returns the measured-window metrics.
   RunMetrics Run();
@@ -124,10 +134,15 @@ class Frontend {
     return t >= options_.warmup && t < options_.duration;
   }
 
+  // Records one client-side event (cancel completed, retry, drop) if a
+  // recorder is attached and enabled.
+  void RecordClientEvent(ObsEventKind kind, const AppRequest& req, double value);
+
   Executor& executor_;
   App& app_;
   OverloadController& controller_;
   FrontendOptions options_;
+  Observability* obs_ = nullptr;
 
   std::vector<TrafficSpec> traffic_;
   std::vector<OneShotSpec> oneshots_;
