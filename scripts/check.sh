@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Repo gate: full build + ctest, then the obs test suite under ASan/UBSan.
+# Repo gate: full build + ctest (including the fuzz_smoke corpus), then the
+# obs/workload tests and a fuzz corpus under ASan/UBSan.
 #
-#   scripts/check.sh          # build + all tests + sanitized obs tests
+#   scripts/check.sh          # build + all tests + sanitized obs/fuzz stage
 #   scripts/check.sh --fast   # skip the sanitizer stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,6 +16,9 @@ cmake --build build -j "$JOBS"
 echo "== ctest (build/) =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== fuzz smoke (deterministic corpus, replay-checked) =="
+./build/tools/fuzz_atropos --seed=1 --runs=25 --replay-check
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipping sanitizer stage (--fast) =="
   exit 0
@@ -22,10 +26,13 @@ fi
 
 echo "== configure + build with ASan/UBSan (build-asan/) =="
 cmake -B build-asan -S . -DATROPOS_SANITIZE=ON >/dev/null
-cmake --build build-asan -j "$JOBS" --target obs_test workload_test
+cmake --build build-asan -j "$JOBS" --target obs_test workload_test fuzz_atropos
 
 echo "== obs + workload tests under ASan/UBSan =="
 ./build-asan/tests/obs_test
 ./build-asan/tests/workload_test
+
+echo "== fuzz corpus under ASan/UBSan =="
+./build-asan/tools/fuzz_atropos --seed=1 --runs=10 --replay-check
 
 echo "== all checks passed =="

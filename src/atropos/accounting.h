@@ -114,6 +114,13 @@ struct ResourceRecord {
   uint64_t total_gets = 0;
   uint64_t total_slow_events = 0;
   TimeMicros total_wait_time = 0;
+
+  // Conservation ledger (audited by the fuzzer's accounting oracle).
+  // Invariant: total_gets + overfreed_units ==
+  //            total_frees + leaked_units + (units held by live tasks).
+  uint64_t total_frees = 0;     // units returned across all tasks
+  uint64_t leaked_units = 0;    // units still held when their task was torn down
+  uint64_t overfreed_units = 0; // freeResource amounts beyond the task's holdings
 };
 
 // Output of the estimator for one resource in one window (§3.4–3.5).

@@ -89,6 +89,19 @@ class OverloadController {
   virtual void OnRequestEnd(uint64_t key, TimeMicros latency, int request_type,
                             int client_class) {}
 
+  // Completed wait+use report in one call, used by CPU/IO adapters that learn
+  // both durations only after the fact. The default lowers it onto the
+  // bracketing hooks so simple controllers see the event at all; AtroposRuntime
+  // overrides with precise duration accounting.
+  virtual void OnUsage(uint64_t key, ResourceId resource, TimeMicros waited, TimeMicros used) {
+    if (waited > 0) {
+      OnWaitBegin(key, resource);
+      OnWaitEnd(key, resource);
+    }
+    OnGet(key, resource, 1);
+    OnFree(key, resource, 1);
+  }
+
   // GetNext progress (§3.4).
   virtual void OnProgress(uint64_t key, uint64_t done, uint64_t total) {}
 

@@ -78,19 +78,10 @@ void UsageReporter::OnUsage(TimeMicros waited, TimeMicros used) {
   if (tracer_ == nullptr) {
     return;
   }
-  // Route through the runtime's combined wait+use entry point if available;
-  // generic controllers get the bracketing form.
-  auto* runtime = dynamic_cast<AtroposRuntime*>(tracer_);
-  if (runtime != nullptr) {
-    runtime->OnUsage(key_, resource_, waited, used);
-    return;
-  }
-  if (waited > 0) {
-    tracer_->OnWaitBegin(key_, resource_);
-    tracer_->OnWaitEnd(key_, resource_);
-  }
-  tracer_->OnGet(key_, resource_, 1);
-  tracer_->OnFree(key_, resource_, 1);
+  // Virtual dispatch: the runtime gets precise durations, generic controllers
+  // the lowered bracketing form, and forwarding wrappers (the fuzz harness's
+  // audit controller) see the event instead of having it tunnel past them.
+  tracer_->OnUsage(key_, resource_, waited, used);
 }
 
 bool AdjustableLimiter::Acquirer::await_ready() {

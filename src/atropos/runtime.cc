@@ -107,7 +107,11 @@ void AtroposRuntime::OnTaskRegistered(uint64_t key, bool background, bool cancel
   // Replace any stale registration under the same key.
   auto old = key_to_task_.find(key);
   if (old != key_to_task_.end()) {
-    tasks_.erase(old->second);
+    auto stale = tasks_.find(old->second);
+    if (stale != tasks_.end()) {
+      RetireTaskAccounting(stale->second);
+      tasks_.erase(stale);
+    }
   }
   key_to_task_[key] = id;
   tasks_.emplace(id, std::move(rec));
@@ -118,9 +122,50 @@ void AtroposRuntime::OnTaskFreed(uint64_t key) {
   if (it == key_to_task_.end()) {
     return;
   }
-  tasks_.erase(it->second);
+  auto task = tasks_.find(it->second);
+  if (task != tasks_.end()) {
+    RetireTaskAccounting(task->second);
+    tasks_.erase(task);
+  }
   key_to_task_.erase(it);
   active_requests_.erase(key);
+}
+
+void AtroposRuntime::RetireTaskAccounting(const TaskRecord& task) {
+  for (const auto& [rid, usage] : task.usage) {
+    if (usage.active_units == 0) {
+      continue;
+    }
+    auto res = resources_.find(rid);
+    if (res != resources_.end()) {
+      res->second.leaked_units += usage.active_units;
+    }
+  }
+}
+
+std::vector<AtroposRuntime::ResourceAudit> AtroposRuntime::AuditAccounting() const {
+  std::map<ResourceId, uint64_t> live_held;
+  for (const auto& [tid, task] : tasks_) {
+    for (const auto& [rid, usage] : task.usage) {
+      live_held[rid] += usage.active_units;
+    }
+  }
+  std::vector<ResourceAudit> out;
+  out.reserve(resources_.size());
+  for (const auto& [rid, res] : resources_) {
+    ResourceAudit row;
+    row.id = rid;
+    row.name = res.name;
+    row.cls = res.cls;
+    row.acquired = res.total_gets;
+    row.released = res.total_frees;
+    row.leaked = res.leaked_units;
+    row.overfreed = res.overfreed_units;
+    auto it = live_held.find(rid);
+    row.live_held = it == live_held.end() ? 0 : it->second;
+    out.push_back(std::move(row));
+  }
+  return out;
 }
 
 TaskRecord* AtroposRuntime::Lookup(uint64_t key) {
@@ -173,6 +218,10 @@ void AtroposRuntime::OnFree(uint64_t key, ResourceId resource, uint64_t amount) 
   uint64_t dec = std::min(usage->active_units, amount);
   usage->active_units -= dec;
   auto res = resources_.find(resource);
+  if (res != resources_.end()) {
+    res->second.total_frees += amount;
+    res->second.overfreed_units += amount - dec;
+  }
   if (usage->active_units == 0 && dec > 0 && now > usage->hold_started_at) {
     usage->hold_time += now - usage->hold_started_at;
     if (res != resources_.end()) {
@@ -365,6 +414,14 @@ void AtroposRuntime::Tick() {
         recorder_->Record(std::move(ev));
       }
       if (!config_.cancellation_enabled) {
+        break;
+      }
+      if (!has_cancel_initiator()) {
+        // §3.1: cancellation must route through the application's registered
+        // safe initiator. With none registered, issuing a cancel would mark
+        // the victim cancelled (fairness bookkeeping, re-registration rules)
+        // without the application ever observing it.
+        stats_.cancels_suppressed_no_initiator++;
         break;
       }
       if (ever_cancelled_ && now < last_cancel_time_ + config_.min_cancel_interval) {

@@ -41,6 +41,10 @@ struct AtroposStats {
   uint64_t cancels_issued = 0;
   uint64_t cancels_suppressed_interval = 0;  // skipped due to min_cancel_interval
   uint64_t cancels_suppressed_no_victim = 0;
+  // Resource-overload windows where cancellation was warranted but no cancel
+  // initiator (action or control surface) was registered, so none was issued
+  // (§3.1: cancellation only ever routes through the app's safe initiator).
+  uint64_t cancels_suppressed_no_initiator = 0;
   uint64_t trace_events = 0;
   uint64_t ignored_events = 0;  // tracing calls against unregistered keys
 };
@@ -76,7 +80,7 @@ class AtroposRuntime final : public OverloadController {
 
   // Completed wait+use report in one call; used by CPU/IO adapters that learn
   // both durations only after the fact.
-  void OnUsage(uint64_t key, ResourceId resource, TimeMicros waited, TimeMicros used);
+  void OnUsage(uint64_t key, ResourceId resource, TimeMicros waited, TimeMicros used) override;
 
   // ---- Control loop --------------------------------------------------------
   // Closes the current window: detection, estimation, and (when confirmed)
@@ -100,6 +104,29 @@ class AtroposRuntime final : public OverloadController {
   TimestampMode effective_timestamp_mode() const { return effective_mode_; }
   const TaskRecord* FindTask(uint64_t key) const;
   size_t live_task_count() const { return key_to_task_.size(); }
+  bool has_cancel_initiator() const {
+    return cancel_action_ != nullptr || surface_ != nullptr;
+  }
+
+  // ---- Accounting audit (fuzzer oracles) ----------------------------------
+  // Per-resource conservation ledger: every unit a task reported acquired is
+  // either returned (released), still held by a live task (live_held), or was
+  // held at task teardown (leaked); frees beyond a task's holdings are
+  // overfreed. The identity below holds for correct runtime bookkeeping
+  // regardless of application behaviour; leaked/overfreed themselves expose
+  // application-side imbalance.
+  struct ResourceAudit {
+    ResourceId id = kInvalidResourceId;
+    std::string name;
+    ResourceClass cls = ResourceClass::kLock;
+    uint64_t acquired = 0;   // units reported via getResource
+    uint64_t released = 0;   // units reported via freeResource
+    uint64_t leaked = 0;     // units held at task teardown
+    uint64_t overfreed = 0;  // free amounts beyond the task's holdings
+    uint64_t live_held = 0;  // units held by currently registered tasks
+    bool Balanced() const { return acquired + overfreed == released + leaked + live_held; }
+  };
+  std::vector<ResourceAudit> AuditAccounting() const;
 
   // Test hook observing every issued cancellation.
   void SetCancelObserver(std::function<void(uint64_t key, double score)> observer) {
@@ -115,6 +142,8 @@ class AtroposRuntime final : public OverloadController {
  private:
   TaskRecord* Lookup(uint64_t key);
   TaskResourceUsage* UsageFor(uint64_t key, ResourceId resource);
+  // Folds a departing task's open holdings into the per-resource ledger.
+  void RetireTaskAccounting(const TaskRecord& task);
   // Timestamp respecting the sampled/per-event mode (§3.2).
   TimeMicros TraceNow();
 

@@ -58,6 +58,13 @@ std::vector<FlightEvent> FlightRecorder::Snapshot() const {
   return out;
 }
 
+void FlightRecorder::ForEach(const std::function<void(const FlightEvent&)>& fn) const {
+  size_t start = size_ == ring_.size() ? head_ : 0;
+  for (size_t i = 0; i < size_; i++) {
+    fn(ring_[(start + i) % ring_.size()]);
+  }
+}
+
 void FlightRecorder::AnnotateLast(ObsEventKind kind, const std::string& label) {
   for (size_t i = 0; i < size_; i++) {
     size_t idx = (head_ + ring_.size() - 1 - i) % ring_.size();

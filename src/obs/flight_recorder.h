@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,10 @@ class FlightRecorder {
 
   // Events in recording order (oldest first), honouring wraparound.
   std::vector<FlightEvent> Snapshot() const;
+
+  // Visits events in recording order without copying them — the iteration
+  // path the invariant oracles audit a full run through.
+  void ForEach(const std::function<void(const FlightEvent&)>& fn) const;
 
   // Sets the label of the most recently recorded event of `kind` if its
   // label is still empty. Lets a layer with more context (e.g. the workload

@@ -21,6 +21,11 @@
 namespace atropos {
 
 struct Observability {
+  Observability() = default;
+  // The fuzzer audits complete event streams, so it sizes the recorder to the
+  // run instead of accepting the post-mortem-oriented default capacity.
+  explicit Observability(size_t recorder_capacity) : recorder(recorder_capacity) {}
+
   MetricsRegistry metrics;
   FlightRecorder recorder;
   SeriesRecorder series{{"completed", "cancelled", "dropped", "p99_ms"}};

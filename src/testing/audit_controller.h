@@ -1,0 +1,195 @@
+// Forwarding controller that shadows the instrumentation stream for the
+// invariant oracles.
+//
+// The fuzz harness inserts one of these between the application/frontend and
+// the AtroposRuntime under test. Every hook forwards unchanged, but the audit
+// keeps its own independently derived view — task epochs with the §4
+// cancellability override replayed, a per-resource get/free ledger, and a
+// snapshot of runtime-visible state at every issued cancellation — which the
+// oracles later compare against the runtime's books and the flight-recorder
+// stream. It is also the harness's fault-injection point: it can drop the
+// freeResource stream of one request type to plant a detectable accounting
+// bug for shrinker exercises.
+
+#ifndef SRC_TESTING_AUDIT_CONTROLLER_H_
+#define SRC_TESTING_AUDIT_CONTROLLER_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/atropos/runtime.h"
+
+namespace atropos {
+
+class AuditController final : public OverloadController {
+ public:
+  explicit AuditController(AtroposRuntime& runtime) : runtime_(runtime) {}
+
+  // One registration..free interval of a task key. Keys are reused across
+  // retries, so a key maps to a sequence of epochs.
+  struct Epoch {
+    uint64_t key = 0;
+    bool background = false;
+    bool cancellable = true;  // after replaying the runtime's §4 override
+    bool freed = false;
+    bool replaced = false;  // torn down by a stale re-registration
+    int cancels = 0;
+  };
+
+  // State visible to the runtime at the instant it issued a cancellation.
+  struct CancelRecord {
+    uint64_t key = 0;
+    double score = 0.0;
+    bool live = false;  // an unfreed epoch existed for the key
+    bool cancellable_at_issue = false;
+    int cancels_in_epoch = 0;  // including this one
+  };
+
+  struct ResourceInfo {
+    ResourceId id = kInvalidResourceId;
+    std::string name;
+    ResourceClass cls = ResourceClass::kLock;
+    // Shadow ledger: unit amounts forwarded for live keys, mirroring the
+    // runtime's rule of ignoring events against unregistered keys.
+    uint64_t acquired = 0;
+    uint64_t released = 0;
+  };
+
+  std::string_view name() const override { return "audit"; }
+
+  // Drops (does not forward, does not count) freeResource events of requests
+  // of `type`. -1 disables. Simulates an application that forgets to release.
+  void InjectDropFreeForType(int type) { drop_free_type_ = type; }
+
+  // Wire as the runtime's cancel observer (fires synchronously at issue time).
+  void OnCancelIssued(uint64_t key, double score) {
+    CancelRecord rec;
+    rec.key = key;
+    rec.score = score;
+    auto it = live_.find(key);
+    if (it != live_.end()) {
+      Epoch& epoch = epochs_[it->second];
+      epoch.cancels++;
+      rec.live = true;
+      rec.cancellable_at_issue = epoch.cancellable;
+      rec.cancels_in_epoch = epoch.cancels;
+    }
+    ever_cancelled_.insert(key);
+    cancels_.push_back(rec);
+  }
+
+  // ---- OverloadController: shadow, then forward ---------------------------
+  ResourceId RegisterResource(std::string name, ResourceClass cls) override {
+    ResourceId id = runtime_.RegisterResource(name, cls);
+    ResourceInfo info;
+    info.id = id;
+    info.name = name;
+    info.cls = cls;
+    resources_[id] = std::move(info);
+    return id;
+  }
+
+  void OnTaskRegistered(uint64_t key, bool background, bool cancellable) override {
+    auto it = live_.find(key);
+    if (it != live_.end()) {
+      epochs_[it->second].freed = true;
+      epochs_[it->second].replaced = true;
+    }
+    Epoch epoch;
+    epoch.key = key;
+    epoch.background = background;
+    epoch.cancellable = cancellable && ever_cancelled_.count(key) == 0;
+    ever_cancelled_.erase(key);
+    live_[key] = epochs_.size();
+    epochs_.push_back(epoch);
+    runtime_.OnTaskRegistered(key, background, cancellable);
+  }
+
+  void OnTaskFreed(uint64_t key) override {
+    auto it = live_.find(key);
+    if (it != live_.end()) {
+      epochs_[it->second].freed = true;
+      live_.erase(it);
+    }
+    runtime_.OnTaskFreed(key);
+  }
+
+  void OnGet(uint64_t key, ResourceId resource, uint64_t amount) override {
+    auto res = resources_.find(resource);
+    if (res != resources_.end() && live_.count(key) != 0) {
+      res->second.acquired += amount;
+    }
+    runtime_.OnGet(key, resource, amount);
+  }
+
+  void OnFree(uint64_t key, ResourceId resource, uint64_t amount) override {
+    if (drop_free_type_ >= 0) {
+      auto type = key_types_.find(key);
+      if (type != key_types_.end() && type->second == drop_free_type_) {
+        dropped_frees_++;
+        return;
+      }
+    }
+    auto res = resources_.find(resource);
+    if (res != resources_.end() && live_.count(key) != 0) {
+      res->second.released += amount;
+    }
+    runtime_.OnFree(key, resource, amount);
+  }
+
+  void OnWaitBegin(uint64_t key, ResourceId resource) override {
+    runtime_.OnWaitBegin(key, resource);
+  }
+  void OnWaitEnd(uint64_t key, ResourceId resource) override {
+    runtime_.OnWaitEnd(key, resource);
+  }
+  void OnUsage(uint64_t key, ResourceId resource, TimeMicros waited,
+               TimeMicros used) override {
+    runtime_.OnUsage(key, resource, waited, used);
+  }
+
+  void OnRequestStart(uint64_t key, int request_type, int client_class) override {
+    key_types_[key] = request_type;
+    runtime_.OnRequestStart(key, request_type, client_class);
+  }
+  void OnRequestEnd(uint64_t key, TimeMicros latency, int request_type,
+                    int client_class) override {
+    runtime_.OnRequestEnd(key, latency, request_type, client_class);
+  }
+  void OnProgress(uint64_t key, uint64_t done, uint64_t total) override {
+    runtime_.OnProgress(key, done, total);
+  }
+  bool AdmitRequest(uint64_t key, int request_type, int client_class) override {
+    return runtime_.AdmitRequest(key, request_type, client_class);
+  }
+  void Tick() override { runtime_.Tick(); }
+  bool ReexecutionRecommended() const override { return runtime_.ReexecutionRecommended(); }
+
+  // ---- Oracle access ------------------------------------------------------
+  const std::vector<Epoch>& epochs() const { return epochs_; }
+  const std::vector<CancelRecord>& cancels() const { return cancels_; }
+  const std::unordered_map<ResourceId, ResourceInfo>& resources() const { return resources_; }
+  size_t live_epoch_count() const { return live_.size(); }
+  uint64_t dropped_frees() const { return dropped_frees_; }
+  int TypeOfKey(uint64_t key) const {
+    auto it = key_types_.find(key);
+    return it == key_types_.end() ? -1 : it->second;
+  }
+
+ private:
+  AtroposRuntime& runtime_;
+  std::vector<Epoch> epochs_;
+  std::unordered_map<uint64_t, size_t> live_;  // key -> index of unfreed epoch
+  std::unordered_set<uint64_t> ever_cancelled_;  // mirrors runtime cancelled_keys_
+  std::unordered_map<uint64_t, int> key_types_;
+  std::unordered_map<ResourceId, ResourceInfo> resources_;
+  std::vector<CancelRecord> cancels_;
+  int drop_free_type_ = -1;
+  uint64_t dropped_frees_ = 0;
+};
+
+}  // namespace atropos
+
+#endif  // SRC_TESTING_AUDIT_CONTROLLER_H_

@@ -1,0 +1,83 @@
+// Order-sensitive digest of a flight-recorder stream.
+//
+// Two runs of the same fuzz plan must produce bit-identical decision
+// histories; hashing every field of every event into one FNV-1a value turns
+// that property into a single comparable number for the determinism oracle
+// and the fuzzer's replay check.
+
+#ifndef SRC_TESTING_DIGEST_H_
+#define SRC_TESTING_DIGEST_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/obs/events.h"
+#include "src/obs/flight_recorder.h"
+
+namespace atropos {
+
+class EventDigest {
+ public:
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; i++) {
+      hash_ ^= (v >> (8 * i)) & 0xff;
+      hash_ *= kPrime;
+    }
+  }
+  void Mix(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    Mix(bits);
+  }
+  void Mix(std::string_view s) {
+    Mix(static_cast<uint64_t>(s.size()));
+    for (char c : s) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= kPrime;
+    }
+  }
+
+  void Mix(const FlightEvent& ev) {
+    Mix(ev.seq);
+    Mix(static_cast<uint64_t>(ev.time));
+    Mix(static_cast<uint64_t>(ev.kind));
+    Mix(ev.key);
+    Mix(ev.value);
+    Mix(ev.label);
+    Mix(ev.completions);
+    Mix(ev.overdue);
+    for (const ObsResourceSample& r : ev.resources) {
+      Mix(static_cast<uint64_t>(r.id));
+      Mix(r.name);
+      Mix(r.contention_norm);
+      Mix(r.delay_us);
+      Mix(static_cast<uint64_t>(r.overloaded));
+    }
+    for (const ObsCandidateSample& c : ev.candidates) {
+      Mix(c.key);
+      Mix(static_cast<uint64_t>(c.cancellable));
+      Mix(static_cast<uint64_t>(c.pareto));
+      Mix(c.score);
+      for (double g : c.gains) {
+        Mix(g);
+      }
+    }
+  }
+
+  uint64_t value() const { return hash_; }
+
+ private:
+  static constexpr uint64_t kPrime = 0x100000001b3ull;  // FNV-1a 64
+  uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+inline uint64_t DigestEvents(const FlightRecorder& recorder) {
+  EventDigest d;
+  recorder.ForEach([&](const FlightEvent& ev) { d.Mix(ev); });
+  return d.value();
+}
+
+}  // namespace atropos
+
+#endif  // SRC_TESTING_DIGEST_H_

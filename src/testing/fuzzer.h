@@ -1,0 +1,39 @@
+// Deterministic simulation fuzzer for the Atropos control loop.
+//
+// RunPlan materializes one FuzzPlan into a full simulation — executor +
+// AtroposRuntime (flight recorder attached) + application + audit controller
+// + frontend replaying the plan's request schedule — runs it to quiescence,
+// and audits the result with every invariant oracle. Identical plans produce
+// identical event digests; a non-empty violation list is a bug or a planted
+// fault.
+
+#ifndef SRC_TESTING_FUZZER_H_
+#define SRC_TESTING_FUZZER_H_
+
+#include <vector>
+
+#include "src/testing/fuzz_plan.h"
+#include "src/testing/oracles.h"
+#include "src/workload/frontend.h"
+
+namespace atropos {
+
+struct FuzzRunResult {
+  FuzzPlan plan;
+  RunMetrics metrics;
+  AtroposStats stats;
+  std::vector<OracleViolation> violations;
+  uint64_t digest = 0;  // FNV-1a over the full flight-recorder stream
+
+  bool ok() const { return violations.empty(); }
+};
+
+// Runs one materialized plan through the full stack and audits it.
+FuzzRunResult RunPlan(const FuzzPlan& plan);
+
+// PlanFromSeed + RunPlan.
+FuzzRunResult RunSeed(uint64_t seed, const FuzzPlanOptions& options = {});
+
+}  // namespace atropos
+
+#endif  // SRC_TESTING_FUZZER_H_

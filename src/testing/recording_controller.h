@@ -1,7 +1,7 @@
 // Test double that records the instrumentation stream apps emit.
 
-#ifndef TESTS_TESTING_RECORDING_CONTROLLER_H_
-#define TESTS_TESTING_RECORDING_CONTROLLER_H_
+#ifndef SRC_TESTING_RECORDING_CONTROLLER_H_
+#define SRC_TESTING_RECORDING_CONTROLLER_H_
 
 #include <string>
 #include <vector>
@@ -83,4 +83,4 @@ class RecordingController : public OverloadController {
 
 }  // namespace atropos
 
-#endif  // TESTS_TESTING_RECORDING_CONTROLLER_H_
+#endif  // SRC_TESTING_RECORDING_CONTROLLER_H_

@@ -1,0 +1,100 @@
+#include "src/testing/shrinker.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace atropos {
+
+namespace {
+
+bool StillFails(const FuzzPlan& plan, int* runs) {
+  (*runs)++;
+  return !RunPlan(plan).violations.empty();
+}
+
+}  // namespace
+
+std::string ReproCommand(const FuzzPlan& plan, const FuzzPlanOptions& options) {
+  char buf[64];
+  std::string cmd = "fuzz_atropos --seed=";
+  snprintf(buf, sizeof(buf), "%llu", (unsigned long long)plan.seed);
+  cmd += buf;
+  if (options.load_scale != 1.0) {
+    snprintf(buf, sizeof(buf), " --load-scale=%g", options.load_scale);
+    cmd += buf;
+  }
+  if (plan.faults.drop_free_request_type >= 0) {
+    snprintf(buf, sizeof(buf), " --inject-drop-free=%d", plan.faults.drop_free_request_type);
+    cmd += buf;
+  }
+  if (!plan.kept.empty() || plan.requests.empty()) {
+    cmd += " --keep=";
+    for (size_t i = 0; i < plan.kept.size(); i++) {
+      snprintf(buf, sizeof(buf), "%s%zu", i == 0 ? "" : ",", plan.kept[i]);
+      cmd += buf;
+    }
+  }
+  return cmd;
+}
+
+ShrinkResult ShrinkPlan(const FuzzPlan& failing, const FuzzPlanOptions& options) {
+  ShrinkResult result;
+  FuzzPlan base = failing;
+
+  // Phase 1: drop fault noise that isn't needed to reproduce.
+  if (base.faults.cancel_delay != 0 || !base.faults.extra_ticks.empty()) {
+    FuzzPlan quiet = base;
+    quiet.faults.cancel_delay = 0;
+    quiet.faults.extra_ticks.clear();
+    if (StillFails(quiet, &result.runs)) {
+      base = quiet;
+    }
+  }
+
+  // Phase 2: ddmin over the request schedule. `current` holds indices into
+  // base.requests; RestrictPlan composes them with any pre-existing kept map
+  // so the final indices always reference the seed's full schedule.
+  std::vector<size_t> current(base.requests.size());
+  for (size_t i = 0; i < current.size(); i++) {
+    current[i] = i;
+  }
+  size_t chunks = 2;
+  while (current.size() >= 2 && chunks <= current.size()) {
+    bool reduced = false;
+    size_t chunk_len = (current.size() + chunks - 1) / chunks;
+    for (size_t start = 0; start < current.size(); start += chunk_len) {
+      std::vector<size_t> complement;
+      complement.reserve(current.size());
+      for (size_t i = 0; i < current.size(); i++) {
+        if (i < start || i >= start + chunk_len) {
+          complement.push_back(current[i]);
+        }
+      }
+      if (complement.empty()) {
+        continue;
+      }
+      if (StillFails(RestrictPlan(base, complement), &result.runs)) {
+        current = std::move(complement);
+        chunks = std::max<size_t>(chunks - 1, 2);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunks >= current.size()) {
+        break;
+      }
+      chunks = std::min(chunks * 2, current.size());
+    }
+  }
+
+  result.plan = RestrictPlan(base, current);
+  FuzzRunResult final_run = RunPlan(result.plan);
+  result.runs++;
+  result.violations = final_run.violations;
+  result.kept = result.plan.kept;
+  result.repro = ReproCommand(result.plan, options);
+  return result;
+}
+
+}  // namespace atropos

@@ -1,0 +1,37 @@
+// Failing-seed minimizer: delta-debugging over a plan's request schedule.
+//
+// Given a plan whose run violates an oracle, the shrinker first tries to
+// strip the fault-injection noise (cancel delays, extra ticks), then runs
+// ddmin over the request schedule, re-executing candidate subsets until no
+// chunk can be removed without losing the violation. The result carries the
+// surviving original schedule indices and a ready-to-paste fuzz_atropos
+// command line that replays the minimal repro.
+
+#ifndef SRC_TESTING_SHRINKER_H_
+#define SRC_TESTING_SHRINKER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/testing/fuzzer.h"
+
+namespace atropos {
+
+struct ShrinkResult {
+  FuzzPlan plan;                            // minimal still-failing plan
+  std::vector<size_t> kept;                 // original schedule indices kept
+  std::vector<OracleViolation> violations;  // of the minimal plan
+  int runs = 0;                             // simulations spent shrinking
+  std::string repro;                        // fuzz_atropos replay command
+};
+
+// Minimizes `failing` (whose full run must violate an oracle). `options` are
+// the plan options the seed was generated with, echoed into the repro line.
+ShrinkResult ShrinkPlan(const FuzzPlan& failing, const FuzzPlanOptions& options = {});
+
+// The repro command for a (possibly restricted) plan.
+std::string ReproCommand(const FuzzPlan& plan, const FuzzPlanOptions& options);
+
+}  // namespace atropos
+
+#endif  // SRC_TESTING_SHRINKER_H_

@@ -7,7 +7,7 @@
 #include "src/apps/minikv.h"
 #include "src/apps/minisearch.h"
 #include "src/apps/miniweb.h"
-#include "tests/testing/recording_controller.h"
+#include "src/testing/recording_controller.h"
 
 namespace atropos {
 namespace {

@@ -6,7 +6,7 @@
 #include "src/search/heap.h"
 #include "src/sim/coro.h"
 #include "src/web/worker_pool.h"
-#include "tests/testing/recording_controller.h"
+#include "src/testing/recording_controller.h"
 
 namespace atropos {
 namespace {

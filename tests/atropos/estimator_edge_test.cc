@@ -1,0 +1,192 @@
+// Edge cases for the estimator and policy surfaced while building the
+// fuzzer's oracles: zero-progress tasks (future-gain factor must stay
+// bounded), empty windows, zero execution time, and single-candidate Pareto
+// sets.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/atropos/estimator.h"
+
+namespace atropos {
+namespace {
+
+class EstimatorEdgeTest : public ::testing::Test {
+ protected:
+  EstimatorEdgeTest() {
+    config_.contention_threshold = 0.10;
+    config_.default_progress = 0.5;
+  }
+
+  TaskRecord& AddTask(TaskId id, bool cancellable = true) {
+    TaskRecord rec;
+    rec.id = id;
+    rec.key = id;
+    rec.cancellable = cancellable;
+    return tasks_.emplace(id, std::move(rec)).first->second;
+  }
+
+  ResourceRecord& AddResource(ResourceId id, ResourceClass cls) {
+    ResourceRecord rec;
+    rec.id = id;
+    rec.cls = cls;
+    return resources_.emplace(id, std::move(rec)).first->second;
+  }
+
+  // An overloaded memory pool: every get evicted, with measurable stalls.
+  ResourceRecord& AddThrashedPool() {
+    ResourceRecord& pool = AddResource(1, ResourceClass::kMemory);
+    pool.window.gets = 100;
+    pool.window.slow_events = 100;
+    pool.window.wait_time = Millis(50);
+    return pool;
+  }
+
+  Estimator::Output Estimate(TimeMicros exec_time = Millis(100)) {
+    Estimator est(config_);
+    est.SetCalibrating(false);
+    return est.Estimate(tasks_, resources_, exec_time, 0, Millis(100));
+  }
+
+  AtroposConfig config_;
+  std::map<TaskId, TaskRecord> tasks_;
+  std::map<ResourceId, ResourceRecord> resources_;
+};
+
+// A task at 0% reported progress must not blow up the (1-p)/p future factor:
+// Progress() floors at 1%, so gains stay finite and normalized.
+TEST_F(EstimatorEdgeTest, ZeroProgressTaskHasBoundedFiniteGains) {
+  AddThrashedPool();
+  TaskRecord& fresh = AddTask(10);
+  fresh.usage[1].acquired = 500;
+  fresh.has_progress = true;
+  fresh.progress_done = 0;
+  fresh.progress_total = 100;
+  TaskRecord& halfway = AddTask(11);
+  halfway.usage[1].acquired = 500;
+  halfway.has_progress = true;
+  halfway.progress_done = 50;
+  halfway.progress_total = 100;
+
+  auto out = Estimate();
+  ASSERT_TRUE(out.resource_overload);
+  ASSERT_EQ(out.policy_input.candidates.size(), 2u);
+  const auto& fresh_cand = out.policy_input.candidates[0];
+  const auto& half_cand = out.policy_input.candidates[1];
+  for (double g : fresh_cand.gains) {
+    EXPECT_TRUE(std::isfinite(g));
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 1.0);
+  }
+  // Equal holdings: the task with everything still ahead of it is the larger
+  // predicted release (factor 99 vs 1) and normalizes to the column max.
+  EXPECT_DOUBLE_EQ(fresh_cand.gains[0], 1.0);
+  EXPECT_LT(half_cand.gains[0], fresh_cand.gains[0]);
+}
+
+// progress_total == 0 means "no usable progress report": fall back to the
+// configured default rather than dividing by zero.
+TEST_F(EstimatorEdgeTest, ZeroTotalProgressFallsBackToDefault) {
+  AddThrashedPool();
+  TaskRecord& broken = AddTask(10);
+  broken.usage[1].acquired = 500;
+  broken.has_progress = true;
+  broken.progress_done = 7;
+  broken.progress_total = 0;
+
+  auto out = Estimate();
+  ASSERT_EQ(out.policy_input.candidates.size(), 1u);
+  for (double g : out.policy_input.candidates[0].gains) {
+    EXPECT_TRUE(std::isfinite(g));
+  }
+  // default_progress = 0.5 -> factor 1 -> gain = holdings, normalized to 1.
+  EXPECT_DOUBLE_EQ(out.policy_input.candidates[0].gains[0], 1.0);
+}
+
+TEST_F(EstimatorEdgeTest, EmptyWindowProducesEmptyOutput) {
+  auto out = Estimate();
+  EXPECT_TRUE(out.all_resources.empty());
+  EXPECT_FALSE(out.resource_overload);
+  EXPECT_TRUE(out.policy_input.candidates.empty());
+  EXPECT_TRUE(out.policy_input.resources.empty());
+}
+
+TEST_F(EstimatorEdgeTest, ResourcesWithNoTrafficStayQuiet) {
+  AddResource(1, ResourceClass::kLock);
+  AddResource(2, ResourceClass::kMemory);
+  AddResource(3, ResourceClass::kQueue);
+  auto out = Estimate();
+  ASSERT_EQ(out.all_resources.size(), 3u);
+  for (const auto& m : out.all_resources) {
+    EXPECT_TRUE(std::isfinite(m.contention_norm));
+    EXPECT_EQ(m.contention_norm, 0.0);
+    EXPECT_FALSE(m.overloaded);
+  }
+}
+
+// A window with no productive execution time (full stall) must not divide by
+// zero: contention saturates toward 1 and stays finite.
+TEST_F(EstimatorEdgeTest, ZeroExecTimeSaturatesWithoutNan) {
+  ResourceRecord& lock = AddResource(1, ResourceClass::kLock);
+  lock.window.wait_time = Millis(50);
+  auto out = Estimate(/*exec_time=*/0);
+  const ResourceMetrics& m = out.all_resources[0];
+  EXPECT_TRUE(std::isfinite(m.contention_norm));
+  EXPECT_GT(m.contention_norm, 0.99);
+  EXPECT_LT(m.contention_norm, 1.0);
+  EXPECT_TRUE(m.overloaded);
+}
+
+// ---- Single-candidate Pareto sets (policy layer) -------------------------
+
+PolicyInput SingleCandidateInput(double gain, bool cancellable = true) {
+  PolicyInput input;
+  ResourceMetrics m;
+  m.id = 1;
+  m.cls = ResourceClass::kLock;
+  m.contention_norm = 0.5;
+  m.overloaded = true;
+  input.resources.push_back(m);
+  PolicyInput::Candidate c;
+  c.task = 10;
+  c.cancellable = cancellable;
+  c.gains = {gain};
+  c.current_usage = {gain};
+  input.candidates.push_back(c);
+  return input;
+}
+
+TEST(PolicySingleCandidateTest, LoneCandidateIsTriviallyPareto) {
+  for (PolicyKind kind :
+       {PolicyKind::kMultiObjective, PolicyKind::kHeuristic, PolicyKind::kCurrentUsage}) {
+    PolicyExplain explain;
+    PolicyDecision d = SelectVictim(kind, SingleCandidateInput(0.8), &explain);
+    EXPECT_TRUE(d.found());
+    EXPECT_EQ(d.victim, 10u);
+    EXPECT_GT(d.score, 0.0);
+    ASSERT_EQ(explain.entries.size(), 1u);
+    EXPECT_TRUE(explain.entries[0].pareto);
+  }
+}
+
+TEST(PolicySingleCandidateTest, ZeroGainLoneCandidateIsNoVictim) {
+  PolicyDecision d = SelectVictim(PolicyKind::kMultiObjective, SingleCandidateInput(0.0));
+  EXPECT_FALSE(d.found());
+}
+
+TEST(PolicySingleCandidateTest, NonCancellableLoneCandidateIsNoVictim) {
+  PolicyDecision d = SelectVictim(PolicyKind::kMultiObjective,
+                                  SingleCandidateInput(0.8, /*cancellable=*/false));
+  EXPECT_FALSE(d.found());
+}
+
+TEST(PolicySingleCandidateTest, EmptyCandidateSetIsNoVictim) {
+  PolicyInput input = SingleCandidateInput(0.8);
+  input.candidates.clear();
+  PolicyDecision d = SelectVictim(PolicyKind::kMultiObjective, input);
+  EXPECT_FALSE(d.found());
+}
+
+}  // namespace
+}  // namespace atropos

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/sim/coro.h"
-#include "tests/testing/recording_controller.h"
+#include "src/testing/recording_controller.h"
 
 namespace atropos {
 namespace {

@@ -260,5 +260,77 @@ TEST_F(RuntimeTest, ProgressBiasesVictimSelection) {
   EXPECT_EQ(cancelled_[0], 301u);
 }
 
+// Regression (found by the fuzzer's no-initiator config point): with neither
+// a cancel action nor a control surface registered, a resource-overload
+// window used to run victim selection and mark the victim cancelled —
+// fairness bookkeeping advanced with no application ever observing the
+// cancellation (§3.1: cancellation only routes through the app's safe
+// initiator). The runtime must suppress the whole decision instead.
+TEST(RuntimeNoInitiatorTest, NoCancelBookkeepingWithoutInitiator) {
+  ManualClock clock(0);
+  AtroposRuntime rt(&clock, TestConfig());  // no SetCancelAction/SetControlSurface
+  ResourceId lk = rt.RegisterResource("l", ResourceClass::kLock);
+  rt.OnTaskRegistered(100, false);
+  rt.OnTaskRegistered(200, false);
+  rt.OnRequestStart(200, 0, 0);
+  rt.OnGet(100, lk, 1);
+  rt.OnWaitBegin(200, lk);
+  for (int w = 0; w < 3; w++) {
+    clock.Advance(Millis(100));
+    rt.Tick();
+  }
+  EXPECT_EQ(rt.stats().cancels_issued, 0u);
+  EXPECT_GE(rt.stats().cancels_suppressed_no_initiator, 1u);
+  // No fairness side effects: the would-be victim was never marked cancelled,
+  // so a re-registration of its key stays cancellable.
+  EXPECT_EQ(rt.FindTask(100)->cancel_count, 0);
+  rt.OnTaskFreed(100);
+  rt.OnTaskRegistered(100, false);
+  EXPECT_TRUE(rt.FindTask(100)->cancellable);
+}
+
+// Conservation ledger behind the fuzzer's accounting oracles: every acquired
+// unit ends up released, live-held, or leaked (folded in at task teardown);
+// frees beyond holdings count as overfreed. The identity holds through all
+// three paths.
+TEST_F(RuntimeTest, AuditAccountingConservation) {
+  runtime_.OnTaskRegistered(1, false);
+  runtime_.OnTaskRegistered(2, false);
+  runtime_.OnGet(1, lock_, 3);
+  runtime_.OnFree(1, lock_, 1);   // 2 still held
+  runtime_.OnGet(2, lock_, 2);
+  runtime_.OnFree(2, lock_, 5);   // 3 overfreed
+  runtime_.OnTaskFreed(2);
+
+  auto rows = runtime_.AuditAccounting();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].acquired, 5u);
+  EXPECT_EQ(rows[0].released, 6u);
+  EXPECT_EQ(rows[0].overfreed, 3u);
+  EXPECT_EQ(rows[0].live_held, 2u);
+  EXPECT_EQ(rows[0].leaked, 0u);
+  EXPECT_TRUE(rows[0].Balanced());
+
+  // Task 1 departs still holding 2 units: they fold into the leak column and
+  // the identity keeps holding.
+  runtime_.OnTaskFreed(1);
+  rows = runtime_.AuditAccounting();
+  EXPECT_EQ(rows[0].leaked, 2u);
+  EXPECT_EQ(rows[0].live_held, 0u);
+  EXPECT_TRUE(rows[0].Balanced());
+}
+
+// A stale registration replaced under the same key retires its holdings into
+// the ledger rather than dropping them.
+TEST_F(RuntimeTest, StaleReplacementRetiresHoldings) {
+  runtime_.OnTaskRegistered(1, false);
+  runtime_.OnGet(1, lock_, 4);
+  runtime_.OnTaskRegistered(1, false);  // replaces while 4 units held
+  auto rows = runtime_.AuditAccounting();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].leaked, 4u);
+  EXPECT_TRUE(rows[0].Balanced());
+}
+
 }  // namespace
 }  // namespace atropos

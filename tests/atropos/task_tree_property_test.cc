@@ -1,0 +1,261 @@
+// Property-style tests for TaskTree: randomized register/unregister/cancel/
+// ack interleavings checked against a shadow model after every operation.
+// Complements the directed scenarios in task_tree_test.cc.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/atropos/task_tree.h"
+#include "src/common/rng.h"
+
+namespace atropos {
+namespace {
+
+constexpr int kMaxRetries = 2;
+
+TaskTreeConfig Config() {
+  TaskTreeConfig cfg;
+  cfg.ack_timeout = Millis(100);
+  cfg.max_retries = kMaxRetries;
+  return cfg;
+}
+
+// Drives a TaskTree with random operations while mirroring its observable
+// state: the live key set, the in-flight (dispatched, unacknowledged) set,
+// and per-key dispatch/epoch counts. Every callback updates the shadow; every
+// step asserts the tree and the shadow agree.
+class TreeHarness {
+ public:
+  explicit TreeHarness(uint64_t seed)
+      : rng_(seed),
+        clock_(0),
+        tree_(&clock_, Config(),
+              [this](int node, uint64_t key) { OnDispatch(node, key); },
+              [this](int node, uint64_t key) { OnOrphan(node, key); }) {}
+
+  void RandomOp() {
+    switch (rng_.NextBounded(6)) {
+      case 0:
+      case 1:
+        RegisterFresh();
+        break;
+      case 2:
+        UnregisterRandom();
+        break;
+      case 3:
+        CancelRandom();
+        break;
+      case 4:
+        AckRandom();
+        break;
+      case 5:
+        clock_.Advance(static_cast<TimeMicros>(10'000 + rng_.NextBounded(190'000)));
+        tree_.Tick();
+        break;
+    }
+    CheckInvariants();
+  }
+
+  // Keeps ticking until nothing is awaiting an acknowledgement; everything
+  // unacked must resolve as an orphan within the retry budget.
+  void Drain() {
+    for (int i = 0; i < 2 * (kMaxRetries + 2) && tree_.pending_ack_count() > 0; i++) {
+      clock_.Advance(Millis(150));
+      tree_.Tick();
+      CheckInvariants();
+    }
+    EXPECT_EQ(tree_.pending_ack_count(), 0u);
+  }
+
+  void CheckInvariants() {
+    EXPECT_EQ(tree_.live_count(), live_.size());
+    EXPECT_EQ(tree_.pending_ack_count(), in_flight_.size());
+    // Each cancellation epoch dispatches at most 1 + max_retries times.
+    for (const auto& [key, count] : dispatches_) {
+      EXPECT_LE(count, epochs_[key] * (1 + kMaxRetries)) << "key " << key;
+    }
+    for (uint64_t key : orphaned_) {
+      EXPECT_FALSE(tree_.IsRegistered(key)) << "orphan " << key << " still registered";
+    }
+  }
+
+  TaskTree& tree() { return tree_; }
+  const std::vector<uint64_t>& orphaned() const { return orphaned_; }
+
+ private:
+  void RegisterFresh() {
+    uint64_t key = next_key_++;
+    uint64_t parent = live_.empty() || rng_.NextBernoulli(0.4) ? 0 : PickLive();
+    tree_.Register(key, parent, static_cast<int>(rng_.NextBounded(4)));
+    live_.insert(key);
+  }
+
+  void UnregisterRandom() {
+    if (live_.empty()) {
+      return;
+    }
+    uint64_t key = PickLive();
+    tree_.Unregister(key);
+    live_.erase(key);
+    in_flight_.erase(key);  // finishing counts as the acknowledgement
+  }
+
+  void CancelRandom() {
+    if (live_.empty()) {
+      return;
+    }
+    tree_.Cancel(PickLive());
+  }
+
+  void AckRandom() {
+    if (in_flight_.empty()) {
+      return;
+    }
+    auto it = in_flight_.begin();
+    std::advance(it, rng_.NextBounded(in_flight_.size()));
+    uint64_t key = *it;
+    tree_.Ack(key);
+    in_flight_.erase(key);
+    acked_.insert(key);
+  }
+
+  void OnDispatch(int node, uint64_t key) {
+    (void)node;
+    dispatches_[key]++;
+    if (in_flight_.insert(key).second) {
+      epochs_[key]++;  // first delivery of a new cancellation epoch
+    }
+  }
+
+  void OnOrphan(int node, uint64_t key) {
+    (void)node;
+    // An orphan must come from an in-flight epoch — never from a key whose
+    // epoch already ended in an ack or an unregister.
+    EXPECT_TRUE(in_flight_.count(key)) << "orphan " << key << " was not in flight";
+    in_flight_.erase(key);
+    live_.erase(key);
+    orphaned_.push_back(key);
+  }
+
+  uint64_t PickLive() {
+    auto it = live_.begin();
+    std::advance(it, rng_.NextBounded(live_.size()));
+    return *it;
+  }
+
+  Rng rng_;
+  ManualClock clock_;
+  TaskTree tree_;
+
+  uint64_t next_key_ = 1;
+  std::set<uint64_t> live_;
+  std::set<uint64_t> in_flight_;
+  std::set<uint64_t> acked_;
+  std::map<uint64_t, int> dispatches_;
+  std::map<uint64_t, int> epochs_;
+  std::vector<uint64_t> orphaned_;
+};
+
+TEST(TaskTreePropertyTest, RandomizedLifecyclesKeepInvariants) {
+  for (uint64_t seed = 1; seed <= 25; seed++) {
+    TreeHarness harness(seed);
+    for (int op = 0; op < 200; op++) {
+      harness.RandomOp();
+    }
+    harness.Drain();
+  }
+}
+
+TEST(TaskTreePropertyTest, FreeWhileCancelPendingDropsTheAck) {
+  ManualClock clock(0);
+  std::vector<uint64_t> dispatched;
+  std::vector<uint64_t> orphans;
+  TaskTree tree(&clock, Config(), [&](int, uint64_t key) { dispatched.push_back(key); },
+                [&](int, uint64_t key) { orphans.push_back(key); });
+  tree.Register(1, 0, 0);
+  tree.Cancel(1);
+  ASSERT_EQ(tree.pending_ack_count(), 1u);
+  tree.Unregister(1);  // freed while the cancellation is still in flight
+  EXPECT_EQ(tree.pending_ack_count(), 0u);
+  for (int i = 0; i < 5; i++) {
+    clock.Advance(Millis(200));
+    tree.Tick();
+  }
+  // No retry, no orphan: the free acknowledged the epoch.
+  EXPECT_EQ(dispatched.size(), 1u);
+  EXPECT_TRUE(orphans.empty());
+}
+
+TEST(TaskTreePropertyTest, CancelFanOutMatchesSubtreeOnRandomTrees) {
+  for (uint64_t seed = 100; seed < 110; seed++) {
+    Rng rng(seed);
+    ManualClock clock(0);
+    std::set<uint64_t> dispatched;
+    TaskTree tree(&clock, Config(), [&](int, uint64_t key) { dispatched.insert(key); },
+                  nullptr);
+    std::vector<uint64_t> keys;
+    for (uint64_t key = 1; key <= 30; key++) {
+      uint64_t parent = keys.empty() || rng.NextBernoulli(0.3)
+                            ? 0
+                            : keys[rng.NextBounded(keys.size())];
+      tree.Register(key, parent, 0);
+      keys.push_back(key);
+    }
+    uint64_t root = keys[rng.NextBounded(keys.size())];
+    std::vector<uint64_t> subtree = tree.Subtree(root);
+    tree.Cancel(root);
+    EXPECT_EQ(dispatched, std::set<uint64_t>(subtree.begin(), subtree.end()));
+  }
+}
+
+TEST(TaskTreePropertyTest, ReRootingKeepsEveryLiveTaskReachable) {
+  for (uint64_t seed = 200; seed < 210; seed++) {
+    Rng rng(seed);
+    ManualClock clock(0);
+    std::set<uint64_t> dispatched;
+    TaskTree tree(&clock, Config(), [&](int, uint64_t key) { dispatched.insert(key); },
+                  nullptr);
+    // One connected tree rooted at key 1.
+    std::vector<uint64_t> keys = {1};
+    tree.Register(1, 0, 0);
+    for (uint64_t key = 2; key <= 25; key++) {
+      tree.Register(key, keys[rng.NextBounded(keys.size())], 0);
+      keys.push_back(key);
+    }
+    // Randomly finish some interior tasks (never the root).
+    std::set<uint64_t> live(keys.begin(), keys.end());
+    for (uint64_t key = 2; key <= 25; key++) {
+      if (rng.NextBernoulli(0.4)) {
+        tree.Unregister(key);
+        live.erase(key);
+      }
+    }
+    // Cancelling the root must still reach every surviving descendant.
+    tree.Cancel(1);
+    EXPECT_EQ(dispatched, live);
+  }
+}
+
+TEST(TaskTreePropertyTest, UnackedEpochExhaustsExactRetryBudget) {
+  ManualClock clock(0);
+  int dispatches = 0;
+  std::vector<uint64_t> orphans;
+  TaskTree tree(&clock, Config(), [&](int, uint64_t) { dispatches++; },
+                [&](int, uint64_t key) { orphans.push_back(key); });
+  tree.Register(1, 0, 3);
+  tree.Cancel(1);
+  for (int i = 0; i < 10; i++) {
+    clock.Advance(Millis(150));
+    tree.Tick();
+  }
+  EXPECT_EQ(dispatches, 1 + kMaxRetries);
+  EXPECT_EQ(orphans, (std::vector<uint64_t>{1}));
+  EXPECT_EQ(tree.pending_ack_count(), 0u);
+  EXPECT_EQ(tree.live_count(), 0u);
+}
+
+}  // namespace
+}  // namespace atropos

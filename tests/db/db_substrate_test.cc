@@ -7,7 +7,7 @@
 #include "src/db/undo_log.h"
 #include "src/db/wal.h"
 #include "src/sim/coro.h"
-#include "tests/testing/recording_controller.h"
+#include "src/testing/recording_controller.h"
 
 namespace atropos {
 namespace {

@@ -1,0 +1,87 @@
+// End-to-end tests for the deterministic workload fuzzer: a fixed seed
+// corpus must pass every invariant oracle, replay to identical digests, and
+// the shrinker must reduce a planted accounting bug to a tiny repro.
+
+#include "src/testing/fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/testing/shrinker.h"
+
+namespace atropos {
+namespace {
+
+TEST(FuzzerTest, FixedCorpusPassesAllOracles) {
+  for (uint64_t seed = 1; seed <= 6; seed++) {
+    FuzzRunResult result = RunSeed(seed);
+    EXPECT_TRUE(result.ok()) << "seed " << seed << ":\n"
+                             << FormatViolations(result.violations);
+    EXPECT_GT(result.stats.windows, 0u) << "seed " << seed;
+  }
+}
+
+TEST(FuzzerTest, IdenticalSeedsReplayToIdenticalDigests) {
+  FuzzPlan plan = PlanFromSeed(3);
+  FuzzRunResult first = RunPlan(plan);
+  FuzzRunResult second = RunPlan(plan);
+  EXPECT_NE(first.digest, 0u);
+  EXPECT_EQ(first.digest, second.digest);
+  // Different seeds produce different schedules and thus different streams.
+  EXPECT_NE(first.digest, RunSeed(4).digest);
+}
+
+// Regression companion to RuntimeNoInitiatorTest: the fuzzer's
+// register_cancel_action=false config point drives a full overloaded run
+// with no initiator; the runtime must suppress every decision (§3.1) and the
+// run must still satisfy all oracles.
+TEST(FuzzerTest, NoInitiatorPlanIssuesNoCancels) {
+  // Seed 2 issues cancels when the initiator is registered...
+  ASSERT_GT(RunSeed(2).stats.cancels_issued, 0u);
+  // ...and must issue none when it is not.
+  FuzzPlan plan = PlanFromSeed(2);
+  plan.faults.register_cancel_action = false;
+  FuzzRunResult result = RunPlan(plan);
+  EXPECT_TRUE(result.ok()) << FormatViolations(result.violations);
+  EXPECT_EQ(result.stats.cancels_issued, 0u);
+  EXPECT_GT(result.stats.cancels_suppressed_no_initiator, 0u);
+}
+
+TEST(FuzzerTest, PlantedAccountingBugIsCaughtAndShrinksSmall) {
+  FuzzPlanOptions options;
+  options.drop_free_request_type = 0;  // leak the primary request type's frees
+  FuzzRunResult full = RunSeed(5, options);
+  ASSERT_FALSE(full.ok());
+  bool accounting = false;
+  for (const auto& v : full.violations) {
+    accounting |= v.oracle.find("accounting") != std::string::npos;
+  }
+  EXPECT_TRUE(accounting) << FormatViolations(full.violations);
+
+  ShrinkResult shrunk = ShrinkPlan(full.plan, options);
+  EXPECT_LE(shrunk.plan.requests.size(), 5u);
+  EXPECT_FALSE(shrunk.violations.empty());
+  EXPECT_NE(shrunk.repro.find("--keep="), std::string::npos) << shrunk.repro;
+
+  // The kept indices alone reproduce the violation from the bare seed.
+  FuzzPlan replay = RestrictPlan(PlanFromSeed(5, options), shrunk.kept);
+  EXPECT_FALSE(RunPlan(replay).ok());
+}
+
+TEST(FuzzerTest, RestrictPlanComposesKeptIndices) {
+  FuzzPlan plan = PlanFromSeed(1);
+  ASSERT_GE(plan.requests.size(), 6u);
+  ASSERT_TRUE(plan.kept.empty());  // identity mask on a fresh plan
+
+  FuzzPlan once = RestrictPlan(plan, {1, 3, 5});
+  ASSERT_EQ(once.requests.size(), 3u);
+  EXPECT_EQ(once.kept, (std::vector<size_t>{1, 3, 5}));
+  EXPECT_EQ(once.requests[0].at, plan.requests[1].at);
+
+  // Restricting a restricted plan maps through to original schedule indices.
+  FuzzPlan twice = RestrictPlan(once, {0, 2});
+  EXPECT_EQ(twice.kept, (std::vector<size_t>{1, 5}));
+  EXPECT_EQ(twice.requests[1].at, plan.requests[5].at);
+}
+
+}  // namespace
+}  // namespace atropos

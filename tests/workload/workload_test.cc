@@ -6,7 +6,7 @@
 #include "src/apps/minikv.h"
 #include "src/workload/cases.h"
 #include "src/workload/frontend.h"
-#include "tests/testing/recording_controller.h"
+#include "src/testing/recording_controller.h"
 
 namespace atropos {
 namespace {

@@ -1,0 +1,152 @@
+// Workload fuzzer driver for the Atropos runtime.
+//
+// Generates seed-derived randomized workloads (request mixes, runtime config
+// points, fault injections) across the overload-case application modes, runs
+// each through the full simulation stack, and audits every run with the
+// invariant oracles. Any violation fails the process; --shrink minimizes the
+// first failing seed to a small request subset and prints a replay command.
+//
+// Usage:
+//   fuzz_atropos [--seed=S] [--runs=N | --minutes=M] [--shrink]
+//                [--replay-check] [--keep=i,j,...] [--inject-drop-free=T]
+//                [--load-scale=X] [--verbose]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/testing/fuzzer.h"
+#include "src/testing/shrinker.h"
+
+namespace {
+
+struct CliArgs {
+  uint64_t seed = 1;
+  int runs = 1;
+  double minutes = 0.0;  // >0: time-bounded instead of run-bounded
+  bool shrink = false;
+  bool replay_check = false;
+  bool verbose = false;
+  std::vector<size_t> keep;
+  bool has_keep = false;
+  atropos::FuzzPlanOptions plan_options;
+  bool ok = true;
+};
+
+CliArgs Parse(int argc, char** argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      return arg.c_str() + strlen(prefix);
+    };
+    if (arg.rfind("--seed=", 0) == 0) {
+      args.seed = strtoull(value("--seed="), nullptr, 10);
+    } else if (arg.rfind("--runs=", 0) == 0) {
+      args.runs = atoi(value("--runs="));
+    } else if (arg.rfind("--minutes=", 0) == 0) {
+      args.minutes = atof(value("--minutes="));
+    } else if (arg == "--shrink") {
+      args.shrink = true;
+    } else if (arg == "--replay-check") {
+      args.replay_check = true;
+    } else if (arg == "--verbose") {
+      args.verbose = true;
+    } else if (arg.rfind("--keep=", 0) == 0) {
+      args.has_keep = true;
+      const char* p = value("--keep=");
+      while (*p != '\0') {
+        args.keep.push_back(strtoull(p, const_cast<char**>(&p), 10));
+        if (*p == ',') {
+          p++;
+        }
+      }
+    } else if (arg.rfind("--inject-drop-free=", 0) == 0) {
+      args.plan_options.drop_free_request_type = atoi(value("--inject-drop-free="));
+    } else if (arg.rfind("--load-scale=", 0) == 0) {
+      args.plan_options.load_scale = atof(value("--load-scale="));
+    } else {
+      fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      args.ok = false;
+    }
+  }
+  return args;
+}
+
+void PrintResult(uint64_t seed, const atropos::FuzzRunResult& result, bool verbose) {
+  printf("seed=%llu mode=%s reqs=%zu windows=%llu cancels=%llu retried=%llu "
+         "dropped=%llu digest=%016llx %s\n",
+         (unsigned long long)seed, std::string(atropos::FuzzAppModeName(result.plan.mode)).c_str(),
+         result.plan.requests.size(), (unsigned long long)result.stats.windows,
+         (unsigned long long)result.stats.cancels_issued,
+         (unsigned long long)result.metrics.retried, (unsigned long long)result.metrics.dropped,
+         (unsigned long long)result.digest, result.ok() ? "ok" : "VIOLATION");
+  if (!result.ok() || verbose) {
+    fputs(atropos::FormatViolations(result.violations).c_str(), stdout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args = Parse(argc, argv);
+  if (!args.ok) {
+    fprintf(stderr,
+            "usage: fuzz_atropos [--seed=S] [--runs=N | --minutes=M] [--shrink]\n"
+            "                    [--replay-check] [--keep=i,j,...]\n"
+            "                    [--inject-drop-free=T] [--load-scale=X] [--verbose]\n");
+    return 2;
+  }
+
+  // Replay mode: one seed, optionally restricted to a shrunk request subset.
+  if (args.has_keep) {
+    atropos::FuzzPlan plan = atropos::PlanFromSeed(args.seed, args.plan_options);
+    plan = atropos::RestrictPlan(plan, args.keep);
+    atropos::FuzzRunResult result = atropos::RunPlan(plan);
+    PrintResult(args.seed, result, args.verbose);
+    return result.ok() ? 0 : 1;
+  }
+
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(static_cast<long>(args.minutes * 60'000));
+  int failures = 0;
+  int executed = 0;
+  for (int i = 0; args.minutes > 0 ? std::chrono::steady_clock::now() < deadline
+                                   : i < args.runs;
+       i++) {
+    uint64_t seed = args.seed + static_cast<uint64_t>(i);
+    atropos::FuzzPlan plan = atropos::PlanFromSeed(seed, args.plan_options);
+    atropos::FuzzRunResult result = atropos::RunPlan(plan);
+    executed++;
+    PrintResult(seed, result, args.verbose);
+
+    if (args.replay_check) {
+      atropos::FuzzRunResult replay = atropos::RunPlan(plan);
+      if (replay.digest != result.digest) {
+        printf("seed=%llu NONDETERMINISTIC: digest %016llx vs %016llx on replay\n",
+               (unsigned long long)seed, (unsigned long long)result.digest,
+               (unsigned long long)replay.digest);
+        failures++;
+      }
+    }
+
+    if (!result.ok()) {
+      failures++;
+      if (args.shrink) {
+        printf("shrinking seed=%llu (%zu requests)...\n", (unsigned long long)seed,
+               plan.requests.size());
+        atropos::ShrinkResult shrunk = atropos::ShrinkPlan(plan, args.plan_options);
+        printf("minimal repro: %zu request(s) after %d runs\n", shrunk.plan.requests.size(),
+               shrunk.runs);
+        fputs(atropos::FormatViolations(shrunk.violations).c_str(), stdout);
+        printf("replay with: %s\n", shrunk.repro.c_str());
+      }
+    }
+  }
+
+  printf("%d run(s), %d failure(s)\n", executed, failures);
+  return failures == 0 ? 0 : 1;
+}
