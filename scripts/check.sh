@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Repo gate: full build + ctest (including the fuzz_smoke corpus), then the
-# obs/workload tests and a fuzz corpus under ASan/UBSan.
+# obs/workload tests and a fuzz corpus under ASan/UBSan, then the concurrent
+# intake tests and mt_ingest smoke under TSan.
 #
-#   scripts/check.sh          # build + all tests + sanitized obs/fuzz stage
-#   scripts/check.sh --fast   # skip the sanitizer stage
+#   scripts/check.sh          # build + all tests + ASan/UBSan + TSan stages
+#   scripts/check.sh --fast   # skip the sanitizer stages
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,5 +35,15 @@ echo "== obs + workload tests under ASan/UBSan =="
 
 echo "== fuzz corpus under ASan/UBSan =="
 ./build-asan/tools/fuzz_atropos --seed=1 --runs=10 --replay-check
+
+echo "== configure + build with TSan (build-tsan/) =="
+cmake -B build-tsan -S . -DATROPOS_TSAN=ON >/dev/null
+cmake --build build-tsan -j "$JOBS" --target concurrent_test mt_ingest
+
+echo "== concurrent intake tests under TSan =="
+./build-tsan/tests/concurrent_test
+
+echo "== mt_ingest smoke under TSan =="
+./build-tsan/bench/mt_ingest --events=20000 --max-threads=4
 
 echo "== all checks passed =="

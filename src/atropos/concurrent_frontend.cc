@@ -1,0 +1,317 @@
+#include "src/atropos/concurrent_frontend.h"
+
+#include <algorithm>
+
+namespace atropos {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+std::atomic<uint64_t> g_next_frontend_id{1};
+
+}  // namespace
+
+// ---- EventRing -------------------------------------------------------------
+
+EventRing::EventRing(size_t capacity) : slots_(RoundUpPow2(std::max<size_t>(capacity, 2))) {
+  mask_ = slots_.size() - 1;
+}
+
+bool EventRing::Push(const TraceEvent& ev) {
+  const uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  if (tail - head >= slots_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  slots_[tail & mask_] = ev;
+  tail_.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+bool EventRing::TryPop(TraceEvent* out) {
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  const uint64_t tail = tail_.load(std::memory_order_acquire);
+  if (head == tail) {
+    return false;
+  }
+  *out = slots_[head & mask_];
+  head_.store(head + 1, std::memory_order_release);
+  return true;
+}
+
+size_t EventRing::SizeApprox() const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t tail = tail_.load(std::memory_order_acquire);
+  return tail >= head ? static_cast<size_t>(tail - head) : 0;
+}
+
+// ---- Producer --------------------------------------------------------------
+
+void ConcurrentFrontend::Producer::Push(TraceEvent ev) {
+  ev.time = clock_->NowMicros();
+  ring_.Push(ev);
+}
+
+void ConcurrentFrontend::Producer::OnTaskRegistered(uint64_t key, bool background,
+                                                    bool cancellable) {
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kTaskRegistered;
+  ev.key = key;
+  ev.background = background;
+  ev.cancellable = cancellable;
+  Push(ev);
+}
+
+void ConcurrentFrontend::Producer::OnTaskFreed(uint64_t key) {
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kTaskFreed;
+  ev.key = key;
+  Push(ev);
+}
+
+void ConcurrentFrontend::Producer::OnGet(uint64_t key, ResourceId resource, uint64_t amount) {
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kGet;
+  ev.key = key;
+  ev.resource = resource;
+  ev.a = amount;
+  Push(ev);
+}
+
+void ConcurrentFrontend::Producer::OnFree(uint64_t key, ResourceId resource, uint64_t amount) {
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kFree;
+  ev.key = key;
+  ev.resource = resource;
+  ev.a = amount;
+  Push(ev);
+}
+
+void ConcurrentFrontend::Producer::OnWaitBegin(uint64_t key, ResourceId resource) {
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kWaitBegin;
+  ev.key = key;
+  ev.resource = resource;
+  Push(ev);
+}
+
+void ConcurrentFrontend::Producer::OnWaitEnd(uint64_t key, ResourceId resource) {
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kWaitEnd;
+  ev.key = key;
+  ev.resource = resource;
+  Push(ev);
+}
+
+void ConcurrentFrontend::Producer::OnRequestStart(uint64_t key, int request_type,
+                                                  int client_class) {
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kRequestStart;
+  ev.key = key;
+  ev.request_type = request_type;
+  ev.client_class = client_class;
+  Push(ev);
+}
+
+void ConcurrentFrontend::Producer::OnRequestEnd(uint64_t key, TimeMicros latency,
+                                                int request_type, int client_class) {
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kRequestEnd;
+  ev.key = key;
+  ev.a = latency;
+  ev.request_type = request_type;
+  ev.client_class = client_class;
+  Push(ev);
+}
+
+void ConcurrentFrontend::Producer::OnUsage(uint64_t key, ResourceId resource, TimeMicros waited,
+                                           TimeMicros used) {
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kUsage;
+  ev.key = key;
+  ev.resource = resource;
+  ev.a = waited;
+  ev.b = used;
+  Push(ev);
+}
+
+void ConcurrentFrontend::Producer::OnProgress(uint64_t key, uint64_t done, uint64_t total) {
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kProgress;
+  ev.key = key;
+  ev.a = done;
+  ev.b = total;
+  Push(ev);
+}
+
+// ---- ConcurrentFrontend ----------------------------------------------------
+
+ConcurrentFrontend::ConcurrentFrontend(Clock* clock, AtroposConfig config, Options options)
+    : instance_id_(g_next_frontend_id.fetch_add(1, std::memory_order_relaxed)),
+      clock_(clock),
+      replay_clock_(clock),
+      runtime_(&replay_clock_, config),
+      options_(options) {}
+
+ConcurrentFrontend::ConcurrentFrontend(Clock* clock, AtroposConfig config)
+    : ConcurrentFrontend(clock, config, Options{}) {}
+
+ConcurrentFrontend::Producer* ConcurrentFrontend::RegisterProducer() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  producers_.push_back(
+      std::unique_ptr<Producer>(new Producer(clock_, options_.ring_capacity)));
+  return producers_.back().get();
+}
+
+ConcurrentFrontend::Producer* ConcurrentFrontend::ThisThreadProducer() {
+  struct TlsBinding {
+    uint64_t frontend_id;
+    Producer* producer;
+  };
+  // Keyed by a never-reused instance id so a binding to a destroyed frontend
+  // can go stale but never alias a live one.
+  thread_local std::vector<TlsBinding> bindings;
+  for (const TlsBinding& b : bindings) {
+    if (b.frontend_id == instance_id_) {
+      return b.producer;
+    }
+  }
+  Producer* p = RegisterProducer();
+  bindings.push_back(TlsBinding{instance_id_, p});
+  return p;
+}
+
+void ConcurrentFrontend::OnTaskRegistered(uint64_t key, bool background, bool cancellable) {
+  ThisThreadProducer()->OnTaskRegistered(key, background, cancellable);
+}
+void ConcurrentFrontend::OnTaskFreed(uint64_t key) {
+  ThisThreadProducer()->OnTaskFreed(key);
+}
+void ConcurrentFrontend::OnGet(uint64_t key, ResourceId resource, uint64_t amount) {
+  ThisThreadProducer()->OnGet(key, resource, amount);
+}
+void ConcurrentFrontend::OnFree(uint64_t key, ResourceId resource, uint64_t amount) {
+  ThisThreadProducer()->OnFree(key, resource, amount);
+}
+void ConcurrentFrontend::OnWaitBegin(uint64_t key, ResourceId resource) {
+  ThisThreadProducer()->OnWaitBegin(key, resource);
+}
+void ConcurrentFrontend::OnWaitEnd(uint64_t key, ResourceId resource) {
+  ThisThreadProducer()->OnWaitEnd(key, resource);
+}
+void ConcurrentFrontend::OnRequestStart(uint64_t key, int request_type, int client_class) {
+  ThisThreadProducer()->OnRequestStart(key, request_type, client_class);
+}
+void ConcurrentFrontend::OnRequestEnd(uint64_t key, TimeMicros latency, int request_type,
+                                      int client_class) {
+  ThisThreadProducer()->OnRequestEnd(key, latency, request_type, client_class);
+}
+void ConcurrentFrontend::OnUsage(uint64_t key, ResourceId resource, TimeMicros waited,
+                                 TimeMicros used) {
+  ThisThreadProducer()->OnUsage(key, resource, waited, used);
+}
+void ConcurrentFrontend::OnProgress(uint64_t key, uint64_t done, uint64_t total) {
+  ThisThreadProducer()->OnProgress(key, done, total);
+}
+
+void ConcurrentFrontend::BindMetrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    ring_depth_gauge_ = drained_gauge_ = dropped_gauge_ = producers_gauge_ = nullptr;
+    return;
+  }
+  ring_depth_gauge_ = metrics->GetGauge("intake.ring_depth");
+  drained_gauge_ = metrics->GetGauge("intake.drained_per_tick");
+  dropped_gauge_ = metrics->GetGauge("intake.dropped_events");
+  producers_gauge_ = metrics->GetGauge("intake.producers");
+}
+
+void ConcurrentFrontend::Apply(const TraceEvent& ev) {
+  replay_clock_.BeginReplay(ev.time);
+  switch (ev.kind) {
+    case TraceEventKind::kTaskRegistered:
+      runtime_.OnTaskRegistered(ev.key, ev.background, ev.cancellable);
+      break;
+    case TraceEventKind::kTaskFreed:
+      runtime_.OnTaskFreed(ev.key);
+      break;
+    case TraceEventKind::kGet:
+      runtime_.OnGet(ev.key, ev.resource, ev.a);
+      break;
+    case TraceEventKind::kFree:
+      runtime_.OnFree(ev.key, ev.resource, ev.a);
+      break;
+    case TraceEventKind::kWaitBegin:
+      runtime_.OnWaitBegin(ev.key, ev.resource);
+      break;
+    case TraceEventKind::kWaitEnd:
+      runtime_.OnWaitEnd(ev.key, ev.resource);
+      break;
+    case TraceEventKind::kRequestStart:
+      runtime_.OnRequestStart(ev.key, ev.request_type, ev.client_class);
+      break;
+    case TraceEventKind::kRequestEnd:
+      runtime_.OnRequestEnd(ev.key, ev.a, ev.request_type, ev.client_class);
+      break;
+    case TraceEventKind::kUsage:
+      runtime_.OnUsage(ev.key, ev.resource, ev.a, ev.b);
+      break;
+    case TraceEventKind::kProgress:
+      runtime_.OnProgress(ev.key, ev.a, ev.b);
+      break;
+  }
+}
+
+void ConcurrentFrontend::Tick() {
+  drain_buf_.clear();
+  uint64_t max_depth = 0;
+  uint64_t dropped = 0;
+  size_t producer_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    producer_count = producers_.size();
+    for (const std::unique_ptr<Producer>& p : producers_) {
+      const size_t before = drain_buf_.size();
+      TraceEvent ev;
+      while (p->ring_.TryPop(&ev)) {
+        drain_buf_.push_back(ev);
+      }
+      max_depth = std::max<uint64_t>(max_depth, drain_buf_.size() - before);
+      dropped += p->ring_.dropped();
+    }
+  }
+
+  // Stable merge: rings are FIFO with per-ring monotone stamps, so a stable
+  // sort by time yields global timestamp order with ties broken by producer
+  // registration order — the same deterministic order the determinism test
+  // feeds a bare runtime in.
+  std::stable_sort(drain_buf_.begin(), drain_buf_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.time < b.time; });
+  for (const TraceEvent& ev : drain_buf_) {
+    Apply(ev);
+  }
+  replay_clock_.EndReplay();
+
+  intake_.drained_last_tick = drain_buf_.size();
+  intake_.drained_total += drain_buf_.size();
+  intake_.dropped_total = dropped;
+  intake_.max_ring_depth = max_depth;
+  intake_.producers = producer_count;
+  if (ring_depth_gauge_ != nullptr) {
+    ring_depth_gauge_->Set(static_cast<double>(max_depth));
+    drained_gauge_->Set(static_cast<double>(intake_.drained_last_tick));
+    dropped_gauge_->Set(static_cast<double>(dropped));
+    producers_gauge_->Set(static_cast<double>(producer_count));
+  }
+
+  runtime_.Tick();
+}
+
+}  // namespace atropos

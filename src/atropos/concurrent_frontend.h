@@ -1,0 +1,256 @@
+// Concurrent ingestion front-end for the Atropos instrumentation stream.
+//
+// AtroposRuntime is deliberately single-threaded: its registries, window
+// accounting, and control loop are plain maps with no synchronization, which
+// keeps the decision logic simple and deterministic. Real applications,
+// however, call getResource/freeResource/slowByResource (§3.2) from many
+// threads at once, and the paper's overhead argument only holds if those
+// calls stay cheap under contention-free parallel traffic.
+//
+// ConcurrentFrontend bridges the two worlds:
+//
+//   app thread 1 ──► EventRing (SPSC) ─┐
+//   app thread 2 ──► EventRing (SPSC) ─┼─► Tick(): merge by timestamp,
+//   app thread N ──► EventRing (SPSC) ─┘   replay into AtroposRuntime,
+//                                          then run the control loop
+//
+// Each producer thread owns one fixed-capacity single-producer/single-
+// consumer ring of POD TraceEvents. The hot path is one clock read plus one
+// ring slot write — no locks, no allocation, no shared cache lines between
+// producers. When a ring is full the event is dropped and counted (lossy-
+// with-counter): under the overload conditions Atropos exists for, losing a
+// trace event is strictly better than blocking an application thread.
+//
+// Timestamps are taken at enqueue, not at drain. The drainer replays each
+// event through a ReplayClock that presents the enqueue-time clock reading
+// to the runtime, so wait/hold attribution and the §3.2 sampled/per-event
+// timestamp semantics are exactly those of an application that had called
+// the runtime directly at the moment the event happened. Drain order is a
+// stable timestamp merge across rings, which makes the pipeline
+// deterministic: the same events produce byte-for-byte the same decision
+// stream as single-threaded feeding (proved by concurrent_frontend_test).
+//
+// Threading contract:
+//   - Instrumentation hooks: any thread; each calling thread is bound to its
+//     own ring on first use (or via an explicit RegisterProducer() handle).
+//   - Tick(): exactly one drainer thread (typically the control-loop timer).
+//   - Setup (RegisterResource, SetCancelAction, BindMetrics, recorder
+//     attachment): single-threaded, before producers start.
+
+#ifndef SRC_ATROPOS_CONCURRENT_FRONTEND_H_
+#define SRC_ATROPOS_CONCURRENT_FRONTEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "src/atropos/config.h"
+#include "src/atropos/controller.h"
+#include "src/atropos/runtime.h"
+#include "src/common/clock.h"
+#include "src/obs/metrics.h"
+
+namespace atropos {
+
+// One instrumentation call, flattened to a fixed-size POD so ring slots are
+// trivially copyable and the producer path never allocates.
+enum class TraceEventKind : uint8_t {
+  kTaskRegistered = 0,
+  kTaskFreed = 1,
+  kGet = 2,
+  kFree = 3,
+  kWaitBegin = 4,
+  kWaitEnd = 5,
+  kRequestStart = 6,
+  kRequestEnd = 7,
+  kUsage = 8,
+  kProgress = 9,
+};
+
+struct TraceEvent {
+  TimeMicros time = 0;  // clock reading at enqueue (§3.2 attribution)
+  uint64_t key = 0;
+  uint64_t a = 0;  // amount | waited | done | latency, by kind
+  uint64_t b = 0;  // used | total, by kind
+  ResourceId resource = kInvalidResourceId;
+  int32_t request_type = 0;
+  int32_t client_class = 0;
+  TraceEventKind kind = TraceEventKind::kGet;
+  bool background = false;
+  bool cancellable = true;
+};
+static_assert(std::is_trivially_copyable_v<TraceEvent>,
+              "ring slots must be memcpy-able");
+
+// Fixed-capacity single-producer/single-consumer ring. Push is producer-
+// thread-only, TryPop consumer-thread-only; the two sides synchronize through
+// the head/tail indices (release on publish, acquire on read). A full ring
+// drops the event and counts it — producers never block.
+class EventRing {
+ public:
+  explicit EventRing(size_t capacity);
+
+  // Producer side. Returns false (and counts the drop) when full.
+  bool Push(const TraceEvent& ev);
+
+  // Consumer side. Returns false when empty.
+  bool TryPop(TraceEvent* out);
+
+  // Racy-but-monotone observations, safe from any thread.
+  size_t SizeApprox() const;
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<TraceEvent> slots_;
+  size_t mask_;
+  // Producer and consumer indices on separate cache lines so the two sides
+  // don't false-share.
+  alignas(64) std::atomic<uint64_t> tail_{0};  // next write (producer-owned)
+  alignas(64) std::atomic<uint64_t> head_{0};  // next read (consumer-owned)
+  alignas(64) std::atomic<uint64_t> dropped_{0};
+};
+
+// Clock wrapper the frontend hands to its runtime: during drain it presents
+// the event's enqueue-time reading, otherwise it delegates to the real clock.
+// Only the drainer thread touches the replay state.
+class ReplayClock final : public Clock {
+ public:
+  explicit ReplayClock(Clock* real) : real_(real) {}
+
+  TimeMicros NowMicros() const override {
+    return replaying_ ? replay_time_ : real_->NowMicros();
+  }
+
+  void BeginReplay(TimeMicros t) {
+    replaying_ = true;
+    replay_time_ = t;
+  }
+  void EndReplay() { replaying_ = false; }
+
+ private:
+  Clock* real_;
+  bool replaying_ = false;
+  TimeMicros replay_time_ = 0;
+};
+
+class ConcurrentFrontend final : public OverloadController {
+ public:
+  struct Options {
+    // Per-producer ring capacity, rounded up to a power of two. Sized for
+    // one control window of events from one thread; overflow is counted.
+    size_t ring_capacity = 1 << 14;
+  };
+
+  ConcurrentFrontend(Clock* clock, AtroposConfig config, Options options);
+  ConcurrentFrontend(Clock* clock, AtroposConfig config);
+
+  std::string_view name() const override { return "atropos_concurrent"; }
+
+  // Explicit per-thread producer handle. One handle == one SPSC ring == one
+  // producing thread (the SPSC discipline is the caller's responsibility when
+  // handles are held explicitly; the OverloadController hooks below bind the
+  // calling thread automatically instead). Handles stay valid for the
+  // frontend's lifetime. Thread-safe.
+  class Producer {
+   public:
+    void OnTaskRegistered(uint64_t key, bool background, bool cancellable = true);
+    void OnTaskFreed(uint64_t key);
+    void OnGet(uint64_t key, ResourceId resource, uint64_t amount);
+    void OnFree(uint64_t key, ResourceId resource, uint64_t amount);
+    void OnWaitBegin(uint64_t key, ResourceId resource);
+    void OnWaitEnd(uint64_t key, ResourceId resource);
+    void OnRequestStart(uint64_t key, int request_type, int client_class);
+    void OnRequestEnd(uint64_t key, TimeMicros latency, int request_type, int client_class);
+    void OnUsage(uint64_t key, ResourceId resource, TimeMicros waited, TimeMicros used);
+    void OnProgress(uint64_t key, uint64_t done, uint64_t total);
+
+    uint64_t dropped() const { return ring_.dropped(); }
+
+   private:
+    friend class ConcurrentFrontend;
+    Producer(Clock* clock, size_t ring_capacity) : clock_(clock), ring_(ring_capacity) {}
+    void Push(TraceEvent ev);
+
+    Clock* clock_;
+    EventRing ring_;
+  };
+
+  Producer* RegisterProducer();
+
+  // ---- OverloadController: producer side ----------------------------------
+  // Each hook stamps the current time and enqueues on the calling thread's
+  // ring, auto-registering the thread on first use.
+  void OnTaskRegistered(uint64_t key, bool background, bool cancellable = true) override;
+  void OnTaskFreed(uint64_t key) override;
+  void OnGet(uint64_t key, ResourceId resource, uint64_t amount) override;
+  void OnFree(uint64_t key, ResourceId resource, uint64_t amount) override;
+  void OnWaitBegin(uint64_t key, ResourceId resource) override;
+  void OnWaitEnd(uint64_t key, ResourceId resource) override;
+  void OnRequestStart(uint64_t key, int request_type, int client_class) override;
+  void OnRequestEnd(uint64_t key, TimeMicros latency, int request_type,
+                    int client_class) override;
+  void OnUsage(uint64_t key, ResourceId resource, TimeMicros waited, TimeMicros used) override;
+  void OnProgress(uint64_t key, uint64_t done, uint64_t total) override;
+
+  // ---- Setup (single-threaded, before producers start) --------------------
+  ResourceId RegisterResource(std::string name, ResourceClass cls) override {
+    return runtime_.RegisterResource(std::move(name), cls);
+  }
+  // Publishes intake gauges (intake.ring_depth, intake.drained_per_tick,
+  // intake.dropped_events, intake.producers) at every Tick. Null detaches.
+  void BindMetrics(MetricsRegistry* metrics);
+
+  // ---- Drainer thread -----------------------------------------------------
+  // Drains all rings in one stable timestamp merge, replays the events into
+  // the runtime at their enqueue-time clock readings, then runs the
+  // runtime's control loop for the closing window.
+  void Tick() override;
+
+  bool ReexecutionRecommended() const override {  // drainer thread only
+    return runtime_.ReexecutionRecommended();
+  }
+
+  // Direct access to the wrapped runtime for setup (SetCancelAction,
+  // SetRecorder) and introspection; drainer thread only once producers run.
+  AtroposRuntime& runtime() { return runtime_; }
+  const AtroposRuntime& runtime() const { return runtime_; }
+
+  struct IntakeStats {
+    uint64_t drained_total = 0;      // events applied to the runtime, ever
+    uint64_t drained_last_tick = 0;  // events applied by the last Tick()
+    uint64_t dropped_total = 0;      // ring-overflow drops across all rings
+    uint64_t max_ring_depth = 0;     // deepest ring observed at last drain
+    uint64_t producers = 0;          // registered producer threads
+  };
+  // Drainer thread only (values are refreshed by Tick()).
+  const IntakeStats& intake_stats() const { return intake_; }
+
+ private:
+  Producer* ThisThreadProducer();
+  void Apply(const TraceEvent& ev);
+
+  const uint64_t instance_id_;  // never reused; keys the thread-local cache
+  Clock* clock_;
+  ReplayClock replay_clock_;
+  AtroposRuntime runtime_;
+  Options options_;
+
+  std::mutex registry_mu_;  // guards producers_ (registration is rare)
+  std::vector<std::unique_ptr<Producer>> producers_;
+
+  // Drainer-thread state.
+  std::vector<TraceEvent> drain_buf_;
+  IntakeStats intake_;
+  Gauge* ring_depth_gauge_ = nullptr;
+  Gauge* drained_gauge_ = nullptr;
+  Gauge* dropped_gauge_ = nullptr;
+  Gauge* producers_gauge_ = nullptr;
+};
+
+}  // namespace atropos
+
+#endif  // SRC_ATROPOS_CONCURRENT_FRONTEND_H_

@@ -100,9 +100,11 @@ void AtroposRuntime::OnTaskRegistered(uint64_t key, bool background, bool cancel
   rec.cancellable = cancellable;
   // §4: a re-executed (previously cancelled) task is non-cancellable so the
   // next overload targets a different culprit.
-  if (cancelled_keys_.count(key) != 0) {
+  auto memo = cancelled_keys_.find(key);
+  if (memo != cancelled_keys_.end()) {
     rec.cancellable = false;
-    cancelled_keys_.erase(key);
+    cancelled_keys_.erase(memo);
+    stats_.cancelled_keys_consumed++;
   }
   // Replace any stale registration under the same key.
   auto old = key_to_task_.find(key);
@@ -295,7 +297,15 @@ void AtroposRuntime::OnUsage(uint64_t key, ResourceId resource, TimeMicros waite
 }
 
 void AtroposRuntime::OnRequestStart(uint64_t key, int request_type, int client_class) {
-  active_requests_[key] = ActiveRequest{clock_->NowMicros(), client_class};
+  auto [it, inserted] = active_requests_.try_emplace(key);
+  if (!inserted) {
+    // A second start under a live key: the application reused the key without
+    // reporting the prior request's end. Treat it as an implicit end — the
+    // stale ActiveRequest would otherwise silently vanish, mis-attributing
+    // overdue_actives to the wrong start time with no trace of the loss.
+    stats_.request_restarts++;
+  }
+  it->second = ActiveRequest{clock_->NowMicros(), client_class};
 }
 
 void AtroposRuntime::OnRequestEnd(uint64_t key, TimeMicros latency, int request_type,
@@ -382,6 +392,25 @@ void AtroposRuntime::Tick() {
   last_metrics_ = est.all_resources;
 
   calm_windows_ = est.resource_overload ? 0 : calm_windows_ + 1;
+  if (!est.resource_overload) {
+    calm_windows_total_++;
+    // Age the §4 cancelled-key memo: an entry that survived
+    // `reexec_calm_windows` calm windows since its cancellation belongs to a
+    // client that never retried — without aging, such keys accumulate
+    // forever under sustained traffic. The floor of one calm window keeps
+    // insertion (always in an overload window) and eviction in distinct
+    // windows even when reexec_calm_windows is 0.
+    const uint64_t horizon =
+        static_cast<uint64_t>(std::max(config_.reexec_calm_windows, 1));
+    for (auto it = cancelled_keys_.begin(); it != cancelled_keys_.end();) {
+      if (calm_windows_total_ - it->second >= horizon) {
+        it = cancelled_keys_.erase(it);
+        stats_.cancelled_keys_evicted++;
+      } else {
+        ++it;
+      }
+    }
+  }
 
   // ---- Cancellation decision (§3.5–3.6).
   switch (signal) {
@@ -473,7 +502,9 @@ void AtroposRuntime::Tick() {
       TaskRecord& victim = tasks_.find(decision.victim)->second;
       victim.cancel_count++;
       victim.cancelled_at = now;
-      cancelled_keys_.insert(victim.key);
+      if (cancelled_keys_.emplace(victim.key, calm_windows_total_).second) {
+        stats_.cancelled_keys_inserted++;
+      }
       last_cancel_time_ = now;
       ever_cancelled_ = true;
       stats_.cancels_issued++;

@@ -17,7 +17,6 @@
 #include <map>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/atropos/accounting.h"
@@ -47,6 +46,14 @@ struct AtroposStats {
   uint64_t cancels_suppressed_no_initiator = 0;
   uint64_t trace_events = 0;
   uint64_t ignored_events = 0;  // tracing calls against unregistered keys
+  // A second OnRequestStart under a live key is treated as an implicit end of
+  // the prior request (the app reused the key without reporting completion).
+  uint64_t request_restarts = 0;
+  // Lifecycle of the §4 cancelled-key memo (bounded-set invariant: live
+  // entries == inserted - consumed - evicted, audited by the fuzzer).
+  uint64_t cancelled_keys_inserted = 0;
+  uint64_t cancelled_keys_consumed = 0;  // erased by a re-registration
+  uint64_t cancelled_keys_evicted = 0;   // aged out after sustained calm
 };
 
 class AtroposRuntime final : public OverloadController {
@@ -104,6 +111,12 @@ class AtroposRuntime final : public OverloadController {
   TimestampMode effective_timestamp_mode() const { return effective_mode_; }
   const TaskRecord* FindTask(uint64_t key) const;
   size_t live_task_count() const { return key_to_task_.size(); }
+  // Live entries of the §4 cancelled-key memo (bounded by calm-window aging).
+  size_t cancelled_key_count() const { return cancelled_keys_.size(); }
+  // Total windows ever closed without resource overload; the aging epoch the
+  // memo entries are stamped with (monotone, unlike the consecutive
+  // calm_windows_ streak).
+  uint64_t calm_windows_total() const { return calm_windows_total_; }
   bool has_cancel_initiator() const {
     return cancel_action_ != nullptr || surface_ != nullptr;
   }
@@ -162,7 +175,12 @@ class AtroposRuntime final : public OverloadController {
   std::map<TaskId, TaskRecord> tasks_;
   std::map<ResourceId, ResourceRecord> resources_;
   std::unordered_map<uint64_t, TaskId> key_to_task_;
-  std::unordered_set<uint64_t> cancelled_keys_;  // keys whose re-registration is non-cancellable
+  // Keys whose re-registration is non-cancellable (§4 fairness). Each entry
+  // is stamped with calm_windows_total_ at insertion and aged out after
+  // `reexec_calm_windows` further calm windows: once sustained calm has
+  // passed, re-execution was recommended anyway, and a client that never
+  // retries must not leak a memo entry forever.
+  std::unordered_map<uint64_t, uint64_t> cancelled_keys_;
   TaskId next_task_id_ = 1;
   ResourceId next_resource_id_ = 1;
 
@@ -180,7 +198,8 @@ class AtroposRuntime final : public OverloadController {
   // Cancellation pacing & fairness.
   TimeMicros last_cancel_time_ = 0;
   bool ever_cancelled_ = false;
-  int calm_windows_ = 0;
+  int calm_windows_ = 0;            // consecutive, reset by resource overload
+  uint64_t calm_windows_total_ = 0; // monotone, stamps the cancelled-key memo
 
   // Timestamp sampling.
   TimestampMode effective_mode_;

@@ -14,9 +14,9 @@
 #ifndef SRC_TESTING_AUDIT_CONTROLLER_H_
 #define SRC_TESTING_AUDIT_CONTROLLER_H_
 
+#include <algorithm>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/atropos/runtime.h"
@@ -76,7 +76,9 @@ class AuditController final : public OverloadController {
       rec.cancellable_at_issue = epoch.cancellable;
       rec.cancels_in_epoch = epoch.cancels;
     }
-    ever_cancelled_.insert(key);
+    // Stamped with the same aging epoch the runtime uses, so the shadow memo
+    // evicts in lockstep with the runtime's calm-window aging.
+    ever_cancelled_.emplace(key, runtime_.calm_windows_total());
     cancels_.push_back(rec);
   }
 
@@ -164,7 +166,23 @@ class AuditController final : public OverloadController {
   bool AdmitRequest(uint64_t key, int request_type, int client_class) override {
     return runtime_.AdmitRequest(key, request_type, client_class);
   }
-  void Tick() override { runtime_.Tick(); }
+  void Tick() override {
+    runtime_.Tick();
+    // Replay the runtime's §4 memo aging from the same evidence (monotone
+    // calm-window count, stamp at issue): entries that survived the
+    // re-execution horizon of calm windows are dropped. Must match
+    // AtroposRuntime::Tick() or the cancellability replay diverges.
+    const uint64_t calm = runtime_.calm_windows_total();
+    const uint64_t horizon =
+        static_cast<uint64_t>(std::max(runtime_.config().reexec_calm_windows, 1));
+    for (auto it = ever_cancelled_.begin(); it != ever_cancelled_.end();) {
+      if (calm - it->second >= horizon) {
+        it = ever_cancelled_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   bool ReexecutionRecommended() const override { return runtime_.ReexecutionRecommended(); }
 
   // ---- Oracle access ------------------------------------------------------
@@ -172,6 +190,9 @@ class AuditController final : public OverloadController {
   const std::vector<CancelRecord>& cancels() const { return cancels_; }
   const std::unordered_map<ResourceId, ResourceInfo>& resources() const { return resources_; }
   size_t live_epoch_count() const { return live_.size(); }
+  // Shadow of the runtime's cancelled-key memo; the bounded-memo oracle
+  // checks it agrees with the runtime's count.
+  size_t cancelled_key_memo_count() const { return ever_cancelled_.size(); }
   uint64_t dropped_frees() const { return dropped_frees_; }
   int TypeOfKey(uint64_t key) const {
     auto it = key_types_.find(key);
@@ -182,7 +203,8 @@ class AuditController final : public OverloadController {
   AtroposRuntime& runtime_;
   std::vector<Epoch> epochs_;
   std::unordered_map<uint64_t, size_t> live_;  // key -> index of unfreed epoch
-  std::unordered_set<uint64_t> ever_cancelled_;  // mirrors runtime cancelled_keys_
+  // Mirrors runtime cancelled_keys_: key -> calm_windows_total() at issue.
+  std::unordered_map<uint64_t, uint64_t> ever_cancelled_;
   std::unordered_map<uint64_t, int> key_types_;
   std::unordered_map<ResourceId, ResourceInfo> resources_;
   std::vector<CancelRecord> cancels_;

@@ -290,6 +290,34 @@ void EventStreamSanity(const OracleContext& ctx, std::vector<OracleViolation>* o
   });
 }
 
+// (9) Bounded cancelled-key memo: the §4 memo must not leak. Its lifecycle
+// counters obey a conservation identity (live == inserted - consumed -
+// evicted), the live set never exceeds the cancellations that fed it, and
+// the audit's independently aged shadow agrees with the runtime's count.
+void CancelledKeyMemoBounded(const OracleContext& ctx, std::vector<OracleViolation>* out) {
+  const AtroposStats& stats = ctx.runtime->stats();
+  const uint64_t live = ctx.runtime->cancelled_key_count();
+  if (live + stats.cancelled_keys_consumed + stats.cancelled_keys_evicted !=
+      stats.cancelled_keys_inserted) {
+    Add(out, "cancelled_key_memo",
+        Fmt("memo leak: live=%llu + consumed=%llu + evicted=%llu != inserted=%llu",
+            (unsigned long long)live, (unsigned long long)stats.cancelled_keys_consumed,
+            (unsigned long long)stats.cancelled_keys_evicted,
+            (unsigned long long)stats.cancelled_keys_inserted));
+  }
+  if (stats.cancelled_keys_inserted > stats.cancels_issued) {
+    Add(out, "cancelled_key_memo",
+        Fmt("%llu memo insertions but only %llu cancels issued",
+            (unsigned long long)stats.cancelled_keys_inserted,
+            (unsigned long long)stats.cancels_issued));
+  }
+  if (live != ctx.audit->cancelled_key_memo_count()) {
+    Add(out, "cancelled_key_memo",
+        Fmt("runtime holds %llu memo entries, audit's aged shadow holds %zu",
+            (unsigned long long)live, ctx.audit->cancelled_key_memo_count()));
+  }
+}
+
 }  // namespace
 
 std::vector<OracleViolation> RunAllOracles(const OracleContext& ctx) {
@@ -302,6 +330,7 @@ std::vector<OracleViolation> RunAllOracles(const OracleContext& ctx) {
   DetectorMonotonicity(ctx, &out);
   Quiescence(ctx, &out);
   EventStreamSanity(ctx, &out);
+  CancelledKeyMemoBounded(ctx, &out);
   return out;
 }
 

@@ -1,0 +1,344 @@
+#include "src/atropos/concurrent_frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/obs/export.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+
+namespace atropos {
+namespace {
+
+AtroposConfig TestConfig() {
+  AtroposConfig cfg;
+  cfg.window = Millis(100);
+  cfg.baseline_p99 = 1000;  // 1ms baseline, SLO = 1.2ms
+  cfg.slo_latency_increase = 0.20;
+  cfg.contention_threshold = 0.10;
+  cfg.min_cancel_interval = Millis(200);
+  // Sampled mode on purpose: the determinism proof must cover the §3.2
+  // quantizing TraceNow path, not just raw per-event stamps.
+  cfg.timestamp_mode = TimestampMode::kSampled;
+  cfg.timestamp_sample_interval = Millis(1);
+  return cfg;
+}
+
+// One scripted instrumentation call: which producer thread emits it, when,
+// and the flattened call itself.
+struct ScriptOp {
+  int producer = 0;
+  TraceEvent ev;  // ev.time is the scripted emission time
+};
+
+ScriptOp Op(int producer, TimeMicros t, TraceEventKind kind, uint64_t key,
+            ResourceId resource = kInvalidResourceId, uint64_t a = 0, uint64_t b = 0) {
+  ScriptOp op;
+  op.producer = producer;
+  op.ev.time = t;
+  op.ev.kind = kind;
+  op.ev.key = key;
+  op.ev.resource = resource;
+  op.ev.a = a;
+  op.ev.b = b;
+  return op;
+}
+
+// The §5-style lock-convoy scenario spread over four producer threads:
+// producer 0 registers and runs the culprit, producers 1-2 the waiting
+// victims, producer 3 reports SLO-violating completions. Times are strictly
+// increasing so global timestamp order is unambiguous.
+std::vector<ScriptOp> ConvoyScript(ResourceId lock) {
+  std::vector<ScriptOp> script;
+  script.push_back(Op(0, 100, TraceEventKind::kTaskRegistered, 100));
+  script.push_back(Op(1, 200, TraceEventKind::kTaskRegistered, 200));
+  script.push_back(Op(2, 300, TraceEventKind::kTaskRegistered, 201));
+  script.push_back(Op(0, 1100, TraceEventKind::kGet, 100, lock, 1));
+  script.push_back(Op(0, 1150, TraceEventKind::kProgress, 100, kInvalidResourceId, 5, 100));
+  script.push_back(Op(1, 1200, TraceEventKind::kRequestStart, 200));
+  script.push_back(Op(1, 1300, TraceEventKind::kWaitBegin, 200, lock));
+  script.push_back(Op(2, 1400, TraceEventKind::kWaitBegin, 201, lock));
+  // Three windows of flat-throughput completions far past the SLO.
+  TimeMicros t = 2000;
+  for (int w = 0; w < 3; w++) {
+    for (int i = 0; i < 20; i++) {
+      script.push_back(Op(3, t, TraceEventKind::kRequestEnd, 9999, kInvalidResourceId, 50000));
+      t += 137;  // off the sampling grid on purpose
+    }
+    t = (w + 1) * Millis(100) + 2000;
+  }
+  // A completed wait+use report riding along (the OnUsage path).
+  script.push_back(Op(2, t, TraceEventKind::kUsage, 201, lock, 700, 1400));
+  return script;
+}
+
+// Applies one scripted call directly to a bare runtime — the single-threaded
+// reference the concurrent pipeline must be indistinguishable from.
+void ApplyDirect(AtroposRuntime& rt, const TraceEvent& ev) {
+  switch (ev.kind) {
+    case TraceEventKind::kTaskRegistered:
+      rt.OnTaskRegistered(ev.key, ev.background, ev.cancellable);
+      break;
+    case TraceEventKind::kTaskFreed:
+      rt.OnTaskFreed(ev.key);
+      break;
+    case TraceEventKind::kGet:
+      rt.OnGet(ev.key, ev.resource, ev.a);
+      break;
+    case TraceEventKind::kFree:
+      rt.OnFree(ev.key, ev.resource, ev.a);
+      break;
+    case TraceEventKind::kWaitBegin:
+      rt.OnWaitBegin(ev.key, ev.resource);
+      break;
+    case TraceEventKind::kWaitEnd:
+      rt.OnWaitEnd(ev.key, ev.resource);
+      break;
+    case TraceEventKind::kRequestStart:
+      rt.OnRequestStart(ev.key, ev.request_type, ev.client_class);
+      break;
+    case TraceEventKind::kRequestEnd:
+      rt.OnRequestEnd(ev.key, ev.a, ev.request_type, ev.client_class);
+      break;
+    case TraceEventKind::kUsage:
+      rt.OnUsage(ev.key, ev.resource, ev.a, ev.b);
+      break;
+    case TraceEventKind::kProgress:
+      rt.OnProgress(ev.key, ev.a, ev.b);
+      break;
+  }
+}
+
+void ApplyViaProducer(ConcurrentFrontend::Producer* p, const TraceEvent& ev) {
+  switch (ev.kind) {
+    case TraceEventKind::kTaskRegistered:
+      p->OnTaskRegistered(ev.key, ev.background, ev.cancellable);
+      break;
+    case TraceEventKind::kTaskFreed:
+      p->OnTaskFreed(ev.key);
+      break;
+    case TraceEventKind::kGet:
+      p->OnGet(ev.key, ev.resource, ev.a);
+      break;
+    case TraceEventKind::kFree:
+      p->OnFree(ev.key, ev.resource, ev.a);
+      break;
+    case TraceEventKind::kWaitBegin:
+      p->OnWaitBegin(ev.key, ev.resource);
+      break;
+    case TraceEventKind::kWaitEnd:
+      p->OnWaitEnd(ev.key, ev.resource);
+      break;
+    case TraceEventKind::kRequestStart:
+      p->OnRequestStart(ev.key, ev.request_type, ev.client_class);
+      break;
+    case TraceEventKind::kRequestEnd:
+      p->OnRequestEnd(ev.key, ev.a, ev.request_type, ev.client_class);
+      break;
+    case TraceEventKind::kUsage:
+      p->OnUsage(ev.key, ev.resource, ev.a, ev.b);
+      break;
+    case TraceEventKind::kProgress:
+      p->OnProgress(ev.key, ev.a, ev.b);
+      break;
+  }
+}
+
+// The tentpole property: draining N producers' rings produces decisions
+// byte-for-byte identical (on the flight-recorder JSONL) to feeding the same
+// events to a bare AtroposRuntime in timestamp order. Covers ring merge
+// order, enqueue-time stamping, the ReplayClock, and the sampled-mode
+// TraceNow replay.
+TEST(ConcurrentFrontendDeterminism, DrainedDecisionsMatchDirectFeeding) {
+  const int kProducers = 4;
+  const TimeMicros kTick = Millis(100);
+  const int kWindows = 4;
+
+  // --- Pipeline run: scripted events through per-producer rings.
+  ManualClock clock_a(0);
+  ConcurrentFrontend frontend(&clock_a, TestConfig());
+  ResourceId lock_a = frontend.RegisterResource("table_lock", ResourceClass::kLock);
+  FlightRecorder rec_a;
+  frontend.runtime().SetRecorder(&rec_a);
+  std::vector<uint64_t> cancels_a;
+  frontend.runtime().SetCancelAction([&](uint64_t key) { cancels_a.push_back(key); });
+  std::vector<ConcurrentFrontend::Producer*> producers;
+  for (int i = 0; i < kProducers; i++) {
+    producers.push_back(frontend.RegisterProducer());
+  }
+
+  std::vector<ScriptOp> script = ConvoyScript(lock_a);
+  size_t next = 0;
+  for (int w = 1; w <= kWindows; w++) {
+    const TimeMicros tick_at = w * kTick;
+    while (next < script.size() && script[next].ev.time < tick_at) {
+      clock_a.SetTime(script[next].ev.time);
+      ApplyViaProducer(producers[script[next].producer], script[next].ev);
+      next++;
+    }
+    clock_a.SetTime(tick_at);
+    frontend.Tick();
+  }
+  ASSERT_EQ(next, script.size()) << "script must fit in the ticked horizon";
+
+  // --- Reference run: same events, bare runtime, global timestamp order.
+  ManualClock clock_b(0);
+  AtroposRuntime runtime(&clock_b, TestConfig());
+  ResourceId lock_b = runtime.RegisterResource("table_lock", ResourceClass::kLock);
+  ASSERT_EQ(lock_a, lock_b);
+  FlightRecorder rec_b;
+  runtime.SetRecorder(&rec_b);
+  std::vector<uint64_t> cancels_b;
+  runtime.SetCancelAction([&](uint64_t key) { cancels_b.push_back(key); });
+
+  std::vector<ScriptOp> sorted = script;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ScriptOp& a, const ScriptOp& b) { return a.ev.time < b.ev.time; });
+  next = 0;
+  for (int w = 1; w <= kWindows; w++) {
+    const TimeMicros tick_at = w * kTick;
+    while (next < sorted.size() && sorted[next].ev.time < tick_at) {
+      clock_b.SetTime(sorted[next].ev.time);
+      ApplyDirect(runtime, sorted[next].ev);
+      next++;
+    }
+    clock_b.SetTime(tick_at);
+    runtime.Tick();
+  }
+
+  // The scenario must actually decide something, or the comparison is hollow.
+  ASSERT_EQ(cancels_b.size(), 1u);
+  EXPECT_EQ(cancels_b[0], 100u);  // the lock holder, not a waiter
+  EXPECT_EQ(cancels_a, cancels_b);
+
+  EXPECT_EQ(EventsToJsonl(rec_a.Snapshot()), EventsToJsonl(rec_b.Snapshot()));
+
+  const AtroposStats& sa = frontend.runtime().stats();
+  const AtroposStats& sb = runtime.stats();
+  EXPECT_EQ(sa.trace_events, sb.trace_events);
+  EXPECT_EQ(sa.ignored_events, sb.ignored_events);
+  EXPECT_EQ(sa.cancels_issued, sb.cancels_issued);
+  EXPECT_EQ(sa.resource_overload_windows, sb.resource_overload_windows);
+
+  EXPECT_EQ(frontend.intake_stats().drained_total, script.size());
+  EXPECT_EQ(frontend.intake_stats().dropped_total, 0u);
+}
+
+// Ring overflow is lossy-with-counter: a full ring drops the event, counts
+// it, and the drain/gauge accounting reconciles drops against drains.
+TEST(ConcurrentFrontendTest, RingOverflowDropsAreCounted) {
+  ManualClock clock(0);
+  ConcurrentFrontend::Options opt;
+  opt.ring_capacity = 8;
+  ConcurrentFrontend frontend(&clock, TestConfig(), opt);
+  ResourceId lock = frontend.RegisterResource("l", ResourceClass::kLock);
+  MetricsRegistry metrics;
+  frontend.BindMetrics(&metrics);
+
+  ConcurrentFrontend::Producer* p = frontend.RegisterProducer();
+  p->OnTaskRegistered(1, false);
+  for (int i = 0; i < 19; i++) {
+    clock.Advance(10);
+    p->OnGet(1, lock, 1);
+  }
+  EXPECT_EQ(p->dropped(), 12u);  // 20 pushes into an 8-slot ring
+
+  clock.SetTime(Millis(100));
+  frontend.Tick();
+  const ConcurrentFrontend::IntakeStats& intake = frontend.intake_stats();
+  EXPECT_EQ(intake.drained_last_tick, 8u);
+  EXPECT_EQ(intake.drained_total, 8u);
+  EXPECT_EQ(intake.dropped_total, 12u);
+  EXPECT_EQ(intake.max_ring_depth, 8u);
+  EXPECT_EQ(intake.producers, 1u);
+
+  MetricsRegistry::Snapshot snap = metrics.TakeSnapshot();
+  EXPECT_EQ(snap.gauges.at("intake.ring_depth"), 8.0);
+  EXPECT_EQ(snap.gauges.at("intake.drained_per_tick"), 8.0);
+  EXPECT_EQ(snap.gauges.at("intake.dropped_events"), 12.0);
+  EXPECT_EQ(snap.gauges.at("intake.producers"), 1.0);
+
+  // The runtime saw exactly the drained prefix: the registration + 7 gets.
+  EXPECT_EQ(frontend.runtime().stats().trace_events, 7u);
+  EXPECT_EQ(frontend.runtime().live_task_count(), 1u);
+}
+
+// The OverloadController hooks bind each calling thread to its own ring on
+// first use.
+TEST(ConcurrentFrontendTest, HooksAutoRegisterCallingThread) {
+  ManualClock clock(0);
+  ConcurrentFrontend frontend(&clock, TestConfig());
+  ResourceId lock = frontend.RegisterResource("l", ResourceClass::kLock);
+  frontend.OnTaskRegistered(7, false);
+  frontend.OnGet(7, lock, 1);
+  std::thread other([&] {
+    frontend.OnTaskRegistered(8, false);
+    frontend.OnGet(8, lock, 1);
+  });
+  other.join();
+  clock.SetTime(Millis(100));
+  frontend.Tick();
+  EXPECT_EQ(frontend.intake_stats().producers, 2u);
+  EXPECT_EQ(frontend.intake_stats().drained_total, 4u);
+  EXPECT_EQ(frontend.runtime().live_task_count(), 2u);
+}
+
+// Multi-producer stress with a concurrent drainer: real OS threads hammer
+// the intake while Tick() drains. Run under the tsan preset this is the
+// data-race proof; in any build it checks intake conservation (every push is
+// either drained into the runtime or counted as dropped).
+TEST(ConcurrentFrontendStress, ConcurrentProducersAndDrainerConserveEvents) {
+  const int kThreads = 4;
+  const int kEventsPerThread = 20000;
+  SteadyClock clock;
+  ConcurrentFrontend::Options opt;
+  opt.ring_capacity = 1 << 10;  // small enough that overflow is plausible
+  ConcurrentFrontend frontend(&clock, TestConfig(), opt);
+  ResourceId lock = frontend.RegisterResource("l", ResourceClass::kLock);
+
+  std::atomic<bool> stop{false};
+  std::thread drainer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      frontend.Tick();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::atomic<uint64_t> pushed{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; t++) {
+    producers.emplace_back([&, t] {
+      const uint64_t key = 1000 + t;
+      frontend.OnTaskRegistered(key, false);
+      uint64_t mine = 1;
+      for (int i = 0; i < kEventsPerThread; i += 4) {
+        frontend.OnGet(key, lock, 1);
+        frontend.OnWaitBegin(key, lock);
+        frontend.OnWaitEnd(key, lock);
+        frontend.OnFree(key, lock, 1);
+        mine += 4;
+      }
+      frontend.OnTaskFreed(key);
+      mine += 1;
+      pushed.fetch_add(mine, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& p : producers) {
+    p.join();
+  }
+  stop.store(true, std::memory_order_release);
+  drainer.join();
+  frontend.Tick();  // final drain of anything still buffered
+
+  const ConcurrentFrontend::IntakeStats& intake = frontend.intake_stats();
+  EXPECT_EQ(intake.producers, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(intake.drained_total + intake.dropped_total, pushed.load());
+  EXPECT_GT(intake.drained_total, 0u);
+}
+
+}  // namespace
+}  // namespace atropos

@@ -181,6 +181,74 @@ TEST_F(RuntimeTest, ReRegisteredCancelledKeyIsNonCancellable) {
   EXPECT_FALSE(runtime_.FindTask(100)->cancellable);
 }
 
+// Regression: cancelled_keys_ used to grow forever when cancelled clients
+// never retried (entries were only erased by a re-registration). The memo now
+// ages out after reexec_calm_windows calm windows, with every insertion,
+// §4 consumption, and eviction counted.
+TEST_F(RuntimeTest, CancelledKeyMemoAgesOutAfterSustainedCalm) {
+  runtime_.OnTaskRegistered(100, false);
+  runtime_.OnTaskRegistered(200, false);
+  runtime_.OnRequestStart(200, 0, 0);
+  runtime_.OnGet(100, lock_, 1);
+  runtime_.OnWaitBegin(200, lock_);
+  clock_.Advance(Millis(100));
+  runtime_.Tick();
+  ASSERT_EQ(cancelled_.size(), 1u);
+  EXPECT_EQ(runtime_.cancelled_key_count(), 1u);
+  EXPECT_EQ(runtime_.stats().cancelled_keys_inserted, 1u);
+
+  // The culprit complies and departs; the victim resumes. The client never
+  // retries key 100.
+  runtime_.OnWaitEnd(200, lock_);
+  runtime_.OnFree(100, lock_, 1);
+  runtime_.OnTaskFreed(100);
+  runtime_.OnRequestEnd(200, /*latency=*/1000, 0, 0);
+
+  for (int w = 0; w < runtime_.config().reexec_calm_windows - 1; w++) {
+    HealthyWindow();
+  }
+  EXPECT_EQ(runtime_.cancelled_key_count(), 1u);  // horizon not yet reached
+  HealthyWindow();
+  EXPECT_EQ(runtime_.cancelled_key_count(), 0u);
+  EXPECT_EQ(runtime_.stats().cancelled_keys_evicted, 1u);
+  EXPECT_EQ(runtime_.stats().cancelled_keys_consumed, 0u);
+
+  // A retry after the horizon starts a fresh fairness epoch: cancellable.
+  runtime_.OnTaskRegistered(100, false);
+  EXPECT_TRUE(runtime_.FindTask(100)->cancellable);
+}
+
+// The §4 consumption path still takes precedence over aging and is counted.
+TEST_F(RuntimeTest, CancelledKeyMemoConsumedByReRegistration) {
+  runtime_.OnTaskRegistered(100, false);
+  runtime_.OnTaskRegistered(200, false);
+  runtime_.OnRequestStart(200, 0, 0);
+  runtime_.OnGet(100, lock_, 1);
+  runtime_.OnWaitBegin(200, lock_);
+  clock_.Advance(Millis(100));
+  runtime_.Tick();
+  ASSERT_EQ(cancelled_.size(), 1u);
+  runtime_.OnTaskFreed(100);
+  runtime_.OnTaskRegistered(100, false);  // prompt retry
+  EXPECT_FALSE(runtime_.FindTask(100)->cancellable);
+  EXPECT_EQ(runtime_.cancelled_key_count(), 0u);
+  EXPECT_EQ(runtime_.stats().cancelled_keys_consumed, 1u);
+  EXPECT_EQ(runtime_.stats().cancelled_keys_evicted, 0u);
+}
+
+// Regression: a second OnRequestStart under a live key used to silently
+// clobber the prior ActiveRequest. It is now treated as an implicit end and
+// counted, so key reuse is visible instead of skewing overdue_actives.
+TEST_F(RuntimeTest, SecondRequestStartUnderLiveKeyCountsImplicitEnd) {
+  runtime_.OnRequestStart(5, 0, 0);
+  clock_.Advance(Millis(50));
+  runtime_.OnRequestStart(5, 0, 0);  // implicit end of the first
+  EXPECT_EQ(runtime_.stats().request_restarts, 1u);
+  runtime_.OnRequestEnd(5, /*latency=*/1000, 0, 0);
+  runtime_.OnRequestStart(5, 0, 0);  // fresh start after a real end
+  EXPECT_EQ(runtime_.stats().request_restarts, 1u);
+}
+
 TEST_F(RuntimeTest, CancellationDisabledMeansDetectionOnly) {
   AtroposConfig cfg = TestConfig();
   cfg.cancellation_enabled = false;
