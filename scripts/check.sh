@@ -1,18 +1,40 @@
 #!/usr/bin/env bash
-# Repo gate: full build + ctest (including the fuzz_smoke corpus), then the
-# obs/workload tests and a fuzz corpus under ASan/UBSan, then the concurrent
-# intake tests and mt_ingest smoke under TSan.
+# Repo gate: full build + ctest (including the fuzz_smoke corpus), then a
+# clang-tidy pass over the runtime layers, then the obs/workload/atropos tests
+# and a fuzz corpus under ASan/UBSan, then the concurrent intake tests and
+# mt_ingest smoke under TSan.
 #
-#   scripts/check.sh          # build + all tests + ASan/UBSan + TSan stages
-#   scripts/check.sh --fast   # skip the sanitizer stages
+#   scripts/check.sh          # build + all tests + lint + ASan/UBSan + TSan
+#   scripts/check.sh --fast   # skip the lint and sanitizer stages
+#   scripts/check.sh --lint   # configure + run only the clang-tidy stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
+# clang-tidy over the decision-pipeline layers (src/atropos) and the fuzzing
+# harness (src/testing), driven by the compile database the main configure
+# exports. Skips with a notice when clang-tidy isn't installed so the gate
+# stays runnable in minimal containers.
+run_lint() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "== lint: clang-tidy not found, skipping =="
+    return 0
+  fi
+  echo "== lint: clang-tidy over src/atropos + src/testing =="
+  local files
+  files=$(ls src/atropos/*.cc src/testing/*.cc)
+  clang-tidy -p build --quiet $files
+}
+
 echo "== configure + build (build/) =="
-cmake -B build -S . >/dev/null
+cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build -j "$JOBS"
+
+if [[ "${1:-}" == "--lint" ]]; then
+  run_lint
+  exit 0
+fi
 
 echo "== ctest (build/) =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
@@ -21,17 +43,20 @@ echo "== fuzz smoke (deterministic corpus, replay-checked) =="
 ./build/tools/fuzz_atropos --seed=1 --runs=25 --replay-check
 
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "== skipping sanitizer stage (--fast) =="
+  echo "== skipping lint + sanitizer stages (--fast) =="
   exit 0
 fi
 
+run_lint
+
 echo "== configure + build with ASan/UBSan (build-asan/) =="
 cmake -B build-asan -S . -DATROPOS_SANITIZE=ON >/dev/null
-cmake --build build-asan -j "$JOBS" --target obs_test workload_test fuzz_atropos
+cmake --build build-asan -j "$JOBS" --target obs_test workload_test atropos_test fuzz_atropos
 
-echo "== obs + workload tests under ASan/UBSan =="
+echo "== obs + workload + atropos tests under ASan/UBSan =="
 ./build-asan/tests/obs_test
 ./build-asan/tests/workload_test
+./build-asan/tests/atropos_test
 
 echo "== fuzz corpus under ASan/UBSan =="
 ./build-asan/tools/fuzz_atropos --seed=1 --runs=10 --replay-check

@@ -1,6 +1,8 @@
 #include "src/atropos/capi.h"
 
+#include <algorithm>
 #include <array>
+#include <vector>
 
 namespace atropos {
 
@@ -8,6 +10,16 @@ namespace {
 
 AtroposRuntime* g_runtime = nullptr;
 Cancellable* g_current = nullptr;
+// The `previous_` pointers held by live CancellableScopes, outermost first.
+// Mirrored here so freeCancel can tell whether a handle is still reachable
+// through a scope restore.
+std::vector<Cancellable*> g_saved_chain;
+// Handles passed to freeCancel while still referenced by g_current or the
+// scope chain. Deleting them eagerly would leave a dangling pointer to be
+// restored at scope exit; instead they stay allocated (their task already
+// freed in the runtime, so tracing counts as ignored_events) until no
+// reference remains.
+std::vector<Cancellable*> g_zombies;
 void (*g_cancel_action)(uint64_t) = nullptr;
 // Lazily registered default resource instances, one per facade type.
 std::array<ResourceId, 3> g_default_resources = {kInvalidResourceId, kInvalidResourceId,
@@ -33,11 +45,33 @@ ResourceId DefaultResource(CApiResourceType type) {
   return g_default_resources[idx];
 }
 
+bool Referenced(const Cancellable* c) {
+  if (g_current == c) {
+    return true;
+  }
+  return std::find(g_saved_chain.begin(), g_saved_chain.end(), c) != g_saved_chain.end();
+}
+
+// Deletes retired handles that no scope or current-task slot references
+// anymore; called at every point a reference can disappear.
+void ReapZombies() {
+  for (auto it = g_zombies.begin(); it != g_zombies.end();) {
+    if (!Referenced(*it)) {
+      delete *it;
+      it = g_zombies.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 }  // namespace
 
 void InstallGlobalRuntime(AtroposRuntime* runtime) {
   g_runtime = runtime;
   g_current = nullptr;
+  g_saved_chain.clear();
+  ReapZombies();  // nothing is referenced now — drops every retired handle
   g_cancel_action = nullptr;
   g_default_resources.fill(kInvalidResourceId);
 }
@@ -59,8 +93,15 @@ void freeCancel(Cancellable* c) {
   if (g_runtime != nullptr) {
     g_runtime->OnTaskFreed(c->key);
   }
-  if (g_current == c) {
-    g_current = nullptr;
+  if (Referenced(c)) {
+    // Still the current task or saved by a live scope: retire lazily. The
+    // current-task slot is deliberately left pointing at the handle —
+    // subsequent tracing reaches the runtime under the freed key and is
+    // counted there as ignored_events instead of disappearing without trace.
+    if (std::find(g_zombies.begin(), g_zombies.end(), c) == g_zombies.end()) {
+      g_zombies.push_back(c);
+    }
+    return;
   }
   delete c;
 }
@@ -79,7 +120,22 @@ void setCancelAction(void (*func)(uint64_t)) {
 Cancellable* SetCurrentCancellable(Cancellable* c) {
   Cancellable* prev = g_current;
   g_current = c;
+  ReapZombies();
   return prev;
+}
+
+Cancellable* EnterCancellableScope(Cancellable* c) {
+  g_saved_chain.push_back(g_current);
+  g_current = c;
+  return g_saved_chain.back();
+}
+
+void ExitCancellableScope(Cancellable* previous) {
+  if (!g_saved_chain.empty()) {
+    g_saved_chain.pop_back();
+  }
+  g_current = previous;
+  ReapZombies();
 }
 
 void getResource(long value, CApiResourceType rsc_type) {

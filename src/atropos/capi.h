@@ -41,11 +41,20 @@ void setCancelAction(void (*func)(uint64_t key));
 // Returns the previous current task so scopes can nest.
 Cancellable* SetCurrentCancellable(Cancellable* c);
 
+// Scope-tracked variants used by CancellableScope. The facade mirrors the
+// scope chain so freeCancel can tell when a handle is still referenced by a
+// live scope (or is the current task): such a handle is retired lazily
+// instead of deleted, so a nested scope's exit never restores a dangling
+// pointer, and tracing against the freed task flows to the runtime — which
+// counts it as an ignored event — rather than silently vanishing.
+Cancellable* EnterCancellableScope(Cancellable* c);
+void ExitCancellableScope(Cancellable* previous);
+
 // RAII scope for the current task.
 class CancellableScope {
  public:
-  explicit CancellableScope(Cancellable* c) : previous_(SetCurrentCancellable(c)) {}
-  ~CancellableScope() { SetCurrentCancellable(previous_); }
+  explicit CancellableScope(Cancellable* c) : previous_(EnterCancellableScope(c)) {}
+  ~CancellableScope() { ExitCancellableScope(previous_); }
   CancellableScope(const CancellableScope&) = delete;
   CancellableScope& operator=(const CancellableScope&) = delete;
 

@@ -89,17 +89,31 @@ class OverloadController {
   virtual void OnRequestEnd(uint64_t key, TimeMicros latency, int request_type,
                             int client_class) {}
 
-  // Completed wait+use report in one call, used by CPU/IO adapters that learn
-  // both durations only after the fact. The default lowers it onto the
-  // bracketing hooks so simple controllers see the event at all; AtroposRuntime
-  // overrides with precise duration accounting.
-  virtual void OnUsage(uint64_t key, ResourceId resource, TimeMicros waited, TimeMicros used) {
-    if (waited > 0) {
-      OnWaitBegin(key, resource);
-      OnWaitEnd(key, resource);
-    }
+  // After-the-fact observations of a completed wait / hold with known
+  // durations. These are the lowering targets of OnUsage: baselines that
+  // measure durations themselves (wall-clocking the OnWaitBegin/OnWaitEnd
+  // bracket) override these to credit the reported magnitudes instead — the
+  // default bracket lowering is zero-width, so a clock-based controller
+  // would otherwise observe every after-the-fact wait as 0 µs.
+  virtual void OnWaitObserved(uint64_t key, ResourceId resource, TimeMicros waited) {
+    OnWaitBegin(key, resource);
+    OnWaitEnd(key, resource);
+  }
+  virtual void OnHoldObserved(uint64_t key, ResourceId resource, TimeMicros used) {
     OnGet(key, resource, 1);
     OnFree(key, resource, 1);
+  }
+
+  // Completed wait+use report in one call, used by CPU/IO adapters that learn
+  // both durations only after the fact. The default forwards the magnitudes
+  // to the observation hooks above so simple controllers see the durations,
+  // not just the events; AtroposRuntime overrides with precise duration
+  // accounting.
+  virtual void OnUsage(uint64_t key, ResourceId resource, TimeMicros waited, TimeMicros used) {
+    if (waited > 0) {
+      OnWaitObserved(key, resource, waited);
+    }
+    OnHoldObserved(key, resource, used);
   }
 
   // GetNext progress (§3.4).

@@ -5,6 +5,20 @@
 
 namespace atropos {
 
+std::string_view SignalName(OverloadDetector::Signal signal) {
+  switch (signal) {
+    case OverloadDetector::Signal::kCalibrating:
+      return "calibrating";
+    case OverloadDetector::Signal::kNormal:
+      return "normal";
+    case OverloadDetector::Signal::kSuspectedOverload:
+      return "suspected_overload";
+    case OverloadDetector::Signal::kDemandOverload:
+      return "demand_overload";
+  }
+  return "unknown";
+}
+
 OverloadDetector::OverloadDetector(const AtroposConfig& config) : config_(config) {
   if (config_.baseline_p99 > 0) {
     SetBaseline(config_.baseline_p99);

@@ -9,6 +9,7 @@
 #define SRC_ATROPOS_DETECTOR_H_
 
 #include <deque>
+#include <string_view>
 
 #include "src/atropos/config.h"
 #include "src/common/clock.h"
@@ -62,6 +63,9 @@ class OverloadDetector {
   // "throughput remains flat" test.
   double peak_rate_ = 0.0;
 };
+
+// Stable lowercase signal name, used for flight-recorder labels.
+std::string_view SignalName(OverloadDetector::Signal signal);
 
 }  // namespace atropos
 

@@ -1,0 +1,107 @@
+// Safe-cancellation dispatch and §4 fairness bookkeeping.
+//
+// The CancelDispatcher is the action layer of the decomposed runtime: it
+// routes every confirmed cancellation through the application's registered
+// initiator (§3.6 — never directly), paces issues by min_cancel_interval,
+// and owns the §4 fairness state: the cancelled-key memo that makes a
+// re-executed task non-cancellable, the calm-window streak behind the
+// re-execution gate, and the memo's calm-window aging so clients that never
+// retry cannot leak entries.
+
+#ifndef SRC_ATROPOS_DISPATCHER_H_
+#define SRC_ATROPOS_DISPATCHER_H_
+
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "src/atropos/config.h"
+#include "src/atropos/controller.h"
+#include "src/atropos/stats.h"
+#include "src/common/clock.h"
+
+namespace atropos {
+
+class CancelDispatcher {
+ public:
+  CancelDispatcher(const AtroposConfig& config, AtroposStats* stats)
+      : config_(config), stats_(stats) {}
+
+  // ---- Initiator wiring (paper Fig 6a) -------------------------------------
+  void SetCancelAction(std::function<void(uint64_t)> initiator) {
+    cancel_action_ = std::move(initiator);
+  }
+  void SetControlSurface(ControlSurface* surface) { surface_ = surface; }
+  void SetCancelObserver(std::function<void(uint64_t, double)> observer) {
+    cancel_observer_ = std::move(observer);
+  }
+  bool has_initiator() const {
+    return cancel_action_ != nullptr || surface_ != nullptr;
+  }
+
+  // ---- Pacing (§5.3 trade-off) ---------------------------------------------
+  // Whether min_cancel_interval permits a cancellation now; counts the
+  // suppression when it does not.
+  bool AdmitByPacing(TimeMicros now) {
+    if (ever_cancelled_ && now < last_cancel_time_ + config_.min_cancel_interval) {
+      stats_->cancels_suppressed_interval++;
+      return false;
+    }
+    return true;
+  }
+
+  // ---- Dispatch (§3.6) -----------------------------------------------------
+  // Records the cancellation (memo entry, pacing state, stats), notifies the
+  // observer, then invokes the application's initiator. The caller records
+  // any flight-recorder event *before* dispatching so observers that
+  // annotate the recorder (e.g. the frontend naming the request type) find
+  // the cancel event already present.
+  void Dispatch(uint64_t key, double score, TimeMicros now);
+
+  // ---- §4 fairness ---------------------------------------------------------
+  // Window-boundary accounting: resets or extends the calm streak and ages
+  // the cancelled-key memo after sustained calm.
+  void ObserveWindow(bool resource_overload);
+
+  // A re-registration of a previously cancelled key consumes its memo entry;
+  // returns true when the new registration must be non-cancellable.
+  bool ConsumeCancelledKey(uint64_t key);
+
+  // True after `reexec_calm_windows` consecutive windows without resource
+  // overload — the "sustained resource availability" condition for retrying
+  // cancelled work.
+  bool ReexecutionRecommended() const {
+    return calm_windows_ >= config_.reexec_calm_windows;
+  }
+
+  // ---- Introspection -------------------------------------------------------
+  size_t cancelled_key_count() const { return cancelled_keys_.size(); }
+  // Total windows ever closed without resource overload; the aging epoch the
+  // memo entries are stamped with (monotone, unlike the consecutive streak).
+  uint64_t calm_windows_total() const { return calm_windows_total_; }
+
+ private:
+  const AtroposConfig config_;
+  AtroposStats* stats_;
+
+  std::function<void(uint64_t)> cancel_action_;
+  ControlSurface* surface_ = nullptr;
+  std::function<void(uint64_t, double)> cancel_observer_;
+
+  // Pacing.
+  TimeMicros last_cancel_time_ = 0;
+  bool ever_cancelled_ = false;
+
+  // §4 fairness. Keys whose re-registration is non-cancellable; each entry is
+  // stamped with calm_windows_total_ at insertion and aged out after
+  // `reexec_calm_windows` further calm windows: once sustained calm has
+  // passed, re-execution was recommended anyway, and a client that never
+  // retries must not leak a memo entry forever.
+  std::unordered_map<uint64_t, uint64_t> cancelled_keys_;
+  int calm_windows_ = 0;             // consecutive, reset by resource overload
+  uint64_t calm_windows_total_ = 0;  // monotone, stamps the cancelled-key memo
+};
+
+}  // namespace atropos
+
+#endif  // SRC_ATROPOS_DISPATCHER_H_

@@ -1,0 +1,272 @@
+#include "src/atropos/ledger.h"
+
+#include <algorithm>
+
+namespace atropos {
+
+TaskLedger::TaskLedger(Clock* clock, const AtroposConfig& config, AtroposStats* stats)
+    : clock_(clock), config_(config), stats_(stats), effective_mode_(config.timestamp_mode) {
+  window_start_ = clock_->NowMicros();
+  cached_now_ = window_start_;
+}
+
+ResourceId TaskLedger::RegisterResource(std::string name, ResourceClass cls) {
+  ResourceId id = next_resource_id_++;
+  ResourceRecord rec;
+  rec.id = id;
+  rec.cls = cls;
+  rec.name = std::move(name);
+  resources_.emplace(id, std::move(rec));
+  return id;
+}
+
+const ResourceRecord* TaskLedger::FindResource(ResourceId id) const {
+  auto it = resources_.find(id);
+  return it == resources_.end() ? nullptr : &it->second;
+}
+
+const TaskRecord* TaskLedger::FindTask(uint64_t key) const {
+  auto it = key_to_task_.find(key);
+  if (it == key_to_task_.end()) {
+    return nullptr;
+  }
+  auto t = tasks_.find(it->second);
+  return t == tasks_.end() ? nullptr : &t->second;
+}
+
+TaskRecord* TaskLedger::FindTaskById(TaskId id) {
+  auto it = tasks_.find(id);
+  return it == tasks_.end() ? nullptr : &it->second;
+}
+
+TimeMicros TaskLedger::TraceNow() {
+  if (effective_mode_ == TimestampMode::kPerEvent) {
+    cached_now_ = clock_->NowMicros();
+    return cached_now_;
+  }
+  // Sampled mode: reuse the cached timestamp within the sampling interval —
+  // the batching that amortizes timestamp retrieval (§3.2). In a real
+  // deployment the refresh is driven by a timer; here the interval check
+  // plays that role without a second clock source.
+  TimeMicros now = clock_->NowMicros();
+  if (now >= cached_now_ + config_.timestamp_sample_interval) {
+    cached_now_ = now - now % config_.timestamp_sample_interval;
+  }
+  return cached_now_;
+}
+
+void TaskLedger::RegisterTask(uint64_t key, bool background, bool cancellable) {
+  TaskId id = next_task_id_++;
+  TaskRecord rec;
+  rec.id = id;
+  rec.key = key;
+  rec.created_at = clock_->NowMicros();
+  rec.background = background;
+  rec.cancellable = cancellable;
+  // Replace any stale registration under the same key.
+  auto old = key_to_task_.find(key);
+  if (old != key_to_task_.end()) {
+    auto stale = tasks_.find(old->second);
+    if (stale != tasks_.end()) {
+      RetireTaskAccounting(stale->second);
+      tasks_.erase(stale);
+    }
+  }
+  key_to_task_[key] = id;
+  tasks_.emplace(id, std::move(rec));
+}
+
+void TaskLedger::FreeTask(uint64_t key) {
+  auto it = key_to_task_.find(key);
+  if (it == key_to_task_.end()) {
+    return;
+  }
+  auto task = tasks_.find(it->second);
+  if (task != tasks_.end()) {
+    RetireTaskAccounting(task->second);
+    tasks_.erase(task);
+  }
+  key_to_task_.erase(it);
+}
+
+void TaskLedger::RetireTaskAccounting(const TaskRecord& task) {
+  for (const auto& [rid, usage] : task.usage) {
+    if (usage.active_units == 0) {
+      continue;
+    }
+    auto res = resources_.find(rid);
+    if (res != resources_.end()) {
+      res->second.leaked_units += usage.active_units;
+    }
+  }
+}
+
+std::vector<ResourceAudit> TaskLedger::AuditAccounting() const {
+  std::map<ResourceId, uint64_t> live_held;
+  for (const auto& [tid, task] : tasks_) {
+    for (const auto& [rid, usage] : task.usage) {
+      live_held[rid] += usage.active_units;
+    }
+  }
+  std::vector<ResourceAudit> out;
+  out.reserve(resources_.size());
+  for (const auto& [rid, res] : resources_) {
+    ResourceAudit row;
+    row.id = rid;
+    row.name = res.name;
+    row.cls = res.cls;
+    row.acquired = res.total_gets;
+    row.released = res.total_frees;
+    row.leaked = res.leaked_units;
+    row.overfreed = res.overfreed_units;
+    auto it = live_held.find(rid);
+    row.live_held = it == live_held.end() ? 0 : it->second;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+TaskRecord* TaskLedger::Lookup(uint64_t key) {
+  auto it = key_to_task_.find(key);
+  if (it == key_to_task_.end()) {
+    stats_->ignored_events++;
+    return nullptr;
+  }
+  return &tasks_.find(it->second)->second;
+}
+
+TaskResourceUsage* TaskLedger::UsageFor(uint64_t key, ResourceId resource) {
+  TaskRecord* task = Lookup(key);
+  if (task == nullptr) {
+    return nullptr;
+  }
+  return &task->usage[resource];
+}
+
+void TaskLedger::RecordGet(uint64_t key, ResourceId resource, uint64_t amount) {
+  stats_->trace_events++;
+  TaskResourceUsage* usage = UsageFor(key, resource);
+  if (usage == nullptr) {
+    return;
+  }
+  TimeMicros now = TraceNow();
+  usage->acquired += amount;
+  if (usage->active_units == 0) {
+    usage->hold_started_at = now;
+  }
+  usage->active_units += amount;
+  auto res = resources_.find(resource);
+  if (res != resources_.end()) {
+    // Window gets count API calls, not units: the §3.4 eviction ratio is
+    // "slowByResource calls / getResource calls" regardless of whether a call
+    // acquires one page or a multi-KB allocation.
+    res->second.window.gets++;
+    res->second.total_gets += amount;
+  }
+}
+
+void TaskLedger::RecordFree(uint64_t key, ResourceId resource, uint64_t amount) {
+  stats_->trace_events++;
+  TaskResourceUsage* usage = UsageFor(key, resource);
+  if (usage == nullptr) {
+    return;
+  }
+  TimeMicros now = TraceNow();
+  usage->released += amount;
+  uint64_t dec = std::min(usage->active_units, amount);
+  usage->active_units -= dec;
+  auto res = resources_.find(resource);
+  if (res != resources_.end()) {
+    res->second.total_frees += amount;
+    res->second.overfreed_units += amount - dec;
+  }
+  if (usage->active_units == 0 && dec > 0 && now > usage->hold_started_at) {
+    usage->hold_time += now - usage->hold_started_at;
+    if (res != resources_.end()) {
+      // Window counters take the part of the closed interval inside this
+      // window; earlier parts were visible as an open interval before.
+      TimeMicros from = std::max(usage->hold_started_at, window_start_);
+      if (now > from) {
+        res->second.window.hold_time += now - from;
+      }
+    }
+  }
+  if (res != resources_.end()) {
+    res->second.window.frees += amount;
+  }
+}
+
+void TaskLedger::RecordWaitBegin(uint64_t key, ResourceId resource) {
+  stats_->trace_events++;
+  TaskResourceUsage* usage = UsageFor(key, resource);
+  if (usage == nullptr || usage->waiting) {
+    return;
+  }
+  usage->waiting = true;
+  usage->wait_started_at = TraceNow();
+}
+
+void TaskLedger::RecordWaitEnd(uint64_t key, ResourceId resource) {
+  stats_->trace_events++;
+  TaskResourceUsage* usage = UsageFor(key, resource);
+  if (usage == nullptr || !usage->waiting) {
+    return;
+  }
+  TimeMicros now = TraceNow();
+  usage->waiting = false;
+  if (now > usage->wait_started_at) {
+    usage->wait_time += now - usage->wait_started_at;
+  }
+  usage->slow_events++;
+  auto res = resources_.find(resource);
+  if (res != resources_.end()) {
+    res->second.window.slow_events++;
+    res->second.total_slow_events++;
+    TimeMicros from = std::max(usage->wait_started_at, window_start_);
+    if (now > from) {
+      res->second.window.wait_time += now - from;
+    }
+  }
+}
+
+void TaskLedger::RecordUsage(uint64_t key, ResourceId resource, TimeMicros waited,
+                             TimeMicros used) {
+  stats_->trace_events++;
+  TaskResourceUsage* usage = UsageFor(key, resource);
+  if (usage == nullptr) {
+    return;
+  }
+  usage->wait_time += waited;
+  usage->hold_time += used;
+  auto res = resources_.find(resource);
+  if (res != resources_.end()) {
+    res->second.window.wait_time += waited;
+    res->second.window.hold_time += used;
+    if (waited > 0) {
+      res->second.window.slow_events++;
+      res->second.total_slow_events++;
+    }
+  }
+  if (waited > 0) {
+    usage->slow_events++;
+  }
+}
+
+void TaskLedger::RecordProgress(uint64_t key, uint64_t done, uint64_t total) {
+  TaskRecord* task = Lookup(key);
+  if (task == nullptr) {
+    return;
+  }
+  task->has_progress = true;
+  task->progress_done = done;
+  task->progress_total = total;
+}
+
+void TaskLedger::RollWindow(TimeMicros now) {
+  window_start_ = now;
+  for (auto& [rid, res] : resources_) {
+    res.window.Reset();
+  }
+}
+
+}  // namespace atropos

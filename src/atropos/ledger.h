@@ -1,0 +1,118 @@
+// Hot-path task/resource ledger (paper §3.1–3.2).
+//
+// The TaskLedger is the bottom layer of the decomposed runtime: it owns the
+// task and resource registries, per-task per-resource usage accounting, the
+// sampled/per-event timestamp handling, and the conservation ledger the
+// fuzzer's accounting oracles audit. It makes no decisions — the
+// DecisionPipeline reads its books once per window, and the AtroposRuntime
+// façade coordinates the two.
+//
+// Every tracing hook is O(log tasks) worst case (std::map keeps iteration
+// deterministic for the estimator); nothing here allocates on the steady
+// state path beyond first-touch of a (task, resource) pair.
+
+#ifndef SRC_ATROPOS_LEDGER_H_
+#define SRC_ATROPOS_LEDGER_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/atropos/accounting.h"
+#include "src/atropos/config.h"
+#include "src/atropos/stats.h"
+#include "src/common/clock.h"
+
+namespace atropos {
+
+// Per-resource conservation ledger row: every unit a task reported acquired
+// is either returned (released), still held by a live task (live_held), or
+// was held at task teardown (leaked); frees beyond a task's holdings are
+// overfreed. The identity below holds for correct ledger bookkeeping
+// regardless of application behaviour; leaked/overfreed themselves expose
+// application-side imbalance.
+struct ResourceAudit {
+  ResourceId id = kInvalidResourceId;
+  std::string name;
+  ResourceClass cls = ResourceClass::kLock;
+  uint64_t acquired = 0;   // units reported via getResource
+  uint64_t released = 0;   // units reported via freeResource
+  uint64_t leaked = 0;     // units held at task teardown
+  uint64_t overfreed = 0;  // free amounts beyond the task's holdings
+  uint64_t live_held = 0;  // units held by currently registered tasks
+  bool Balanced() const { return acquired + overfreed == released + leaked + live_held; }
+};
+
+class TaskLedger {
+ public:
+  TaskLedger(Clock* clock, const AtroposConfig& config, AtroposStats* stats);
+
+  // ---- Resource registry ---------------------------------------------------
+  ResourceId RegisterResource(std::string name, ResourceClass cls);
+  const ResourceRecord* FindResource(ResourceId id) const;
+
+  // ---- Task registry -------------------------------------------------------
+  // `cancellable` is the already-resolved flag: the façade consults the
+  // dispatcher's §4 cancelled-key memo before registering.
+  void RegisterTask(uint64_t key, bool background, bool cancellable);
+  void FreeTask(uint64_t key);
+  const TaskRecord* FindTask(uint64_t key) const;
+  TaskRecord* FindTaskById(TaskId id);
+  size_t live_task_count() const { return key_to_task_.size(); }
+
+  // ---- Usage tracing (§3.2) ------------------------------------------------
+  void RecordGet(uint64_t key, ResourceId resource, uint64_t amount);
+  void RecordFree(uint64_t key, ResourceId resource, uint64_t amount);
+  void RecordWaitBegin(uint64_t key, ResourceId resource);
+  void RecordWaitEnd(uint64_t key, ResourceId resource);
+  void RecordUsage(uint64_t key, ResourceId resource, TimeMicros waited, TimeMicros used);
+  void RecordProgress(uint64_t key, uint64_t done, uint64_t total);
+
+  // ---- Timestamp-mode handling (§3.2) --------------------------------------
+  // The façade escalates to per-event timestamps while an overload is
+  // suspected; the ledger owns the cached-timestamp machinery.
+  void SetEffectiveMode(TimestampMode mode) { effective_mode_ = mode; }
+  TimestampMode effective_mode() const { return effective_mode_; }
+  TimeMicros TraceNow();
+
+  // ---- Window boundary -----------------------------------------------------
+  // Resets the per-resource window counters; closed wait/hold intervals are
+  // clipped against window_start() as they complete.
+  void RollWindow(TimeMicros now);
+  TimeMicros window_start() const { return window_start_; }
+
+  // ---- Estimation-stage access ---------------------------------------------
+  // std::map keeps iteration order deterministic for the estimator.
+  std::map<TaskId, TaskRecord>& tasks() { return tasks_; }
+  std::map<ResourceId, ResourceRecord>& resources() { return resources_; }
+
+  // ---- Accounting audit (fuzzer oracles) -----------------------------------
+  std::vector<ResourceAudit> AuditAccounting() const;
+
+ private:
+  TaskRecord* Lookup(uint64_t key);
+  TaskResourceUsage* UsageFor(uint64_t key, ResourceId resource);
+  // Folds a departing task's open holdings into the per-resource ledger.
+  void RetireTaskAccounting(const TaskRecord& task);
+
+  Clock* clock_;
+  const AtroposConfig config_;
+  AtroposStats* stats_;
+
+  std::map<TaskId, TaskRecord> tasks_;
+  std::map<ResourceId, ResourceRecord> resources_;
+  std::unordered_map<uint64_t, TaskId> key_to_task_;
+  TaskId next_task_id_ = 1;
+  ResourceId next_resource_id_ = 1;
+
+  TimeMicros window_start_ = 0;
+
+  // Timestamp sampling (§3.2).
+  TimestampMode effective_mode_;
+  TimeMicros cached_now_ = 0;
+};
+
+}  // namespace atropos
+
+#endif  // SRC_ATROPOS_LEDGER_H_

@@ -1,7 +1,5 @@
 #include "src/atropos/runtime.h"
 
-#include <algorithm>
-
 #include "src/common/logging.h"
 
 namespace atropos {
@@ -22,314 +20,30 @@ std::string_view ResourceClassName(ResourceClass cls) {
   return "unknown";
 }
 
-namespace {
-
-std::string_view SignalName(OverloadDetector::Signal signal) {
-  switch (signal) {
-    case OverloadDetector::Signal::kCalibrating:
-      return "calibrating";
-    case OverloadDetector::Signal::kNormal:
-      return "normal";
-    case OverloadDetector::Signal::kSuspectedOverload:
-      return "suspected_overload";
-    case OverloadDetector::Signal::kDemandOverload:
-      return "demand_overload";
-  }
-  return "unknown";
-}
-
-}  // namespace
-
 AtroposRuntime::AtroposRuntime(Clock* clock, AtroposConfig config)
+    : AtroposRuntime(clock, config, DecisionPipeline::Default(config)) {}
+
+AtroposRuntime::AtroposRuntime(Clock* clock, AtroposConfig config, DecisionPipeline pipeline)
     : clock_(clock),
       config_(config),
-      detector_(config),
-      estimator_(config),
-      effective_mode_(config.timestamp_mode) {
-  window_start_ = clock_->NowMicros();
-  cached_now_ = window_start_;
-}
-
-ResourceId AtroposRuntime::RegisterResource(std::string name, ResourceClass cls) {
-  ResourceId id = next_resource_id_++;
-  ResourceRecord rec;
-  rec.id = id;
-  rec.cls = cls;
-  rec.name = std::move(name);
-  resources_.emplace(id, std::move(rec));
-  return id;
-}
-
-const ResourceRecord* AtroposRuntime::FindResource(ResourceId id) const {
-  auto it = resources_.find(id);
-  return it == resources_.end() ? nullptr : &it->second;
-}
-
-const TaskRecord* AtroposRuntime::FindTask(uint64_t key) const {
-  auto it = key_to_task_.find(key);
-  if (it == key_to_task_.end()) {
-    return nullptr;
-  }
-  auto t = tasks_.find(it->second);
-  return t == tasks_.end() ? nullptr : &t->second;
-}
-
-TimeMicros AtroposRuntime::TraceNow() {
-  if (effective_mode_ == TimestampMode::kPerEvent) {
-    cached_now_ = clock_->NowMicros();
-    return cached_now_;
-  }
-  // Sampled mode: reuse the cached timestamp within the sampling interval —
-  // the batching that amortizes timestamp retrieval (§3.2). In a real
-  // deployment the refresh is driven by a timer; here the interval check
-  // plays that role without a second clock source.
-  TimeMicros now = clock_->NowMicros();
-  if (now >= cached_now_ + config_.timestamp_sample_interval) {
-    cached_now_ = now - now % config_.timestamp_sample_interval;
-  }
-  return cached_now_;
-}
+      ledger_(clock, config, &stats_),
+      window_(clock, config, &stats_),
+      pipeline_(std::move(pipeline)),
+      breakwater_(dynamic_cast<const BreakwaterDetectionStage*>(pipeline_.detection.get())),
+      dispatcher_(config, &stats_) {}
 
 void AtroposRuntime::OnTaskRegistered(uint64_t key, bool background, bool cancellable) {
-  TaskId id = next_task_id_++;
-  TaskRecord rec;
-  rec.id = id;
-  rec.key = key;
-  rec.created_at = clock_->NowMicros();
-  rec.background = background;
-  rec.cancellable = cancellable;
   // §4: a re-executed (previously cancelled) task is non-cancellable so the
   // next overload targets a different culprit.
-  auto memo = cancelled_keys_.find(key);
-  if (memo != cancelled_keys_.end()) {
-    rec.cancellable = false;
-    cancelled_keys_.erase(memo);
-    stats_.cancelled_keys_consumed++;
+  if (dispatcher_.ConsumeCancelledKey(key)) {
+    cancellable = false;
   }
-  // Replace any stale registration under the same key.
-  auto old = key_to_task_.find(key);
-  if (old != key_to_task_.end()) {
-    auto stale = tasks_.find(old->second);
-    if (stale != tasks_.end()) {
-      RetireTaskAccounting(stale->second);
-      tasks_.erase(stale);
-    }
-  }
-  key_to_task_[key] = id;
-  tasks_.emplace(id, std::move(rec));
+  ledger_.RegisterTask(key, background, cancellable);
 }
 
 void AtroposRuntime::OnTaskFreed(uint64_t key) {
-  auto it = key_to_task_.find(key);
-  if (it == key_to_task_.end()) {
-    return;
-  }
-  auto task = tasks_.find(it->second);
-  if (task != tasks_.end()) {
-    RetireTaskAccounting(task->second);
-    tasks_.erase(task);
-  }
-  key_to_task_.erase(it);
-  active_requests_.erase(key);
-}
-
-void AtroposRuntime::RetireTaskAccounting(const TaskRecord& task) {
-  for (const auto& [rid, usage] : task.usage) {
-    if (usage.active_units == 0) {
-      continue;
-    }
-    auto res = resources_.find(rid);
-    if (res != resources_.end()) {
-      res->second.leaked_units += usage.active_units;
-    }
-  }
-}
-
-std::vector<AtroposRuntime::ResourceAudit> AtroposRuntime::AuditAccounting() const {
-  std::map<ResourceId, uint64_t> live_held;
-  for (const auto& [tid, task] : tasks_) {
-    for (const auto& [rid, usage] : task.usage) {
-      live_held[rid] += usage.active_units;
-    }
-  }
-  std::vector<ResourceAudit> out;
-  out.reserve(resources_.size());
-  for (const auto& [rid, res] : resources_) {
-    ResourceAudit row;
-    row.id = rid;
-    row.name = res.name;
-    row.cls = res.cls;
-    row.acquired = res.total_gets;
-    row.released = res.total_frees;
-    row.leaked = res.leaked_units;
-    row.overfreed = res.overfreed_units;
-    auto it = live_held.find(rid);
-    row.live_held = it == live_held.end() ? 0 : it->second;
-    out.push_back(std::move(row));
-  }
-  return out;
-}
-
-TaskRecord* AtroposRuntime::Lookup(uint64_t key) {
-  auto it = key_to_task_.find(key);
-  if (it == key_to_task_.end()) {
-    stats_.ignored_events++;
-    return nullptr;
-  }
-  return &tasks_.find(it->second)->second;
-}
-
-TaskResourceUsage* AtroposRuntime::UsageFor(uint64_t key, ResourceId resource) {
-  TaskRecord* task = Lookup(key);
-  if (task == nullptr) {
-    return nullptr;
-  }
-  return &task->usage[resource];
-}
-
-void AtroposRuntime::OnGet(uint64_t key, ResourceId resource, uint64_t amount) {
-  stats_.trace_events++;
-  TaskResourceUsage* usage = UsageFor(key, resource);
-  if (usage == nullptr) {
-    return;
-  }
-  TimeMicros now = TraceNow();
-  usage->acquired += amount;
-  if (usage->active_units == 0) {
-    usage->hold_started_at = now;
-  }
-  usage->active_units += amount;
-  auto res = resources_.find(resource);
-  if (res != resources_.end()) {
-    // Window gets count API calls, not units: the §3.4 eviction ratio is
-    // "slowByResource calls / getResource calls" regardless of whether a call
-    // acquires one page or a multi-KB allocation.
-    res->second.window.gets++;
-    res->second.total_gets += amount;
-  }
-}
-
-void AtroposRuntime::OnFree(uint64_t key, ResourceId resource, uint64_t amount) {
-  stats_.trace_events++;
-  TaskResourceUsage* usage = UsageFor(key, resource);
-  if (usage == nullptr) {
-    return;
-  }
-  TimeMicros now = TraceNow();
-  usage->released += amount;
-  uint64_t dec = std::min(usage->active_units, amount);
-  usage->active_units -= dec;
-  auto res = resources_.find(resource);
-  if (res != resources_.end()) {
-    res->second.total_frees += amount;
-    res->second.overfreed_units += amount - dec;
-  }
-  if (usage->active_units == 0 && dec > 0 && now > usage->hold_started_at) {
-    usage->hold_time += now - usage->hold_started_at;
-    if (res != resources_.end()) {
-      // Window counters take the part of the closed interval inside this
-      // window; earlier parts were visible as an open interval before.
-      TimeMicros from = std::max(usage->hold_started_at, window_start_);
-      if (now > from) {
-        res->second.window.hold_time += now - from;
-      }
-    }
-  }
-  if (res != resources_.end()) {
-    res->second.window.frees += amount;
-  }
-}
-
-void AtroposRuntime::OnWaitBegin(uint64_t key, ResourceId resource) {
-  stats_.trace_events++;
-  TaskResourceUsage* usage = UsageFor(key, resource);
-  if (usage == nullptr || usage->waiting) {
-    return;
-  }
-  usage->waiting = true;
-  usage->wait_started_at = TraceNow();
-}
-
-void AtroposRuntime::OnWaitEnd(uint64_t key, ResourceId resource) {
-  stats_.trace_events++;
-  TaskResourceUsage* usage = UsageFor(key, resource);
-  if (usage == nullptr || !usage->waiting) {
-    return;
-  }
-  TimeMicros now = TraceNow();
-  usage->waiting = false;
-  if (now > usage->wait_started_at) {
-    usage->wait_time += now - usage->wait_started_at;
-  }
-  usage->slow_events++;
-  auto res = resources_.find(resource);
-  if (res != resources_.end()) {
-    res->second.window.slow_events++;
-    res->second.total_slow_events++;
-    TimeMicros from = std::max(usage->wait_started_at, window_start_);
-    if (now > from) {
-      res->second.window.wait_time += now - from;
-    }
-  }
-}
-
-void AtroposRuntime::OnUsage(uint64_t key, ResourceId resource, TimeMicros waited,
-                             TimeMicros used) {
-  stats_.trace_events++;
-  TaskResourceUsage* usage = UsageFor(key, resource);
-  if (usage == nullptr) {
-    return;
-  }
-  usage->wait_time += waited;
-  usage->hold_time += used;
-  auto res = resources_.find(resource);
-  if (res != resources_.end()) {
-    res->second.window.wait_time += waited;
-    res->second.window.hold_time += used;
-    if (waited > 0) {
-      res->second.window.slow_events++;
-      res->second.total_slow_events++;
-    }
-  }
-  if (waited > 0) {
-    usage->slow_events++;
-  }
-}
-
-void AtroposRuntime::OnRequestStart(uint64_t key, int request_type, int client_class) {
-  auto [it, inserted] = active_requests_.try_emplace(key);
-  if (!inserted) {
-    // A second start under a live key: the application reused the key without
-    // reporting the prior request's end. Treat it as an implicit end — the
-    // stale ActiveRequest would otherwise silently vanish, mis-attributing
-    // overdue_actives to the wrong start time with no trace of the loss.
-    stats_.request_restarts++;
-  }
-  it->second = ActiveRequest{clock_->NowMicros(), client_class};
-}
-
-void AtroposRuntime::OnRequestEnd(uint64_t key, TimeMicros latency, int request_type,
-                                  int client_class) {
-  if (config_.slo_client_class < 0 || client_class == config_.slo_client_class) {
-    window_latency_.Record(latency);
-    window_completions_++;
-  }
-  // T_exec contribution, clipped to the window so long requests don't inflate
-  // the denominator with execution that belongs to earlier windows.
-  TimeMicros now = clock_->NowMicros();
-  TimeMicros in_window = now > window_start_ ? now - window_start_ : 0;
-  window_exec_time_ += std::min(latency, in_window);
-  active_requests_.erase(key);
-}
-
-void AtroposRuntime::OnProgress(uint64_t key, uint64_t done, uint64_t total) {
-  TaskRecord* task = Lookup(key);
-  if (task == nullptr) {
-    return;
-  }
-  task->has_progress = true;
-  task->progress_done = done;
-  task->progress_total = total;
+  ledger_.FreeTask(key);
+  window_.DropKey(key);
 }
 
 void AtroposRuntime::Tick() {
@@ -338,20 +52,12 @@ void AtroposRuntime::Tick() {
 
   // ---- Detection (§3.3).
   OverloadDetector::WindowSample sample;
-  sample.completions = window_completions_;
-  sample.p99 = window_latency_.P99();
-  if (detector_.calibrated()) {
-    TimeMicros slo = detector_.slo_latency();
-    for (const auto& [key, req] : active_requests_) {
-      if (config_.slo_client_class >= 0 && req.client_class != config_.slo_client_class) {
-        continue;  // long-running batch requests are not SLO violations
-      }
-      if (now > req.start && now - req.start > slo) {
-        sample.overdue_actives++;
-      }
-    }
+  sample.completions = window_.completions();
+  sample.p99 = window_.P99();
+  if (pipeline_.detection->calibrated()) {
+    sample.overdue_actives = window_.CountOverdue(now, pipeline_.detection->slo_latency());
   }
-  OverloadDetector::Signal signal = detector_.OnWindow(sample);
+  OverloadDetector::Signal signal = pipeline_.detection->OnWindow(sample);
 
   // ---- Flight recording. `tracing` gates all payload construction so a
   // detached or disabled recorder costs one branch per window.
@@ -378,39 +84,21 @@ void AtroposRuntime::Tick() {
   }
 
   // Aggressive per-event timestamps while an overload is suspected (§3.2).
-  effective_mode_ = signal == OverloadDetector::Signal::kSuspectedOverload
-                        ? TimestampMode::kPerEvent
-                        : config_.timestamp_mode;
+  ledger_.SetEffectiveMode(signal == OverloadDetector::Signal::kSuspectedOverload
+                               ? TimestampMode::kPerEvent
+                               : config_.timestamp_mode);
 
   // ---- Estimation (§3.4). T_base is the window's productive execution
   // time: completed request time, floored at the window length. In-flight
   // blocked time is deliberately excluded — it shows up as the per-resource
   // delay D_r, not in the shared denominator.
-  TimeMicros exec = std::max<TimeMicros>(window_exec_time_, now - window_start_);
-  estimator_.SetCalibrating(!detector_.calibrated());
-  Estimator::Output est = estimator_.Estimate(tasks_, resources_, exec, window_start_, now);
+  pipeline_.estimation->SetCalibrating(!pipeline_.detection->calibrated());
+  Estimator::Output est = pipeline_.estimation->Estimate(
+      ledger_, window_.ExecTimeFloored(now), ledger_.window_start(), now);
   last_metrics_ = est.all_resources;
 
-  calm_windows_ = est.resource_overload ? 0 : calm_windows_ + 1;
-  if (!est.resource_overload) {
-    calm_windows_total_++;
-    // Age the §4 cancelled-key memo: an entry that survived
-    // `reexec_calm_windows` calm windows since its cancellation belongs to a
-    // client that never retried — without aging, such keys accumulate
-    // forever under sustained traffic. The floor of one calm window keeps
-    // insertion (always in an overload window) and eviction in distinct
-    // windows even when reexec_calm_windows is 0.
-    const uint64_t horizon =
-        static_cast<uint64_t>(std::max(config_.reexec_calm_windows, 1));
-    for (auto it = cancelled_keys_.begin(); it != cancelled_keys_.end();) {
-      if (calm_windows_total_ - it->second >= horizon) {
-        it = cancelled_keys_.erase(it);
-        stats_.cancelled_keys_evicted++;
-      } else {
-        ++it;
-      }
-    }
-  }
+  // §4 calm-window accounting and memo aging.
+  dispatcher_.ObserveWindow(est.resource_overload);
 
   // ---- Cancellation decision (§3.5–3.6).
   switch (signal) {
@@ -429,9 +117,9 @@ void AtroposRuntime::Tick() {
         for (const ResourceMetrics& m : est.all_resources) {
           ObsResourceSample s;
           s.id = m.id;
-          auto res = resources_.find(m.id);
-          if (res != resources_.end()) {
-            s.name = res->second.name;
+          const ResourceRecord* res = ledger_.FindResource(m.id);
+          if (res != nullptr) {
+            s.name = res->name;
           }
           s.cls = std::string(ResourceClassName(m.cls));
           s.contention_raw = m.contention_raw;
@@ -445,7 +133,7 @@ void AtroposRuntime::Tick() {
       if (!config_.cancellation_enabled) {
         break;
       }
-      if (!has_cancel_initiator()) {
+      if (!dispatcher_.has_initiator()) {
         // §3.1: cancellation must route through the application's registered
         // safe initiator. With none registered, issuing a cancel would mark
         // the victim cancelled (fairness bookkeeping, re-registration rules)
@@ -453,13 +141,12 @@ void AtroposRuntime::Tick() {
         stats_.cancels_suppressed_no_initiator++;
         break;
       }
-      if (ever_cancelled_ && now < last_cancel_time_ + config_.min_cancel_interval) {
-        stats_.cancels_suppressed_interval++;
+      if (!dispatcher_.AdmitByPacing(now)) {
         break;
       }
       PolicyExplain explain;
       PolicyDecision decision =
-          SelectVictim(config_.policy, est.policy_input, tracing ? &explain : nullptr);
+          pipeline_.selection->Select(est.policy_input, tracing ? &explain : nullptr);
       if (tracing) {
         FlightEvent ev;
         ev.time = now;
@@ -467,8 +154,8 @@ void AtroposRuntime::Tick() {
         ev.value = decision.score;
         for (const PolicyExplain::Entry& entry : explain.entries) {
           ObsCandidateSample c;
-          auto task = tasks_.find(entry.task);
-          c.key = task != tasks_.end() ? task->second.key : 0;
+          TaskRecord* task = ledger_.FindTaskById(entry.task);
+          c.key = task != nullptr ? task->key : 0;
           if (entry.task == decision.victim) {
             ev.key = c.key;
           }
@@ -491,44 +178,31 @@ void AtroposRuntime::Tick() {
           for (const auto& c : est.policy_input.candidates) {
             double g = c.gains.empty() ? 0.0 : c.gains[0];
             if (g > 0.0 || !c.cancellable) {
-              const TaskRecord& rec = tasks_.find(c.task)->second;
+              const TaskRecord* rec = ledger_.FindTaskById(c.task);
               LOG_DEBUG("  cand key=%llu cancellable=%d gain0=%.4f",
-                        static_cast<unsigned long long>(rec.key), c.cancellable ? 1 : 0, g);
+                        static_cast<unsigned long long>(rec != nullptr ? rec->key : 0),
+                        c.cancellable ? 1 : 0, g);
             }
           }
         }
         break;
       }
-      TaskRecord& victim = tasks_.find(decision.victim)->second;
-      victim.cancel_count++;
-      victim.cancelled_at = now;
-      if (cancelled_keys_.emplace(victim.key, calm_windows_total_).second) {
-        stats_.cancelled_keys_inserted++;
-      }
-      last_cancel_time_ = now;
-      ever_cancelled_ = true;
-      stats_.cancels_issued++;
-      LOG_INFO("atropos: cancelling task key=%llu score=%.3f",
-               static_cast<unsigned long long>(victim.key), decision.score);
+      TaskRecord* victim = ledger_.FindTaskById(decision.victim);
+      victim->cancel_count++;
+      victim->cancelled_at = now;
       if (tracing) {
         FlightEvent ev;
         ev.time = now;
         ev.kind = ObsEventKind::kCancelIssued;
-        ev.key = victim.key;
+        ev.key = victim->key;
         ev.value = decision.score;
         // label is filled by the layer that can name the request type, via
-        // FlightRecorder::AnnotateLast right after the cancel observer fires.
+        // FlightRecorder::AnnotateLast right after the cancel observer fires —
+        // the event must therefore already be recorded when the dispatcher
+        // notifies the observer below.
         recorder_->Record(std::move(ev));
       }
-      if (cancel_observer_) {
-        cancel_observer_(victim.key, decision.score);
-      }
-      // Safe cancellation through the application's initiator (§3.6).
-      if (cancel_action_) {
-        cancel_action_(victim.key);
-      } else if (surface_ != nullptr) {
-        surface_->CancelTask(victim.key, CancelReason::kCulprit);
-      }
+      dispatcher_.Dispatch(victim->key, decision.score, now);
       break;
     }
     case OverloadDetector::Signal::kDemandOverload:
@@ -540,13 +214,8 @@ void AtroposRuntime::Tick() {
   }
 
   // ---- Roll the window.
-  window_latency_.Reset();
-  window_completions_ = 0;
-  window_exec_time_ = 0;
-  window_start_ = now;
-  for (auto& [rid, res] : resources_) {
-    res.window.Reset();
-  }
+  window_.Roll(now);
+  ledger_.RollWindow(now);
 }
 
 }  // namespace atropos

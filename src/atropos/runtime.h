@@ -1,93 +1,104 @@
-// The Atropos runtime manager (paper §3, Fig 5).
+// The Atropos runtime façade (paper §3, Fig 5).
 //
-// Implements the full control loop: task registration (§3.1), per-task
-// resource usage tracking with sampled/per-event timestamps (§3.2), overload
-// detection (§3.3), contention/gain estimation (§3.4), victim selection
-// (§3.5), and safe cancellation through the application's registered
-// initiator with fairness bookkeeping (§3.6, §4).
+// The control loop is decomposed into four layers with narrow interfaces:
 //
-// The runtime is itself an OverloadController, so applications integrate it
-// exactly like the baseline controllers: feed the instrumentation stream and
-// call Tick() once per window.
+//   instrumentation stream                      Tick() once per window
+//        │                                            │
+//        ▼                                            ▼
+//   TaskLedger ───────────── window books ──► DecisionPipeline
+//   (registries, §3.1–3.2    WindowAggregator  (DetectionStage §3.3 →
+//    usage accounting,       (latency/T_exec    EstimationStage §3.4 →
+//    conservation ledger)     convoy signals)   SelectionPolicy §3.5)
+//                                                     │ victim
+//                                                     ▼
+//                                             CancelDispatcher
+//                                             (§3.6 safe initiator routing,
+//                                              pacing, §4 fairness memo)
+//
+// AtroposRuntime wires the layers and remains an OverloadController, so
+// applications integrate it exactly like the baseline controllers: feed the
+// instrumentation stream and call Tick() once per window. The decision stages
+// are pluggable — the Fig-13 ablation variants are alternative
+// SelectionPolicy implementations injected at construction — and RuntimeGroup
+// (runtime_group.h) shards independent ledgers/windows per tenant behind one
+// shared stage factory.
 
 #ifndef SRC_ATROPOS_RUNTIME_H_
 #define SRC_ATROPOS_RUNTIME_H_
 
 #include <functional>
-#include <map>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/atropos/accounting.h"
 #include "src/atropos/config.h"
 #include "src/atropos/controller.h"
 #include "src/atropos/detector.h"
-#include "src/atropos/estimator.h"
-#include "src/atropos/policy.h"
+#include "src/atropos/dispatcher.h"
+#include "src/atropos/ledger.h"
+#include "src/atropos/pipeline.h"
+#include "src/atropos/stats.h"
+#include "src/atropos/window.h"
 #include "src/common/clock.h"
-#include "src/common/histogram.h"
 #include "src/obs/flight_recorder.h"
 
 namespace atropos {
 
-// Aggregate counters exported for tests and benches.
-struct AtroposStats {
-  uint64_t windows = 0;
-  uint64_t suspected_overload_windows = 0;
-  uint64_t demand_overload_windows = 0;
-  uint64_t resource_overload_windows = 0;
-  uint64_t cancels_issued = 0;
-  uint64_t cancels_suppressed_interval = 0;  // skipped due to min_cancel_interval
-  uint64_t cancels_suppressed_no_victim = 0;
-  // Resource-overload windows where cancellation was warranted but no cancel
-  // initiator (action or control surface) was registered, so none was issued
-  // (§3.1: cancellation only ever routes through the app's safe initiator).
-  uint64_t cancels_suppressed_no_initiator = 0;
-  uint64_t trace_events = 0;
-  uint64_t ignored_events = 0;  // tracing calls against unregistered keys
-  // A second OnRequestStart under a live key is treated as an implicit end of
-  // the prior request (the app reused the key without reporting completion).
-  uint64_t request_restarts = 0;
-  // Lifecycle of the §4 cancelled-key memo (bounded-set invariant: live
-  // entries == inserted - consumed - evicted, audited by the fuzzer).
-  uint64_t cancelled_keys_inserted = 0;
-  uint64_t cancelled_keys_consumed = 0;  // erased by a re-registration
-  uint64_t cancelled_keys_evicted = 0;   // aged out after sustained calm
-};
-
 class AtroposRuntime final : public OverloadController {
  public:
+  // Builds the paper's pipeline (Breakwater detection, gain estimation, the
+  // selection policy named by config.policy).
   AtroposRuntime(Clock* clock, AtroposConfig config);
+  // Injects explicit decision stages; `pipeline.complete()` must hold.
+  AtroposRuntime(Clock* clock, AtroposConfig config, DecisionPipeline pipeline);
 
   std::string_view name() const override { return "atropos"; }
 
   // ---- Integration API (paper Fig 6a) -----------------------------------
   // The application's cancellation initiator; invoked with the task key.
   void SetCancelAction(std::function<void(uint64_t)> initiator) {
-    cancel_action_ = std::move(initiator);
+    dispatcher_.SetCancelAction(std::move(initiator));
   }
-  void SetControlSurface(ControlSurface* surface) { surface_ = surface; }
+  void SetControlSurface(ControlSurface* surface) { dispatcher_.SetControlSurface(surface); }
 
   // ---- Resource registration ---------------------------------------------
-  ResourceId RegisterResource(std::string name, ResourceClass cls) override;
-  const ResourceRecord* FindResource(ResourceId id) const;
+  ResourceId RegisterResource(std::string name, ResourceClass cls) override {
+    return ledger_.RegisterResource(std::move(name), cls);
+  }
+  const ResourceRecord* FindResource(ResourceId id) const { return ledger_.FindResource(id); }
 
   // ---- Instrumentation stream (OverloadController) ------------------------
   void OnTaskRegistered(uint64_t key, bool background, bool cancellable = true) override;
   void OnTaskFreed(uint64_t key) override;
-  void OnGet(uint64_t key, ResourceId resource, uint64_t amount) override;
-  void OnFree(uint64_t key, ResourceId resource, uint64_t amount) override;
-  void OnWaitBegin(uint64_t key, ResourceId resource) override;
-  void OnWaitEnd(uint64_t key, ResourceId resource) override;
-  void OnRequestStart(uint64_t key, int request_type, int client_class) override;
+  void OnGet(uint64_t key, ResourceId resource, uint64_t amount) override {
+    ledger_.RecordGet(key, resource, amount);
+  }
+  void OnFree(uint64_t key, ResourceId resource, uint64_t amount) override {
+    ledger_.RecordFree(key, resource, amount);
+  }
+  void OnWaitBegin(uint64_t key, ResourceId resource) override {
+    ledger_.RecordWaitBegin(key, resource);
+  }
+  void OnWaitEnd(uint64_t key, ResourceId resource) override {
+    ledger_.RecordWaitEnd(key, resource);
+  }
+  void OnRequestStart(uint64_t key, int request_type, int client_class) override {
+    window_.OnRequestStart(key, client_class);
+  }
   void OnRequestEnd(uint64_t key, TimeMicros latency, int request_type,
-                    int client_class) override;
-  void OnProgress(uint64_t key, uint64_t done, uint64_t total) override;
+                    int client_class) override {
+    window_.OnRequestEnd(key, latency, client_class);
+  }
+  void OnProgress(uint64_t key, uint64_t done, uint64_t total) override {
+    ledger_.RecordProgress(key, done, total);
+  }
 
   // Completed wait+use report in one call; used by CPU/IO adapters that learn
   // both durations only after the fact.
-  void OnUsage(uint64_t key, ResourceId resource, TimeMicros waited, TimeMicros used) override;
+  void OnUsage(uint64_t key, ResourceId resource, TimeMicros waited, TimeMicros used) override {
+    ledger_.RecordUsage(key, resource, waited, used);
+  }
 
   // ---- Control loop --------------------------------------------------------
   // Closes the current window: detection, estimation, and (when confirmed)
@@ -95,55 +106,39 @@ class AtroposRuntime final : public OverloadController {
   void Tick() override;
 
   // ---- Fairness / re-execution (§4) ---------------------------------------
-  // True after `reexec_calm_windows` consecutive windows without resource
-  // overload — the "sustained resource availability" condition for retrying
-  // cancelled work.
   bool ReexecutionRecommended() const override {
-    return calm_windows_ >= config_.reexec_calm_windows;
+    return dispatcher_.ReexecutionRecommended();
   }
 
   // ---- Introspection -------------------------------------------------------
   const AtroposStats& stats() const { return stats_; }
   const AtroposConfig& config() const { return config_; }
-  const OverloadDetector& detector() const { return detector_; }
+  // The Breakwater detection stage's detector. Only valid when the detection
+  // stage is a BreakwaterDetectionStage (true for every in-repo pipeline).
+  const OverloadDetector& detector() const { return breakwater_->detector(); }
   // Normalized contention of the last closed window, by resource.
   const std::vector<ResourceMetrics>& last_metrics() const { return last_metrics_; }
-  TimestampMode effective_timestamp_mode() const { return effective_mode_; }
-  const TaskRecord* FindTask(uint64_t key) const;
-  size_t live_task_count() const { return key_to_task_.size(); }
+  TimestampMode effective_timestamp_mode() const { return ledger_.effective_mode(); }
+  const TaskRecord* FindTask(uint64_t key) const { return ledger_.FindTask(key); }
+  size_t live_task_count() const { return ledger_.live_task_count(); }
   // Live entries of the §4 cancelled-key memo (bounded by calm-window aging).
-  size_t cancelled_key_count() const { return cancelled_keys_.size(); }
+  size_t cancelled_key_count() const { return dispatcher_.cancelled_key_count(); }
   // Total windows ever closed without resource overload; the aging epoch the
-  // memo entries are stamped with (monotone, unlike the consecutive
-  // calm_windows_ streak).
-  uint64_t calm_windows_total() const { return calm_windows_total_; }
-  bool has_cancel_initiator() const {
-    return cancel_action_ != nullptr || surface_ != nullptr;
-  }
+  // memo entries are stamped with.
+  uint64_t calm_windows_total() const { return dispatcher_.calm_windows_total(); }
+  bool has_cancel_initiator() const { return dispatcher_.has_initiator(); }
+
+  // Layer access for tests and the multi-tenant group.
+  const TaskLedger& ledger() const { return ledger_; }
+  const DecisionPipeline& pipeline() const { return pipeline_; }
 
   // ---- Accounting audit (fuzzer oracles) ----------------------------------
-  // Per-resource conservation ledger: every unit a task reported acquired is
-  // either returned (released), still held by a live task (live_held), or was
-  // held at task teardown (leaked); frees beyond a task's holdings are
-  // overfreed. The identity below holds for correct runtime bookkeeping
-  // regardless of application behaviour; leaked/overfreed themselves expose
-  // application-side imbalance.
-  struct ResourceAudit {
-    ResourceId id = kInvalidResourceId;
-    std::string name;
-    ResourceClass cls = ResourceClass::kLock;
-    uint64_t acquired = 0;   // units reported via getResource
-    uint64_t released = 0;   // units reported via freeResource
-    uint64_t leaked = 0;     // units held at task teardown
-    uint64_t overfreed = 0;  // free amounts beyond the task's holdings
-    uint64_t live_held = 0;  // units held by currently registered tasks
-    bool Balanced() const { return acquired + overfreed == released + leaked + live_held; }
-  };
-  std::vector<ResourceAudit> AuditAccounting() const;
+  using ResourceAudit = atropos::ResourceAudit;
+  std::vector<ResourceAudit> AuditAccounting() const { return ledger_.AuditAccounting(); }
 
   // Test hook observing every issued cancellation.
   void SetCancelObserver(std::function<void(uint64_t key, double score)> observer) {
-    cancel_observer_ = std::move(observer);
+    dispatcher_.SetCancelObserver(std::move(observer));
   }
 
   // Attach a decision flight recorder (non-owning). Every window boundary,
@@ -153,60 +148,22 @@ class AtroposRuntime final : public OverloadController {
   void SetRecorder(FlightRecorder* recorder) { recorder_ = recorder; }
 
  private:
-  TaskRecord* Lookup(uint64_t key);
-  TaskResourceUsage* UsageFor(uint64_t key, ResourceId resource);
-  // Folds a departing task's open holdings into the per-resource ledger.
-  void RetireTaskAccounting(const TaskRecord& task);
-  // Timestamp respecting the sampled/per-event mode (§3.2).
-  TimeMicros TraceNow();
-
   Clock* clock_;
   AtroposConfig config_;
-  OverloadDetector detector_;
-  Estimator estimator_;
+  AtroposStats stats_;
 
-  std::function<void(uint64_t)> cancel_action_;
-  ControlSurface* surface_ = nullptr;
-  std::function<void(uint64_t, double)> cancel_observer_;
+  TaskLedger ledger_;
+  WindowAggregator window_;
+  DecisionPipeline pipeline_;
+  // Non-owning view into pipeline_.detection when it is the Breakwater stage;
+  // backs detector().
+  const BreakwaterDetectionStage* breakwater_ = nullptr;
+  CancelDispatcher dispatcher_;
+
   FlightRecorder* recorder_ = nullptr;
   bool recording_overload_ = false;  // tracks entered/exited transitions
 
-  // Registries. std::map gives deterministic iteration order.
-  std::map<TaskId, TaskRecord> tasks_;
-  std::map<ResourceId, ResourceRecord> resources_;
-  std::unordered_map<uint64_t, TaskId> key_to_task_;
-  // Keys whose re-registration is non-cancellable (§4 fairness). Each entry
-  // is stamped with calm_windows_total_ at insertion and aged out after
-  // `reexec_calm_windows` further calm windows: once sustained calm has
-  // passed, re-execution was recommended anyway, and a client that never
-  // retries must not leak a memo entry forever.
-  std::unordered_map<uint64_t, uint64_t> cancelled_keys_;
-  TaskId next_task_id_ = 1;
-  ResourceId next_resource_id_ = 1;
-
-  // Window state.
-  LatencyHistogram window_latency_;
-  uint64_t window_completions_ = 0;
-  TimeMicros window_exec_time_ = 0;  // T_exec accumulator (completed requests)
-  TimeMicros window_start_ = 0;
-  struct ActiveRequest {
-    TimeMicros start = 0;
-    int client_class = 0;
-  };
-  std::unordered_map<uint64_t, ActiveRequest> active_requests_;
-
-  // Cancellation pacing & fairness.
-  TimeMicros last_cancel_time_ = 0;
-  bool ever_cancelled_ = false;
-  int calm_windows_ = 0;            // consecutive, reset by resource overload
-  uint64_t calm_windows_total_ = 0; // monotone, stamps the cancelled-key memo
-
-  // Timestamp sampling.
-  TimestampMode effective_mode_;
-  TimeMicros cached_now_ = 0;
-
   std::vector<ResourceMetrics> last_metrics_;
-  AtroposStats stats_;
 };
 
 }  // namespace atropos

@@ -1,0 +1,90 @@
+#include "src/atropos/runtime_group.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace atropos {
+
+RuntimeGroup::RuntimeGroup(Clock* clock, AtroposConfig config, size_t shard_count,
+                           StageFactory factory, KeyRouter router) {
+  if (shard_count == 0) {
+    shard_count = 1;
+  }
+  if (!factory) {
+    factory = [](const AtroposConfig& c) { return DecisionPipeline::Default(c); };
+  }
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<AtroposRuntime>(clock, config, factory(config)));
+  }
+  if (router) {
+    router_ = std::move(router);
+  } else {
+    const size_t n = shards_.size();
+    router_ = [n](uint64_t key) { return static_cast<size_t>(key % n); };
+  }
+}
+
+void RuntimeGroup::SetCancelAction(std::function<void(uint64_t)> initiator) {
+  for (auto& shard : shards_) {
+    shard->SetCancelAction(initiator);
+  }
+}
+
+void RuntimeGroup::SetControlSurface(ControlSurface* surface) {
+  for (auto& shard : shards_) {
+    shard->SetControlSurface(surface);
+  }
+}
+
+void RuntimeGroup::SetRecorder(FlightRecorder* recorder) {
+  for (auto& shard : shards_) {
+    shard->SetRecorder(recorder);
+  }
+}
+
+ResourceId RuntimeGroup::RegisterResource(std::string name, ResourceClass cls) {
+  ResourceId id = kInvalidResourceId;
+  for (auto& shard : shards_) {
+    id = shard->RegisterResource(name, cls);
+  }
+  return id;
+}
+
+void RuntimeGroup::Tick() {
+  for (auto& shard : shards_) {
+    shard->Tick();
+  }
+}
+
+bool RuntimeGroup::ReexecutionRecommended() const {
+  for (const auto& shard : shards_) {
+    if (!shard->ReexecutionRecommended()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<ResourceAudit> RuntimeGroup::AuditProcessWide() const {
+  std::vector<ResourceAudit> total;
+  for (const auto& shard : shards_) {
+    std::vector<ResourceAudit> rows = shard->AuditAccounting();
+    for (ResourceAudit& row : rows) {
+      auto it = std::find_if(total.begin(), total.end(),
+                             [&](const ResourceAudit& t) { return t.id == row.id; });
+      if (it == total.end()) {
+        total.push_back(std::move(row));
+        continue;
+      }
+      it->acquired += row.acquired;
+      it->released += row.released;
+      it->leaked += row.leaked;
+      it->overfreed += row.overfreed;
+      it->live_held += row.live_held;
+    }
+  }
+  return total;
+}
+
+}  // namespace atropos

@@ -1,0 +1,40 @@
+// Aggregate counters of the Atropos control loop, exported for tests and
+// benches. One instance lives in the AtroposRuntime façade and is shared (by
+// pointer) with the layers that produce the counts: the TaskLedger
+// (trace/ignored events), the WindowAggregator (request restarts), and the
+// CancelDispatcher (cancellation and §4 memo lifecycle).
+
+#ifndef SRC_ATROPOS_STATS_H_
+#define SRC_ATROPOS_STATS_H_
+
+#include <cstdint>
+
+namespace atropos {
+
+struct AtroposStats {
+  uint64_t windows = 0;
+  uint64_t suspected_overload_windows = 0;
+  uint64_t demand_overload_windows = 0;
+  uint64_t resource_overload_windows = 0;
+  uint64_t cancels_issued = 0;
+  uint64_t cancels_suppressed_interval = 0;  // skipped due to min_cancel_interval
+  uint64_t cancels_suppressed_no_victim = 0;
+  // Resource-overload windows where cancellation was warranted but no cancel
+  // initiator (action or control surface) was registered, so none was issued
+  // (§3.1: cancellation only ever routes through the app's safe initiator).
+  uint64_t cancels_suppressed_no_initiator = 0;
+  uint64_t trace_events = 0;
+  uint64_t ignored_events = 0;  // tracing calls against unregistered keys
+  // A second OnRequestStart under a live key is treated as an implicit end of
+  // the prior request (the app reused the key without reporting completion).
+  uint64_t request_restarts = 0;
+  // Lifecycle of the §4 cancelled-key memo (bounded-set invariant: live
+  // entries == inserted - consumed - evicted, audited by the fuzzer).
+  uint64_t cancelled_keys_inserted = 0;
+  uint64_t cancelled_keys_consumed = 0;  // erased by a re-registration
+  uint64_t cancelled_keys_evicted = 0;   // aged out after sustained calm
+};
+
+}  // namespace atropos
+
+#endif  // SRC_ATROPOS_STATS_H_

@@ -1,0 +1,64 @@
+#include "src/atropos/window.h"
+
+#include <algorithm>
+
+namespace atropos {
+
+WindowAggregator::WindowAggregator(Clock* clock, const AtroposConfig& config,
+                                   AtroposStats* stats)
+    : clock_(clock), config_(config), stats_(stats) {
+  window_start_ = clock_->NowMicros();
+}
+
+void WindowAggregator::OnRequestStart(uint64_t key, int client_class) {
+  auto [it, inserted] = active_requests_.try_emplace(key);
+  if (!inserted) {
+    // A second start under a live key: the application reused the key without
+    // reporting the prior request's end. Treat it as an implicit end — the
+    // stale ActiveRequest would otherwise silently vanish, mis-attributing
+    // overdue_actives to the wrong start time with no trace of the loss.
+    stats_->request_restarts++;
+  }
+  it->second = ActiveRequest{clock_->NowMicros(), client_class};
+}
+
+void WindowAggregator::OnRequestEnd(uint64_t key, TimeMicros latency, int client_class) {
+  if (config_.slo_client_class < 0 || client_class == config_.slo_client_class) {
+    window_latency_.Record(latency);
+    window_completions_++;
+  }
+  // T_exec contribution, clipped to the window so long requests don't inflate
+  // the denominator with execution that belongs to earlier windows.
+  TimeMicros now = clock_->NowMicros();
+  TimeMicros in_window = now > window_start_ ? now - window_start_ : 0;
+  window_exec_time_ += std::min(latency, in_window);
+  active_requests_.erase(key);
+}
+
+void WindowAggregator::DropKey(uint64_t key) { active_requests_.erase(key); }
+
+uint64_t WindowAggregator::CountOverdue(TimeMicros now, TimeMicros slo) const {
+  uint64_t overdue = 0;
+  for (const auto& [key, req] : active_requests_) {
+    if (config_.slo_client_class >= 0 && req.client_class != config_.slo_client_class) {
+      continue;  // long-running batch requests are not SLO violations
+    }
+    if (now > req.start && now - req.start > slo) {
+      overdue++;
+    }
+  }
+  return overdue;
+}
+
+TimeMicros WindowAggregator::ExecTimeFloored(TimeMicros now) const {
+  return std::max<TimeMicros>(window_exec_time_, now - window_start_);
+}
+
+void WindowAggregator::Roll(TimeMicros now) {
+  window_latency_.Reset();
+  window_completions_ = 0;
+  window_exec_time_ = 0;
+  window_start_ = now;
+}
+
+}  // namespace atropos

@@ -1,0 +1,68 @@
+// Per-window end-to-end signal aggregation (paper §3.3 inputs).
+//
+// The WindowAggregator is the second layer of the decomposed runtime: it
+// collects the request-lifecycle signals the detection stage consumes — the
+// windowed latency histogram, completion count, in-flight request registry
+// (for the overdue-convoy stall signal), and the T_exec accumulator the
+// estimator uses as the normalization denominator (§3.5). It holds no
+// decision state; the façade closes it once per Tick.
+
+#ifndef SRC_ATROPOS_WINDOW_H_
+#define SRC_ATROPOS_WINDOW_H_
+
+#include <unordered_map>
+
+#include "src/atropos/config.h"
+#include "src/atropos/stats.h"
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+
+namespace atropos {
+
+class WindowAggregator {
+ public:
+  WindowAggregator(Clock* clock, const AtroposConfig& config, AtroposStats* stats);
+
+  // ---- Request lifecycle ---------------------------------------------------
+  void OnRequestStart(uint64_t key, int client_class);
+  void OnRequestEnd(uint64_t key, TimeMicros latency, int client_class);
+  // Task teardown: any in-flight request under the key leaves with it.
+  void DropKey(uint64_t key);
+
+  // ---- Detection-stage inputs ----------------------------------------------
+  uint64_t completions() const { return window_completions_; }
+  TimeMicros P99() const { return window_latency_.P99(); }
+  // In-flight SLO-class requests older than `slo` — the convoy signal that
+  // makes a hard stall visible despite the survivor-biased completion p99.
+  uint64_t CountOverdue(TimeMicros now, TimeMicros slo) const;
+
+  // ---- Estimation-stage input ----------------------------------------------
+  // T_base: the window's productive execution time — completed request time
+  // attributed to the window, floored at the window length. In-flight blocked
+  // time is deliberately excluded; it shows up as the per-resource delay D_r.
+  TimeMicros ExecTimeFloored(TimeMicros now) const;
+
+  // ---- Window boundary -----------------------------------------------------
+  void Roll(TimeMicros now);
+  TimeMicros window_start() const { return window_start_; }
+
+ private:
+  Clock* clock_;
+  const AtroposConfig config_;
+  AtroposStats* stats_;
+
+  LatencyHistogram window_latency_;
+  uint64_t window_completions_ = 0;
+  TimeMicros window_exec_time_ = 0;  // T_exec accumulator (completed requests)
+  TimeMicros window_start_ = 0;
+
+  struct ActiveRequest {
+    TimeMicros start = 0;
+    int client_class = 0;
+  };
+  std::unordered_map<uint64_t, ActiveRequest> active_requests_;
+};
+
+}  // namespace atropos
+
+#endif  // SRC_ATROPOS_WINDOW_H_

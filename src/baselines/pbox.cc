@@ -55,6 +55,18 @@ void PBox::OnWaitEnd(uint64_t key, ResourceId resource) {
   wait_start_.erase(it);
 }
 
+void PBox::OnWaitObserved(uint64_t key, ResourceId resource, TimeMicros waited) {
+  window_wait_[resource] += waited;
+}
+
+void PBox::OnHoldObserved(uint64_t key, ResourceId resource, TimeMicros used) {
+  auto it = usage_.find(key);
+  if (it == usage_.end()) {
+    return;
+  }
+  it->second[resource].hold_time += used;
+}
+
 void PBox::Tick() {
   TimeMicros now = clock_->NowMicros();
   TimeMicros window = now > window_start_ ? now - window_start_ : 1;

@@ -39,6 +39,10 @@ class PBox final : public OverloadController {
   void OnFree(uint64_t key, ResourceId resource, uint64_t amount) override;
   void OnWaitBegin(uint64_t key, ResourceId resource) override;
   void OnWaitEnd(uint64_t key, ResourceId resource) override;
+  // After-the-fact observations carry their durations; credit them directly
+  // instead of wall-clocking zero-width brackets.
+  void OnWaitObserved(uint64_t key, ResourceId resource, TimeMicros waited) override;
+  void OnHoldObserved(uint64_t key, ResourceId resource, TimeMicros used) override;
   void Tick() override;
 
   uint64_t penalties_issued() const { return penalties_; }

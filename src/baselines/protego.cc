@@ -63,6 +63,13 @@ void Protego::OnWaitEnd(uint64_t key, ResourceId resource) {
   waiting_.erase(it);
 }
 
+void Protego::OnWaitObserved(uint64_t key, ResourceId resource, TimeMicros waited) {
+  if (!IsLockLike(resource)) {
+    return;
+  }
+  lock_delay_[key] += waited;
+}
+
 void Protego::OnRequestEnd(uint64_t key, TimeMicros latency, int request_type,
                            int client_class) {
   if (client_class == 0) {
@@ -124,6 +131,17 @@ void Protego::Tick() {
       wait += acc->second;
     }
     if (wait >= threshold) {
+      to_drop.push_back(key);
+    }
+  }
+  // Requests not waiting right now can still be past the threshold on
+  // accumulated delay alone — closed brackets and after-the-fact
+  // OnWaitObserved reports land here.
+  for (const auto& [key, acc] : lock_delay_) {
+    if (waiting_.count(key) != 0 || client_class_.count(key) != 0) {
+      continue;
+    }
+    if (acc >= threshold) {
       to_drop.push_back(key);
     }
   }

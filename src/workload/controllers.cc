@@ -41,7 +41,13 @@ std::unique_ptr<AtroposRuntime> MakeAtropos(Clock* clock, ControlSurface* surfac
   // than the frontend's retry deadline, so heavyweight culprits re-execute
   // only into genuinely idle periods (or are dropped).
   config.reexec_calm_windows = 60;
-  auto runtime = std::make_unique<AtroposRuntime>(clock, config);
+  // The Fig-13 ablation variants differ only in the injected SelectionPolicy
+  // stage; detection and estimation are the paper's pipeline in all three.
+  DecisionPipeline pipeline;
+  pipeline.detection = std::make_unique<BreakwaterDetectionStage>(config);
+  pipeline.estimation = std::make_unique<GainEstimationStage>(config);
+  pipeline.selection = DecisionPipeline::MakeSelectionPolicy(policy);
+  auto runtime = std::make_unique<AtroposRuntime>(clock, config, std::move(pipeline));
   runtime->SetControlSurface(surface);
   return runtime;
 }

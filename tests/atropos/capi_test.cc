@@ -83,6 +83,66 @@ TEST_F(CApiTest, ScopesNest) {
   freeCancel(b);
 }
 
+// Regression: freeCancel while the freed task is still the current
+// cancellable. Tracing after the free must reach the runtime and be counted
+// as ignored_events — the old facade nulled the current task and the calls
+// vanished without a trace.
+TEST_F(CApiTest, TracingAfterFreeCancelOfCurrentCountsAsIgnored) {
+  Cancellable* c = createCancel(7);
+  {
+    CancellableScope scope(c);
+    getResource(1, CApiResourceType::LOCK);
+    EXPECT_EQ(runtime_.stats().ignored_events, 0u);
+
+    freeCancel(c);  // frees the task while it is the current cancellable
+
+    getResource(1, CApiResourceType::LOCK);
+    slowByResource(100, CApiResourceType::LOCK);
+    freeResource(1, CApiResourceType::LOCK);
+    EXPECT_EQ(runtime_.stats().ignored_events, 3u);
+    EXPECT_EQ(runtime_.FindTask(7), nullptr);
+  }
+  // The handle is reaped at scope exit; tracing now has no current task.
+  getResource(1, CApiResourceType::LOCK);
+  EXPECT_EQ(runtime_.stats().ignored_events, 3u);
+}
+
+// Regression: freeCancel of an *outer* scope's handle while a nested scope is
+// active. The inner scope's exit restores the outer handle — which must still
+// be valid memory — and tracing against it must count as ignored, never be
+// misattributed to another task.
+TEST_F(CApiTest, FreeCancelOfOuterHandleUnderNestedScopes) {
+  Cancellable* a = createCancel(1);
+  Cancellable* b = createCancel(2);
+  {
+    CancellableScope outer(a);
+    {
+      CancellableScope inner(b);
+      freeCancel(a);  // outer handle is saved by `inner` as its restore target
+      getResource(5, CApiResourceType::LOCK);  // still attributed to task 2
+    }
+    // Restored current is the freed outer handle: valid memory, dead task.
+    getResource(3, CApiResourceType::LOCK);
+    EXPECT_EQ(runtime_.stats().ignored_events, 1u);
+  }
+  EXPECT_EQ(runtime_.FindTask(1), nullptr);
+  ASSERT_NE(runtime_.FindTask(2), nullptr);
+  EXPECT_EQ(runtime_.FindTask(2)->usage.begin()->second.acquired, 5u);
+  freeCancel(b);
+}
+
+TEST_F(CApiTest, DoubleFreeCancelIsSafe) {
+  Cancellable* c = createCancel(9);
+  {
+    CancellableScope scope(c);
+    freeCancel(c);
+    freeCancel(c);  // second free of a retired handle must not double-delete
+    getResource(1, CApiResourceType::LOCK);
+    EXPECT_EQ(runtime_.stats().ignored_events, 1u);
+  }
+  EXPECT_EQ(runtime_.FindTask(9), nullptr);
+}
+
 TEST_F(CApiTest, SetCancelActionRoutesToFunctionPointer) {
   setCancelAction(&RecordCancel);
   Cancellable* culprit = createCancel(100);

@@ -1,0 +1,147 @@
+#include "src/atropos/runtime_group.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace atropos {
+namespace {
+
+AtroposConfig TestConfig() {
+  AtroposConfig cfg;
+  cfg.window = Millis(100);
+  cfg.baseline_p99 = 1000;  // 1ms baseline, SLO = 1.2ms
+  cfg.slo_latency_increase = 0.20;
+  cfg.contention_threshold = 0.10;
+  cfg.min_cancel_interval = Millis(200);
+  cfg.timestamp_mode = TimestampMode::kPerEvent;
+  return cfg;
+}
+
+// Two app instances behind one group: tenant A uses keys < 1000, tenant B
+// keys >= 1000.
+constexpr uint64_t kTenantBBase = 1000;
+
+size_t TenantRouter(uint64_t key) { return key < kTenantBBase ? 0 : 1; }
+
+class RuntimeGroupTest : public ::testing::Test {
+ protected:
+  RuntimeGroupTest()
+      : clock_(0), group_(&clock_, TestConfig(), 2, /*factory=*/nullptr, TenantRouter) {
+    group_.SetCancelAction([this](uint64_t key) { cancelled_.push_back(key); });
+    lock_ = group_.RegisterResource("table_lock", ResourceClass::kLock);
+  }
+
+  // Tenant A stalls behind a lock-holding culprit while tenant B stays
+  // healthy; one window of both, then a group tick.
+  void MixedWindow() {
+    for (int i = 0; i < 20; i++) {
+      group_.OnRequestEnd(999, /*latency=*/50000, 0, 0);  // tenant A, stalled
+    }
+    for (int i = 0; i < 50; i++) {
+      group_.OnRequestEnd(1999, /*latency=*/900, 0, 0);  // tenant B, healthy
+    }
+    clock_.Advance(Millis(100));
+    group_.Tick();
+  }
+
+  ManualClock clock_;
+  RuntimeGroup group_;
+  ResourceId lock_;
+  std::vector<uint64_t> cancelled_;
+};
+
+TEST_F(RuntimeGroupTest, ResourceIdsAgreeAcrossShards) {
+  ASSERT_EQ(group_.shard_count(), 2u);
+  for (size_t s = 0; s < group_.shard_count(); s++) {
+    const ResourceRecord* rec = group_.shard(s).FindResource(lock_);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->name, "table_lock");
+    EXPECT_EQ(rec->cls, ResourceClass::kLock);
+  }
+}
+
+TEST_F(RuntimeGroupTest, TasksRouteToTheirTenantShard) {
+  group_.OnTaskRegistered(100, false);
+  group_.OnTaskRegistered(1100, false);
+  EXPECT_EQ(group_.shard_for_key(100), 0u);
+  EXPECT_EQ(group_.shard_for_key(1100), 1u);
+  EXPECT_EQ(group_.shard(0).live_task_count(), 1u);
+  EXPECT_EQ(group_.shard(1).live_task_count(), 1u);
+  EXPECT_NE(group_.shard(0).FindTask(100), nullptr);
+  EXPECT_EQ(group_.shard(0).FindTask(1100), nullptr);
+  EXPECT_NE(group_.shard(1).FindTask(1100), nullptr);
+  EXPECT_EQ(group_.shard(1).FindTask(100), nullptr);
+
+  group_.OnTaskFreed(100);
+  EXPECT_EQ(group_.shard(0).live_task_count(), 0u);
+  EXPECT_EQ(group_.shard(1).live_task_count(), 1u);
+}
+
+// The isolation guarantee: a culprit detected in tenant A's shard is
+// cancelled by that shard only; tenant B — same group, same stages, healthy
+// windows — sees no detection, no cancellation, and untouched tasks.
+TEST_F(RuntimeGroupTest, CulpritInShardANeverCancelsShardB) {
+  group_.OnTaskRegistered(100, false);  // tenant A culprit
+  group_.OnTaskRegistered(200, false);  // tenant A victims
+  group_.OnTaskRegistered(201, false);
+  group_.OnTaskRegistered(1100, false);  // tenant B task, equally lock-happy
+
+  group_.OnGet(100, lock_, 1);  // A's culprit takes A's lock...
+  group_.OnWaitBegin(200, lock_);
+  group_.OnWaitBegin(201, lock_);
+  group_.OnGet(1100, lock_, 1);  // ...while B's task holds B's uncontended one
+
+  for (int w = 0; w < 3 && cancelled_.empty(); w++) {
+    MixedWindow();
+  }
+
+  ASSERT_EQ(cancelled_.size(), 1u);
+  EXPECT_EQ(cancelled_[0], 100u);  // A's holder, never a B task
+  EXPECT_GE(group_.shard(0).stats().resource_overload_windows, 1u);
+  EXPECT_EQ(group_.shard(0).stats().cancels_issued, 1u);
+
+  EXPECT_EQ(group_.shard(1).stats().suspected_overload_windows, 0u);
+  EXPECT_EQ(group_.shard(1).stats().cancels_issued, 0u);
+  const TaskRecord* b_task = group_.shard(1).FindTask(1100);
+  ASSERT_NE(b_task, nullptr);
+  EXPECT_EQ(b_task->cancel_count, 0u);
+  // The §4 memo is per-shard too: only A remembers its cancelled key.
+  EXPECT_EQ(group_.shard(0).cancelled_key_count(), 1u);
+  EXPECT_EQ(group_.shard(1).cancelled_key_count(), 0u);
+}
+
+TEST_F(RuntimeGroupTest, SharedStageFactoryBuildsPrivateStageState) {
+  int builds = 0;
+  RuntimeGroup group(
+      &clock_, TestConfig(), 2,
+      [&builds](const AtroposConfig& cfg) {
+        builds++;
+        return DecisionPipeline::Default(cfg);
+      },
+      TenantRouter);
+  EXPECT_EQ(builds, 2);  // one pipeline per shard — stage state is private
+}
+
+TEST_F(RuntimeGroupTest, ProcessWideAuditSumsBalancedShardLedgers) {
+  group_.OnTaskRegistered(100, false);
+  group_.OnTaskRegistered(1100, false);
+  group_.OnGet(100, lock_, 3);
+  group_.OnFree(100, lock_, 1);
+  group_.OnGet(1100, lock_, 5);
+
+  for (size_t s = 0; s < group_.shard_count(); s++) {
+    for (const ResourceAudit& row : group_.shard(s).AuditAccounting()) {
+      EXPECT_TRUE(row.Balanced()) << "shard " << s << " resource " << row.name;
+    }
+  }
+  std::vector<ResourceAudit> total = group_.AuditProcessWide();
+  ASSERT_EQ(total.size(), 1u);
+  EXPECT_EQ(total[0].acquired, 8u);
+  EXPECT_EQ(total[0].released, 1u);
+  EXPECT_EQ(total[0].live_held, 7u);
+  EXPECT_TRUE(total[0].Balanced());
+}
+
+}  // namespace
+}  // namespace atropos

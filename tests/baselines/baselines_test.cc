@@ -116,6 +116,20 @@ TEST_F(ProtegoTest, AdmissionShedsWhileSloViolated) {
   EXPECT_EQ(admitted, 100);
 }
 
+TEST_F(ProtegoTest, OnUsageCreditsReportedWaitDuration) {
+  Protego protego(&clock_, &surface_, Config());
+  ResourceId lock = protego.RegisterResource("l", ResourceClass::kLock);
+  protego.OnRequestStart(1, 0, 0);
+  // After-the-fact report: the request already waited 5 ms on the lock. The
+  // clock never advances, so a zero-width OnWaitBegin/OnWaitEnd lowering
+  // would record 0 us and never drop.
+  protego.OnUsage(1, lock, /*waited=*/Millis(5), /*used=*/0);
+  protego.Tick();
+  ASSERT_EQ(surface_.cancels.size(), 1u);
+  EXPECT_EQ(surface_.cancels[0].first, 1u);
+  EXPECT_EQ(surface_.cancels[0].second, CancelReason::kVictimDrop);
+}
+
 // --------------------------------------------------------------------------
 // pBox
 
@@ -137,6 +151,28 @@ TEST(PBoxTest, PenalizesTopHolderUnderContention) {
   ASSERT_EQ(surface.throttles.size(), 1u);
   EXPECT_EQ(surface.throttles[0].first, 1u);
   EXPECT_GT(surface.throttles[0].second, 1.0);
+  EXPECT_EQ(pbox.penalties_issued(), 1u);
+}
+
+TEST(PBoxTest, OnUsageCreditsReportedDurations) {
+  ManualClock clock;
+  RecordingSurface surface;
+  PBoxConfig cfg;
+  cfg.contention_threshold = 0.10;
+  PBox pbox(&clock, &surface, cfg);
+  ResourceId io = pbox.RegisterResource("io", ResourceClass::kIo);
+  pbox.OnTaskRegistered(1, false, true);  // hog
+  pbox.OnTaskRegistered(2, false, true);  // waiter
+  // After-the-fact reports from an IO adapter: the hog used the resource for
+  // 80 ms, the waiter lost 50 ms to it. The wall clock only moves between the
+  // reports and the tick, so the old OnGet/OnWaitBegin-bracket lowering would
+  // observe both durations as 0 and never penalize.
+  pbox.OnUsage(1, io, /*waited=*/0, /*used=*/Millis(80));
+  pbox.OnUsage(2, io, /*waited=*/Millis(50), /*used=*/0);
+  clock.Advance(Millis(100));
+  pbox.Tick();
+  ASSERT_EQ(surface.throttles.size(), 1u);
+  EXPECT_EQ(surface.throttles[0].first, 1u);
   EXPECT_EQ(pbox.penalties_issued(), 1u);
 }
 
