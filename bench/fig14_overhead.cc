@@ -15,7 +15,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <iterator>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "src/apps/minidb.h"
 #include "src/apps/minisearch.h"
@@ -215,8 +218,10 @@ void RunSimPart() {
   // EXPERIMENTS.md.
   const TimeMicros per_call_x100 = 5;
 
-  TextTable tput({"app", "read", "write", "read-overload", "write-overload"});
-  TextTable p99({"app", "read", "write", "read-overload", "write-overload"});
+  std::vector<std::string> columns{"app"};
+  columns.insert(columns.end(), std::begin(kWorkloads), std::end(kWorkloads));
+  TextTable tput(columns);
+  TextTable p99(columns);
   for (const AppSpec& spec : kApps) {
     std::vector<std::string> trow{spec.name};
     std::vector<std::string> lrow{spec.name};

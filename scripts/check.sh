@@ -1,34 +1,52 @@
 #!/usr/bin/env bash
-# Repo gate: full build + ctest (including the fuzz_smoke corpus), then a
-# clang-tidy pass over the runtime layers, then the obs/workload/atropos tests
-# and a fuzz corpus under ASan/UBSan, then the concurrent intake tests and
-# mt_ingest smoke under TSan.
+# Repo gate: full build + ctest (including the fuzz_smoke corpus), then the
+# static-analysis stage (atropos_lint always; clang-tidy and clang's
+# thread-safety analysis when clang is installed), then the obs/workload/
+# atropos tests and a fuzz corpus under ASan/UBSan, then the concurrent
+# intake tests and mt_ingest smoke under TSan.
 #
 #   scripts/check.sh          # build + all tests + lint + ASan/UBSan + TSan
 #   scripts/check.sh --fast   # skip the lint and sanitizer stages
-#   scripts/check.sh --lint   # configure + run only the clang-tidy stage
+#   scripts/check.sh --lint   # configure + run only the static-analysis stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-# clang-tidy over the decision-pipeline layers (src/atropos) and the fuzzing
-# harness (src/testing), driven by the compile database the main configure
-# exports. Skips with a notice when clang-tidy isn't installed so the gate
-# stays runnable in minimal containers.
+# Static analysis, three sub-stages:
+#   1. atropos_lint (tools/atropos_lint): the domain checks — capi-pairing,
+#      cancel-action-safety, determinism, lock-order. Always runs; the tool
+#      is built from this repo so there is nothing to install.
+#   2. clang-tidy over the decision-pipeline layers, driven by the compile
+#      database the main configure exports. Skipped when not installed.
+#   3. clang thread-safety analysis: a clang compile of the concurrent intake
+#      with -Werror=thread-safety, validating the
+#      src/common/thread_annotations.h contracts. Skipped without clang.
 run_lint() {
-  if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "== lint: atropos_lint (src, examples, tests, tools) =="
+  cmake --build build -j "$JOBS" --target atropos_lint >/dev/null
+  ./build/tools/atropos_lint/atropos_lint --dir=src --dir=examples --dir=tests --dir=tools
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== lint: clang-tidy over src/atropos + src/testing =="
+    local files
+    files=$(ls src/atropos/*.cc src/testing/*.cc)
+    clang-tidy -p build --quiet $files
+  else
     echo "== lint: clang-tidy not found, skipping =="
-    return 0
   fi
-  echo "== lint: clang-tidy over src/atropos + src/testing =="
-  local files
-  files=$(ls src/atropos/*.cc src/testing/*.cc)
-  clang-tidy -p build --quiet $files
+
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "== lint: clang thread-safety analysis (concurrent intake) =="
+    clang++ -std=c++20 -I. -Wthread-safety -Werror=thread-safety \
+      -fsyntax-only src/atropos/concurrent_frontend.cc
+  else
+    echo "== lint: clang++ not found, skipping thread-safety analysis =="
+  fi
 }
 
 echo "== configure + build (build/) =="
-cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 
 if [[ "${1:-}" == "--lint" ]]; then

@@ -51,6 +51,7 @@
 #include "src/atropos/controller.h"
 #include "src/atropos/runtime.h"
 #include "src/common/clock.h"
+#include "src/common/thread_annotations.h"
 #include "src/obs/metrics.h"
 
 namespace atropos {
@@ -179,7 +180,7 @@ class ConcurrentFrontend final : public OverloadController {
     EventRing ring_;
   };
 
-  Producer* RegisterProducer();
+  Producer* RegisterProducer() ATROPOS_EXCLUDES(registry_mu_);
 
   // ---- OverloadController: producer side ----------------------------------
   // Each hook stamps the current time and enqueues on the calling thread's
@@ -208,7 +209,7 @@ class ConcurrentFrontend final : public OverloadController {
   // Drains all rings in one stable timestamp merge, replays the events into
   // the runtime at their enqueue-time clock readings, then runs the
   // runtime's control loop for the closing window.
-  void Tick() override;
+  void Tick() override ATROPOS_EXCLUDES(registry_mu_);
 
   bool ReexecutionRecommended() const override {  // drainer thread only
     return runtime_.ReexecutionRecommended();
@@ -230,7 +231,7 @@ class ConcurrentFrontend final : public OverloadController {
   const IntakeStats& intake_stats() const { return intake_; }
 
  private:
-  Producer* ThisThreadProducer();
+  Producer* ThisThreadProducer() ATROPOS_EXCLUDES(registry_mu_);
   void Apply(const TraceEvent& ev);
 
   const uint64_t instance_id_;  // never reused; keys the thread-local cache
@@ -240,7 +241,7 @@ class ConcurrentFrontend final : public OverloadController {
   Options options_;
 
   std::mutex registry_mu_;  // guards producers_ (registration is rare)
-  std::vector<std::unique_ptr<Producer>> producers_;
+  std::vector<std::unique_ptr<Producer>> producers_ ATROPOS_GUARDED_BY(registry_mu_);
 
   // Drainer-thread state.
   std::vector<TraceEvent> drain_buf_;

@@ -7,6 +7,13 @@
 // re-executed task non-cancellable, the calm-window streak behind the
 // re-execution gate, and the memo's calm-window aging so clients that never
 // retry cannot leak entries.
+//
+// Threading: single-threaded by design (drainer-thread discipline; see
+// src/common/thread_annotations.h). Dispatch happens inside Tick() on the
+// control-loop thread; the registered initiator therefore runs on that
+// thread and must only *request* cancellation — the cancel-action-safety
+// lint check (tools/atropos_lint) enforces that it never blocks, allocates,
+// or throws.
 
 #ifndef SRC_ATROPOS_DISPATCHER_H_
 #define SRC_ATROPOS_DISPATCHER_H_

@@ -10,6 +10,12 @@
 // Every tracing hook is O(log tasks) worst case (std::map keeps iteration
 // deterministic for the estimator); nothing here allocates on the steady
 // state path beyond first-touch of a (task, resource) pair.
+//
+// Threading: single-threaded by design — the ledger is owned by whichever
+// thread drives the runtime (the drainer thread behind ConcurrentFrontend,
+// or the caller in single-threaded embeddings). It holds no mutexes, so it
+// carries no src/common/thread_annotations.h attributes; cross-thread intake
+// must go through ConcurrentFrontend's rings, never call into the ledger.
 
 #ifndef SRC_ATROPOS_LEDGER_H_
 #define SRC_ATROPOS_LEDGER_H_

@@ -13,6 +13,11 @@
 // only ever be cancelled by shard A's dispatcher — no decision input crosses
 // shard boundaries (runtime_group_test.cc and the fuzzer's group-ledger
 // oracle hold this down).
+//
+// Threading: single-threaded by design, like the shards it hosts (see
+// src/common/thread_annotations.h). One thread owns the group; concurrent
+// producers are bridged by putting a ConcurrentFrontend in front of it, not
+// by calling the group from multiple threads.
 
 #ifndef SRC_ATROPOS_RUNTIME_GROUP_H_
 #define SRC_ATROPOS_RUNTIME_GROUP_H_

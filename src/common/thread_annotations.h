@@ -1,0 +1,54 @@
+// Thread-safety annotation macros.
+//
+// Under Clang these expand to the thread-safety-analysis attributes, so
+// building with `-Wthread-safety -Werror=thread-safety` (scripts/check.sh
+// does this when clang is available; see also ATROPOS_WERROR in the top-level
+// CMakeLists.txt) turns lock-discipline violations into compile errors.
+// Under GCC and MSVC they expand to nothing and serve as checked
+// documentation: which mutex guards which field, which functions must (or
+// must not) be called with a lock held.
+//
+// Most of the runtime is deliberately single-threaded (the drainer-thread
+// discipline: one thread owns the ledger, dispatcher, and decision pipeline);
+// only the instrumentation intake has real mutexes. Classes designed for
+// single-thread use carry no annotations — the contract is documented at the
+// class level instead.
+
+#ifndef ATROPOS_SRC_COMMON_THREAD_ANNOTATIONS_H_
+#define ATROPOS_SRC_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define ATROPOS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ATROPOS_THREAD_ANNOTATION(x)
+#endif
+
+// Capability declarations: mark a type (e.g. a Mutex wrapper) as a
+// capability, or a RAII guard as a scoped capability.
+#define ATROPOS_CAPABILITY(x) ATROPOS_THREAD_ANNOTATION(capability(x))
+#define ATROPOS_SCOPED_CAPABILITY ATROPOS_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members: reads/writes require holding the named mutex (or, for
+// pointers, the pointed-to data does).
+#define ATROPOS_GUARDED_BY(x) ATROPOS_THREAD_ANNOTATION(guarded_by(x))
+#define ATROPOS_PT_GUARDED_BY(x) ATROPOS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Functions: caller must hold / must not hold the named mutexes.
+#define ATROPOS_REQUIRES(...) \
+  ATROPOS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ATROPOS_REQUIRES_SHARED(...) \
+  ATROPOS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ATROPOS_EXCLUDES(...) \
+  ATROPOS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Functions that acquire/release the named mutexes themselves.
+#define ATROPOS_ACQUIRE(...) \
+  ATROPOS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ATROPOS_RELEASE(...) \
+  ATROPOS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// Escape hatch for code the analysis cannot model (init/teardown paths).
+#define ATROPOS_NO_THREAD_SAFETY_ANALYSIS \
+  ATROPOS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // ATROPOS_SRC_COMMON_THREAD_ANNOTATIONS_H_

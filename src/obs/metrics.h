@@ -8,6 +8,13 @@
 //
 // SeriesRecorder captures a fixed-column time series (one Sample per tick)
 // for the CSV exporter.
+//
+// Threading: single-threaded by design — instruments are plain fields with
+// no atomics or mutexes (so no src/common/thread_annotations.h attributes
+// apply), and the registry follows the drainer-thread discipline: the thread
+// that Ticks the runtime is the thread that updates and snapshots metrics.
+// ConcurrentFrontend publishes its intake gauges from the drainer for
+// exactly this reason.
 
 #ifndef SRC_OBS_METRICS_H_
 #define SRC_OBS_METRICS_H_

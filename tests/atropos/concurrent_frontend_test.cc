@@ -165,6 +165,7 @@ TEST(ConcurrentFrontendDeterminism, DrainedDecisionsMatchDirectFeeding) {
   FlightRecorder rec_a;
   frontend.runtime().SetRecorder(&rec_a);
   std::vector<uint64_t> cancels_a;
+  // atropos-lint: allow(cancel-action-safety)
   frontend.runtime().SetCancelAction([&](uint64_t key) { cancels_a.push_back(key); });
   std::vector<ConcurrentFrontend::Producer*> producers;
   for (int i = 0; i < kProducers; i++) {
@@ -193,6 +194,7 @@ TEST(ConcurrentFrontendDeterminism, DrainedDecisionsMatchDirectFeeding) {
   FlightRecorder rec_b;
   runtime.SetRecorder(&rec_b);
   std::vector<uint64_t> cancels_b;
+  // atropos-lint: allow(cancel-action-safety)
   runtime.SetCancelAction([&](uint64_t key) { cancels_b.push_back(key); });
 
   std::vector<ScriptOp> sorted = script;

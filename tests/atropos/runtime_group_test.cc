@@ -28,6 +28,7 @@ class RuntimeGroupTest : public ::testing::Test {
  protected:
   RuntimeGroupTest()
       : clock_(0), group_(&clock_, TestConfig(), 2, /*factory=*/nullptr, TenantRouter) {
+    // atropos-lint: allow(cancel-action-safety)
     group_.SetCancelAction([this](uint64_t key) { cancelled_.push_back(key); });
     lock_ = group_.RegisterResource("table_lock", ResourceClass::kLock);
   }

@@ -21,6 +21,7 @@ AtroposConfig TestConfig() {
 class RuntimeTest : public ::testing::Test {
  protected:
   RuntimeTest() : clock_(0), runtime_(&clock_, TestConfig()) {
+    // atropos-lint: allow(cancel-action-safety)
     runtime_.SetCancelAction([this](uint64_t key) { cancelled_.push_back(key); });
     lock_ = runtime_.RegisterResource("table_lock", ResourceClass::kLock);
   }
@@ -254,6 +255,7 @@ TEST_F(RuntimeTest, CancellationDisabledMeansDetectionOnly) {
   cfg.cancellation_enabled = false;
   AtroposRuntime rt(&clock_, cfg);
   std::vector<uint64_t> cancels;
+  // atropos-lint: allow(cancel-action-safety)
   rt.SetCancelAction([&](uint64_t key) { cancels.push_back(key); });
   ResourceId lk = rt.RegisterResource("l", ResourceClass::kLock);
   rt.OnTaskRegistered(100, false);

@@ -1,0 +1,55 @@
+// Bad fixture for cancel-action-safety: initiators that block, allocate, or
+// throw. Golden diagnostics live in
+// tests/lint/golden/cancel_safety_bad.expected; line numbers are load-bearing.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/atropos/capi.h"
+
+namespace {
+
+std::mutex g_mu;
+std::vector<uint64_t> g_log;
+
+// Violation: throws — the control loop has no handler for it.
+void ThrowingInitiator(uint64_t key) {
+  if (key == 0) {
+    throw std::runtime_error("bad key");
+  }
+}
+
+// Violations: sleeps, then allocates with a new-expression.
+void SleepingInitiator(uint64_t key) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  uint64_t* copy = new uint64_t(key);
+  delete copy;
+}
+
+// Violation reached transitively: the initiator itself looks clean but the
+// same-file helper it routes through grows a container.
+void AppendLog(uint64_t key) {
+  g_log.push_back(key);
+}
+
+void RoutingInitiator(uint64_t key) {
+  AppendLog(key);
+}
+
+void Register() {
+  atropos::setCancelAction(&ThrowingInitiator);
+  atropos::setCancelAction(&SleepingInitiator);
+  atropos::setCancelAction(&RoutingInitiator);
+  // Violations in a lambda initiator: explicit mutex guard (blocking) and a
+  // container mutation (allocating) under the lock.
+  atropos::setCancelAction([](uint64_t key) {
+    std::lock_guard<std::mutex> lk(g_mu);
+    g_log.push_back(key);
+  });
+}
+
+}  // namespace

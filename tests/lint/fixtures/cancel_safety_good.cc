@@ -1,0 +1,45 @@
+// Good fixture for cancel-action-safety: initiators that only *request*
+// cancellation — set a flag, look up a precomputed token, return. No
+// blocking, no allocation, no throwing. atropos_lint must report nothing.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+
+#include "src/atropos/capi.h"
+
+namespace {
+
+std::atomic<uint64_t> g_cancel_requested{0};
+
+// Flag-setting initiator: the worker thread polls the flag and unwinds.
+void RequestCancel(uint64_t key) {
+  g_cancel_requested.store(key, std::memory_order_release);
+}
+
+struct Session {
+  std::atomic<bool> killed{false};
+  void Kill() { killed.store(true, std::memory_order_release); }
+};
+
+Session* FindSession(uint64_t key);
+
+// Routing through a same-file helper is fine when the whole path is clean.
+void KillSession(uint64_t key) {
+  Session* s = FindSession(key);
+  if (s != nullptr) {
+    s->Kill();
+  }
+}
+
+void Register() {
+  atropos::setCancelAction(&RequestCancel);
+  atropos::setCancelAction(&KillSession);
+  // Lambda initiators are walked too; logging and flag stores are fine.
+  atropos::setCancelAction([](uint64_t key) {
+    std::printf("cancelling %llu\n", static_cast<unsigned long long>(key));
+    g_cancel_requested.store(key, std::memory_order_release);
+  });
+}
+
+}  // namespace

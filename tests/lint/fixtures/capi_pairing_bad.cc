@@ -1,0 +1,54 @@
+// Bad fixture for capi-pairing: one seeded violation per function. Golden
+// diagnostics live in tests/lint/golden/capi_pairing_bad.expected; line
+// numbers are load-bearing — keep them in sync when editing.
+
+#include "src/atropos/capi.h"
+
+namespace {
+
+using namespace atropos;
+
+// Violation: handle never reaches freeCancel and never escapes (leak).
+void LeakedHandle(uint64_t key) {
+  Cancellable* c = createCancel(key);
+  getResource(1, CApiResourceType::LOCK);
+  freeResource(1, CApiResourceType::LOCK);
+}
+
+// Violation: the returned handle is dropped on the floor outright.
+void DiscardedHandle(uint64_t key) {
+  createCancel(key);
+}
+
+// Violation: same handle freed twice without re-creation.
+void DoubleFree(uint64_t key) {
+  Cancellable* c = createCancel(key);
+  freeCancel(c);
+  freeCancel(c);
+}
+
+// Violation: 5 units acquired, 3 released — unit totals diverge.
+void UnbalancedUnits(uint64_t key) {
+  Cancellable* c = createCancel(key);
+  getResource(5, CApiResourceType::MEMORY);
+  freeResource(3, CApiResourceType::MEMORY);
+  freeCancel(c);
+}
+
+// Violation: getResource with no freeResource for that type at all.
+void MissingFree(uint64_t key) {
+  Cancellable* c = createCancel(key);
+  getResource(2, CApiResourceType::QUEUE);
+  freeCancel(c);
+}
+
+// Violation: stall bracket opened twice, closed once.
+void UnclosedStallBracket(uint64_t key) {
+  Cancellable* c = createCancel(key);
+  slowByResourceBegin(CApiResourceType::LOCK);
+  slowByResourceBegin(CApiResourceType::LOCK);
+  slowByResourceEnd(CApiResourceType::LOCK);
+  freeCancel(c);
+}
+
+}  // namespace

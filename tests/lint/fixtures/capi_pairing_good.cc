@@ -1,0 +1,59 @@
+// Good fixture for capi-pairing: the reference integration shape — every
+// handle is freed in its scope (or legitimately handed off), every
+// getResource is balanced by freeResource in units, every stall bracket
+// closes. atropos_lint must report nothing here.
+
+#include "src/atropos/capi.h"
+
+namespace {
+
+using namespace atropos;
+
+void BalancedQuery(uint64_t key) {
+  Cancellable* c = createCancel(key);
+  CancellableScope scope(c);
+  slowByResourceBegin(CApiResourceType::LOCK);
+  slowByResourceEnd(CApiResourceType::LOCK);
+  getResource(1, CApiResourceType::LOCK);
+  getResource(2, CApiResourceType::MEMORY);
+  freeResource(2, CApiResourceType::MEMORY);
+  freeResource(1, CApiResourceType::LOCK);
+  freeCancel(c);
+}
+
+// Split gets are fine as long as the totals balance.
+void SplitUnits(uint64_t key) {
+  Cancellable* c = createCancel(key);
+  getResource(4, CApiResourceType::MEMORY);
+  getResource(4, CApiResourceType::MEMORY);
+  freeResource(8, CApiResourceType::MEMORY);
+  freeCancel(c);
+}
+
+// Ownership handoff: a returned handle is the caller's to free.
+Cancellable* MakeTask(uint64_t key) {
+  Cancellable* c = createCancel(key);
+  return c;
+}
+
+// Conditional paths that still balance at scope level.
+void ConditionalBalanced(uint64_t key, bool contended) {
+  Cancellable* c = createCancel(key);
+  if (contended) {
+    slowByResourceBegin(CApiResourceType::QUEUE);
+  }
+  if (contended) {
+    slowByResourceEnd(CApiResourceType::QUEUE);
+  }
+  freeCancel(c);
+}
+
+// Re-creating after free restarts tracking; the second handle is freed too.
+void Recreate(uint64_t key) {
+  Cancellable* c = createCancel(key);
+  freeCancel(c);
+  c = createCancel(key + 1);
+  freeCancel(c);
+}
+
+}  // namespace

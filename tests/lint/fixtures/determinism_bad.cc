@@ -1,0 +1,44 @@
+// Bad fixture for determinism: ambient time and randomness in a digest path.
+// Golden diagnostics live in tests/lint/golden/determinism_bad.expected;
+// line numbers are load-bearing.
+// atropos-lint: digest-path
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace {
+
+// Violation: wall clock feeding a digest timestamp.
+uint64_t WallClockStamp() {
+  auto now = std::chrono::system_clock::now();
+  return static_cast<uint64_t>(now.time_since_epoch().count());
+}
+
+// Violation: steady_clock is ambient too — replay cannot reproduce it.
+uint64_t MonotonicStamp() {
+  return static_cast<uint64_t>(std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+// Violations: libc time() and rand() in free-call position.
+uint64_t LibcAmbient() {
+  uint64_t stamp = static_cast<uint64_t>(std::time(nullptr));
+  return stamp + static_cast<uint64_t>(rand());
+}
+
+// Violation: hardware entropy source.
+uint64_t HardwareEntropy() {
+  std::random_device rd;
+  return rd();
+}
+
+// Violation: POSIX clock_gettime.
+uint64_t PosixClock() {
+  timespec ts;
+  clock_gettime(0, &ts);
+  return static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace

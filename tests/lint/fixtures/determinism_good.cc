@@ -1,0 +1,37 @@
+// Good fixture for determinism: a digest-path file that reads time only
+// through the injected Clock interface and randomness through a seeded Rng.
+// Member accessors named `clock`/`time` are legal at call sites — they
+// resolve to the injected dependency, not the ambient environment.
+// atropos-lint: digest-path
+
+#include <cstdint>
+
+#include "src/common/clock.h"
+
+namespace {
+
+// Defined elsewhere; exposes the injected Clock via clock() / time().
+struct Executor;
+atropos::Clock* ClockOf(Executor& executor);
+
+struct SeededRng {
+  uint64_t state;
+  uint64_t Next() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  }
+};
+
+uint64_t DigestTick(Executor& executor, Executor* ptr, SeededRng& rng) {
+  uint64_t now = ClockOf(executor)->NowMicros();
+  uint64_t jitter = rng.Next() % 100;
+  // Member accessors in call position: sanctioned (injected Clock).
+  uint64_t stamp = executor.time();
+  uint64_t stamp2 = ptr->clock()->NowMicros();
+  uint64_t stamp3 = Executor::time(executor);
+  // Plain identifiers that merely *contain* banned words are fine.
+  uint64_t time_budget = now + jitter;
+  return stamp + stamp2 + stamp3 + time_budget;
+}
+
+}  // namespace

@@ -1,0 +1,47 @@
+// Bad fixture for lock-order: two inversions, one direct and one that only
+// appears through a same-file call. Golden diagnostics live in
+// tests/lint/golden/lock_order_bad.expected; line numbers are load-bearing.
+
+#include <mutex>
+
+namespace {
+
+std::mutex g_mu_a;
+std::mutex g_mu_b;
+std::mutex g_mu_c;
+int g_value = 0;
+
+// Direct inversion: this pair of functions acquires a/b in opposite orders.
+void TakesAThenB() {
+  std::lock_guard<std::mutex> la(g_mu_a);
+  std::lock_guard<std::mutex> lb(g_mu_b);
+  g_value++;
+}
+
+void TakesBThenA() {
+  std::lock_guard<std::mutex> lb(g_mu_b);
+  std::lock_guard<std::mutex> la(g_mu_a);
+  g_value++;
+}
+
+// Interprocedural inversion: LockC acquires g_mu_c; calling it while holding
+// g_mu_a creates a -> c, while TakesCThenA creates c -> a.
+void LockC() {
+  std::lock_guard<std::mutex> lc(g_mu_c);
+  g_value++;
+}
+
+void HoldsAThenCallsLockC() {
+  std::lock_guard<std::mutex> la(g_mu_a);
+  LockC();
+}
+
+void TakesCThenA() {
+  g_mu_c.lock();
+  g_mu_a.lock();
+  g_value++;
+  g_mu_a.unlock();
+  g_mu_c.unlock();
+}
+
+}  // namespace

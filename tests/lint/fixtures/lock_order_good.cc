@@ -1,0 +1,56 @@
+// Good fixture for lock-order: every function acquires in the same global
+// order (g_mu_a before g_mu_b before g_mu_c), multi-mutex acquisitions go
+// through std::scoped_lock's deadlock-avoiding form, and deferred locks are
+// not counted as acquisitions. atropos_lint must report nothing here.
+
+#include <mutex>
+
+namespace {
+
+std::mutex g_mu_a;
+std::mutex g_mu_b;
+std::mutex g_mu_c;
+int g_value = 0;
+
+void ConsistentGuards() {
+  std::lock_guard<std::mutex> la(g_mu_a);
+  std::lock_guard<std::mutex> lb(g_mu_b);
+  g_value++;
+}
+
+void SameOrderElsewhere() {
+  std::lock_guard<std::mutex> la(g_mu_a);
+  {
+    std::lock_guard<std::mutex> lc(g_mu_c);
+    g_value++;
+  }
+  std::lock_guard<std::mutex> lb(g_mu_b);
+  g_value++;
+}
+
+// scoped_lock's multi-argument form acquires atomically: no edges among its
+// own arguments, in either textual order.
+void AtomicPair() {
+  std::scoped_lock both(g_mu_b, g_mu_a);
+  g_value++;
+}
+
+// Bare lock()/unlock() in consistent order; the unlock releases before the
+// reverse-order acquisition below ever sees g_mu_b held.
+void BareLockConsistent() {
+  g_mu_a.lock();
+  g_mu_b.lock();
+  g_value++;
+  g_mu_b.unlock();
+  g_mu_a.unlock();
+}
+
+// defer_lock is not an acquisition; the later std::lock is the atomic form.
+void DeferredPair() {
+  std::unique_lock<std::mutex> la(g_mu_a, std::defer_lock);
+  std::unique_lock<std::mutex> lb(g_mu_b, std::defer_lock);
+  std::lock(la, lb);
+  g_value++;
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Golden tests: each bad fixture must reproduce its expected diagnostics
+// byte-for-byte, and each good fixture must lint clean. Fixture sources live
+// in tests/lint/fixtures/, goldens in tests/lint/golden/; the directory is
+// injected as ATROPOS_LINT_TEST_DATA_DIR by tests/CMakeLists.txt.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tools/atropos_lint/driver.h"
+
+#ifndef ATROPOS_LINT_TEST_DATA_DIR
+#error "ATROPOS_LINT_TEST_DATA_DIR must point at tests/lint"
+#endif
+
+namespace atropos::lint {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Lints the fixture under its basename (so golden paths are stable no matter
+// where the build runs) and returns the formatted diagnostics.
+std::string LintFixture(const std::string& name) {
+  const std::string source =
+      ReadFile(std::string(ATROPOS_LINT_TEST_DATA_DIR) + "/fixtures/" + name);
+  RunResult result = LintBuffer(name, source);
+  std::string out;
+  for (const Diagnostic& d : result.diagnostics) {
+    out += d.Format() + "\n";
+  }
+  return out;
+}
+
+std::string Golden(const std::string& name) {
+  return ReadFile(std::string(ATROPOS_LINT_TEST_DATA_DIR) + "/golden/" + name);
+}
+
+TEST(GoldenTest, CapiPairingBadMatchesGolden) {
+  EXPECT_EQ(LintFixture("capi_pairing_bad.cc"), Golden("capi_pairing_bad.expected"));
+}
+
+TEST(GoldenTest, CancelSafetyBadMatchesGolden) {
+  EXPECT_EQ(LintFixture("cancel_safety_bad.cc"), Golden("cancel_safety_bad.expected"));
+}
+
+TEST(GoldenTest, DeterminismBadMatchesGolden) {
+  EXPECT_EQ(LintFixture("determinism_bad.cc"), Golden("determinism_bad.expected"));
+}
+
+TEST(GoldenTest, LockOrderBadMatchesGolden) {
+  EXPECT_EQ(LintFixture("lock_order_bad.cc"), Golden("lock_order_bad.expected"));
+}
+
+TEST(GoldenTest, GoodFixturesLintClean) {
+  EXPECT_EQ(LintFixture("capi_pairing_good.cc"), "");
+  EXPECT_EQ(LintFixture("cancel_safety_good.cc"), "");
+  EXPECT_EQ(LintFixture("determinism_good.cc"), "");
+  EXPECT_EQ(LintFixture("lock_order_good.cc"), "");
+}
+
+// Suppression directives neutralize findings and are counted, end to end.
+TEST(GoldenTest, AllowDirectiveSuppressesAndCounts) {
+  const std::string source =
+      "// atropos-lint: digest-path\n"
+      "// atropos-lint: allow(determinism)\n"
+      "int x = rand();\n";
+  RunResult result = LintBuffer("suppressed.cc", source);
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.suppressed, 1u);
+}
+
+TEST(GoldenTest, AllowFileDirectiveSuppressesWholeFile) {
+  const std::string source =
+      "// atropos-lint: digest-path\n"
+      "// atropos-lint: allow-file(determinism)\n"
+      "int x = rand();\n"
+      "int y = rand();\n";
+  RunResult result = LintBuffer("suppressed.cc", source);
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.suppressed, 2u);
+}
+
+// A directive for one check must not mask another check's finding on the
+// same line.
+TEST(GoldenTest, AllowIsPerCheck) {
+  const std::string source =
+      "// atropos-lint: digest-path\n"
+      "void F() {\n"
+      "  // atropos-lint: allow(capi-pairing)\n"
+      "  int x = rand();\n"
+      "}\n";
+  RunResult result = LintBuffer("suppressed.cc", source);
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].check, "determinism");
+}
+
+// Restricting --checks to a subset runs only that subset.
+TEST(GoldenTest, CheckSelectionFilters) {
+  const std::string source = ReadFile(std::string(ATROPOS_LINT_TEST_DATA_DIR) +
+                                      "/fixtures/capi_pairing_bad.cc");
+  RunResult result = LintBuffer("capi_pairing_bad.cc", source, {"lock-order"});
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+}  // namespace
+}  // namespace atropos::lint

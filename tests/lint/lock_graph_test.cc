@@ -1,0 +1,99 @@
+#include "tools/atropos_lint/lock_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace atropos::lint {
+namespace {
+
+LockGraph::Site At(const char* fn, int line) { return LockGraph::Site{fn, line}; }
+
+TEST(LockGraphTest, RecordsEdgesAndKeepsFirstSite) {
+  LockGraph g;
+  g.AddEdge("a", "b", At("F", 10));
+  g.AddEdge("a", "b", At("G", 20));  // later site for the same edge is dropped
+  EXPECT_TRUE(g.HasEdge("a", "b"));
+  EXPECT_FALSE(g.HasEdge("b", "a"));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(LockGraphTest, SelfEdgesAreIgnored) {
+  LockGraph g;
+  g.AddEdge("a", "a", At("F", 1));
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.FindCycles().empty());
+}
+
+TEST(LockGraphTest, AcyclicGraphHasNoCycles) {
+  LockGraph g;
+  g.AddEdge("a", "b", At("F", 1));
+  g.AddEdge("b", "c", At("F", 2));
+  g.AddEdge("a", "c", At("G", 3));
+  EXPECT_TRUE(g.FindCycles().empty());
+}
+
+TEST(LockGraphTest, TwoLockInversionIsOneCanonicalCycle) {
+  LockGraph g;
+  g.AddEdge("b", "a", At("G", 2));  // insertion order must not matter
+  g.AddEdge("a", "b", At("F", 1));
+  std::vector<LockGraph::Cycle> cycles = g.FindCycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].nodes, (std::vector<std::string>{"a", "b", "a"}));
+  ASSERT_EQ(cycles[0].sites.size(), 2u);
+  EXPECT_EQ(cycles[0].sites[0].function, "F");
+  EXPECT_EQ(cycles[0].sites[1].function, "G");
+}
+
+TEST(LockGraphTest, ThreeLockCycleRotatesToSmallestNode) {
+  LockGraph g;
+  g.AddEdge("c", "a", At("H", 3));
+  g.AddEdge("b", "c", At("G", 2));
+  g.AddEdge("a", "b", At("F", 1));
+  std::vector<LockGraph::Cycle> cycles = g.FindCycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].nodes, (std::vector<std::string>{"a", "b", "c", "a"}));
+}
+
+TEST(LockGraphTest, DisjointCyclesAreBothFoundAndSorted) {
+  LockGraph g;
+  g.AddEdge("y", "x", At("F", 1));
+  g.AddEdge("x", "y", At("F", 2));
+  g.AddEdge("b", "a", At("G", 3));
+  g.AddEdge("a", "b", At("G", 4));
+  std::vector<LockGraph::Cycle> cycles = g.FindCycles();
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_EQ(cycles[0].nodes.front(), "a");
+  EXPECT_EQ(cycles[1].nodes.front(), "x");
+}
+
+TEST(LockGraphTest, SharedNodeCyclesReportedOncePerElementaryCycle) {
+  LockGraph g;
+  // a<->b and a<->c share node a: two elementary cycles, not one merged blob.
+  g.AddEdge("a", "b", At("F", 1));
+  g.AddEdge("b", "a", At("F", 2));
+  g.AddEdge("a", "c", At("G", 3));
+  g.AddEdge("c", "a", At("G", 4));
+  std::vector<LockGraph::Cycle> cycles = g.FindCycles();
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_EQ(cycles[0].nodes, (std::vector<std::string>{"a", "b", "a"}));
+  EXPECT_EQ(cycles[1].nodes, (std::vector<std::string>{"a", "c", "a"}));
+}
+
+TEST(LockGraphTest, DeterministicAcrossInsertionOrders) {
+  LockGraph g1;
+  g1.AddEdge("a", "b", At("F", 1));
+  g1.AddEdge("b", "c", At("F", 2));
+  g1.AddEdge("c", "a", At("F", 3));
+  LockGraph g2;
+  g2.AddEdge("c", "a", At("F", 3));
+  g2.AddEdge("a", "b", At("F", 1));
+  g2.AddEdge("b", "c", At("F", 2));
+  std::vector<LockGraph::Cycle> c1 = g1.FindCycles();
+  std::vector<LockGraph::Cycle> c2 = g2.FindCycles();
+  ASSERT_EQ(c1.size(), c2.size());
+  for (size_t i = 0; i < c1.size(); i++) {
+    EXPECT_EQ(c1[i].nodes, c2[i].nodes);
+  }
+}
+
+}  // namespace
+}  // namespace atropos::lint

@@ -1,0 +1,47 @@
+// Check interface and the per-file analysis unit.
+//
+// A check receives one fully lexed + outlined SourceFile at a time and emits
+// diagnostics into the sink. Checks must be deterministic: given the same
+// file bytes they produce the same diagnostics in the same order (the golden
+// corpus in tests/lint/ pins this).
+
+#ifndef TOOLS_ATROPOS_LINT_CHECK_H_
+#define TOOLS_ATROPOS_LINT_CHECK_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/atropos_lint/diagnostics.h"
+#include "tools/atropos_lint/lexer.h"
+#include "tools/atropos_lint/outline.h"
+
+namespace atropos::lint {
+
+struct SourceFile {
+  std::string path;          // as provided to the driver (used in diagnostics)
+  std::string repo_path;     // normalized path relative to the repo root, or path
+  LexedFile lex;
+  Outline outline;
+
+  const std::vector<Token>& tokens() const { return lex.tokens; }
+};
+
+class Check {
+ public:
+  virtual ~Check() = default;
+  virtual std::string_view name() const = 0;
+  virtual void Analyze(const SourceFile& file, DiagnosticSink* sink) = 0;
+};
+
+// Factory per check; `MakeAllChecks` returns them in canonical order.
+std::unique_ptr<Check> MakeCapiPairingCheck();
+std::unique_ptr<Check> MakeCancelActionSafetyCheck();
+std::unique_ptr<Check> MakeDeterminismCheck();
+std::unique_ptr<Check> MakeLockOrderCheck();
+std::vector<std::unique_ptr<Check>> MakeAllChecks();
+
+}  // namespace atropos::lint
+
+#endif  // TOOLS_ATROPOS_LINT_CHECK_H_

@@ -1,0 +1,191 @@
+// cancel-action-safety: the cancellation initiator registered through
+// setCancelAction / SetCancelAction must be safe to run from inside the
+// Atropos control loop (paper §3.6): it only *requests* cancellation — sets a
+// flag, signals a token — and returns. Blocking, allocating, or throwing
+// inside the initiator turns the mitigation path itself into a liability
+// under exactly the overload conditions it exists for.
+//
+// The check finds every registration site whose argument is a lambda or a
+// function (`&F` / `F`) defined in the same file, then walks the initiator
+// body plus same-file callees (DFS, nested lambdas included) flagging:
+//   - throw statements and co_await suspensions,
+//   - blocking calls: sleeps, joins, condition-variable waits, explicit
+//     mutex locking (.lock(), std::lock_guard/unique_lock/scoped_lock),
+//   - allocation: new-expressions, malloc family, make_unique/make_shared,
+//     and growing container mutations (push_back, insert, resize, ...).
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/atropos_lint/check.h"
+
+namespace atropos::lint {
+
+namespace {
+
+constexpr char kCheckName[] = "cancel-action-safety";
+
+const char* BlockingCallReason(const std::string& name) {
+  static const std::set<std::string> kBlocking = {
+      "sleep",      "usleep",     "nanosleep", "sleep_for", "sleep_until",
+      "wait",       "wait_for",   "wait_until", "join",     "lock",
+      "lock_guard", "unique_lock", "scoped_lock", "lock_shared",
+  };
+  return kBlocking.count(name) > 0 ? "blocking call" : nullptr;
+}
+
+const char* AllocatingCallReason(const std::string& name) {
+  static const std::set<std::string> kAlloc = {
+      "malloc",     "calloc",       "realloc", "strdup",      "make_unique",
+      "make_shared", "push_back",   "emplace_back", "emplace", "insert",
+      "resize",     "reserve",      "append",  "push_front",  "emplace_front",
+  };
+  return kAlloc.count(name) > 0 ? "allocating call" : nullptr;
+}
+
+class CancelActionSafetyCheck final : public Check {
+ public:
+  std::string_view name() const override { return kCheckName; }
+
+  void Analyze(const SourceFile& file, DiagnosticSink* sink) override {
+    const std::vector<Token>& toks = file.tokens();
+    std::set<int> analyzed;  // function indices already walked
+
+    for (size_t i = 0; i + 1 < toks.size(); i++) {
+      if (toks[i].kind != TokenKind::kIdentifier ||
+          (toks[i].text != "setCancelAction" && toks[i].text != "SetCancelAction") ||
+          !toks[i + 1].IsPunct("(")) {
+        continue;
+      }
+      // Registration *call sites* only: a definition's parameter list is
+      // followed by `{` (or `)` ... `{`), and its name is preceded by a type.
+      // Distinguish cheaply: a call is inside some function body.
+      if (file.outline.EnclosingFunction(i) < 0) {
+        continue;
+      }
+      size_t arg = i + 2;
+      if (toks[arg].IsPunct("&") && toks[arg + 1].kind == TokenKind::kIdentifier) {
+        AnalyzeNamedInitiator(file, toks[arg + 1].text, toks[arg + 1].line, &analyzed, sink);
+      } else if (toks[arg].kind == TokenKind::kIdentifier && toks[arg + 1].IsPunct(")")) {
+        AnalyzeNamedInitiator(file, toks[arg].text, toks[arg].line, &analyzed, sink);
+      } else if (toks[arg].IsPunct("[")) {
+        // Lambda argument: the outline has a lambda whose body starts after
+        // this capture list; find the first lambda at or after `arg`.
+        int lambda = FindLambdaAt(file, arg);
+        if (lambda >= 0) {
+          Walk(file, static_cast<size_t>(lambda), 0, &analyzed, sink);
+        }
+      }
+    }
+  }
+
+ private:
+  static int FindLambdaAt(const SourceFile& file, size_t token_index) {
+    int best = -1;
+    size_t best_begin = static_cast<size_t>(-1);
+    for (size_t f = 0; f < file.outline.functions.size(); f++) {
+      const FunctionInfo& fn = file.outline.functions[f];
+      if (fn.is_lambda && fn.body_begin >= token_index && fn.body_begin < best_begin) {
+        best = static_cast<int>(f);
+        best_begin = fn.body_begin;
+      }
+    }
+    return best;
+  }
+
+  void AnalyzeNamedInitiator(const SourceFile& file, const std::string& name, int line,
+                             std::set<int>* analyzed, DiagnosticSink* sink) {
+    bool found = false;
+    for (size_t f = 0; f < file.outline.functions.size(); f++) {
+      if (!file.outline.functions[f].is_lambda && file.outline.functions[f].name == name) {
+        Walk(file, f, 0, analyzed, sink);
+        found = true;
+      }
+    }
+    (void)found;
+    (void)line;  // initiators defined in another file are out of scope here
+  }
+
+  // Walks function `f`'s body (including nested lambdas, which belong to the
+  // initiator's execution), recursing into same-file callees.
+  void Walk(const SourceFile& file, size_t f, int depth, std::set<int>* analyzed,
+            DiagnosticSink* sink) {
+    if (depth > 4 || !analyzed->insert(static_cast<int>(f)).second) {
+      return;
+    }
+    const FunctionInfo& fn = file.outline.functions[f];
+    const std::vector<Token>& toks = file.tokens();
+    const std::string where =
+        fn.is_lambda ? "cancellation initiator" : "initiator path through '" + fn.name + "'";
+
+    for (size_t i = fn.body_begin + 1; i < fn.body_end; i++) {
+      const Token& t = toks[i];
+      if (t.kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      if (t.text == "throw") {
+        sink->Report(file.path, t.line, kCheckName,
+                     "throw inside the " + where + "; initiators must not throw");
+        continue;
+      }
+      if (t.text == "co_await") {
+        sink->Report(file.path, t.line, kCheckName,
+                     "co_await inside the " + where + "; initiators must not suspend");
+        continue;
+      }
+      if (t.text == "new" && !toks[i + 1].IsPunct("(")) {
+        // `new T(...)` — operator new allocates. (Placement new is rare
+        // enough to annotate explicitly.)
+        sink->Report(file.path, t.line, kCheckName,
+                     "new-expression inside the " + where + "; initiators must not allocate");
+        continue;
+      }
+      const bool is_call = i + 1 < toks.size() && toks[i + 1].IsPunct("(");
+      if (!is_call) {
+        continue;
+      }
+      // Guard objects are "calls" too: std::lock_guard<std::mutex> lk(mu).
+      if (const char* reason = BlockingCallReason(t.text)) {
+        sink->Report(file.path, t.line, kCheckName,
+                     std::string(reason) + " '" + t.text + "' inside the " + where);
+        continue;
+      }
+      if (const char* reason = AllocatingCallReason(t.text)) {
+        sink->Report(file.path, t.line, kCheckName,
+                     std::string(reason) + " '" + t.text + "' inside the " + where);
+        continue;
+      }
+      // Recurse into callees resolvable in this file by simple name. Member
+      // calls (obj.Kill(), ptr->Kill()) resolve the same way: within one
+      // translation unit a name collision is unlikely, and the reference
+      // integration shape routes the initiator through a same-file method.
+      for (size_t g = 0; g < file.outline.functions.size(); g++) {
+        if (!file.outline.functions[g].is_lambda && g != f &&
+            file.outline.functions[g].name == t.text) {
+          Walk(file, g, depth + 1, analyzed, sink);
+        }
+      }
+    }
+
+    // Guard declarations without a call-shaped "(": std::lock_guard<std::mutex>
+    // lk(mu); — the guard type name is followed by "<", not "(".
+    for (size_t i = fn.body_begin + 1; i < fn.body_end; i++) {
+      const Token& t = toks[i];
+      if (t.kind == TokenKind::kIdentifier && toks[i + 1].IsPunct("<") &&
+          (t.text == "lock_guard" || t.text == "unique_lock" || t.text == "scoped_lock" ||
+           t.text == "shared_lock")) {
+        sink->Report(file.path, t.line, kCheckName,
+                     "blocking call '" + t.text + "' inside the " + where);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> MakeCancelActionSafetyCheck() {
+  return std::make_unique<CancelActionSafetyCheck>();
+}
+
+}  // namespace atropos::lint

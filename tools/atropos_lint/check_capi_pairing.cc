@@ -1,0 +1,287 @@
+// capi-pairing: createCancel/freeCancel balance and getResource/freeResource
+// unit balance, per function scope (paper Fig 6, §3.1–§3.2).
+//
+// The analysis is scope-local by design: Atropos' integration pattern brackets
+// a task's lifetime and its resource usage inside one function (quickstart and
+// integrate_your_app are the reference shapes), so create/free pairs that span
+// functions are rare enough to annotate with `atropos-lint: allow(...)`.
+//
+// Per non-lambda-nested scope it reports:
+//   - a createCancel whose handle is neither freed, returned, nor handed to
+//     an owning sink (leak),
+//   - a createCancel whose result is discarded outright,
+//   - freeCancel called twice on the same handle without re-creation
+//     (double-free),
+//   - getResource/freeResource unit imbalance per resource type when every
+//     amount is an integer literal, call-count imbalance otherwise,
+//   - slowByResourceBegin/End bracket imbalance per resource type.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "tools/atropos_lint/check.h"
+
+namespace atropos::lint {
+
+namespace {
+
+constexpr char kCheckName[] = "capi-pairing";
+
+// Sinks that borrow a Cancellable* without taking ownership; passing a handle
+// to anything else is treated as an ownership transfer (escape).
+bool IsNonOwningSink(const std::string& name) {
+  return name == "freeCancel" || name == "SetCurrentCancellable" ||
+         name == "CancellableScope" || name == "EnterCancellableScope" ||
+         name == "ExitCancellableScope";
+}
+
+struct HandleState {
+  int created_line = 0;
+  bool freed = false;
+  bool escaped = false;
+};
+
+struct ResourceBalance {
+  int first_get_line = 0;
+  uint64_t get_calls = 0;
+  uint64_t free_calls = 0;
+  uint64_t get_units = 0;
+  uint64_t free_units = 0;
+  bool units_known = true;  // all amounts were integer literals
+  int begin_calls = 0;      // slowByResourceBegin
+  int end_calls = 0;        // slowByResourceEnd
+  int first_begin_line = 0;
+};
+
+// Extracts the resource-type key of a getResource/freeResource-style call:
+// the last identifier of the second argument (e.g. `CApiResourceType::LOCK`
+// -> "LOCK"). `open` indexes the call's "(".
+std::optional<std::string> ResourceTypeKey(const std::vector<Token>& toks, size_t open,
+                                           size_t limit, int arg_index) {
+  int depth = 0;
+  int commas = 0;
+  std::string last_ident;
+  for (size_t i = open; i < limit; i++) {
+    const Token& t = toks[i];
+    if (t.IsPunct("(") || t.IsPunct("[")) {
+      depth++;
+    } else if (t.IsPunct(")") || t.IsPunct("]")) {
+      depth--;
+      if (depth == 0) {
+        break;
+      }
+    } else if (depth == 1 && t.IsPunct(",")) {
+      if (commas == arg_index) {
+        break;
+      }
+      commas++;
+      last_ident.clear();
+    } else if (depth >= 1 && commas == arg_index && t.kind == TokenKind::kIdentifier) {
+      last_ident = t.text;
+    }
+  }
+  if (last_ident.empty()) {
+    return std::nullopt;
+  }
+  return last_ident;
+}
+
+// First argument of the call at `open` when it is a single integer literal.
+std::optional<uint64_t> LiteralFirstArg(const std::vector<Token>& toks, size_t open) {
+  if (toks[open + 1].kind != TokenKind::kNumber) {
+    return std::nullopt;
+  }
+  if (!toks[open + 2].IsPunct(",") && !toks[open + 2].IsPunct(")")) {
+    return std::nullopt;
+  }
+  std::string digits;
+  for (char c : toks[open + 1].text) {
+    if (c != '\'') {
+      digits.push_back(c);
+    }
+  }
+  try {
+    return std::stoull(digits, nullptr, 0);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+class CapiPairingCheck final : public Check {
+ public:
+  std::string_view name() const override { return kCheckName; }
+
+  void Analyze(const SourceFile& file, DiagnosticSink* sink) override {
+    for (size_t f = 0; f < file.outline.functions.size(); f++) {
+      AnalyzeScope(file, f, sink);
+    }
+  }
+
+ private:
+  // Tokens of function `f`'s body excluding nested function/lambda bodies.
+  static bool InOwnScope(const SourceFile& file, size_t f, size_t i) {
+    return file.outline.EnclosingFunction(i) == static_cast<int>(f);
+  }
+
+  void AnalyzeScope(const SourceFile& file, size_t f, DiagnosticSink* sink) {
+    const FunctionInfo& fn = file.outline.functions[f];
+    const std::vector<Token>& toks = file.tokens();
+
+    std::map<std::string, HandleState> handles;
+    std::map<std::string, ResourceBalance> resources;
+
+    for (size_t i = fn.body_begin + 1; i < fn.body_end; i++) {
+      if (!InOwnScope(file, f, i)) {
+        continue;
+      }
+      const Token& t = toks[i];
+      if (t.kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      const bool is_call = toks[i + 1].IsPunct("(");
+
+      if (t.text == "createCancel" && is_call) {
+        // `X* var = createCancel(...)` / `auto var = createCancel(...)`.
+        std::string var;
+        if (i >= 2 && toks[i - 1].IsPunct("=") &&
+            toks[i - 2].kind == TokenKind::kIdentifier) {
+          var = toks[i - 2].text;
+        }
+        if (var.empty()) {
+          sink->Report(file.path, t.line, kCheckName,
+                       "result of createCancel is discarded; the task handle leaks");
+        } else {
+          handles[var] = HandleState{t.line, false, false};
+        }
+        continue;
+      }
+      if (t.text == "freeCancel" && is_call) {
+        if (toks[i + 2].kind == TokenKind::kIdentifier && toks[i + 3].IsPunct(")")) {
+          const std::string& var = toks[i + 2].text;
+          auto it = handles.find(var);
+          if (it != handles.end()) {
+            if (it->second.freed) {
+              sink->Report(file.path, t.line, kCheckName,
+                           "double freeCancel of handle '" + var + "' (created at line " +
+                               std::to_string(it->second.created_line) + ")");
+            }
+            it->second.freed = true;
+          }
+        }
+        i += 1;  // skip the "(" so the argument isn't treated as a use
+        continue;
+      }
+      if ((t.text == "getResource" || t.text == "freeResource") && is_call) {
+        std::optional<std::string> key = ResourceTypeKey(toks, i + 1, fn.body_end, 1);
+        if (!key.has_value()) {
+          continue;
+        }
+        ResourceBalance& bal = resources[*key];
+        std::optional<uint64_t> units = LiteralFirstArg(toks, i + 1);
+        if (t.text == "getResource") {
+          if (bal.get_calls == 0) {
+            bal.first_get_line = t.line;
+          }
+          bal.get_calls++;
+          bal.get_units += units.value_or(0);
+        } else {
+          bal.free_calls++;
+          bal.free_units += units.value_or(0);
+        }
+        if (!units.has_value()) {
+          bal.units_known = false;
+        }
+        continue;
+      }
+      if ((t.text == "slowByResourceBegin" || t.text == "slowByResourceEnd") && is_call) {
+        std::optional<std::string> key = ResourceTypeKey(toks, i + 1, fn.body_end, 0);
+        if (!key.has_value()) {
+          continue;
+        }
+        ResourceBalance& bal = resources[*key];
+        if (t.text == "slowByResourceBegin") {
+          if (bal.begin_calls == 0) {
+            bal.first_begin_line = t.line;
+          }
+          bal.begin_calls++;
+        } else {
+          bal.end_calls++;
+        }
+        continue;
+      }
+
+      // Escape analysis for tracked handles: returns and uses outside the
+      // non-owning sink set transfer ownership out of this scope.
+      auto it = handles.find(t.text);
+      if (it != handles.end()) {
+        if (i >= 1 && toks[i - 1].IsIdent("return")) {
+          it->second.escaped = true;
+        } else if (i >= 1 && (toks[i - 1].IsPunct("(") || toks[i - 1].IsPunct(","))) {
+          // Argument position: find the callee identifier before the "(".
+          size_t open = i - 1;
+          int depth = 0;
+          while (open > fn.body_begin && !(toks[open].IsPunct("(") && depth == 0)) {
+            if (toks[open].IsPunct(")")) {
+              depth++;
+            } else if (toks[open].IsPunct("(")) {
+              depth--;
+            }
+            open--;
+          }
+          // `sink(c)` names the callee at open-1; `CancellableScope scope(c)`
+          // names the type at open-2 — accept a non-owning sink in either.
+          bool non_owning = false;
+          for (size_t back = 1; back <= 2 && open >= back; back++) {
+            if (toks[open - back].kind == TokenKind::kIdentifier &&
+                IsNonOwningSink(toks[open - back].text)) {
+              non_owning = true;
+            }
+          }
+          if (!non_owning) {
+            it->second.escaped = true;
+          }
+        } else if (toks[i + 1].IsPunct("=") || (i >= 1 && toks[i - 1].IsPunct("="))) {
+          // Reassigned or assigned elsewhere: stop tracking conservatively.
+          it->second.escaped = true;
+        }
+      }
+    }
+
+    for (const auto& [var, state] : handles) {
+      if (!state.freed && !state.escaped) {
+        sink->Report(file.path, state.created_line, kCheckName,
+                     "handle '" + var + "' from createCancel is never passed to freeCancel " +
+                         "in this scope (leak)");
+      }
+    }
+    for (const auto& [key, bal] : resources) {
+      if (bal.get_calls > 0) {
+        if (bal.free_calls == 0) {
+          sink->Report(file.path, bal.first_get_line, kCheckName,
+                       "getResource(" + key + ") has no matching freeResource in this scope");
+        } else if (bal.units_known && bal.get_units != bal.free_units) {
+          sink->Report(file.path, bal.first_get_line, kCheckName,
+                       "unbalanced units for resource " + key + ": getResource total " +
+                           std::to_string(bal.get_units) + " vs freeResource total " +
+                           std::to_string(bal.free_units));
+        }
+      }
+      if (bal.begin_calls != bal.end_calls && (bal.begin_calls > 0 || bal.end_calls > 0)) {
+        int line = bal.first_begin_line != 0 ? bal.first_begin_line : bal.first_get_line;
+        sink->Report(file.path, line, kCheckName,
+                     "slowByResourceBegin/End bracket imbalance for resource " + key + " (" +
+                         std::to_string(bal.begin_calls) + " begins, " +
+                         std::to_string(bal.end_calls) + " ends)");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> MakeCapiPairingCheck() { return std::make_unique<CapiPairingCheck>(); }
+
+}  // namespace atropos::lint

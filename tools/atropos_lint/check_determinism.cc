@@ -1,0 +1,120 @@
+// determinism: no ambient time or randomness in digest paths.
+//
+// The fuzzer's replay guarantee (PR 3/4: byte-for-byte identical flight-
+// recorder streams for identical plans) holds only if every value feeding the
+// decision pipeline and its digest comes through the Clock interface or a
+// seeded Rng. A stray wall-clock read or libc rand() in those layers breaks
+// replay silently — exactly the class of regression this check pins down.
+//
+// Digest paths: src/atropos/, src/obs/, src/testing/, src/common/ (the
+// decision pipeline, its event stream, and the fuzz harness), minus the
+// sanctioned clock shim src/common/clock.h, which is the one place allowed to
+// touch std::chrono. Fixture files opt in with `// atropos-lint: digest-path`.
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "tools/atropos_lint/check.h"
+
+namespace atropos::lint {
+
+namespace {
+
+constexpr char kCheckName[] = "determinism";
+
+constexpr std::array<std::string_view, 4> kDigestPrefixes = {
+    "src/atropos/",
+    "src/obs/",
+    "src/testing/",
+    "src/common/",
+};
+
+constexpr std::string_view kSanctionedShim = "src/common/clock.h";
+
+// Identifiers banned outright in digest paths (any use).
+bool IsBannedIdentifier(std::string_view s) {
+  return s == "system_clock" || s == "high_resolution_clock" || s == "steady_clock" ||
+         s == "random_device" || s == "gettimeofday" || s == "clock_gettime" ||
+         s == "timespec_get" || s == "srand" || s == "localtime" || s == "gmtime" ||
+         s == "mktime";
+}
+
+// Identifiers banned only when invoked as a free function: `time(...)`,
+// `rand()`, `clock()`. Member accessors like `executor.clock()` stay legal —
+// they resolve to the injected Clock, which is the sanctioned path.
+bool IsBannedFreeCall(std::string_view s) {
+  return s == "time" || s == "rand" || s == "clock";
+}
+
+class DeterminismCheck final : public Check {
+ public:
+  std::string_view name() const override { return kCheckName; }
+
+  void Analyze(const SourceFile& file, DiagnosticSink* sink) override {
+    if (!AppliesTo(file)) {
+      return;
+    }
+    const std::vector<Token>& toks = file.tokens();
+    for (size_t i = 0; i < toks.size(); i++) {
+      const Token& t = toks[i];
+      if (t.kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      if (IsBannedIdentifier(t.text)) {
+        sink->Report(file.path, t.line, kCheckName,
+                     "'" + t.text + "' in a digest path; read time through the Clock " +
+                         "interface (src/common/clock.h) and randomness through a seeded Rng");
+        continue;
+      }
+      if (IsBannedFreeCall(t.text) && i + 1 < toks.size() && toks[i + 1].IsPunct("(")) {
+        // Free-function position only: not obj.time(...), not x->clock(),
+        // and not a qualified member like Foo::clock(...). std::time(...) is
+        // still banned, so "std" is the one qualifier that doesn't exempt.
+        bool member = false;
+        if (i > 0) {
+          const Token& prev = toks[i - 1];
+          if (prev.IsPunct(".") || prev.IsPunct("->")) {
+            member = true;
+          } else if (prev.IsPunct("::") && i >= 2 && !toks[i - 2].IsIdent("std")) {
+            member = true;
+          }
+        }
+        // Declarations (`uint64_t time(...)`) and definitions would match
+        // too, but digest-path code has no business declaring those names
+        // either, so flagging them is intended.
+        if (!member) {
+          sink->Report(file.path, t.line, kCheckName,
+                       "call of '" + t.text + "()' in a digest path; ambient time/randomness " +
+                           "breaks replay determinism");
+        }
+      }
+    }
+  }
+
+ private:
+  static bool AppliesTo(const SourceFile& file) {
+    if (file.lex.digest_path_marker) {
+      return true;
+    }
+    // Substring / suffix matching so both repo-relative and absolute paths
+    // resolve (ctest invokes the tool with absolute --dir arguments).
+    if (file.repo_path.size() >= kSanctionedShim.size() &&
+        file.repo_path.compare(file.repo_path.size() - kSanctionedShim.size(),
+                               kSanctionedShim.size(), kSanctionedShim) == 0) {
+      return false;
+    }
+    for (std::string_view prefix : kDigestPrefixes) {
+      if (file.repo_path.find(prefix) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> MakeDeterminismCheck() { return std::make_unique<DeterminismCheck>(); }
+
+}  // namespace atropos::lint

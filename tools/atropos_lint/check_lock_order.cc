@@ -1,0 +1,338 @@
+// lock-order: static lock-acquisition graph, per translation unit.
+//
+// For every function the check tracks which mutexes are held at each point
+// (guard objects live to the end of their enclosing block; bare .lock() lives
+// to .unlock() or function end) and records an edge A -> B whenever B is
+// acquired while A is held — including one level of interprocedural edges:
+// calling a same-file function that acquires B while holding A. A cycle in
+// the merged graph is a potential deadlock (reported once per cycle via the
+// deterministic detector in lock_graph.cc).
+//
+// std::lock(a, b, ...) and std::scoped_lock's multi-argument form acquire
+// atomically with deadlock avoidance, so arguments of one such call gain no
+// edges among themselves (edges from already-held mutexes still apply).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/atropos_lint/check.h"
+#include "tools/atropos_lint/lock_graph.h"
+
+namespace atropos::lint {
+
+namespace {
+
+constexpr char kCheckName[] = "lock-order";
+
+bool IsGuardType(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock" || s == "shared_lock";
+}
+
+bool IsLockTag(const std::string& s) {
+  return s == "defer_lock" || s == "adopt_lock" || s == "try_to_lock";
+}
+
+// Normalizes the mutex expression tokens [begin, end): joins identifiers and
+// member accesses, dropping `this->`, `std::`, `&`, and `*`.
+std::string NormalizeMutexExpr(const std::vector<Token>& toks, size_t begin, size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end; i++) {
+    const Token& t = toks[i];
+    if (t.IsIdent("this") || t.IsIdent("std") || t.IsPunct("&") || t.IsPunct("*")) {
+      continue;
+    }
+    if (t.IsPunct("->") || t.IsPunct("::")) {
+      if (!out.empty()) {
+        out += t.text == "->" ? "." : "::";
+      }
+      continue;
+    }
+    if (t.kind == TokenKind::kIdentifier || t.IsPunct(".")) {
+      out += t.text;
+    }
+  }
+  // `this->mu_` normalized above leaves a leading "." — strip it.
+  while (!out.empty() && out.front() == '.') {
+    out.erase(out.begin());
+  }
+  return out;
+}
+
+struct Acquisition {
+  std::string mutex;
+  int line = 0;
+  int block_depth = 0;  // guard lifetime; -1 for .lock() (explicit unlock)
+};
+
+struct FunctionLocks {
+  std::vector<Acquisition> all;  // every acquisition in source order
+};
+
+class LockOrderCheck final : public Check {
+ public:
+  std::string_view name() const override { return kCheckName; }
+
+  void Analyze(const SourceFile& file, DiagnosticSink* sink) override {
+    LockGraph graph;
+    std::map<std::string, FunctionLocks> summaries;  // by simple name
+
+    // Pass 1: intra-function edges + per-function acquisition summaries.
+    for (const FunctionInfo& fn : file.outline.functions) {
+      FunctionLocks locks = ScanFunction(file, fn, &graph);
+      if (!locks.all.empty() && !fn.is_lambda) {
+        summaries[fn.name] = std::move(locks);
+      }
+    }
+    // Pass 2: one level of interprocedural edges through same-file calls.
+    for (const FunctionInfo& fn : file.outline.functions) {
+      AddCallEdges(file, fn, summaries, &graph);
+    }
+
+    for (const LockGraph::Cycle& cycle : graph.FindCycles()) {
+      std::string order;
+      for (size_t i = 0; i < cycle.nodes.size(); i++) {
+        order += (i > 0 ? " -> " : "") + cycle.nodes[i];
+      }
+      std::string sites;
+      for (size_t i = 0; i < cycle.sites.size(); i++) {
+        sites += (i > 0 ? ", " : "") + cycle.sites[i].function + ":" +
+                 std::to_string(cycle.sites[i].line);
+      }
+      int line = cycle.sites.empty() ? 1 : cycle.sites.front().line;
+      sink->Report(file.path, line, kCheckName,
+                   "lock-order cycle " + order + " (acquisition sites: " + sites + ")");
+    }
+  }
+
+ private:
+  // Walks one function body; records intra-function edges into `graph` and
+  // returns the function's acquisition summary.
+  FunctionLocks ScanFunction(const SourceFile& file, const FunctionInfo& fn, LockGraph* graph) {
+    const std::vector<Token>& toks = file.tokens();
+    FunctionLocks out;
+    std::vector<Acquisition> held;
+    int depth = 0;
+
+    auto acquire = [&](std::vector<std::string> mutexes, int line, int guard_depth) {
+      for (const std::string& m : mutexes) {
+        if (m.empty()) {
+          continue;
+        }
+        for (const Acquisition& h : held) {
+          graph->AddEdge(h.mutex, m, LockGraph::Site{fn.qualified, line});
+        }
+      }
+      // Added after the edge pass so one std::scoped_lock(a, b) does not
+      // create a->b among its own arguments.
+      for (std::string& m : mutexes) {
+        if (!m.empty()) {
+          Acquisition a{std::move(m), line, guard_depth};
+          held.push_back(a);
+          out.all.push_back(held.back());
+        }
+      }
+    };
+
+    for (size_t i = fn.body_begin + 1; i < fn.body_end; i++) {
+      const Token& t = toks[i];
+      if (t.IsPunct("{")) {
+        depth++;
+        continue;
+      }
+      if (t.IsPunct("}")) {
+        // Guards declared in the closing block release here.
+        for (size_t h = held.size(); h-- > 0;) {
+          if (held[h].block_depth == depth) {
+            held.erase(held.begin() + static_cast<long>(h));
+          }
+        }
+        depth--;
+        continue;
+      }
+      if (t.kind != TokenKind::kIdentifier) {
+        continue;
+      }
+
+      // Guard declaration: [std::] guard_type [<...>] var ( args ) ;
+      if (IsGuardType(t.text)) {
+        size_t j = i + 1;
+        if (toks[j].IsPunct("<")) {  // skip template arguments
+          int tdepth = 0;
+          for (; j < fn.body_end; j++) {
+            if (toks[j].IsPunct("<")) {
+              tdepth++;
+            } else if (toks[j].IsPunct(">") || toks[j].Is(TokenKind::kPunct, ">>")) {
+              tdepth -= toks[j].text == ">>" ? 2 : 1;
+              if (tdepth <= 0) {
+                j++;
+                break;
+              }
+            }
+          }
+        }
+        if (toks[j].kind == TokenKind::kIdentifier && toks[j + 1].IsPunct("(")) {
+          size_t open = j + 1;
+          acquire(SplitArgs(toks, open, fn.body_end), t.line, depth);
+          i = open;
+        }
+        continue;
+      }
+
+      // Bare lock: expr.lock() / expr->lock(); released by expr.unlock().
+      if ((t.text == "lock" || t.text == "lock_shared") && i > 0 &&
+          (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->")) && toks[i + 1].IsPunct("(") &&
+          toks[i + 2].IsPunct(")")) {
+        size_t begin = ExprStart(toks, i - 1, fn.body_begin);
+        acquire({NormalizeMutexExpr(toks, begin, i - 1)}, t.line, -1);
+        continue;
+      }
+      if ((t.text == "unlock" || t.text == "unlock_shared") && i > 0 &&
+          (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->")) && toks[i + 1].IsPunct("(")) {
+        size_t begin = ExprStart(toks, i - 1, fn.body_begin);
+        std::string m = NormalizeMutexExpr(toks, begin, i - 1);
+        for (size_t h = held.size(); h-- > 0;) {
+          if (held[h].mutex == m) {
+            held.erase(held.begin() + static_cast<long>(h));
+            break;
+          }
+        }
+        continue;
+      }
+    }
+    return out;
+  }
+
+  // Second pass: for calls to same-file functions made while holding locks,
+  // add edges from each held mutex to everything the callee acquires.
+  void AddCallEdges(const SourceFile& file, const FunctionInfo& fn,
+                    const std::map<std::string, FunctionLocks>& summaries, LockGraph* graph) {
+    const std::vector<Token>& toks = file.tokens();
+    std::vector<Acquisition> held;
+    int depth = 0;
+
+    for (size_t i = fn.body_begin + 1; i < fn.body_end; i++) {
+      const Token& t = toks[i];
+      if (t.IsPunct("{")) {
+        depth++;
+      } else if (t.IsPunct("}")) {
+        for (size_t h = held.size(); h-- > 0;) {
+          if (held[h].block_depth == depth) {
+            held.erase(held.begin() + static_cast<long>(h));
+          }
+        }
+        depth--;
+      } else if (t.kind == TokenKind::kIdentifier) {
+        if (IsGuardType(t.text)) {
+          size_t j = i + 1;
+          if (toks[j].IsPunct("<")) {
+            int tdepth = 0;
+            for (; j < fn.body_end; j++) {
+              if (toks[j].IsPunct("<")) {
+                tdepth++;
+              } else if (toks[j].IsPunct(">") || toks[j].Is(TokenKind::kPunct, ">>")) {
+                tdepth -= toks[j].text == ">>" ? 2 : 1;
+                if (tdepth <= 0) {
+                  j++;
+                  break;
+                }
+              }
+            }
+          }
+          if (toks[j].kind == TokenKind::kIdentifier && toks[j + 1].IsPunct("(")) {
+            for (std::string& m : SplitArgs(toks, j + 1, fn.body_end)) {
+              if (!m.empty()) {
+                held.push_back(Acquisition{std::move(m), t.line, depth});
+              }
+            }
+            i = j + 1;
+          }
+        } else if ((t.text == "lock" || t.text == "lock_shared") && i > 0 &&
+                   (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->")) &&
+                   toks[i + 1].IsPunct("(") && toks[i + 2].IsPunct(")")) {
+          size_t begin = ExprStart(toks, i - 1, fn.body_begin);
+          held.push_back(Acquisition{NormalizeMutexExpr(toks, begin, i - 1), t.line, -1});
+        } else if ((t.text == "unlock" || t.text == "unlock_shared") && i > 0 &&
+                   (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->"))) {
+          size_t begin = ExprStart(toks, i - 1, fn.body_begin);
+          std::string m = NormalizeMutexExpr(toks, begin, i - 1);
+          for (size_t h = held.size(); h-- > 0;) {
+            if (held[h].mutex == m) {
+              held.erase(held.begin() + static_cast<long>(h));
+              break;
+            }
+          }
+        } else if (!held.empty() && toks[i + 1].IsPunct("(") && t.text != fn.name) {
+          auto it = summaries.find(t.text);
+          if (it != summaries.end()) {
+            for (const Acquisition& callee_acq : it->second.all) {
+              for (const Acquisition& h : held) {
+                graph->AddEdge(h.mutex, callee_acq.mutex,
+                               LockGraph::Site{fn.qualified, t.line});
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Start index of the member-access expression ending just before `end`
+  // (exclusive): scans back over identifiers, ".", "->", "::", and "this".
+  static size_t ExprStart(const std::vector<Token>& toks, size_t end, size_t floor) {
+    size_t begin = end;
+    while (begin > floor + 1) {
+      const Token& p = toks[begin - 1];
+      if (p.kind == TokenKind::kIdentifier || p.IsPunct(".") || p.IsPunct("->") ||
+          p.IsPunct("::")) {
+        begin--;
+      } else {
+        break;
+      }
+    }
+    return begin;
+  }
+
+  // Splits the top-level comma-separated arguments of the call whose "(" is
+  // at `open`, normalized as mutex identities; lock tags are dropped.
+  static std::vector<std::string> SplitArgs(const std::vector<Token>& toks, size_t open,
+                                            size_t limit) {
+    std::vector<std::string> out;
+    int depth = 0;
+    size_t arg_begin = open + 1;
+    for (size_t i = open; i < limit; i++) {
+      if (toks[i].IsPunct("(") || toks[i].IsPunct("[")) {
+        depth++;
+      } else if (toks[i].IsPunct(")") || toks[i].IsPunct("]")) {
+        depth--;
+        if (depth == 0) {
+          AppendArg(toks, arg_begin, i, &out);
+          break;
+        }
+      } else if (depth == 1 && toks[i].IsPunct(",")) {
+        AppendArg(toks, arg_begin, i, &out);
+        arg_begin = i + 1;
+      }
+    }
+    return out;
+  }
+
+  static void AppendArg(const std::vector<Token>& toks, size_t begin, size_t end,
+                        std::vector<std::string>* out) {
+    for (size_t i = begin; i < end; i++) {
+      if (toks[i].kind == TokenKind::kIdentifier && IsLockTag(toks[i].text)) {
+        return;  // std::defer_lock etc.: not an acquisition
+      }
+    }
+    std::string m = NormalizeMutexExpr(toks, begin, end);
+    if (!m.empty()) {
+      out->push_back(std::move(m));
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> MakeLockOrderCheck() { return std::make_unique<LockOrderCheck>(); }
+
+}  // namespace atropos::lint

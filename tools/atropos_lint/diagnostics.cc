@@ -1,0 +1,36 @@
+#include "tools/atropos_lint/diagnostics.h"
+
+namespace atropos::lint {
+
+std::string Diagnostic::Format() const {
+  return path + ":" + std::to_string(line) + ": [" + check + "] " + message;
+}
+
+void DiagnosticSink::ApplySuppressions(
+    const std::string& path, const std::map<int, std::set<std::string>>& line_suppressions,
+    const std::set<std::string>& file_suppressions) {
+  auto matches = [](const std::set<std::string>& set, const std::string& check) {
+    return set.count(check) > 0 || set.count("*") > 0;
+  };
+  std::vector<Diagnostic> kept;
+  kept.reserve(diags_.size());
+  for (Diagnostic& d : diags_) {
+    bool drop = false;
+    if (d.path == path) {
+      if (matches(file_suppressions, d.check)) {
+        drop = true;
+      } else {
+        auto it = line_suppressions.find(d.line);
+        drop = it != line_suppressions.end() && matches(it->second, d.check);
+      }
+    }
+    if (drop) {
+      suppressed_++;
+    } else {
+      kept.push_back(std::move(d));
+    }
+  }
+  diags_ = std::move(kept);
+}
+
+}  // namespace atropos::lint

@@ -1,0 +1,56 @@
+// Diagnostic collection, suppression filtering, and rendering.
+
+#ifndef TOOLS_ATROPOS_LINT_DIAGNOSTICS_H_
+#define TOOLS_ATROPOS_LINT_DIAGNOSTICS_H_
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace atropos::lint {
+
+struct Diagnostic {
+  std::string path;
+  int line = 0;
+  std::string check;
+  std::string message;
+
+  // Renders `path:line: [check] message`.
+  std::string Format() const;
+
+  bool operator<(const Diagnostic& other) const {
+    if (path != other.path) return path < other.path;
+    if (line != other.line) return line < other.line;
+    if (check != other.check) return check < other.check;
+    return message < other.message;
+  }
+};
+
+class DiagnosticSink {
+ public:
+  void Report(std::string path, int line, std::string check, std::string message) {
+    diags_.push_back(Diagnostic{std::move(path), line, std::move(check), std::move(message)});
+  }
+
+  // Drops diagnostics matched by `allow` / `allow-file` directives and counts
+  // them separately. "*" in a suppression set matches every check.
+  void ApplySuppressions(const std::string& path,
+                         const std::map<int, std::set<std::string>>& line_suppressions,
+                         const std::set<std::string>& file_suppressions);
+
+  // Sorts by (path, line, check, message) for deterministic output.
+  void Finalize() { std::sort(diags_.begin(), diags_.end()); }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  size_t suppressed_count() const { return suppressed_; }
+
+ private:
+  std::vector<Diagnostic> diags_;
+  size_t suppressed_ = 0;
+};
+
+}  // namespace atropos::lint
+
+#endif  // TOOLS_ATROPOS_LINT_DIAGNOSTICS_H_

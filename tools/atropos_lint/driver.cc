@@ -1,0 +1,116 @@
+#include "tools/atropos_lint/driver.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "tools/atropos_lint/check.h"
+
+namespace atropos::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+std::string NormalizeSlashes(std::string s) {
+  std::replace(s.begin(), s.end(), '\\', '/');
+  return s;
+}
+
+// Paths never linted when reached through --dir walking: build trees and the
+// lint fixture corpus (fixtures are lint *inputs* with seeded violations).
+bool IsExcludedFromWalk(const std::string& normalized) {
+  return normalized.find("/build") != std::string::npos ||
+         normalized.rfind("build", 0) == 0 ||
+         normalized.find("lint/fixtures") != std::string::npos ||
+         normalized.find("lint/golden") != std::string::npos;
+}
+
+void AnalyzeSource(const std::string& display_path, const std::string& contents,
+                   const std::set<std::string>& enabled, DiagnosticSink* sink) {
+  SourceFile file;
+  file.path = display_path;
+  file.repo_path = NormalizeSlashes(display_path);
+  file.lex = Lex(contents);
+  file.outline = BuildOutline(file.lex.tokens);
+
+  for (const std::unique_ptr<Check>& check : MakeAllChecks()) {
+    if (!enabled.empty() && enabled.count(std::string(check->name())) == 0) {
+      continue;
+    }
+    check->Analyze(file, sink);
+  }
+  sink->ApplySuppressions(file.path, file.lex.line_suppressions, file.lex.file_suppressions);
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<Check>> MakeAllChecks() {
+  std::vector<std::unique_ptr<Check>> checks;
+  checks.push_back(MakeCapiPairingCheck());
+  checks.push_back(MakeCancelActionSafetyCheck());
+  checks.push_back(MakeDeterminismCheck());
+  checks.push_back(MakeLockOrderCheck());
+  return checks;
+}
+
+RunResult RunLint(const DriverOptions& options) {
+  std::vector<std::string> paths = options.files;
+  for (const std::string& dir : options.dirs) {
+    std::error_code ec;
+    fs::recursive_directory_iterator it(dir, ec);
+    if (ec) {
+      continue;
+    }
+    for (const fs::directory_entry& entry : it) {
+      if (!entry.is_regular_file() || !HasLintableExtension(entry.path())) {
+        continue;
+      }
+      std::string p = NormalizeSlashes(entry.path().generic_string());
+      if (IsExcludedFromWalk(p)) {
+        continue;
+      }
+      paths.push_back(p);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  RunResult result;
+  DiagnosticSink sink;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      sink.Report(path, 0, "driver", "cannot open file");
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    AnalyzeSource(path, buf.str(), options.checks, &sink);
+    result.files_analyzed++;
+  }
+  sink.Finalize();
+  result.diagnostics = sink.diagnostics();
+  result.suppressed = sink.suppressed_count();
+  return result;
+}
+
+RunResult LintBuffer(const std::string& display_path, const std::string& contents,
+                     const std::set<std::string>& checks) {
+  DiagnosticSink sink;
+  AnalyzeSource(display_path, contents, checks, &sink);
+  sink.Finalize();
+  RunResult result;
+  result.diagnostics = sink.diagnostics();
+  result.suppressed = sink.suppressed_count();
+  result.files_analyzed = 1;
+  return result;
+}
+
+}  // namespace atropos::lint

@@ -1,0 +1,37 @@
+// File collection and check execution for atropos_lint.
+
+#ifndef TOOLS_ATROPOS_LINT_DRIVER_H_
+#define TOOLS_ATROPOS_LINT_DRIVER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/atropos_lint/diagnostics.h"
+
+namespace atropos::lint {
+
+struct DriverOptions {
+  std::vector<std::string> files;  // explicit files
+  std::vector<std::string> dirs;   // walked recursively for .h/.cc/.cpp
+  std::set<std::string> checks;    // empty = all checks
+};
+
+struct RunResult {
+  std::vector<Diagnostic> diagnostics;
+  size_t suppressed = 0;
+  size_t files_analyzed = 0;
+};
+
+// Lexes, outlines, and analyzes every collected file with the enabled
+// checks; diagnostics come back suppression-filtered and sorted.
+RunResult RunLint(const DriverOptions& options);
+
+// Analyzes a single in-memory buffer (used by the fixture/golden tests).
+// `display_path` is used both for diagnostics and digest-path matching.
+RunResult LintBuffer(const std::string& display_path, const std::string& contents,
+                     const std::set<std::string>& checks = {});
+
+}  // namespace atropos::lint
+
+#endif  // TOOLS_ATROPOS_LINT_DRIVER_H_

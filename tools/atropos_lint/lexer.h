@@ -1,0 +1,44 @@
+// C++ lexer for atropos_lint.
+//
+// Produces the token stream the structural outliner and the checks walk, and
+// extracts `atropos-lint:` control directives from comments:
+//
+//   // atropos-lint: allow(check-a, check-b)   suppress on this line (or, when
+//                                              the comment stands alone, on the
+//                                              next line that has code)
+//   // atropos-lint: allow-file(check-a)       suppress for the whole file
+//   // atropos-lint: digest-path               mark this file as a digest path
+//                                              for the determinism check
+//
+// Comments and preprocessor lines are consumed here and never reach the
+// checks, so API names mentioned in prose don't trigger findings.
+
+#ifndef TOOLS_ATROPOS_LINT_LEXER_H_
+#define TOOLS_ATROPOS_LINT_LEXER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/atropos_lint/token.h"
+
+namespace atropos::lint {
+
+struct LexedFile {
+  std::vector<Token> tokens;  // terminated by a kEof token
+
+  // line -> checks suppressed on that line ("*" suppresses all checks).
+  std::map<int, std::set<std::string>> line_suppressions;
+  std::set<std::string> file_suppressions;
+  bool digest_path_marker = false;
+};
+
+// Lexes `source`. Never fails: unrecognized bytes become single-char punct
+// tokens, so a malformed file degrades to noise rather than an error.
+LexedFile Lex(std::string_view source);
+
+}  // namespace atropos::lint
+
+#endif  // TOOLS_ATROPOS_LINT_LEXER_H_

@@ -1,0 +1,88 @@
+#include "tools/atropos_lint/lock_graph.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace atropos::lint {
+
+void LockGraph::AddEdge(const std::string& from, const std::string& to, Site site) {
+  if (from == to) {
+    return;  // re-acquisition of the same identity is not an ordering edge
+  }
+  edges_[from].emplace(to, std::move(site));  // keep the first site per edge
+}
+
+bool LockGraph::HasEdge(const std::string& from, const std::string& to) const {
+  auto it = edges_.find(from);
+  return it != edges_.end() && it->second.count(to) > 0;
+}
+
+size_t LockGraph::edge_count() const {
+  size_t n = 0;
+  for (const auto& [from, tos] : edges_) {
+    n += tos.size();
+  }
+  return n;
+}
+
+std::vector<LockGraph::Cycle> LockGraph::FindCycles() const {
+  std::vector<Cycle> cycles;
+  std::set<std::vector<std::string>> seen;  // canonical node sequences
+
+  // DFS from every node in order; on finding a back edge to a node on the
+  // current path, extract the cycle and canonicalize it.
+  std::vector<std::string> path;
+  std::set<std::string> on_path;
+
+  auto canonical = [](std::vector<std::string> nodes) {
+    // nodes is the cycle without the closing repeat: {b, a} for b->a->b.
+    auto smallest = std::min_element(nodes.begin(), nodes.end());
+    std::rotate(nodes.begin(), smallest, nodes.end());
+    nodes.push_back(nodes.front());
+    return nodes;
+  };
+
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    auto it = edges_.find(node);
+    if (it == edges_.end()) {
+      return;
+    }
+    path.push_back(node);
+    on_path.insert(node);
+    for (const auto& [next, site] : it->second) {
+      if (on_path.count(next) > 0) {
+        // Cycle: from `next`'s position in path through `node`, back to next.
+        auto begin = std::find(path.begin(), path.end(), next);
+        std::vector<std::string> nodes(begin, path.end());
+        std::vector<std::string> canon = canonical(nodes);
+        if (seen.insert(canon).second) {
+          Cycle c;
+          c.nodes = canon;
+          for (size_t i = 0; i + 1 < canon.size(); i++) {
+            auto eit = edges_.find(canon[i]);
+            if (eit != edges_.end()) {
+              auto sit = eit->second.find(canon[i + 1]);
+              if (sit != eit->second.end()) {
+                c.sites.push_back(sit->second);
+              }
+            }
+          }
+          cycles.push_back(std::move(c));
+        }
+        continue;
+      }
+      dfs(next);
+    }
+    on_path.erase(node);
+    path.pop_back();
+  };
+
+  for (const auto& [node, tos] : edges_) {
+    dfs(node);
+  }
+  std::sort(cycles.begin(), cycles.end(),
+            [](const Cycle& a, const Cycle& b) { return a.nodes < b.nodes; });
+  return cycles;
+}
+
+}  // namespace atropos::lint

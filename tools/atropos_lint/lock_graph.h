@@ -1,0 +1,54 @@
+// Static lock-acquisition graph and cycle detection for the lock-order check.
+//
+// Nodes are mutex identities (normalized source expressions like
+// `registry_mu_`); a directed edge A -> B records a site that acquires B
+// while holding A. A cycle in this graph is a potential deadlock: two code
+// paths that acquire the same mutexes in opposite orders.
+//
+// Detection is deterministic: nodes and edges are visited in lexicographic
+// order, so the same input graph always reports the same cycle first.
+
+#ifndef TOOLS_ATROPOS_LINT_LOCK_GRAPH_H_
+#define TOOLS_ATROPOS_LINT_LOCK_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace atropos::lint {
+
+class LockGraph {
+ public:
+  struct Site {
+    std::string function;  // function containing the acquisition
+    int line = 0;          // line of the inner acquisition
+  };
+
+  // Records "acquired `to` while holding `from`". The first site per edge is
+  // kept for the report.
+  void AddEdge(const std::string& from, const std::string& to, Site site);
+
+  bool HasEdge(const std::string& from, const std::string& to) const;
+  size_t edge_count() const;
+
+  struct Cycle {
+    // Nodes in order, starting and ending at the lexicographically smallest
+    // node of the cycle: {a, b, a} for a two-lock inversion.
+    std::vector<std::string> nodes;
+    // One representative site per edge of the cycle (nodes.size() - 1 sites).
+    std::vector<Site> sites;
+  };
+
+  // Finds all elementary cycles reachable via DFS, reporting each cycle once
+  // (canonicalized to start at its smallest node). Sorted by node sequence.
+  std::vector<Cycle> FindCycles() const;
+
+ private:
+  // from -> to -> first site observed. std::map keeps iteration ordered.
+  std::map<std::string, std::map<std::string, Site>> edges_;
+};
+
+}  // namespace atropos::lint
+
+#endif  // TOOLS_ATROPOS_LINT_LOCK_GRAPH_H_

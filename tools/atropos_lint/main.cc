@@ -1,0 +1,87 @@
+// atropos_lint — domain-specific static analyzer for Atropos API contracts.
+//
+//   atropos_lint [--checks=a,b] [--dir=DIR]... [FILE]...
+//
+// Checks (all enabled by default):
+//   capi-pairing          createCancel/freeCancel and getResource/freeResource
+//                         balance per scope; double-frees and leaks
+//   cancel-action-safety  no blocking, allocation, or throw in cancellation
+//                         initiators registered via setCancelAction
+//   determinism           no ambient time/randomness in digest paths
+//   lock-order            cycles in the static mutex acquisition graph
+//
+// Exit status: 0 when no findings, 1 when findings were reported, 2 on usage
+// errors. Suppress individual findings with `// atropos-lint: allow(check)`.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "tools/atropos_lint/check.h"
+#include "tools/atropos_lint/driver.h"
+
+namespace {
+
+void SplitCommaList(const char* list, std::set<std::string>* out) {
+  std::string cur;
+  for (const char* p = list;; p++) {
+    if (*p == ',' || *p == '\0') {
+      if (!cur.empty()) {
+        out->insert(cur);
+      }
+      cur.clear();
+      if (*p == '\0') {
+        break;
+      }
+    } else {
+      cur.push_back(*p);
+    }
+  }
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: atropos_lint [--checks=a,b] [--list-checks] [--dir=DIR]... [FILE]...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  atropos::lint::DriverOptions options;
+  bool quiet = false;
+  for (int i = 1; i < argc; i++) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--checks=", 9) == 0) {
+      SplitCommaList(arg + 9, &options.checks);
+    } else if (std::strncmp(arg, "--dir=", 6) == 0) {
+      options.dirs.push_back(arg + 6);
+    } else if (std::strcmp(arg, "--dir") == 0 && i + 1 < argc) {
+      options.dirs.push_back(argv[++i]);
+    } else if (std::strcmp(arg, "--list-checks") == 0) {
+      for (const auto& check : atropos::lint::MakeAllChecks()) {
+        std::printf("%s\n", std::string(check->name()).c_str());
+      }
+      return 0;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      return Usage();
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+  if (options.files.empty() && options.dirs.empty()) {
+    return Usage();
+  }
+
+  atropos::lint::RunResult result = atropos::lint::RunLint(options);
+  for (const atropos::lint::Diagnostic& d : result.diagnostics) {
+    std::printf("%s\n", d.Format().c_str());
+  }
+  if (!quiet) {
+    std::fprintf(stderr, "atropos_lint: %zu file(s), %zu finding(s), %zu suppressed\n",
+                 result.files_analyzed, result.diagnostics.size(), result.suppressed);
+  }
+  return result.diagnostics.empty() ? 0 : 1;
+}

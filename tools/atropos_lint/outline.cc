@@ -1,0 +1,292 @@
+#include "tools/atropos_lint/outline.h"
+
+#include <array>
+#include <string_view>
+
+namespace atropos::lint {
+
+namespace {
+
+// Keywords that can directly precede a parenthesized group followed by `{`
+// without the group being a function's parameter list.
+bool IsControlKeyword(std::string_view s) {
+  constexpr std::array<std::string_view, 10> kControl = {
+      "if", "while", "for", "switch", "catch", "return",
+      "sizeof", "alignof", "constexpr", "co_return",
+  };
+  for (std::string_view k : kControl) {
+    if (s == k) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsTrailingQualifier(const Token& t) {
+  return t.IsIdent("const") || t.IsIdent("noexcept") || t.IsIdent("override") ||
+         t.IsIdent("final") || t.IsIdent("mutable") || t.IsPunct("&") || t.IsPunct("&&");
+}
+
+// Scans back from `from` to the index of the "(" matching the ")" at `from`.
+// Returns SIZE_MAX when unbalanced.
+size_t MatchingOpenParen(const std::vector<Token>& toks, size_t from) {
+  int depth = 0;
+  for (size_t j = from; j != static_cast<size_t>(-1); j--) {
+    if (toks[j].IsPunct(")")) {
+      depth++;
+    } else if (toks[j].IsPunct("(")) {
+      if (--depth == 0) {
+        return j;
+      }
+    }
+  }
+  return static_cast<size_t>(-1);
+}
+
+enum class BlockKind { kFunction, kLambda, kNamespace, kClass, kPlain };
+
+struct Classified {
+  BlockKind kind = BlockKind::kPlain;
+  std::string name;
+  std::string qualified;
+  int line = 0;
+};
+
+// Classifies the block whose "{" sits at token index `open`.
+Classified Classify(const std::vector<Token>& toks, size_t open) {
+  Classified out;
+  if (open == 0) {
+    return out;
+  }
+
+  // Skip trailing cv/ref/noexcept/override qualifiers, then an optional
+  // trailing return type (`-> Type`), to land on the parameter list's ")".
+  size_t k = open - 1;
+  while (k > 0 && IsTrailingQualifier(toks[k])) {
+    k--;
+  }
+  {
+    size_t probe = k;
+    int steps = 0;
+    while (probe > 0 && steps < 16 &&
+           (toks[probe].kind == TokenKind::kIdentifier || toks[probe].IsPunct("::") ||
+            toks[probe].IsPunct("<") || toks[probe].IsPunct(">") || toks[probe].IsPunct("*") ||
+            toks[probe].IsPunct("&"))) {
+      probe--;
+      steps++;
+    }
+    if (toks[probe].IsPunct("->") && probe > 0 && toks[probe - 1].IsPunct(")")) {
+      k = probe - 1;
+    }
+  }
+
+  // Lambda: `](…) {` or a capture list directly before the brace (`[&] {`).
+  if (toks[k].IsPunct(")")) {
+    size_t m = MatchingOpenParen(toks, k);
+    if (m != static_cast<size_t>(-1) && m > 0 && toks[m - 1].IsPunct("]")) {
+      out.kind = BlockKind::kLambda;
+      out.name = "<lambda>";
+      out.qualified = out.name;
+      out.line = toks[m].line;
+      return out;
+    }
+  } else if (toks[k].IsPunct("]")) {
+    out.kind = BlockKind::kLambda;
+    out.name = "<lambda>";
+    out.qualified = out.name;
+    out.line = toks[k].line;
+    return out;
+  }
+
+  // Declaration header: tokens since the previous statement/block boundary.
+  size_t hs = open;
+  while (hs > 0 && !toks[hs - 1].IsPunct(";") && !toks[hs - 1].IsPunct("{") &&
+         !toks[hs - 1].IsPunct("}")) {
+    hs--;
+  }
+  size_t he = open;  // exclusive
+  if (hs >= he) {
+    return out;
+  }
+
+  if (toks[hs].IsIdent("namespace") || toks[hs].IsIdent("extern")) {
+    out.kind = BlockKind::kNamespace;
+    return out;
+  }
+
+  // Constructor init lists and access-specifier/label prefixes: resolve any
+  // top-level ":" in the header. `) : inits` truncates the header (ctor);
+  // `public:` / `case x:` drops the prefix.
+  for (size_t j = hs; j < he;) {
+    int depth = 0;
+    size_t colon = static_cast<size_t>(-1);
+    for (size_t p = j; p < he; p++) {
+      if (toks[p].IsPunct("(") || toks[p].IsPunct("[")) {
+        depth++;
+      } else if (toks[p].IsPunct(")") || toks[p].IsPunct("]")) {
+        depth--;
+      } else if (depth == 0 && toks[p].IsPunct(":")) {
+        colon = p;
+        break;
+      }
+    }
+    if (colon == static_cast<size_t>(-1)) {
+      break;
+    }
+    if (colon > hs && toks[colon - 1].IsPunct(")")) {
+      he = colon;  // ctor-init list: the declaration is everything before ":"
+      break;
+    }
+    hs = colon + 1;  // label / access specifier: declaration starts after ":"
+    j = hs;
+  }
+  if (hs >= he) {
+    return out;
+  }
+
+  // Class-like header: class/struct/union/enum at top level before any "(".
+  {
+    int depth = 0;
+    for (size_t p = hs; p < he; p++) {
+      if (toks[p].IsPunct("(")) {
+        break;
+      }
+      if (toks[p].IsPunct("<")) {
+        depth++;
+      } else if (toks[p].IsPunct(">")) {
+        depth--;
+      } else if (depth == 0 && (toks[p].IsIdent("class") || toks[p].IsIdent("struct") ||
+                                toks[p].IsIdent("union") || toks[p].IsIdent("enum"))) {
+        out.kind = BlockKind::kClass;
+        return out;
+      }
+    }
+  }
+
+  // A top-level "=" means this brace is an initializer, not a body.
+  {
+    int depth = 0;
+    for (size_t p = hs; p < he; p++) {
+      if (toks[p].IsPunct("(") || toks[p].IsPunct("[")) {
+        depth++;
+      } else if (toks[p].IsPunct(")") || toks[p].IsPunct("]")) {
+        depth--;
+      } else if (depth == 0 && toks[p].IsPunct("=")) {
+        return out;
+      }
+    }
+  }
+
+  // Function: header ends `name ( params )` (after the qualifier skip above,
+  // which may have moved `k` inside the truncated header).
+  size_t end = he - 1;
+  while (end > hs && IsTrailingQualifier(toks[end])) {
+    end--;
+  }
+  if (!toks[end].IsPunct(")")) {
+    return out;
+  }
+  size_t m = MatchingOpenParen(toks, end);
+  if (m == static_cast<size_t>(-1) || m <= hs) {
+    return out;
+  }
+  size_t pre = m - 1;
+  std::string name;
+  if (toks[pre].kind == TokenKind::kIdentifier) {
+    if (IsControlKeyword(toks[pre].text)) {
+      return out;
+    }
+    name = toks[pre].text;
+    if (pre > hs && toks[pre - 1].IsPunct("~")) {
+      name = "~" + name;
+      pre--;
+    } else if (pre > hs && toks[pre - 1].IsIdent("operator")) {
+      name = "operator " + name;
+      pre--;
+    }
+  } else if (toks[pre].kind == TokenKind::kPunct && pre > hs && toks[pre - 1].IsIdent("operator")) {
+    name = "operator" + toks[pre].text;
+    pre--;
+  } else {
+    return out;
+  }
+
+  // Collect `Qualifier::` prefixes for the qualified name.
+  std::string qualified = name;
+  size_t p = pre;
+  while (p >= hs + 2 && toks[p - 1].IsPunct("::") &&
+         toks[p - 2].kind == TokenKind::kIdentifier) {
+    qualified = toks[p - 2].text + "::" + qualified;
+    p -= 2;
+  }
+
+  out.kind = BlockKind::kFunction;
+  out.name = std::move(name);
+  out.qualified = std::move(qualified);
+  out.line = toks[m].line;
+  return out;
+}
+
+}  // namespace
+
+int Outline::EnclosingFunction(size_t i) const {
+  int best = -1;
+  size_t best_span = static_cast<size_t>(-1);
+  for (size_t f = 0; f < functions.size(); f++) {
+    const FunctionInfo& fn = functions[f];
+    if (fn.body_begin < i && i < fn.body_end && fn.body_end - fn.body_begin < best_span) {
+      best = static_cast<int>(f);
+      best_span = fn.body_end - fn.body_begin;
+    }
+  }
+  return best;
+}
+
+Outline BuildOutline(const std::vector<Token>& toks) {
+  Outline out;
+  struct Open {
+    bool is_function;  // function or lambda: owns an entry in out.functions
+    int func_index;    // innermost function in scope after this block opens
+  };
+  std::vector<Open> stack;
+  int current_function = -1;
+
+  for (size_t i = 0; i < toks.size(); i++) {
+    if (toks[i].IsPunct("{")) {
+      Classified c = Classify(toks, i);
+      if (c.kind == BlockKind::kFunction || c.kind == BlockKind::kLambda) {
+        FunctionInfo fn;
+        fn.name = c.name;
+        fn.qualified = c.qualified;
+        fn.line = c.line;
+        fn.body_begin = i;
+        fn.is_lambda = c.kind == BlockKind::kLambda;
+        fn.parent = current_function;
+        out.functions.push_back(std::move(fn));
+        current_function = static_cast<int>(out.functions.size()) - 1;
+        stack.push_back(Open{true, current_function});
+      } else {
+        stack.push_back(Open{false, current_function});
+      }
+    } else if (toks[i].IsPunct("}")) {
+      if (stack.empty()) {
+        continue;  // stray brace; keep going
+      }
+      Open top = stack.back();
+      stack.pop_back();
+      if (top.is_function) {
+        out.functions[static_cast<size_t>(top.func_index)].body_end = i;
+        current_function = out.functions[static_cast<size_t>(top.func_index)].parent;
+      }
+    }
+  }
+  // Unterminated bodies (malformed input): close them at EOF.
+  for (FunctionInfo& fn : out.functions) {
+    if (fn.body_end == 0) {
+      fn.body_end = toks.size() - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace atropos::lint

@@ -1,0 +1,43 @@
+// Structural outline of a lexed file: function and lambda body spans.
+//
+// atropos_lint does not parse C++; it recovers just enough structure for
+// scope-based checks by classifying every brace-delimited block. A block is a
+// function body when its declaration header looks like `name ( params )`
+// (possibly qualified, possibly with cv/ref/noexcept/trailing-return after
+// the parameter list), a lambda body when the parameter list is preceded by a
+// capture list `]`, and otherwise a namespace / class / plain block that is
+// transparent to the enclosing function.
+
+#ifndef TOOLS_ATROPOS_LINT_OUTLINE_H_
+#define TOOLS_ATROPOS_LINT_OUTLINE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/atropos_lint/token.h"
+
+namespace atropos::lint {
+
+struct FunctionInfo {
+  std::string name;       // simple name; "<lambda>" for lambdas
+  std::string qualified;  // Class::name when written qualified, else == name
+  int line = 0;           // line of the opening brace's declaration
+  size_t body_begin = 0;  // token index of '{'
+  size_t body_end = 0;    // token index of the matching '}'
+  bool is_lambda = false;
+  int parent = -1;        // index of the lexically enclosing function, or -1
+};
+
+struct Outline {
+  std::vector<FunctionInfo> functions;
+
+  // Innermost function whose body span contains token index `i`, or -1.
+  int EnclosingFunction(size_t i) const;
+};
+
+Outline BuildOutline(const std::vector<Token>& tokens);
+
+}  // namespace atropos::lint
+
+#endif  // TOOLS_ATROPOS_LINT_OUTLINE_H_

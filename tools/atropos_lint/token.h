@@ -1,0 +1,37 @@
+// Token model for the atropos_lint lexer.
+//
+// The linter works on a token stream, not an AST: every check in this tool is
+// a structural pattern over identifiers, punctuation, and brace/paren nesting,
+// which a full C++ grammar is not needed for (and which keeps the tool
+// dependency-free — it builds wherever GCC does, no libclang).
+
+#ifndef TOOLS_ATROPOS_LINT_TOKEN_H_
+#define TOOLS_ATROPOS_LINT_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+namespace atropos::lint {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords (checks match on text)
+  kNumber,      // integer / float literals, including digit separators
+  kString,      // "..." / R"(...)" (text excludes the quotes)
+  kChar,        // '...'
+  kPunct,       // operators and punctuation; multi-char ops are one token
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int line = 0;  // 1-based
+
+  bool Is(TokenKind k, const char* t) const { return kind == k && text == t; }
+  bool IsIdent(const char* t) const { return Is(TokenKind::kIdentifier, t); }
+  bool IsPunct(const char* t) const { return Is(TokenKind::kPunct, t); }
+};
+
+}  // namespace atropos::lint
+
+#endif  // TOOLS_ATROPOS_LINT_TOKEN_H_
