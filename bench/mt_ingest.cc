@@ -16,6 +16,7 @@
 // and marks the comparison informational when the hardware can't show it.
 //
 // Usage: mt_ingest [--events=N] [--max-threads=N] [--ring-capacity=N]
+//                  [--json[=path]]   (writes BENCH_mt_ingest.json)
 
 #include <atomic>
 #include <chrono>
@@ -29,6 +30,7 @@
 
 #include "src/atropos/concurrent_frontend.h"
 #include "src/common/clock.h"
+#include "src/common/json_writer.h"
 #include "src/common/table.h"
 
 namespace atropos {
@@ -120,14 +122,29 @@ RunResult RunOnce(int threads, uint64_t events, size_t ring_capacity) {
   return r;
 }
 
+// Returns the output path when `arg` is --json or --json=path, else "".
+std::string ParseJsonFlag(const char* arg, const char* fallback) {
+  if (std::strcmp(arg, "--json") == 0) {
+    return fallback;
+  }
+  if (std::strncmp(arg, "--json=", 7) == 0) {
+    return arg + 7;
+  }
+  return "";
+}
+
 int Main(int argc, char** argv) {
   BenchOptions opt;
+  std::string json_path;
   for (int i = 1; i < argc; i++) {
     opt.events = ParseFlag(argv[i], "--events", opt.events);
     opt.max_threads =
         static_cast<int>(ParseFlag(argv[i], "--max-threads", static_cast<uint64_t>(opt.max_threads)));
     opt.ring_capacity =
         static_cast<size_t>(ParseFlag(argv[i], "--ring-capacity", opt.ring_capacity));
+    if (std::string p = ParseJsonFlag(argv[i], "BENCH_mt_ingest.json"); !p.empty()) {
+      json_path = p;
+    }
   }
 
   const unsigned cores = std::thread::hardware_concurrency();
@@ -135,6 +152,13 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(opt.events), opt.ring_capacity, cores);
 
   TextTable table({"producers", "pushed", "wall_ms", "Mev/s", "ns/event", "speedup", "dropped"});
+  struct Row {
+    int threads;
+    RunResult r;
+    double throughput;
+    double speedup;
+  };
+  std::vector<Row> rows;
   double base_throughput = 0;
   double speedup_at_8 = 0;
   for (int threads : {1, 2, 4, 8, 16}) {
@@ -152,6 +176,7 @@ int Main(int argc, char** argv) {
     if (threads == 8) {
       speedup_at_8 = speedup;
     }
+    rows.push_back({threads, r, throughput, speedup});
     table.AddRow({std::to_string(threads), std::to_string(r.pushed),
                   TextTable::Num(r.wall_seconds * 1e3), TextTable::Num(throughput / 1e6),
                   TextTable::Num(1e9 / throughput, 1), TextTable::Num(speedup) + "x",
@@ -159,6 +184,34 @@ int Main(int argc, char** argv) {
                                  static_cast<double>(r.pushed ? r.pushed : 1))});
   }
   std::printf("%s\n", table.Render().c_str());
+
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Field("bench", "mt_ingest");
+    json.Field("events_per_run", opt.events);
+    json.Field("ring_capacity", static_cast<uint64_t>(opt.ring_capacity));
+    json.Field("hardware_threads", static_cast<uint64_t>(cores));
+    json.Key("runs").BeginArray();
+    for (const Row& row : rows) {
+      json.BeginObject();
+      json.Field("producers", row.threads);
+      json.Field("pushed", row.r.pushed);
+      json.Field("dropped", row.r.dropped);
+      json.Field("wall_seconds", row.r.wall_seconds);
+      json.Field("events_per_second", row.throughput);
+      json.Field("speedup_vs_1", row.speedup);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Field("speedup_at_8", speedup_at_8);
+    json.EndObject();
+    if (json.WriteFile(json_path)) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    }
+  }
 
   if (opt.max_threads >= 8) {
     if (cores >= 8) {

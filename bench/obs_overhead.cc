@@ -16,7 +16,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "src/common/json_writer.h"
 #include "src/common/table.h"
 #include "src/obs/obs.h"
 #include "src/workload/cases.h"
@@ -99,7 +103,7 @@ double RunC1Seconds(Observability* obs) {
   return std::chrono::duration<double>(end - start).count();
 }
 
-void RunWallClockPart() {
+void RunWallClockPart(const std::string& json_path) {
   constexpr int kReps = 3;
   double off = 1e300;
   double idle = 1e300;
@@ -127,6 +131,25 @@ void RunWallClockPart() {
   double idle_delta = idle / off - 1.0;
   std::printf("idle-recorder delta: %.2f%% (acceptance bar: < 5%%) -> %s\n", idle_delta * 100.0,
               idle_delta < 0.05 ? "PASS" : "FAIL");
+
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Field("bench", "obs_overhead");
+    json.Field("off_seconds", off);
+    json.Field("idle_recorder_seconds", idle);
+    json.Field("full_tracing_seconds", on);
+    json.Field("idle_delta", idle_delta);
+    json.Field("full_delta", on / off - 1.0);
+    json.Field("idle_bar", 0.05);
+    json.Field("pass", idle_delta < 0.05);
+    json.EndObject();
+    if (json.WriteFile(json_path)) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    }
+  }
 }
 
 }  // namespace
@@ -135,18 +158,33 @@ void RunWallClockPart() {
 int main(int argc, char** argv) {
   std::printf("Observability overhead\n\n");
   std::printf("Part 1: obs primitive micro-costs (real clock, google-benchmark)\n");
+  // Peel off --json[=path] before handing argv to google-benchmark, which
+  // rejects flags it does not know.
+  std::string json_path;
+  std::vector<char*> bench_args;
+  for (int i = 0; i < argc; i++) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_obs_overhead.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
   int bench_argc = 2;
   char arg0[] = "obs_overhead";
   char arg1[] = "--benchmark_min_time=0.05s";
   char* bench_argv[] = {arg0, arg1, nullptr};
-  if (argc > 1) {
-    benchmark::Initialize(&argc, argv);
+  if (bench_args.size() > 1) {
+    int filtered_argc = static_cast<int>(bench_args.size());
+    bench_args.push_back(nullptr);
+    benchmark::Initialize(&filtered_argc, bench_args.data());
   } else {
     benchmark::Initialize(&bench_argc, bench_argv);
   }
   benchmark::RunSpecifiedBenchmarks();
 
   std::printf("\nPart 2: case c1 wall-clock with observability off / idle / on (min of 3)\n");
-  atropos::RunWallClockPart();
+  atropos::RunWallClockPart(json_path);
   return 0;
 }

@@ -3,7 +3,8 @@
 # static-analysis stage (atropos_lint always; clang-tidy and clang's
 # thread-safety analysis when clang is installed), then the obs/workload/
 # atropos tests and a fuzz corpus under ASan/UBSan, then the concurrent
-# intake tests and mt_ingest smoke under TSan.
+# intake tests, the live-mode tests (incl. live_smoke), and the mt_ingest
+# smoke under TSan.
 #
 #   scripts/check.sh          # build + all tests + lint + ASan/UBSan + TSan
 #   scripts/check.sh --fast   # skip the lint and sanitizer stages
@@ -81,10 +82,13 @@ echo "== fuzz corpus under ASan/UBSan =="
 
 echo "== configure + build with TSan (build-tsan/) =="
 cmake -B build-tsan -S . -DATROPOS_TSAN=ON >/dev/null
-cmake --build build-tsan -j "$JOBS" --target concurrent_test mt_ingest
+cmake --build build-tsan -j "$JOBS" --target concurrent_test live_test mt_ingest
 
-echo "== concurrent intake tests under TSan =="
+echo "== concurrent intake + capi facade tests under TSan =="
 ./build-tsan/tests/concurrent_test
+
+echo "== live-mode tests + live_smoke under TSan =="
+./build-tsan/tests/live_test
 
 echo "== mt_ingest smoke under TSan =="
 ./build-tsan/bench/mt_ingest --events=20000 --max-threads=4

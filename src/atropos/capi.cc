@@ -2,87 +2,131 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <vector>
+
+#include "src/atropos/concurrent_frontend.h"
 
 namespace atropos {
 
 namespace {
 
-AtroposRuntime* g_runtime = nullptr;
-Cancellable* g_current = nullptr;
-// The `previous_` pointers held by live CancellableScopes, outermost first.
-// Mirrored here so freeCancel can tell whether a handle is still reachable
-// through a scope restore.
-std::vector<Cancellable*> g_saved_chain;
-// Handles passed to freeCancel while still referenced by g_current or the
-// scope chain. Deleting them eagerly would leave a dangling pointer to be
-// restored at scope exit; instead they stay allocated (their task already
-// freed in the runtime, so tracing counts as ignored_events) until no
-// reference remains.
-std::vector<Cancellable*> g_zombies;
-void (*g_cancel_action)(uint64_t) = nullptr;
-// Lazily registered default resource instances, one per facade type.
-std::array<ResourceId, 3> g_default_resources = {kInvalidResourceId, kInvalidResourceId,
-                                                 kInvalidResourceId};
+// Installation state. Written only by the Install* functions (setup-time,
+// single-threaded by contract) but read from every tracing thread, so the
+// pointers are atomics: a stale-but-consistent read is fine, a torn one is
+// not. `g_sink` is the tracing target (the runtime itself under
+// InstallGlobalRuntime, the frontend's ring intake under
+// InstallGlobalFrontend); `g_runtime` is where setup calls like
+// setCancelAction land either way.
+std::atomic<AtroposRuntime*> g_runtime{nullptr};
+std::atomic<OverloadController*> g_sink{nullptr};
+std::atomic<void (*)(uint64_t)> g_cancel_action{nullptr};
+// Default resource instances, one per facade type, registered eagerly at
+// install (lazy first-use registration would race under multithreaded
+// tracing: RegisterResource is a setup-only, unsynchronized call).
+std::array<std::atomic<ResourceId>, 3> g_default_resources = {
+    kInvalidResourceId, kInvalidResourceId, kInvalidResourceId};
 
 ResourceId DefaultResource(CApiResourceType type) {
-  auto idx = static_cast<size_t>(type);
-  if (g_default_resources[idx] == kInvalidResourceId && g_runtime != nullptr) {
-    switch (type) {
-      case CApiResourceType::LOCK:
-        g_default_resources[idx] = g_runtime->RegisterResource("capi_lock", ResourceClass::kLock);
-        break;
-      case CApiResourceType::MEMORY:
-        g_default_resources[idx] =
-            g_runtime->RegisterResource("capi_memory", ResourceClass::kMemory);
-        break;
-      case CApiResourceType::QUEUE:
-        g_default_resources[idx] =
-            g_runtime->RegisterResource("capi_queue", ResourceClass::kQueue);
-        break;
+  return g_default_resources[static_cast<size_t>(type)].load(std::memory_order_relaxed);
+}
+
+// Per-thread attribution state. The paper keys tracing off the calling
+// thread; making the current-task slot, scope chain, and retired-handle list
+// thread-local realizes exactly that under real threads while degenerating to
+// the old process-global behavior in single-threaded use.
+struct ThreadState {
+  Cancellable* current = nullptr;
+  // The `previous_` pointers held by live CancellableScopes, outermost first.
+  // Mirrored here so freeCancel can tell whether a handle is still reachable
+  // through a scope restore.
+  std::vector<Cancellable*> saved_chain;
+  // Handles passed to freeCancel while still referenced by `current` or the
+  // scope chain. Deleting them eagerly would leave a dangling pointer to be
+  // restored at scope exit; instead they stay allocated (their task already
+  // freed in the runtime, so tracing counts as ignored_events) until no
+  // reference remains.
+  std::vector<Cancellable*> zombies;
+
+  // At thread exit every scope has unwound, so nothing references a retired
+  // handle anymore.
+  ~ThreadState() {
+    for (Cancellable* z : zombies) {
+      delete z;
     }
   }
-  return g_default_resources[idx];
-}
 
-bool Referenced(const Cancellable* c) {
-  if (g_current == c) {
-    return true;
+  bool Referenced(const Cancellable* c) const {
+    if (current == c) {
+      return true;
+    }
+    return std::find(saved_chain.begin(), saved_chain.end(), c) != saved_chain.end();
   }
-  return std::find(g_saved_chain.begin(), g_saved_chain.end(), c) != g_saved_chain.end();
+
+  // Deletes retired handles that no scope or current-task slot references
+  // anymore; called at every point a reference can disappear.
+  void ReapZombies() {
+    for (auto it = zombies.begin(); it != zombies.end();) {
+      if (!Referenced(*it)) {
+        delete *it;
+        it = zombies.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+};
+
+ThreadState& State() {
+  thread_local ThreadState state;
+  return state;
 }
 
-// Deletes retired handles that no scope or current-task slot references
-// anymore; called at every point a reference can disappear.
-void ReapZombies() {
-  for (auto it = g_zombies.begin(); it != g_zombies.end();) {
-    if (!Referenced(*it)) {
-      delete *it;
-      it = g_zombies.erase(it);
-    } else {
-      ++it;
+void RegisterDefaultResources(AtroposRuntime* runtime) {
+  g_default_resources[static_cast<size_t>(CApiResourceType::LOCK)].store(
+      runtime->RegisterResource("capi_lock", ResourceClass::kLock), std::memory_order_relaxed);
+  g_default_resources[static_cast<size_t>(CApiResourceType::MEMORY)].store(
+      runtime->RegisterResource("capi_memory", ResourceClass::kMemory),
+      std::memory_order_relaxed);
+  g_default_resources[static_cast<size_t>(CApiResourceType::QUEUE)].store(
+      runtime->RegisterResource("capi_queue", ResourceClass::kQueue), std::memory_order_relaxed);
+}
+
+void Install(AtroposRuntime* runtime, OverloadController* sink) {
+  g_runtime.store(runtime, std::memory_order_release);
+  g_sink.store(sink, std::memory_order_release);
+  g_cancel_action.store(nullptr, std::memory_order_relaxed);
+  ThreadState& st = State();
+  st.current = nullptr;
+  st.saved_chain.clear();
+  st.ReapZombies();  // nothing is referenced now — drops every retired handle
+  if (runtime != nullptr) {
+    RegisterDefaultResources(runtime);
+  } else {
+    for (std::atomic<ResourceId>& r : g_default_resources) {
+      r.store(kInvalidResourceId, std::memory_order_relaxed);
     }
   }
 }
 
 }  // namespace
 
-void InstallGlobalRuntime(AtroposRuntime* runtime) {
-  g_runtime = runtime;
-  g_current = nullptr;
-  g_saved_chain.clear();
-  ReapZombies();  // nothing is referenced now — drops every retired handle
-  g_cancel_action = nullptr;
-  g_default_resources.fill(kInvalidResourceId);
+void InstallGlobalRuntime(AtroposRuntime* runtime) { Install(runtime, runtime); }
+
+void InstallGlobalFrontend(ConcurrentFrontend* frontend) {
+  Install(frontend != nullptr ? &frontend->runtime() : nullptr, frontend);
 }
 
-AtroposRuntime* GlobalRuntime() { return g_runtime; }
+AtroposRuntime* GlobalRuntime() { return g_runtime.load(std::memory_order_acquire); }
+
+ResourceId CApiDefaultResource(CApiResourceType type) { return DefaultResource(type); }
 
 Cancellable* createCancel(uint64_t key) {
-  if (g_runtime == nullptr) {
+  OverloadController* sink = g_sink.load(std::memory_order_acquire);
+  if (sink == nullptr) {
     return nullptr;
   }
-  g_runtime->OnTaskRegistered(key, /*background=*/false);
+  sink->OnTaskRegistered(key, /*background=*/false);
   return new Cancellable{key};
 }
 
@@ -90,16 +134,18 @@ void freeCancel(Cancellable* c) {
   if (c == nullptr) {
     return;
   }
-  if (g_runtime != nullptr) {
-    g_runtime->OnTaskFreed(c->key);
+  OverloadController* sink = g_sink.load(std::memory_order_acquire);
+  if (sink != nullptr) {
+    sink->OnTaskFreed(c->key);
   }
-  if (Referenced(c)) {
+  ThreadState& st = State();
+  if (st.Referenced(c)) {
     // Still the current task or saved by a live scope: retire lazily. The
     // current-task slot is deliberately left pointing at the handle —
     // subsequent tracing reaches the runtime under the freed key and is
     // counted there as ignored_events instead of disappearing without trace.
-    if (std::find(g_zombies.begin(), g_zombies.end(), c) == g_zombies.end()) {
-      g_zombies.push_back(c);
+    if (std::find(st.zombies.begin(), st.zombies.end(), c) == st.zombies.end()) {
+      st.zombies.push_back(c);
     }
     return;
   }
@@ -107,78 +153,95 @@ void freeCancel(Cancellable* c) {
 }
 
 void setCancelAction(void (*func)(uint64_t)) {
-  g_cancel_action = func;
-  if (g_runtime != nullptr) {
-    g_runtime->SetCancelAction([](uint64_t key) {
-      if (g_cancel_action != nullptr) {
-        g_cancel_action(key);
+  g_cancel_action.store(func, std::memory_order_release);
+  AtroposRuntime* runtime = g_runtime.load(std::memory_order_acquire);
+  if (runtime != nullptr) {
+    runtime->SetCancelAction([](uint64_t key) {
+      void (*action)(uint64_t) = g_cancel_action.load(std::memory_order_acquire);
+      if (action != nullptr) {
+        action(key);
       }
     });
   }
 }
 
 Cancellable* SetCurrentCancellable(Cancellable* c) {
-  Cancellable* prev = g_current;
-  g_current = c;
-  ReapZombies();
+  ThreadState& st = State();
+  Cancellable* prev = st.current;
+  st.current = c;
+  st.ReapZombies();
   return prev;
 }
 
 Cancellable* EnterCancellableScope(Cancellable* c) {
-  g_saved_chain.push_back(g_current);
-  g_current = c;
-  return g_saved_chain.back();
+  ThreadState& st = State();
+  st.saved_chain.push_back(st.current);
+  st.current = c;
+  return st.saved_chain.back();
 }
 
 void ExitCancellableScope(Cancellable* previous) {
-  if (!g_saved_chain.empty()) {
-    g_saved_chain.pop_back();
+  ThreadState& st = State();
+  if (!st.saved_chain.empty()) {
+    st.saved_chain.pop_back();
   }
-  g_current = previous;
-  ReapZombies();
+  st.current = previous;
+  st.ReapZombies();
 }
 
 void getResource(long value, CApiResourceType rsc_type) {
-  if (g_runtime == nullptr || g_current == nullptr || value <= 0) {
+  OverloadController* sink = g_sink.load(std::memory_order_acquire);
+  Cancellable* current = State().current;
+  if (sink == nullptr || current == nullptr || value <= 0) {
     return;
   }
-  g_runtime->OnGet(g_current->key, DefaultResource(rsc_type), static_cast<uint64_t>(value));
+  sink->OnGet(current->key, DefaultResource(rsc_type), static_cast<uint64_t>(value));
 }
 
 void freeResource(long value, CApiResourceType rsc_type) {
-  if (g_runtime == nullptr || g_current == nullptr || value <= 0) {
+  OverloadController* sink = g_sink.load(std::memory_order_acquire);
+  Cancellable* current = State().current;
+  if (sink == nullptr || current == nullptr || value <= 0) {
     return;
   }
-  g_runtime->OnFree(g_current->key, DefaultResource(rsc_type), static_cast<uint64_t>(value));
+  sink->OnFree(current->key, DefaultResource(rsc_type), static_cast<uint64_t>(value));
 }
 
 void slowByResource(long value, CApiResourceType rsc_type) {
-  if (g_runtime == nullptr || g_current == nullptr || value <= 0) {
+  OverloadController* sink = g_sink.load(std::memory_order_acquire);
+  Cancellable* current = State().current;
+  if (sink == nullptr || current == nullptr || value <= 0) {
     return;
   }
-  g_runtime->OnUsage(g_current->key, DefaultResource(rsc_type),
-                     /*waited=*/static_cast<TimeMicros>(value), /*used=*/0);
+  sink->OnUsage(current->key, DefaultResource(rsc_type),
+                /*waited=*/static_cast<TimeMicros>(value), /*used=*/0);
 }
 
 void slowByResourceBegin(CApiResourceType rsc_type) {
-  if (g_runtime == nullptr || g_current == nullptr) {
+  OverloadController* sink = g_sink.load(std::memory_order_acquire);
+  Cancellable* current = State().current;
+  if (sink == nullptr || current == nullptr) {
     return;
   }
-  g_runtime->OnWaitBegin(g_current->key, DefaultResource(rsc_type));
+  sink->OnWaitBegin(current->key, DefaultResource(rsc_type));
 }
 
 void slowByResourceEnd(CApiResourceType rsc_type) {
-  if (g_runtime == nullptr || g_current == nullptr) {
+  OverloadController* sink = g_sink.load(std::memory_order_acquire);
+  Cancellable* current = State().current;
+  if (sink == nullptr || current == nullptr) {
     return;
   }
-  g_runtime->OnWaitEnd(g_current->key, DefaultResource(rsc_type));
+  sink->OnWaitEnd(current->key, DefaultResource(rsc_type));
 }
 
 void reportProgress(uint64_t done, uint64_t total) {
-  if (g_runtime == nullptr || g_current == nullptr) {
+  OverloadController* sink = g_sink.load(std::memory_order_acquire);
+  Cancellable* current = State().current;
+  if (sink == nullptr || current == nullptr) {
     return;
   }
-  g_runtime->OnProgress(g_current->key, done, total);
+  sink->OnProgress(current->key, done, total);
 }
 
 }  // namespace atropos

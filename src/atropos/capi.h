@@ -17,6 +17,8 @@
 
 namespace atropos {
 
+class ConcurrentFrontend;
+
 // Fig 6b: the unified resource-type enum. Each type maps to one implicitly
 // registered default resource instance in the global runtime.
 enum class CApiResourceType { LOCK = 0, MEMORY = 1, QUEUE = 2 };
@@ -27,18 +29,36 @@ struct Cancellable {
 };
 
 // Installs the runtime the facade forwards to. Must be called before any
-// other facade function; passing nullptr uninstalls.
+// other facade function; passing nullptr uninstalls. Tracing calls then feed
+// the runtime directly, which is single-threaded: all facade calls must come
+// from one thread (the simulator's discipline).
 void InstallGlobalRuntime(AtroposRuntime* runtime);
+
+// Multithreaded installation: tracing calls feed the frontend's per-thread
+// SPSC rings instead of the runtime, so every facade function below becomes
+// safe to call from any thread (the live-mode discipline; the paper keys the
+// current task off the calling thread and so do we — the current-cancellable
+// slot, scope chain, and retired-handle list are all thread-local).
+// Setup-type calls (setCancelAction) still route to the wrapped runtime and
+// stay single-threaded-before-producers-start. Passing nullptr uninstalls.
+void InstallGlobalFrontend(ConcurrentFrontend* frontend);
+
 AtroposRuntime* GlobalRuntime();
+
+// The implicitly registered default resource instance behind a facade type
+// (kInvalidResourceId when nothing is installed). Lets embedding code — the
+// live server's worker pool, say — attribute waits against the same resource
+// instance the capi tracing stream uses.
+ResourceId CApiDefaultResource(CApiResourceType type);
 
 // ---- Fig 6a: task scope & cancellation action -----------------------------
 Cancellable* createCancel(uint64_t key);
 void freeCancel(Cancellable* c);
 void setCancelAction(void (*func)(uint64_t key));
 
-// Sets the task that subsequent tracing calls are attributed to (the paper
-// uses the calling thread identity; simulated tasks set this explicitly).
-// Returns the previous current task so scopes can nest.
+// Sets the calling thread's task that subsequent tracing calls are attributed
+// to (the paper uses the calling thread identity; simulated tasks set this
+// explicitly). Returns the previous current task so scopes can nest.
 Cancellable* SetCurrentCancellable(Cancellable* c);
 
 // Scope-tracked variants used by CancellableScope. The facade mirrors the

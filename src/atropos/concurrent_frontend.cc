@@ -1,6 +1,7 @@
 #include "src/atropos/concurrent_frontend.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace atropos {
 
@@ -16,7 +17,45 @@ size_t RoundUpPow2(size_t n) {
 
 std::atomic<uint64_t> g_next_frontend_id{1};
 
+// Process-wide registry of live frontends, keyed by never-reused instance id.
+// An exiting thread's TLS destructor resolves its bindings through this map
+// so a binding to an already-destroyed frontend is simply skipped, never
+// dereferenced. Function-local statics so the registry outlives any static
+// frontend regardless of construction order.
+std::mutex& FrontendRegistryMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<uint64_t, ConcurrentFrontend*>& FrontendRegistry() {
+  static std::unordered_map<uint64_t, ConcurrentFrontend*> map;
+  return map;
+}
+
 }  // namespace
+
+// One thread's auto-registered producer bindings. The destructor runs at
+// thread exit — after the thread's last instrumentation call — and marks each
+// bound producer retired so the drainer can reclaim its ring once emptied.
+// Holding the registry lock across RetireProducer pins the frontend (its
+// destructor unregisters under the same lock before members are torn down).
+struct CapturedTlsBindings {
+  struct Binding {
+    uint64_t frontend_id;
+    ConcurrentFrontend::Producer* producer;
+  };
+  std::vector<Binding> bindings;
+
+  ~CapturedTlsBindings() {
+    std::lock_guard<std::mutex> lock(FrontendRegistryMu());
+    for (const Binding& b : bindings) {
+      auto it = FrontendRegistry().find(b.frontend_id);
+      if (it != FrontendRegistry().end()) {
+        it->second->RetireProducer(b.producer);
+      }
+    }
+  }
+};
 
 // ---- EventRing -------------------------------------------------------------
 
@@ -159,33 +198,46 @@ ConcurrentFrontend::ConcurrentFrontend(Clock* clock, AtroposConfig config, Optio
       clock_(clock),
       replay_clock_(clock),
       runtime_(&replay_clock_, config),
-      options_(options) {}
+      options_(options) {
+  std::lock_guard<std::mutex> lock(FrontendRegistryMu());
+  FrontendRegistry().emplace(instance_id_, this);
+}
 
 ConcurrentFrontend::ConcurrentFrontend(Clock* clock, AtroposConfig config)
     : ConcurrentFrontend(clock, config, Options{}) {}
+
+ConcurrentFrontend::~ConcurrentFrontend() {
+  // Unregister before members are destroyed: an exiting thread holding the
+  // registry lock may still be retiring a producer owned by this frontend.
+  std::lock_guard<std::mutex> lock(FrontendRegistryMu());
+  FrontendRegistry().erase(instance_id_);
+}
 
 ConcurrentFrontend::Producer* ConcurrentFrontend::RegisterProducer() {
   std::lock_guard<std::mutex> lock(registry_mu_);
   producers_.push_back(
       std::unique_ptr<Producer>(new Producer(clock_, options_.ring_capacity)));
+  producers_seen_++;
   return producers_.back().get();
 }
 
+size_t ConcurrentFrontend::live_producer_count() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return producers_.size();
+}
+
 ConcurrentFrontend::Producer* ConcurrentFrontend::ThisThreadProducer() {
-  struct TlsBinding {
-    uint64_t frontend_id;
-    Producer* producer;
-  };
   // Keyed by a never-reused instance id so a binding to a destroyed frontend
-  // can go stale but never alias a live one.
-  thread_local std::vector<TlsBinding> bindings;
-  for (const TlsBinding& b : bindings) {
+  // can go stale but never alias a live one. The wrapper's destructor retires
+  // the bindings at thread exit (see CapturedTlsBindings).
+  thread_local CapturedTlsBindings tls;
+  for (const CapturedTlsBindings::Binding& b : tls.bindings) {
     if (b.frontend_id == instance_id_) {
       return b.producer;
     }
   }
   Producer* p = RegisterProducer();
-  bindings.push_back(TlsBinding{instance_id_, p});
+  tls.bindings.push_back(CapturedTlsBindings::Binding{instance_id_, p});
   return p;
 }
 
@@ -274,18 +326,39 @@ void ConcurrentFrontend::Tick() {
   uint64_t max_depth = 0;
   uint64_t dropped = 0;
   size_t producer_count = 0;
+  uint64_t seen = 0;
+  uint64_t retired_count = 0;
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
-    producer_count = producers_.size();
-    for (const std::unique_ptr<Producer>& p : producers_) {
+    size_t keep = 0;
+    for (size_t i = 0; i < producers_.size(); i++) {
+      std::unique_ptr<Producer>& p = producers_[i];
+      // Retirement is observed *before* draining: the owning thread's last
+      // Push happens-before its TLS destructor's release store, so seeing
+      // retired==true here guarantees this drain empties the ring for good.
+      // A flip to retired *after* this load is deliberately ignored until
+      // the next Tick — removing on a post-drain observation could free a
+      // ring that still holds events pushed just before the exit.
+      const bool retired = p->retired_.load(std::memory_order_acquire);
       const size_t before = drain_buf_.size();
       TraceEvent ev;
       while (p->ring_.TryPop(&ev)) {
         drain_buf_.push_back(ev);
       }
       max_depth = std::max<uint64_t>(max_depth, drain_buf_.size() - before);
-      dropped += p->ring_.dropped();
+      if (retired) {
+        retired_dropped_ += p->ring_.dropped();
+        producers_retired_++;
+      } else {
+        dropped += p->ring_.dropped();
+        producers_[keep++] = std::move(p);
+      }
     }
+    producers_.resize(keep);
+    dropped += retired_dropped_;
+    producer_count = producers_.size();
+    seen = producers_seen_;
+    retired_count = producers_retired_;
   }
 
   // Stable merge: rings are FIFO with per-ring monotone stamps, so a stable
@@ -304,6 +377,8 @@ void ConcurrentFrontend::Tick() {
   intake_.dropped_total = dropped;
   intake_.max_ring_depth = max_depth;
   intake_.producers = producer_count;
+  intake_.producers_seen = seen;
+  intake_.producers_retired = retired_count;
   if (ring_depth_gauge_ != nullptr) {
     ring_depth_gauge_->Set(static_cast<double>(max_depth));
     drained_gauge_->Set(static_cast<double>(intake_.drained_last_tick));

@@ -36,6 +36,15 @@
 //   - Tick(): exactly one drainer thread (typically the control-loop timer).
 //   - Setup (RegisterResource, SetCancelAction, BindMetrics, recorder
 //     attachment): single-threaded, before producers start.
+//
+// Producer lifecycle: a thread that was auto-bound by the hooks may exit at
+// any time (live-mode worker pools shrink mid-run). Its thread-local binding
+// marks the producer retired on thread exit; the next Tick() drains whatever
+// the ring still holds — every event pushed before the exit happens-before
+// the retirement store, so none are lost — folds the ring's drop counter into
+// the frontend totals, and frees the ring. Explicitly RegisterProducer()ed
+// handles are never auto-retired; they stay valid for the frontend's
+// lifetime.
 
 #ifndef SRC_ATROPOS_CONCURRENT_FRONTEND_H_
 #define SRC_ATROPOS_CONCURRENT_FRONTEND_H_
@@ -148,6 +157,7 @@ class ConcurrentFrontend final : public OverloadController {
 
   ConcurrentFrontend(Clock* clock, AtroposConfig config, Options options);
   ConcurrentFrontend(Clock* clock, AtroposConfig config);
+  ~ConcurrentFrontend() override;
 
   std::string_view name() const override { return "atropos_concurrent"; }
 
@@ -178,6 +188,10 @@ class ConcurrentFrontend final : public OverloadController {
 
     Clock* clock_;
     EventRing ring_;
+    // Set (release) by the owning thread's TLS destructor at thread exit,
+    // after its last Push; observed (acquire) by Tick(), which then drains
+    // the ring to empty and frees the producer.
+    std::atomic<bool> retired_{false};
   };
 
   Producer* RegisterProducer() ATROPOS_EXCLUDES(registry_mu_);
@@ -223,15 +237,26 @@ class ConcurrentFrontend final : public OverloadController {
   struct IntakeStats {
     uint64_t drained_total = 0;      // events applied to the runtime, ever
     uint64_t drained_last_tick = 0;  // events applied by the last Tick()
-    uint64_t dropped_total = 0;      // ring-overflow drops across all rings
+    uint64_t dropped_total = 0;      // ring-overflow drops, incl. freed rings
     uint64_t max_ring_depth = 0;     // deepest ring observed at last drain
-    uint64_t producers = 0;          // registered producer threads
+    uint64_t producers = 0;          // currently live producer rings
+    uint64_t producers_seen = 0;     // producers ever registered
+    uint64_t producers_retired = 0;  // producers drained and freed after exit
   };
   // Drainer thread only (values are refreshed by Tick()).
   const IntakeStats& intake_stats() const { return intake_; }
 
+  // Rings still registered (not yet retired-and-drained). Thread-safe.
+  size_t live_producer_count() ATROPOS_EXCLUDES(registry_mu_);
+
  private:
+  friend struct CapturedTlsBindings;
+
   Producer* ThisThreadProducer() ATROPOS_EXCLUDES(registry_mu_);
+  // Called from an exiting thread's TLS destructor (under the process-wide
+  // frontend registry lock, so `p` cannot be concurrently destroyed). Lock-
+  // free on the frontend itself: a single release store.
+  void RetireProducer(Producer* p) { p->retired_.store(true, std::memory_order_release); }
   void Apply(const TraceEvent& ev);
 
   const uint64_t instance_id_;  // never reused; keys the thread-local cache
@@ -242,6 +267,11 @@ class ConcurrentFrontend final : public OverloadController {
 
   std::mutex registry_mu_;  // guards producers_ (registration is rare)
   std::vector<std::unique_ptr<Producer>> producers_ ATROPOS_GUARDED_BY(registry_mu_);
+  uint64_t producers_seen_ ATROPOS_GUARDED_BY(registry_mu_) = 0;
+  uint64_t producers_retired_ ATROPOS_GUARDED_BY(registry_mu_) = 0;
+  // Drops carried over from rings already freed, so dropped_total stays
+  // monotone across retirements.
+  uint64_t retired_dropped_ ATROPOS_GUARDED_BY(registry_mu_) = 0;
 
   // Drainer-thread state.
   std::vector<TraceEvent> drain_buf_;

@@ -1,0 +1,88 @@
+// CancelBoard: lock-free, allocation-free delivery of targeted cancellation
+// to live worker threads.
+//
+// The Atropos dispatcher invokes the application's cancellation initiator
+// from its own control loop; §3.6 requires that initiator to only *request*
+// cancellation and return — no blocking, no allocation (the atropos_lint
+// cancel-action-safety check enforces this shape). The board is the live
+// subsystem's realization: one fixed slot per worker holding the key of the
+// task the worker is executing plus a cancel flag. The initiator scans the
+// slots with atomic loads and flips the matching flag; the worker polls the
+// flag at its request checkpoints (the §2.4 cooperative pattern).
+
+#ifndef SRC_LIVE_CANCEL_BOARD_H_
+#define SRC_LIVE_CANCEL_BOARD_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace atropos {
+
+class CancelBoard {
+ public:
+  explicit CancelBoard(size_t workers) : slots_(workers) {}
+
+  CancelBoard(const CancelBoard&) = delete;
+  CancelBoard& operator=(const CancelBoard&) = delete;
+
+  // Worker side. BeginTask publishes the worker's current task key (clearing
+  // any stale cancel flag first, so a flag raced onto the *previous* task
+  // can never leak into the next one); EndTask retracts it.
+  void BeginTask(size_t slot, uint64_t key) {
+    slots_[slot].cancel.store(false, std::memory_order_relaxed);
+    slots_[slot].key.store(key, std::memory_order_release);
+  }
+
+  void EndTask(size_t slot) { slots_[slot].key.store(0, std::memory_order_release); }
+
+  // The flag the worker's request handler polls at checkpoints.
+  const std::atomic<bool>& flag(size_t slot) const { return slots_[slot].cancel; }
+
+  // Initiator side (safe from the Atropos control loop): a bounded scan of
+  // atomic loads plus one store. Returns true if the key was found in-flight.
+  bool RequestCancel(uint64_t key) {
+    for (Slot& s : slots_) {
+      if (s.key.load(std::memory_order_acquire) == key) {
+        s.cancel.store(true, std::memory_order_release);
+        delivered_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    missed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  // Shutdown: raise every occupied slot's flag so long-running handlers
+  // abort at their next checkpoint and the worker pool joins promptly.
+  void RequestCancelAll() {
+    for (Slot& s : slots_) {
+      if (s.key.load(std::memory_order_acquire) != 0) {
+        s.cancel.store(true, std::memory_order_release);
+      }
+    }
+  }
+
+  uint64_t delivered() const { return delivered_.load(std::memory_order_relaxed); }
+  // Cancel orders whose task was no longer (or not yet) on a worker: it
+  // already completed, or was still queued. Queued tasks are shed by the
+  // server at shutdown; mid-run misses simply mean the overload resolved.
+  uint64_t missed() const { return missed_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Slot {
+    // One cache line per slot: the initiator's scan must not false-share
+    // with the hot worker-side BeginTask/EndTask stores.
+    alignas(64) std::atomic<uint64_t> key{0};
+    std::atomic<bool> cancel{false};
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> delivered_{0};
+  std::atomic<uint64_t> missed_{0};
+};
+
+}  // namespace atropos
+
+#endif  // SRC_LIVE_CANCEL_BOARD_H_

@@ -1,0 +1,121 @@
+#include "src/live/live_app.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/atropos/capi.h"
+
+namespace atropos {
+
+namespace {
+
+void SleepMicros(TimeMicros us) {
+  if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+}  // namespace
+
+// ---- LiveMiniWeb -----------------------------------------------------------
+
+std::string_view LiveMiniWeb::RequestTypeName(int type) const {
+  switch (type) {
+    case 0:
+      return "static";
+    case 1:
+      return "script";
+    default:
+      return "request";
+  }
+}
+
+LiveOutcome LiveMiniWeb::Execute(const LiveRequest& req, const std::atomic<bool>& cancel) {
+  if (req.type == culprit_type()) {
+    return RunScript(req, cancel);
+  }
+  SleepMicros(options_.static_cost);
+  return LiveOutcome::kOk;
+}
+
+LiveOutcome LiveMiniWeb::RunScript(const LiveRequest& req, const std::atomic<bool>& cancel) {
+  // A PHP-style handler: options_.script_cost of wall-clock work in slices,
+  // polling the thread-cancellation flag between slices (§5.2's thread-level
+  // cancel) and reporting GetNext-style progress (§3.4).
+  const TimeMicros total = req.arg != 0 ? req.arg : options_.script_cost;
+  TimeMicros done = 0;
+  LiveOutcome out = LiveOutcome::kOk;
+  while (done < total) {
+    if (cancel.load(std::memory_order_acquire)) {
+      out = LiveOutcome::kCancelled;
+      break;
+    }
+    const TimeMicros slice = std::min<TimeMicros>(options_.script_slice, total - done);
+    SleepMicros(slice);
+    done += slice;
+    reportProgress(done, total);
+  }
+  return out;
+}
+
+// ---- LiveMiniKv ------------------------------------------------------------
+
+std::string_view LiveMiniKv::RequestTypeName(int type) const {
+  switch (type) {
+    case 0:
+      return "point_op";
+    case 1:
+      return "range_read";
+    default:
+      return "request";
+  }
+}
+
+LiveOutcome LiveMiniKv::Execute(const LiveRequest& req, const std::atomic<bool>& cancel) {
+  if (req.type == culprit_type()) {
+    return RangeRead(req, cancel);
+  }
+  return PointOp(req);
+}
+
+LiveOutcome LiveMiniKv::PointOp(const LiveRequest& req) {
+  // Bracketing the acquisition (slowByResourceBegin/End) makes the stall
+  // visible to the estimator *while* the op is convoyed behind a long range
+  // read — the in-progress-wait extension the capi header motivates.
+  slowByResourceBegin(CApiResourceType::LOCK);
+  std::unique_lock<std::mutex> lock(keyspace_mu_);
+  slowByResourceEnd(CApiResourceType::LOCK);
+  getResource(1, CApiResourceType::LOCK);
+  SleepMicros(options_.point_op_cost);
+  freeResource(1, CApiResourceType::LOCK);
+  return LiveOutcome::kOk;
+}
+
+LiveOutcome LiveMiniKv::RangeRead(const LiveRequest& req, const std::atomic<bool>& cancel) {
+  const uint64_t span = req.arg != 0 ? req.arg : options_.default_range_span;
+  slowByResourceBegin(CApiResourceType::LOCK);
+  std::unique_lock<std::mutex> lock(keyspace_mu_);
+  slowByResourceEnd(CApiResourceType::LOCK);
+  getResource(1, CApiResourceType::LOCK);
+  // Scan in batches while holding the keyspace lock — the c16 convoy. Each
+  // batch boundary is a cancellation checkpoint; an aborted scan releases
+  // the lock within one batch, which is exactly the mitigation the paper's
+  // targeted cancellation buys.
+  uint64_t scanned = 0;
+  LiveOutcome out = LiveOutcome::kOk;
+  while (scanned < span) {
+    if (cancel.load(std::memory_order_acquire)) {
+      out = LiveOutcome::kCancelled;
+      break;
+    }
+    const uint64_t batch = std::min<uint64_t>(options_.scan_batch, span - scanned);
+    SleepMicros(batch * options_.scan_cost_per_key);
+    scanned += batch;
+    reportProgress(scanned, span);
+  }
+  freeResource(1, CApiResourceType::LOCK);
+  return out;
+}
+
+}  // namespace atropos

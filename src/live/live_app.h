@@ -1,0 +1,105 @@
+// Live request handlers: miniweb and minikv re-expressed as code running on
+// real OS threads.
+//
+// Each handler executes synchronously on a worker thread, burning genuine
+// wall-clock time and contending on genuine synchronization (minikv's
+// keyspace lock is a real std::mutex). Instrumentation goes through the
+// paper's C API exactly as an integrated application's would: the worker
+// establishes the thread's current cancellable before calling Execute, so
+// getResource / freeResource / slowByResourceBegin/End / reportProgress
+// attribute to the right task via thread identity (paper §3.2).
+//
+// Request type enum values and names deliberately match the simulator apps
+// (MiniWebRequestType / MiniKvRequestType, "static"/"script",
+// "point_op"/"range_read") so the sim-vs-live digest cross-check can compare
+// culprit picks by label.
+
+#ifndef SRC_LIVE_LIVE_APP_H_
+#define SRC_LIVE_LIVE_APP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+#include "src/common/clock.h"
+#include "src/live/live_request.h"
+
+namespace atropos {
+
+class LiveApp {
+ public:
+  virtual ~LiveApp() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual std::string_view RequestTypeName(int type) const = 0;
+  // The scenario's steady fast traffic / injected heavy traffic.
+  virtual int victim_type() const = 0;
+  virtual int culprit_type() const = 0;
+
+  // Runs the request to completion on the calling worker thread. `cancel` is
+  // the worker's CancelBoard flag; long handlers poll it at checkpoints and
+  // return kCancelled when it is raised.
+  virtual LiveOutcome Execute(const LiveRequest& req, const std::atomic<bool>& cancel) = 0;
+};
+
+// Apache MaxClients analogue (sim case c9): fast static serves vs. scripts
+// that hold a worker thread for a long time. The "pool" under contention is
+// the worker-thread pool itself; the server attributes queue waits and
+// worker holds against the capi QUEUE resource.
+struct LiveMiniWebOptions {
+  TimeMicros static_cost = 2000;      // 2 ms static file
+  TimeMicros script_cost = 1'500'000;  // 1.5 s script
+  TimeMicros script_slice = 5000;     // cancellation-checkpoint granularity
+};
+
+class LiveMiniWeb final : public LiveApp {
+ public:
+  explicit LiveMiniWeb(LiveMiniWebOptions options) : options_(options) {}
+
+  std::string_view name() const override { return "live_miniweb"; }
+  std::string_view RequestTypeName(int type) const override;
+  int victim_type() const override { return 0; }   // kWebStatic
+  int culprit_type() const override { return 1; }  // kWebScript
+
+  LiveOutcome Execute(const LiveRequest& req, const std::atomic<bool>& cancel) override;
+
+ private:
+  LiveOutcome RunScript(const LiveRequest& req, const std::atomic<bool>& cancel);
+
+  LiveMiniWebOptions options_;
+};
+
+// etcd keyspace-lock analogue (sim case c16): point ops and large range
+// reads serialize on one real mutex. A range read holds it for seconds,
+// convoying every point op behind it; cancellation releases the lock at the
+// next scan-batch checkpoint.
+struct LiveMiniKvOptions {
+  TimeMicros point_op_cost = 1000;   // 1 ms under the lock
+  TimeMicros scan_cost_per_key = 20;
+  uint64_t scan_batch = 200;         // keys per cancellation checkpoint
+  uint64_t default_range_span = 50'000;
+};
+
+class LiveMiniKv final : public LiveApp {
+ public:
+  explicit LiveMiniKv(LiveMiniKvOptions options) : options_(options) {}
+
+  std::string_view name() const override { return "live_minikv"; }
+  std::string_view RequestTypeName(int type) const override;
+  int victim_type() const override { return 0; }   // kKvPointOp
+  int culprit_type() const override { return 1; }  // kKvRangeRead
+
+  LiveOutcome Execute(const LiveRequest& req, const std::atomic<bool>& cancel) override;
+
+ private:
+  LiveOutcome PointOp(const LiveRequest& req);
+  LiveOutcome RangeRead(const LiveRequest& req, const std::atomic<bool>& cancel);
+
+  LiveMiniKvOptions options_;
+  std::mutex keyspace_mu_;  // the real keyspace lock workers contend on
+};
+
+}  // namespace atropos
+
+#endif  // SRC_LIVE_LIVE_APP_H_

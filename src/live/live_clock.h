@@ -1,0 +1,32 @@
+// Wall-clock time source for live-threads execution mode.
+//
+// RunClock is a SteadyClock rebased to an epoch captured at construction, so
+// a live run's timestamps start near zero exactly like the simulator's
+// virtual clock. That alignment is what lets the sim-vs-live digest
+// cross-check compare event times as fractions of the run without carrying
+// absolute epochs around.
+
+#ifndef SRC_LIVE_LIVE_CLOCK_H_
+#define SRC_LIVE_LIVE_CLOCK_H_
+
+#include "src/common/clock.h"
+
+namespace atropos {
+
+class RunClock final : public Clock {
+ public:
+  RunClock() : epoch_(base_.NowMicros()) {}
+
+  TimeMicros NowMicros() const override {
+    const TimeMicros now = base_.NowMicros();
+    return now >= epoch_ ? now - epoch_ : 0;
+  }
+
+ private:
+  SteadyClock base_;
+  TimeMicros epoch_;
+};
+
+}  // namespace atropos
+
+#endif  // SRC_LIVE_LIVE_CLOCK_H_

@@ -1,0 +1,72 @@
+// Request plumbing shared by the live server and the load generator.
+
+#ifndef SRC_LIVE_LIVE_REQUEST_H_
+#define SRC_LIVE_LIVE_REQUEST_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "src/common/clock.h"
+
+namespace atropos {
+
+enum class LiveOutcome {
+  kOk = 0,         // completed
+  kCancelled = 1,  // targeted cancellation reached the handler mid-flight
+  kShed = 2,       // queue full at submit, or drained unserved at shutdown
+};
+
+// Completion rendezvous for closed-loop clients. The client allocates one on
+// its stack per request and blocks in Wait(); the server signals exactly once
+// for every accepted request (at completion, cancellation, or shutdown
+// drain), so Wait never needs a timeout and the stack storage never dangles.
+class ClientWaiter {
+ public:
+  void Signal(LiveOutcome outcome) {
+    // notify_one stays under the mutex on purpose: the waiter owns this
+    // object's stack storage and destroys it as soon as Wait() returns, so
+    // the waiter must not be able to re-acquire the mutex (and run the
+    // destructor) while the signaller is still touching the condvar.
+    std::lock_guard<std::mutex> lock(mu_);
+    outcome_ = outcome;
+    done_ = true;
+    cv_.notify_one();
+  }
+
+  LiveOutcome Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return done_; });
+    return outcome_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  LiveOutcome outcome_ = LiveOutcome::kOk;
+};
+
+// One in-flight request. `waiter` is null for open-loop (fire-and-forget)
+// arrivals; the server only signals when it is set.
+struct LiveRequest {
+  uint64_t key = 0;
+  int type = 0;
+  uint64_t arg = 0;
+  int client_class = 0;
+  TimeMicros enqueued = 0;  // RunClock reading at submit
+  ClientWaiter* waiter = nullptr;
+};
+
+// The request type is folded into the task key so any layer holding only the
+// key — notably the drainer-side cancel observer, which must not consult
+// cross-thread maps — can recover it with pure arithmetic.
+constexpr uint64_t MakeLiveKey(int type, uint64_t seq) {
+  return ((static_cast<uint64_t>(type) + 1) << 48) | (seq & ((1ull << 48) - 1));
+}
+
+constexpr int TypeOfLiveKey(uint64_t key) { return static_cast<int>(key >> 48) - 1; }
+
+}  // namespace atropos
+
+#endif  // SRC_LIVE_LIVE_REQUEST_H_

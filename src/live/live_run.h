@@ -1,0 +1,65 @@
+// Orchestration of one live-threads run: real workers, real load, Atropos
+// ticking on a dedicated drainer thread, targeted cancellation delivered
+// through the CancelBoard.
+//
+// Thread/shutdown ordering (the part that is easy to get wrong):
+//   1. InstallGlobalFrontend, recorder, cancel action/observer — all before
+//      any producer thread starts (the frontend's setup contract).
+//   2. server.Start(), gen.Start(deadline), drainer thread starts ticking.
+//   3. Main sleeps to the deadline.
+//   4. server.Stop() first — it signals every parked closed-loop waiter, so
+//      step 5 cannot deadlock on a client blocked in Wait().
+//   5. gen.Join(), then stop+join the drainer.
+//   6. One final Tick() from the main thread (legal: drainer-ship transfers
+//      over the join) drains everything the exiting threads left in their
+//      rings, including the retired producers' tails.
+//   7. Uninstall, snapshot stats, normalize the decision digest.
+
+#ifndef SRC_LIVE_LIVE_RUN_H_
+#define SRC_LIVE_LIVE_RUN_H_
+
+#include <map>
+
+#include "src/atropos/concurrent_frontend.h"
+#include "src/atropos/stats.h"
+#include "src/live/decision_digest.h"
+#include "src/live/live_server.h"
+#include "src/live/scenario.h"
+
+namespace atropos {
+
+struct LiveRunOptions {
+  // Overrides scenario.config.cancellation_enabled — the Fig-14-style pair of
+  // runs (tracing on, actions on/off) that the CLI prints side by side.
+  bool cancellation_enabled = true;
+};
+
+struct LiveRunResult {
+  // Victim-stream health over the measured window (post-warmup).
+  double goodput_qps = 0.0;
+  TimeMicros victim_p50 = 0;
+  TimeMicros victim_p99 = 0;
+  uint64_t victim_completed = 0;
+
+  uint64_t culprit_completed = 0;
+  uint64_t culprit_cancelled = 0;
+
+  uint64_t arrivals = 0;  // all streams, whole run
+  uint64_t shed = 0;      // queue-full rejects + shutdown drains
+
+  // Cancellation delivery accounting (board-side).
+  uint64_t cancels_delivered = 0;
+  uint64_t cancels_missed = 0;
+
+  AtroposStats stats;                     // wrapped runtime, after final Tick
+  ConcurrentFrontend::IntakeStats intake; // ring totals, after final Tick
+  DecisionDigest digest;
+
+  std::map<int, LiveTypeStats> by_type;
+};
+
+LiveRunResult RunLiveScenario(const LiveScenario& scenario, const LiveRunOptions& options);
+
+}  // namespace atropos
+
+#endif  // SRC_LIVE_LIVE_RUN_H_

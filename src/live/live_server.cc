@@ -1,0 +1,165 @@
+#include "src/live/live_server.h"
+
+#include <chrono>
+
+#include "src/atropos/capi.h"
+
+namespace atropos {
+
+LiveServer::LiveServer(ConcurrentFrontend* frontend, Clock* clock, LiveApp* app,
+                       LiveServerOptions options)
+    : frontend_(frontend),
+      clock_(clock),
+      app_(app),
+      options_(options),
+      // The same default QUEUE resource instance the capi tracing stream uses
+      // (InstallGlobalFrontend must therefore precede server construction):
+      // queue waits and worker holds land on one resource, so the estimator
+      // sees the thread pool the way case c9's simulator does.
+      queue_resource_(CApiDefaultResource(CApiResourceType::QUEUE)),
+      board_(options.workers),
+      worker_stats_(options.workers) {}
+
+LiveServer::~LiveServer() { Stop(); }
+
+void LiveServer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (started_) {
+      return;
+    }
+    started_ = true;
+  }
+  workers_.reserve(options_.workers);
+  for (size_t slot = 0; slot < options_.workers; slot++) {
+    workers_.emplace_back([this, slot] { WorkerLoop(slot); });
+  }
+}
+
+bool LiveServer::Submit(LiveRequest req) {
+  req.enqueued = clock_->NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!started_ || stopping_ || queue_.size() >= options_.queue_capacity) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // Emitted under the queue mutex, before the request is visible to any
+    // worker: the worker's OnWaitEnd stamp can only be later.
+    frontend_->OnTaskRegistered(req.key, /*background=*/false);
+    frontend_->OnRequestStart(req.key, req.type, req.client_class);
+    frontend_->OnWaitBegin(req.key, queue_resource_);
+    queue_.push_back(req);
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+void LiveServer::WorkerLoop(size_t slot) {
+  WorkerStats* stats = &worker_stats_[slot];
+  while (true) {
+    LiveRequest req;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) {
+        // Anything still queued is drained and shed by Stop().
+        return;
+      }
+      req = queue_.front();
+      queue_.pop_front();
+    }
+    frontend_->OnWaitEnd(req.key, queue_resource_);
+    board_.BeginTask(slot, req.key);
+    LiveOutcome out;
+    {
+      // The paper's thread-identity attribution: a stack handle made current
+      // for the duration of the request. The task itself was registered by
+      // Submit; the handle only routes this thread's tracing to its key.
+      Cancellable handle{req.key};
+      CancellableScope scope(&handle);
+      getResource(1, CApiResourceType::QUEUE);  // holding one worker
+      out = app_->Execute(req, board_.flag(slot));
+      freeResource(1, CApiResourceType::QUEUE);
+    }
+    board_.EndTask(slot);
+    FinishRequest(req, out, stats);
+  }
+}
+
+void LiveServer::FinishRequest(const LiveRequest& req, LiveOutcome out, WorkerStats* stats) {
+  const TimeMicros now = clock_->NowMicros();
+  const TimeMicros latency = now >= req.enqueued ? now - req.enqueued : 0;
+  frontend_->OnRequestEnd(req.key, latency, req.type, req.client_class);
+  frontend_->OnTaskFreed(req.key);
+  if (out == LiveOutcome::kCancelled && aborting_.load(std::memory_order_acquire)) {
+    // Aborted by the shutdown sweep, not by Atropos: account it as shed.
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (req.waiter != nullptr) {
+      req.waiter->Signal(LiveOutcome::kShed);
+    }
+    return;
+  }
+  if (now >= options_.measure_start) {
+    LiveTypeStats& ts = stats->by_type[req.type];
+    if (out == LiveOutcome::kCancelled) {
+      ts.cancelled++;
+    } else {
+      ts.completed++;
+      ts.latency.Record(latency);
+    }
+  }
+  if (req.waiter != nullptr) {
+    req.waiter->Signal(out);
+  }
+}
+
+void LiveServer::Stop() {
+  std::vector<LiveRequest> drained;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!started_ || stopping_) {
+      return;
+    }
+    stopping_ = true;
+    drained.assign(queue_.begin(), queue_.end());
+    queue_.clear();
+  }
+  queue_cv_.notify_all();
+  // Abort in-flight handlers at their next checkpoint so join is prompt. A
+  // worker can be between popping a request and publishing it on the board;
+  // the second sweep after a grace period closes that window.
+  aborting_.store(true, std::memory_order_release);
+  board_.RequestCancelAll();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  board_.RequestCancelAll();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+  workers_.clear();
+
+  // The drained requests were accepted (their lifecycle events are already
+  // in the rings), so close them out and wake their clients.
+  for (const LiveRequest& req : drained) {
+    const TimeMicros now = clock_->NowMicros();
+    frontend_->OnWaitEnd(req.key, queue_resource_);
+    frontend_->OnRequestEnd(req.key, now >= req.enqueued ? now - req.enqueued : 0, req.type,
+                            req.client_class);
+    frontend_->OnTaskFreed(req.key);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (req.waiter != nullptr) {
+      req.waiter->Signal(LiveOutcome::kShed);
+    }
+  }
+
+  for (const WorkerStats& ws : worker_stats_) {
+    for (const auto& [type, s] : ws.by_type) {
+      LiveTypeStats& dst = merged_[type];
+      dst.completed += s.completed;
+      dst.cancelled += s.cancelled;
+      dst.latency.Merge(s.latency);
+    }
+  }
+}
+
+}  // namespace atropos

@@ -1,0 +1,115 @@
+// LiveServer: a bounded request queue served by real OS worker threads, with
+// per-worker Atropos instrumentation through the C API.
+//
+// Threading model (documented in DESIGN.md §14):
+//
+//   load generator threads ──Submit()──► bounded queue ──► worker 0..N-1
+//                                                             │
+//        per-thread SPSC rings (ConcurrentFrontend) ◄─────────┘ capi tracing
+//                                                             │
+//        CancelBoard slot[i] ◄── Atropos drainer's cancel initiator
+//
+// Event ordering contract: Submit emits OnTaskRegistered / OnRequestStart /
+// OnWaitBegin(queue) on the *submitting* thread before the request becomes
+// visible to any worker (both under the queue mutex), and the worker emits
+// OnWaitEnd(queue) only after popping — so the wall-clock stamps can never
+// order a WaitEnd before its WaitBegin in the drainer's timestamp merge.
+//
+// Every accepted request is signalled exactly once: at completion, at
+// cancellation, or as kShed when Stop() drains the queue. Submit on a full
+// queue (or after Stop) rejects immediately without emitting any events —
+// the MaxClients listen-backlog overflowing.
+
+#ifndef SRC_LIVE_LIVE_SERVER_H_
+#define SRC_LIVE_LIVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/atropos/concurrent_frontend.h"
+#include "src/common/histogram.h"
+#include "src/live/cancel_board.h"
+#include "src/live/live_app.h"
+#include "src/live/live_request.h"
+
+namespace atropos {
+
+struct LiveServerOptions {
+  size_t workers = 8;
+  size_t queue_capacity = 512;
+  // Completions before this RunClock time are warmup and excluded from stats.
+  TimeMicros measure_start = 0;
+};
+
+// Per-request-type outcome accounting over the measured window.
+struct LiveTypeStats {
+  uint64_t completed = 0;
+  uint64_t cancelled = 0;
+  LatencyHistogram latency;  // submit-to-completion, completions only
+};
+
+class LiveServer {
+ public:
+  LiveServer(ConcurrentFrontend* frontend, Clock* clock, LiveApp* app,
+             LiveServerOptions options);
+  ~LiveServer();
+
+  LiveServer(const LiveServer&) = delete;
+  LiveServer& operator=(const LiveServer&) = delete;
+
+  void Start();
+
+  // Any load-generator thread. False = shed (queue full or server stopped);
+  // the caller must not expect a waiter signal in that case.
+  bool Submit(LiveRequest req);
+
+  // Cancels in-flight work, drains and sheds the queue (signalling every
+  // parked waiter), and joins the workers. Idempotent.
+  void Stop();
+
+  CancelBoard& board() { return board_; }
+
+  // Post-Stop accessors (worker stats are merged by Stop).
+  const std::map<int, LiveTypeStats>& stats_by_type() const { return merged_; }
+  uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+
+ private:
+  struct WorkerStats {
+    std::map<int, LiveTypeStats> by_type;
+  };
+
+  void WorkerLoop(size_t slot);
+  void FinishRequest(const LiveRequest& req, LiveOutcome out, WorkerStats* stats);
+
+  ConcurrentFrontend* frontend_;
+  Clock* clock_;
+  LiveApp* app_;
+  LiveServerOptions options_;
+  ResourceId queue_resource_;
+
+  CancelBoard board_;
+  std::vector<std::thread> workers_;
+  std::vector<WorkerStats> worker_stats_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<LiveRequest> queue_;
+  bool stopping_ = false;
+  bool started_ = false;
+
+  std::atomic<uint64_t> shed_{0};
+  // Set by Stop() before it raises every board flag: handlers aborted by the
+  // shutdown sweep are shed, not Atropos cancellations, and must not count
+  // toward the cancelled stats.
+  std::atomic<bool> aborting_{false};
+  std::map<int, LiveTypeStats> merged_;
+};
+
+}  // namespace atropos
+
+#endif  // SRC_LIVE_LIVE_SERVER_H_

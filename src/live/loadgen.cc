@@ -1,0 +1,118 @@
+#include "src/live/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace atropos {
+
+namespace {
+constexpr TimeMicros kSleepSlice = Millis(5);
+}  // namespace
+
+void LoadGen::Start(TimeMicros deadline) {
+  threads_.reserve(open_specs_.size() + burst_specs_.size() +
+                   [this] {
+                     size_t n = 0;
+                     for (const ClosedLoopSpec& s : closed_specs_) n += s.clients;
+                     return n;
+                   }());
+  for (const OpenLoopSpec& spec : open_specs_) {
+    // Each stream gets an independently seeded generator so pacing draws
+    // don't serialize on a shared Rng.
+    threads_.emplace_back([this, spec, deadline, rng = rng_.Fork()]() mutable {
+      RunOpenLoop(spec, deadline, rng);
+    });
+  }
+  for (const ClosedLoopSpec& spec : closed_specs_) {
+    for (size_t i = 0; i < spec.clients; i++) {
+      threads_.emplace_back([this, spec, deadline] { RunClosedClient(spec, deadline); });
+    }
+  }
+  for (const BurstSpec& spec : burst_specs_) {
+    threads_.emplace_back([this, spec, deadline] { RunBurst(spec, deadline); });
+  }
+}
+
+void LoadGen::Join() {
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+  threads_.clear();
+}
+
+bool LoadGen::SubmitOne(int type, uint64_t arg, int client_class, ClientWaiter* waiter) {
+  LiveRequest req;
+  req.key = MakeLiveKey(type, seq_.fetch_add(1, std::memory_order_relaxed));
+  req.type = type;
+  req.arg = arg;
+  req.client_class = client_class;
+  req.waiter = waiter;
+  arrivals_.fetch_add(1, std::memory_order_relaxed);
+  return server_->Submit(req);
+}
+
+void LoadGen::SleepUntil(TimeMicros until, TimeMicros deadline) {
+  const TimeMicros capped = std::min(until, deadline);
+  while (true) {
+    const TimeMicros now = clock_->NowMicros();
+    if (now >= capped) {
+      return;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(std::min<TimeMicros>(capped - now, kSleepSlice)));
+  }
+}
+
+void LoadGen::RunOpenLoop(OpenLoopSpec spec, TimeMicros deadline, Rng rng) {
+  if (spec.qps <= 0) {
+    return;
+  }
+  const TimeMicros end = spec.end > 0 ? std::min(spec.end, deadline) : deadline;
+  const double mean_gap_us = 1e6 / spec.qps;
+  SleepUntil(spec.start, deadline);
+  // Schedule against ideal arrival times rather than "now + gap": a stalled
+  // Submit (queue mutex held during a drain) doesn't depress the offered rate.
+  TimeMicros next = std::max(spec.start, clock_->NowMicros());
+  while (clock_->NowMicros() < end) {
+    SubmitOne(spec.type, spec.arg, spec.client_class, /*waiter=*/nullptr);
+    next += static_cast<TimeMicros>(rng.NextExponential(mean_gap_us));
+    if (next >= end) {
+      break;
+    }
+    SleepUntil(next, end);
+  }
+}
+
+void LoadGen::RunClosedClient(ClosedLoopSpec spec, TimeMicros deadline) {
+  const TimeMicros end = spec.end > 0 ? std::min(spec.end, deadline) : deadline;
+  SleepUntil(spec.start, deadline);
+  while (clock_->NowMicros() < end) {
+    ClientWaiter waiter;
+    if (SubmitOne(spec.type, spec.arg, spec.client_class, &waiter)) {
+      // Safe to block indefinitely: every accepted request is signalled,
+      // including shutdown sheds — live_run stops the server before joining.
+      const LiveOutcome out = waiter.Wait();
+      if (out == LiveOutcome::kShed) {
+        return;  // server is shutting down
+      }
+    } else {
+      // Shed at submit; back off a little instead of hammering a full queue.
+      SleepUntil(clock_->NowMicros() + Millis(2), end);
+    }
+    if (spec.think_time > 0) {
+      SleepUntil(clock_->NowMicros() + spec.think_time, end);
+    }
+  }
+}
+
+void LoadGen::RunBurst(BurstSpec spec, TimeMicros deadline) {
+  SleepUntil(spec.at, deadline);
+  if (clock_->NowMicros() >= deadline) {
+    return;
+  }
+  for (size_t i = 0; i < spec.count; i++) {
+    SubmitOne(spec.type, spec.arg, spec.client_class, /*waiter=*/nullptr);
+  }
+}
+
+}  // namespace atropos

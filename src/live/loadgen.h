@@ -1,0 +1,108 @@
+// In-process load generator driving LiveServer from real client threads.
+//
+// Two stream shapes, matching the simulator's TrafficSpec:
+//
+//  - Open loop: one pacing thread per stream submits fire-and-forget
+//    requests at Poisson inter-arrival gaps (Rng::NextExponential). Arrival
+//    rate is independent of server latency, so queueing collapse under
+//    overload is visible instead of being absorbed by client back-pressure.
+//
+//  - Closed loop: `clients` threads each submit one request, block on a
+//    stack ClientWaiter until the server signals it, optionally think, and
+//    repeat. Waiting never times out: the server's exactly-once signal
+//    contract (completion / cancellation / shutdown shed) guarantees wakeup.
+//
+// Start() launches all stream threads with a shared run deadline; Join()
+// waits for them. The server must be Stop()ped before Join() at shutdown so
+// parked closed-loop waiters are released (see live_run.cc for the ordering).
+
+#ifndef SRC_LIVE_LOADGEN_H_
+#define SRC_LIVE_LOADGEN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/live/live_server.h"
+
+namespace atropos {
+
+struct OpenLoopSpec {
+  int type = 0;
+  double qps = 0;
+  uint64_t arg = 0;
+  int client_class = 0;
+  TimeMicros start = 0;  // RunClock time the stream switches on
+  TimeMicros end = 0;    // 0 = until the run deadline
+};
+
+struct ClosedLoopSpec {
+  int type = 0;
+  size_t clients = 1;
+  uint64_t arg = 0;
+  int client_class = 0;
+  TimeMicros think_time = 0;
+  TimeMicros start = 0;
+  TimeMicros end = 0;  // 0 = until the run deadline
+};
+
+// A single one-off burst: `count` requests submitted back to back at `at`.
+// The live analogue of the simulator's OneShotSpec, used to inject the
+// culprit wave of the overload scenarios.
+struct BurstSpec {
+  int type = 0;
+  size_t count = 0;
+  uint64_t arg = 0;
+  int client_class = 0;
+  TimeMicros at = 0;
+};
+
+class LoadGen {
+ public:
+  LoadGen(LiveServer* server, Clock* clock, uint64_t seed)
+      : server_(server), clock_(clock), rng_(seed) {}
+
+  LoadGen(const LoadGen&) = delete;
+  LoadGen& operator=(const LoadGen&) = delete;
+
+  void AddOpenLoop(OpenLoopSpec spec) { open_specs_.push_back(spec); }
+  void AddClosedLoop(ClosedLoopSpec spec) { closed_specs_.push_back(spec); }
+  void AddBurst(BurstSpec spec) { burst_specs_.push_back(spec); }
+
+  // Launches every stream thread. Streams stop generating at min(spec.end,
+  // deadline) on the run clock.
+  void Start(TimeMicros deadline);
+  void Join();
+
+  // Requests handed to Submit (accepted or shed), all streams.
+  uint64_t arrivals() const { return arrivals_.load(std::memory_order_relaxed); }
+
+ private:
+  void RunOpenLoop(OpenLoopSpec spec, TimeMicros deadline, Rng rng);
+  void RunClosedClient(ClosedLoopSpec spec, TimeMicros deadline);
+  void RunBurst(BurstSpec spec, TimeMicros deadline);
+  bool SubmitOne(int type, uint64_t arg, int client_class, ClientWaiter* waiter);
+
+  // Sleeps in short slices so a stream reacts to the deadline promptly even
+  // mid-gap. Returns false once `until` is past the deadline-capped clock.
+  void SleepUntil(TimeMicros until, TimeMicros deadline);
+
+  LiveServer* server_;
+  Clock* clock_;
+  Rng rng_;
+
+  std::vector<OpenLoopSpec> open_specs_;
+  std::vector<ClosedLoopSpec> closed_specs_;
+  std::vector<BurstSpec> burst_specs_;
+
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> arrivals_{0};
+};
+
+}  // namespace atropos
+
+#endif  // SRC_LIVE_LOADGEN_H_

@@ -1,0 +1,250 @@
+#include "src/live/scenario.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/apps/minikv.h"
+#include "src/apps/miniweb.h"
+#include "src/atropos/runtime.h"
+#include "src/obs/flight_recorder.h"
+
+namespace atropos {
+
+std::string_view ScenarioName(LiveScenarioKind kind) {
+  switch (kind) {
+    case LiveScenarioKind::kCulpritBurst:
+      return "culprit-burst";
+    case LiveScenarioKind::kNoisyNeighbor:
+      return "noisy-neighbor";
+    case LiveScenarioKind::kLockConvoy:
+      return "lock-convoy";
+  }
+  return "unknown";
+}
+
+bool ParseScenario(std::string_view name, LiveScenarioKind* out) {
+  if (name == "culprit-burst" || name == "burst") {
+    *out = LiveScenarioKind::kCulpritBurst;
+    return true;
+  }
+  if (name == "noisy-neighbor" || name == "noisy") {
+    *out = LiveScenarioKind::kNoisyNeighbor;
+    return true;
+  }
+  if (name == "lock-convoy" || name == "convoy") {
+    *out = LiveScenarioKind::kLockConvoy;
+    return true;
+  }
+  return false;
+}
+
+LiveScenario MakeScenario(LiveScenarioKind kind, size_t workers, TimeMicros duration,
+                          double load_scale, uint64_t seed) {
+  LiveScenario s;
+  s.kind = kind;
+  s.workers = workers > 0 ? workers : 8;
+  s.duration = duration > 0 ? duration : Seconds(8);
+  s.warmup = std::min<TimeMicros>(Seconds(1), s.duration / 8);
+  s.seed = seed;
+
+  // Shared runtime configuration. The baseline p99 is pinned instead of
+  // calibrated: live wall-clock warmup is noisy enough that calibration could
+  // race the culprit injection, and the cross-check needs both modes armed
+  // from the same threshold.
+  s.config.window = Millis(50);
+  s.config.slo_latency_increase = 0.20;
+  s.config.baseline_p99 = Millis(30);
+  s.config.min_cancel_interval = Millis(150);
+
+  // Culprits land after warmup plus a quarter of the measured span, leaving
+  // most of the run for detection, cancellation, and recovery.
+  const TimeMicros inject_at = s.warmup + (s.duration - s.warmup) / 4;
+
+  OpenLoopSpec victims;
+  victims.client_class = 0;
+
+  ClosedLoopSpec clients;
+  clients.clients = 2;
+  clients.client_class = 0;
+  clients.think_time = Millis(5);
+
+  switch (kind) {
+    case LiveScenarioKind::kCulpritBurst: {
+      s.web = true;
+      s.queue_capacity = 2048;
+      victims.type = 0;  // static
+      victims.qps = 250 * load_scale;
+      clients.type = 0;
+      // One wave of scripts, two per worker: the pool saturates instantly and
+      // stays saturated for ~2 script lifetimes unless Atropos intervenes.
+      BurstSpec burst;
+      burst.type = 1;  // script
+      burst.count = s.workers * 2;
+      burst.client_class = 1;
+      burst.at = inject_at;
+      s.bursts = {burst};
+      break;
+    }
+    case LiveScenarioKind::kNoisyNeighbor: {
+      s.web = true;
+      s.queue_capacity = 2048;
+      victims.type = 0;
+      victims.qps = 250 * load_scale;
+      clients.type = 0;
+      // Continuous script stream sized to hold ~90% of the pool on average;
+      // Poisson bursts push it over the top for sustained stretches.
+      OpenLoopSpec noisy;
+      noisy.type = 1;
+      noisy.qps = 0.9 * static_cast<double>(s.workers) /
+                  ToSeconds(s.web_options.script_cost);
+      noisy.client_class = 1;
+      noisy.start = inject_at;
+      s.open_streams.push_back(noisy);
+      break;
+    }
+    case LiveScenarioKind::kLockConvoy: {
+      s.web = false;
+      s.queue_capacity = 2048;
+      victims.type = 0;  // point_op
+      victims.qps = 200 * load_scale;
+      clients.type = 0;
+      // Range reads spanning 100k keys hold the real keyspace mutex for ~2 s
+      // each (scan_cost_per_key = 20 µs).
+      OpenLoopSpec scans;
+      scans.type = 1;  // range_read
+      scans.qps = 0.4;
+      scans.arg = 100'000;
+      scans.client_class = 1;
+      scans.start = inject_at;
+      s.open_streams.push_back(scans);
+      break;
+    }
+  }
+
+  s.open_streams.push_back(victims);
+  s.closed_streams.push_back(clients);
+  return s;
+}
+
+namespace {
+
+// Late-bound control surface: the runtime must exist before the app (the app
+// registers resources against its controller in the constructor), but the
+// runtime's dispatcher routes cancellations to the app. Same shape as the
+// workload runner's proxy.
+class LateSurface final : public ControlSurface {
+ public:
+  void Bind(ControlSurface* real) { real_ = real; }
+  void CancelTask(uint64_t key, CancelReason reason) override {
+    if (real_ != nullptr) {
+      real_->CancelTask(key, reason);
+    }
+  }
+  void ThrottleTask(uint64_t key, double factor) override {
+    if (real_ != nullptr) {
+      real_->ThrottleTask(key, factor);
+    }
+  }
+  void SetTypeReservation(int request_type, int workers) override {
+    if (real_ != nullptr) {
+      real_->SetTypeReservation(request_type, workers);
+    }
+  }
+  void SetClientShare(int client_class, double share) override {
+    if (real_ != nullptr) {
+      real_->SetClientShare(client_class, share);
+    }
+  }
+
+ private:
+  ControlSurface* real_ = nullptr;
+};
+
+}  // namespace
+
+SimCounterpartResult RunSimCounterpart(const LiveScenario& scenario) {
+  Executor executor;
+  LateSurface surface;
+
+  AtroposRuntime runtime(executor.clock(), scenario.config);
+  runtime.SetControlSurface(&surface);
+
+  std::unique_ptr<App> app;
+  if (scenario.web) {
+    MiniWebOptions opt;
+    opt.pool.max_clients = static_cast<int>(scenario.workers);
+    opt.static_cost = scenario.web_options.static_cost;
+    opt.script_cost = scenario.web_options.script_cost;
+    app = std::make_unique<MiniWeb>(executor, &runtime, opt);
+  } else {
+    MiniKvOptions opt;
+    opt.store.point_op_cost = scenario.kv_options.point_op_cost;
+    opt.store.scan_cost_per_key = scenario.kv_options.scan_cost_per_key;
+    opt.store.scan_batch = scenario.kv_options.scan_batch;
+    opt.default_range_span = scenario.kv_options.default_range_span;
+    app = std::make_unique<MiniKv>(executor, &runtime, opt);
+  }
+  surface.Bind(app.get());
+
+  FrontendOptions fopt;
+  fopt.duration = scenario.duration;
+  fopt.warmup = scenario.warmup;
+  fopt.tick_window = scenario.config.window;
+  fopt.seed = scenario.seed;
+  Frontend frontend(executor, *app, runtime, fopt);
+
+  FlightRecorder recorder;
+  runtime.SetRecorder(&recorder);
+  App* app_raw = app.get();
+  runtime.SetCancelObserver([&frontend, &recorder, app_raw](uint64_t key, double /*score*/) {
+    const int type = frontend.TypeOfKey(key);
+    recorder.AnnotateLast(ObsEventKind::kCancelIssued,
+                          type >= 0 ? std::string(app_raw->RequestTypeName(type)) : "background");
+  });
+
+  // One workload shape, two projections: the live specs translate 1:1 into
+  // the frontend's traffic model.
+  for (const OpenLoopSpec& spec : scenario.open_streams) {
+    TrafficSpec t;
+    t.type = spec.type;
+    t.qps = spec.qps;
+    t.arg = spec.arg;
+    t.client_class = spec.client_class;
+    t.start = spec.start;
+    if (spec.end > 0) {
+      t.end = spec.end;
+    }
+    frontend.AddTraffic(t);
+  }
+  for (const ClosedLoopSpec& spec : scenario.closed_streams) {
+    TrafficSpec t;
+    t.type = spec.type;
+    t.arg = spec.arg;
+    t.client_class = spec.client_class;
+    t.start = spec.start;
+    if (spec.end > 0) {
+      t.end = spec.end;
+    }
+    t.closed_loop_clients = static_cast<int>(spec.clients);
+    t.think_time = spec.think_time;
+    frontend.AddTraffic(t);
+  }
+  for (const BurstSpec& burst : scenario.bursts) {
+    for (size_t i = 0; i < burst.count; i++) {
+      OneShotSpec shot;
+      shot.type = burst.type;
+      shot.at = burst.at;
+      shot.arg = burst.arg;
+      shot.client_class = burst.client_class;
+      frontend.AddOneShot(shot);
+    }
+  }
+
+  SimCounterpartResult result;
+  result.metrics = frontend.Run();
+  result.stats = runtime.stats();
+  result.digest = NormalizeDecisions(recorder.Snapshot(), scenario.duration);
+  return result;
+}
+
+}  // namespace atropos

@@ -1,0 +1,83 @@
+// Overload scenario shapes shared by the live run and its simulator
+// counterpart.
+//
+// A scenario fixes the workload shape once — app, worker count, victim
+// streams, culprit injection pattern, costs, and the AtroposConfig — and both
+// execution modes are derived from it: the live side turns the shape into
+// LoadGen specs against real threads, the sim side into Frontend TrafficSpec /
+// OneShotSpec against the coroutine apps with the *same* costs and the same
+// runtime configuration. That shared origin is what makes the digest
+// cross-check meaningful: any divergence is execution-mode behavior, not a
+// configuration delta.
+
+#ifndef SRC_LIVE_SCENARIO_H_
+#define SRC_LIVE_SCENARIO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/atropos/config.h"
+#include "src/atropos/stats.h"
+#include "src/live/decision_digest.h"
+#include "src/live/live_app.h"
+#include "src/live/loadgen.h"
+#include "src/workload/frontend.h"
+
+namespace atropos {
+
+enum class LiveScenarioKind {
+  // miniweb: a wave of slow scripts lands at once and exhausts the worker
+  // pool (the Apache MaxClients shape, sim case c9 compressed into a burst).
+  kCulpritBurst = 0,
+  // miniweb: a continuous low-rate script stream from a second tenant keeps
+  // the pool partially occupied for the rest of the run.
+  kNoisyNeighbor = 1,
+  // minikv: large range reads hold the real keyspace mutex for seconds and
+  // convoy every point op behind it (the etcd shape, sim case c16).
+  kLockConvoy = 2,
+};
+
+std::string_view ScenarioName(LiveScenarioKind kind);
+bool ParseScenario(std::string_view name, LiveScenarioKind* out);
+
+struct LiveScenario {
+  LiveScenarioKind kind = LiveScenarioKind::kCulpritBurst;
+  bool web = true;  // true: LiveMiniWeb / MiniWeb, false: LiveMiniKv / MiniKv
+
+  size_t workers = 8;
+  TimeMicros duration = Seconds(8);
+  TimeMicros warmup = Seconds(1);
+  uint64_t seed = 1;
+
+  LiveMiniWebOptions web_options;
+  LiveMiniKvOptions kv_options;
+
+  // Live side (LoadGen).
+  std::vector<OpenLoopSpec> open_streams;
+  std::vector<ClosedLoopSpec> closed_streams;
+  std::vector<BurstSpec> bursts;
+  size_t queue_capacity = 512;
+
+  // Shared runtime configuration (baseline_p99 set explicitly so neither
+  // mode depends on calibration racing the culprit injection).
+  AtroposConfig config;
+};
+
+LiveScenario MakeScenario(LiveScenarioKind kind, size_t workers, TimeMicros duration,
+                          double load_scale, uint64_t seed);
+
+struct SimCounterpartResult {
+  RunMetrics metrics;
+  AtroposStats stats;
+  DecisionDigest digest;
+};
+
+// Runs the scenario's simulator counterpart: the same shape on the coroutine
+// apps, an AtroposRuntime built from the same config, decisions captured in a
+// flight recorder and folded into a digest.
+SimCounterpartResult RunSimCounterpart(const LiveScenario& scenario);
+
+}  // namespace atropos
+
+#endif  // SRC_LIVE_SCENARIO_H_

@@ -284,7 +284,10 @@ TEST(ConcurrentFrontendTest, HooksAutoRegisterCallingThread) {
   other.join();
   clock.SetTime(Millis(100));
   frontend.Tick();
-  EXPECT_EQ(frontend.intake_stats().producers, 2u);
+  // Both threads got their own ring; the exited one was drained in full and
+  // then reclaimed, leaving only the calling thread's ring live.
+  EXPECT_EQ(frontend.intake_stats().producers_seen, 2u);
+  EXPECT_EQ(frontend.intake_stats().producers, 1u);
   EXPECT_EQ(frontend.intake_stats().drained_total, 4u);
   EXPECT_EQ(frontend.runtime().live_task_count(), 2u);
 }
@@ -337,9 +340,74 @@ TEST(ConcurrentFrontendStress, ConcurrentProducersAndDrainerConserveEvents) {
   frontend.Tick();  // final drain of anything still buffered
 
   const ConcurrentFrontend::IntakeStats& intake = frontend.intake_stats();
-  EXPECT_EQ(intake.producers, static_cast<uint64_t>(kThreads));
+  // Every auto-bound producer thread has exited and joined before the final
+  // Tick, so its ring was retired and freed — but all of its events were
+  // either drained or counted as dropped first (conservation below).
+  EXPECT_EQ(intake.producers_seen, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(intake.producers_retired, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(intake.producers, 0u);
+  EXPECT_EQ(frontend.live_producer_count(), 0u);
   EXPECT_EQ(intake.drained_total + intake.dropped_total, pushed.load());
   EXPECT_GT(intake.drained_total, 0u);
+}
+
+// Producer lifecycle regression (live mode): a worker thread that registers,
+// enqueues, and exits *before any drain* must still have every queued event
+// applied, and its ring must be reclaimed rather than left as a stale
+// producers_ entry. Register → enqueue → exit → drain, under TSan when run
+// with the tsan preset.
+TEST(ConcurrentFrontendStress, ExitedProducerIsDrainedThenReclaimed) {
+  SteadyClock clock;
+  ConcurrentFrontend frontend(&clock, TestConfig());
+  ResourceId lock = frontend.RegisterResource("l", ResourceClass::kLock);
+
+  const int kEvents = 100;
+  std::thread worker([&] {
+    frontend.OnTaskRegistered(42, false);
+    for (int i = 0; i < kEvents; i++) {
+      frontend.OnGet(42, lock, 1);
+      frontend.OnFree(42, lock, 1);
+    }
+  });
+  worker.join();  // thread fully exited: TLS destructor has retired the ring
+  EXPECT_EQ(frontend.live_producer_count(), 1u);
+
+  // First drain after the exit applies everything the thread queued...
+  frontend.Tick();
+  EXPECT_EQ(frontend.intake_stats().drained_total,
+            static_cast<uint64_t>(1 + 2 * kEvents));
+  EXPECT_EQ(frontend.intake_stats().dropped_total, 0u);
+  EXPECT_NE(frontend.runtime().FindTask(42), nullptr);
+  // ...and reclaims the ring: no stale producers_ entry remains.
+  EXPECT_EQ(frontend.live_producer_count(), 0u);
+  EXPECT_EQ(frontend.intake_stats().producers_retired, 1u);
+  EXPECT_EQ(frontend.intake_stats().producers_seen, 1u);
+
+  // A second Tick is a no-op on the reclaimed ring.
+  frontend.Tick();
+  EXPECT_EQ(frontend.intake_stats().drained_last_tick, 0u);
+  EXPECT_EQ(frontend.intake_stats().producers, 0u);
+}
+
+// An explicitly held RegisterProducer() handle must never be auto-retired —
+// its owner may outlive many Tick() cycles (mt_ingest's reuse pattern).
+TEST(ConcurrentFrontendStress, ExplicitProducerHandleSurvivesTicks) {
+  SteadyClock clock;
+  ConcurrentFrontend frontend(&clock, TestConfig());
+  ResourceId lock = frontend.RegisterResource("l", ResourceClass::kLock);
+
+  ConcurrentFrontend::Producer* p = frontend.RegisterProducer();
+  std::thread worker([&] { p->OnGet(7, lock, 1); });
+  worker.join();
+  frontend.Tick();
+  EXPECT_EQ(frontend.live_producer_count(), 1u);
+
+  // The handle is still usable from another thread after the first exited.
+  std::thread worker2([&] { p->OnFree(7, lock, 1); });
+  worker2.join();
+  frontend.Tick();
+  EXPECT_EQ(frontend.intake_stats().drained_total, 2u);
+  EXPECT_EQ(frontend.intake_stats().producers_retired, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,38 @@
+// Bad fixture for cancel-action-safety in the live-threads shape: a cancel
+// initiator registered on the runtime wrapped by ConcurrentFrontend that
+// blocks on the server's queue mutex, waits for the worker to acknowledge,
+// and allocates a log entry — everything §3.6 forbids, each of which would
+// stall the drainer's control loop mid-decision. Golden diagnostics live in
+// tests/lint/golden/live_initiator_bad.expected; line numbers are
+// load-bearing.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/atropos/runtime.h"
+
+namespace {
+
+struct BlockingBoard {
+  std::mutex mu;
+  std::condition_variable acked;
+  std::vector<uint64_t> pending;
+  bool ack = false;
+};
+
+BlockingBoard g_board;
+
+void Install(atropos::AtroposRuntime& runtime) {
+  // Violations: mutex guard (blocking), container growth (allocating), and a
+  // condition-variable wait for the worker's acknowledgement (blocking on
+  // application progress — the exact inversion the board exists to avoid).
+  runtime.SetCancelAction([](uint64_t key) {
+    std::unique_lock<std::mutex> lock(g_board.mu);
+    g_board.pending.push_back(key);
+    g_board.acked.wait(lock, [] { return g_board.ack; });
+  });
+}
+
+}  // namespace

@@ -1,0 +1,39 @@
+// Good fixture for cancel-action-safety in the live-threads shape: the
+// CancelBoard pattern src/live uses. The initiator is a bounded scan of
+// per-worker atomic slots plus one flag store — no locks, no allocation,
+// no waiting for the worker to acknowledge. atropos_lint must report
+// nothing.
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/atropos/runtime.h"
+
+namespace {
+
+constexpr int kWorkers = 8;
+
+struct Slot {
+  std::atomic<uint64_t> key{0};
+  std::atomic<bool> cancel{false};
+};
+
+Slot g_slots[kWorkers];
+
+// The board scan an initiator is allowed to be: atomic loads, one release
+// store on match, return. The worker observes the flag at its next
+// cancellation checkpoint.
+void RequestCancel(uint64_t key) {
+  for (int i = 0; i < kWorkers; i++) {
+    if (g_slots[i].key.load(std::memory_order_acquire) == key) {
+      g_slots[i].cancel.store(true, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+void Install(atropos::AtroposRuntime& runtime) {
+  runtime.SetCancelAction([](uint64_t key) { RequestCancel(key); });
+}
+
+}  // namespace

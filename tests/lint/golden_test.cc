@@ -59,11 +59,19 @@ TEST(GoldenTest, LockOrderBadMatchesGolden) {
   EXPECT_EQ(LintFixture("lock_order_bad.cc"), Golden("lock_order_bad.expected"));
 }
 
+// The live-threads shape: a blocking/allocating initiator registered via
+// AtroposRuntime::SetCancelAction (the form src/live installs) vs. the clean
+// CancelBoard atomic-scan pattern.
+TEST(GoldenTest, LiveInitiatorBadMatchesGolden) {
+  EXPECT_EQ(LintFixture("live_initiator_bad.cc"), Golden("live_initiator_bad.expected"));
+}
+
 TEST(GoldenTest, GoodFixturesLintClean) {
   EXPECT_EQ(LintFixture("capi_pairing_good.cc"), "");
   EXPECT_EQ(LintFixture("cancel_safety_good.cc"), "");
   EXPECT_EQ(LintFixture("determinism_good.cc"), "");
   EXPECT_EQ(LintFixture("lock_order_good.cc"), "");
+  EXPECT_EQ(LintFixture("live_initiator_good.cc"), "");
 }
 
 // Suppression directives neutralize findings and are counted, end to end.

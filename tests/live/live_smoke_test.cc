@@ -1,0 +1,59 @@
+// live_smoke: end-to-end gate for the live-threads execution mode, small
+// enough for CI (4 workers, 2 s wall clock). A culprit burst must produce
+// nonzero victim goodput AND at least one targeted cancellation whose victim
+// is a script — the whole pipeline (capi tracing → SPSC rings → drainer →
+// decision → CancelBoard → handler checkpoint) exercised once for real.
+// scripts/check.sh also runs this under the tsan preset.
+
+#include <gtest/gtest.h>
+
+#include "src/live/live_run.h"
+#include "src/live/scenario.h"
+
+namespace atropos {
+namespace {
+
+TEST(LiveSmokeTest, CulpritBurstCancelsScriptsAndKeepsGoodput) {
+  LiveScenario scenario =
+      MakeScenario(LiveScenarioKind::kCulpritBurst, /*workers=*/4, Seconds(2.0),
+                   /*load_scale=*/1.0, /*seed=*/1);
+  // Faster windows so a 2 s run holds several decision rounds.
+  scenario.config.window = Millis(25);
+  scenario.config.min_cancel_interval = Millis(100);
+
+  LiveRunOptions opt;
+  opt.cancellation_enabled = true;
+  const LiveRunResult r = RunLiveScenario(scenario, opt);
+
+  EXPECT_GT(r.victim_completed, 0u);
+  EXPECT_GT(r.goodput_qps, 0.0);
+  EXPECT_GE(r.stats.cancels_issued, 1u);
+  EXPECT_GE(r.cancels_delivered, 1u);
+  // The cancellations must target the overload culprit, not the victims.
+  EXPECT_EQ(r.digest.DominantCancelLabel(), "script");
+  // Intake integrity: every producer ring registered by a worker or loadgen
+  // thread retired cleanly and nothing overflowed.
+  EXPECT_EQ(r.intake.dropped_total, 0u);
+  EXPECT_GT(r.intake.drained_total, 0u);
+  // Every worker/loadgen thread retired on exit; only the calling thread's
+  // own ring (bound when Stop() emits drain events) may remain.
+  EXPECT_LE(r.intake.producers_seen - r.intake.producers_retired, 1u);
+}
+
+TEST(LiveSmokeTest, CancellationDisabledIssuesNoCancels) {
+  LiveScenario scenario =
+      MakeScenario(LiveScenarioKind::kCulpritBurst, /*workers=*/4, Seconds(1.5),
+                   /*load_scale=*/1.0, /*seed=*/2);
+  scenario.config.window = Millis(25);
+
+  LiveRunOptions opt;
+  opt.cancellation_enabled = false;
+  const LiveRunResult r = RunLiveScenario(scenario, opt);
+
+  EXPECT_EQ(r.stats.cancels_issued, 0u);
+  EXPECT_EQ(r.culprit_cancelled, 0u);
+  EXPECT_GT(r.victim_completed, 0u);
+}
+
+}  // namespace
+}  // namespace atropos

@@ -1,0 +1,334 @@
+// Unit tests for the live-threads execution mode: key packing, the cancel
+// board, the decision digest + cross-check, and the LiveServer lifecycle
+// (complete / shed / targeted cancel / shutdown-abort accounting).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "src/atropos/capi.h"
+#include "src/atropos/concurrent_frontend.h"
+#include "src/live/cancel_board.h"
+#include "src/live/decision_digest.h"
+#include "src/live/live_app.h"
+#include "src/live/live_clock.h"
+#include "src/live/live_server.h"
+
+namespace atropos {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Key packing.
+
+TEST(LiveKeyTest, TypeRoundTripsThroughKey) {
+  for (int type = 0; type < 4; type++) {
+    for (uint64_t seq : {0ull, 1ull, 12345ull, (1ull << 48) - 1}) {
+      EXPECT_EQ(TypeOfLiveKey(MakeLiveKey(type, seq)), type);
+    }
+  }
+  // Keys of distinct (type, seq) pairs never collide within the seq space.
+  EXPECT_NE(MakeLiveKey(0, 7), MakeLiveKey(1, 7));
+  EXPECT_NE(MakeLiveKey(0, 7), MakeLiveKey(0, 8));
+}
+
+// ---------------------------------------------------------------------------
+// Cancel board.
+
+TEST(CancelBoardTest, DeliversToInFlightMissesOtherwise) {
+  CancelBoard board(2);
+  board.BeginTask(0, 42);
+  EXPECT_TRUE(board.RequestCancel(42));
+  EXPECT_TRUE(board.flag(0).load());
+  EXPECT_FALSE(board.RequestCancel(99));  // not on any worker
+  EXPECT_EQ(board.delivered(), 1u);
+  EXPECT_EQ(board.missed(), 1u);
+}
+
+TEST(CancelBoardTest, BeginTaskClearsStaleFlag) {
+  CancelBoard board(1);
+  board.BeginTask(0, 1);
+  board.RequestCancel(1);  // flag raised against task 1
+  board.EndTask(0);
+  board.BeginTask(0, 2);  // next task must start with a clean flag
+  EXPECT_FALSE(board.flag(0).load());
+}
+
+// ---------------------------------------------------------------------------
+// Decision digest.
+
+FlightEvent Ev(ObsEventKind kind, TimeMicros t, const std::string& label = "") {
+  FlightEvent ev;
+  ev.kind = kind;
+  ev.time = t;
+  ev.label = label;
+  return ev;
+}
+
+TEST(DecisionDigestTest, NormalizeCountsKindsAndLabels) {
+  std::vector<FlightEvent> events;
+  events.push_back(Ev(ObsEventKind::kWindowClosed, Millis(100)));
+  events.push_back(Ev(ObsEventKind::kWindowClosed, Millis(200)));
+  events.push_back(Ev(ObsEventKind::kOverloadEntered, Millis(200)));
+  FlightEvent snap = Ev(ObsEventKind::kContentionSnapshot, Millis(200));
+  ObsResourceSample rs;
+  rs.cls = "queue";
+  rs.overloaded = true;
+  snap.resources.push_back(rs);
+  rs.cls = "lock";
+  rs.overloaded = false;  // not flagged -> must not show up
+  snap.resources.push_back(rs);
+  events.push_back(snap);
+  events.push_back(Ev(ObsEventKind::kPolicyDecision, Millis(250)));
+  events.push_back(Ev(ObsEventKind::kCancelIssued, Millis(250), "script"));
+  events.push_back(Ev(ObsEventKind::kCancelIssued, Millis(300), "script"));
+  events.push_back(Ev(ObsEventKind::kCancelIssued, Millis(400), "static"));
+
+  DecisionDigest d = NormalizeDecisions(events, Seconds(1.0));
+  EXPECT_EQ(d.windows, 2u);
+  EXPECT_EQ(d.overload_entered, 1u);
+  EXPECT_EQ(d.snapshots, 1u);
+  EXPECT_EQ(d.policy_decisions, 1u);
+  EXPECT_EQ(d.cancels, 3u);
+  EXPECT_EQ(d.cancels_by_label.at("script"), 2u);
+  EXPECT_EQ(d.DominantCancelLabel(), "script");
+  EXPECT_EQ(d.overloaded_classes.count("queue"), 1u);
+  EXPECT_EQ(d.overloaded_classes.count("lock"), 0u);
+  EXPECT_EQ(d.DominantOverloadedClass(), "queue");
+  EXPECT_DOUBLE_EQ(d.first_cancel_frac, 0.25);
+  EXPECT_DOUBLE_EQ(d.CancelRate(), 3.0);
+}
+
+TEST(DecisionDigestTest, NoCancelsLeavesFractionNegative) {
+  DecisionDigest d = NormalizeDecisions({}, Seconds(1.0));
+  EXPECT_EQ(d.cancels, 0u);
+  EXPECT_LT(d.first_cancel_frac, 0.0);
+  EXPECT_EQ(d.DominantCancelLabel(), "");
+}
+
+DecisionDigest CancellingDigest() {
+  DecisionDigest d;
+  d.duration_s = 10.0;
+  d.windows = 100;
+  d.overload_entered = 2;
+  d.cancels = 8;
+  d.cancels_by_label["script"] = 8;
+  d.overloaded_classes["queue"] = 5;
+  d.first_cancel_frac = 0.4;
+  return d;
+}
+
+TEST(CrossCheckTest, MatchingDigestsPass) {
+  CrossCheckReport r = CrossCheckDigests(CancellingDigest(), CancellingDigest(),
+                                         ToleranceBands{});
+  EXPECT_TRUE(r.pass);
+  EXPECT_EQ(r.checks.size(), 5u);
+  for (const CrossCheckReport::Check& c : r.checks) {
+    EXPECT_TRUE(c.pass) << c.name << ": " << c.detail;
+  }
+}
+
+TEST(CrossCheckTest, OverloadMismatchFails) {
+  DecisionDigest sim = CancellingDigest();
+  sim.overload_entered = 0;
+  sim.cancels = 0;
+  sim.cancels_by_label.clear();
+  sim.first_cancel_frac = -1.0;
+  CrossCheckReport r = CrossCheckDigests(CancellingDigest(), sim, ToleranceBands{});
+  EXPECT_FALSE(r.pass);
+}
+
+TEST(CrossCheckTest, CulpritLabelMismatchFails) {
+  DecisionDigest sim = CancellingDigest();
+  sim.cancels_by_label.clear();
+  sim.cancels_by_label["range_read"] = 8;
+  CrossCheckReport r = CrossCheckDigests(CancellingDigest(), sim, ToleranceBands{});
+  EXPECT_FALSE(r.pass);
+}
+
+TEST(CrossCheckTest, CancelRateBandIsRatioOrAbsoluteSlack) {
+  // The rate check accepts a ratio within the band OR an absolute count gap
+  // within the slack, whichever is more permissive. With the ratio band
+  // tightened to 1.1: 8 vs 2 (ratio 4, gap 6) fails both arms; 8 vs 6
+  // (ratio 1.33, gap 2) fails the ratio but passes on the slack of 3.
+  ToleranceBands bands;
+  bands.cancel_rate_ratio = 1.1;
+
+  DecisionDigest sim = CancellingDigest();
+  sim.cancels = 2;
+  sim.cancels_by_label.clear();
+  sim.cancels_by_label["script"] = 2;
+  CrossCheckReport r = CrossCheckDigests(CancellingDigest(), sim, bands);
+  EXPECT_FALSE(r.pass);
+
+  sim.cancels = 6;
+  sim.cancels_by_label["script"] = 6;
+  CrossCheckReport r2 = CrossCheckDigests(CancellingDigest(), sim, bands);
+  EXPECT_TRUE(r2.pass);
+}
+
+TEST(CrossCheckTest, SimResourceClassMustAppearInLiveSet) {
+  DecisionDigest sim = CancellingDigest();
+  sim.overloaded_classes.clear();
+  sim.overloaded_classes["lock"] = 3;
+  CrossCheckReport r = CrossCheckDigests(CancellingDigest(), sim, ToleranceBands{});
+  EXPECT_FALSE(r.pass);  // live flagged {queue}, sim blames lock
+
+  DecisionDigest live = CancellingDigest();
+  live.overloaded_classes["lock"] = 1;  // live flagged {queue, lock}
+  CrossCheckReport r2 = CrossCheckDigests(live, sim, ToleranceBands{});
+  EXPECT_TRUE(r2.pass);
+}
+
+// ---------------------------------------------------------------------------
+// LiveServer lifecycle. Each fixture instance installs its own frontend so
+// the capi default resources resolve before the server is built.
+
+AtroposConfig ServerConfig() {
+  AtroposConfig cfg;
+  cfg.window = Millis(50);
+  cfg.baseline_p99 = Millis(30);
+  return cfg;
+}
+
+class LiveServerTest : public ::testing::Test {
+ protected:
+  LiveServerTest() : frontend_(&clock_, ServerConfig()) {
+    InstallGlobalFrontend(&frontend_);
+  }
+  ~LiveServerTest() override { InstallGlobalFrontend(nullptr); }
+
+  RunClock clock_;
+  ConcurrentFrontend frontend_;
+};
+
+TEST_F(LiveServerTest, CompletesRequestAndRecordsStats) {
+  LiveMiniWebOptions app_opt;
+  app_opt.static_cost = 1000;  // 1 ms
+  LiveMiniWeb app(app_opt);
+  LiveServerOptions opt;
+  opt.workers = 2;
+  LiveServer server(&frontend_, &clock_, &app, opt);
+  server.Start();
+
+  ClientWaiter waiter;
+  LiveRequest req;
+  req.key = MakeLiveKey(0, 1);
+  req.type = 0;
+  req.waiter = &waiter;
+  ASSERT_TRUE(server.Submit(req));
+  EXPECT_EQ(waiter.Wait(), LiveOutcome::kOk);
+
+  server.Stop();
+  const auto& stats = server.stats_by_type();
+  ASSERT_EQ(stats.count(0), 1u);
+  EXPECT_EQ(stats.at(0).completed, 1u);
+  EXPECT_EQ(stats.at(0).cancelled, 0u);
+  EXPECT_EQ(stats.at(0).latency.count(), 1u);
+}
+
+TEST_F(LiveServerTest, ShedsWhenQueueFullOrStopped) {
+  LiveMiniWebOptions app_opt;
+  app_opt.script_cost = Seconds(5.0);  // park the lone worker
+  app_opt.script_slice = 1000;
+  LiveMiniWeb app(app_opt);
+  LiveServerOptions opt;
+  opt.workers = 1;
+  opt.queue_capacity = 1;
+  LiveServer server(&frontend_, &clock_, &app, opt);
+  server.Start();
+
+  LiveRequest script;
+  script.key = MakeLiveKey(1, 1);
+  script.type = 1;
+  ASSERT_TRUE(server.Submit(script));
+  // Give the worker time to pop it so the queue is empty again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  LiveRequest queued;
+  queued.key = MakeLiveKey(0, 2);
+  queued.type = 0;
+  ASSERT_TRUE(server.Submit(queued));  // fills the 1-slot queue
+
+  LiveRequest rejected;
+  rejected.key = MakeLiveKey(0, 3);
+  rejected.type = 0;
+  EXPECT_FALSE(server.Submit(rejected));  // queue full -> shed at the door
+  EXPECT_GE(server.shed(), 1u);
+
+  server.Stop();  // drains `queued` as shed, aborts `script`
+  EXPECT_GE(server.shed(), 2u);
+
+  LiveRequest after;
+  after.key = MakeLiveKey(0, 4);
+  after.type = 0;
+  EXPECT_FALSE(server.Submit(after));  // stopped server rejects
+}
+
+TEST_F(LiveServerTest, TargetedCancelReachesHandler) {
+  LiveMiniWebOptions app_opt;
+  app_opt.script_cost = Seconds(10.0);
+  app_opt.script_slice = 1000;  // 1 ms checkpoints
+  LiveMiniWeb app(app_opt);
+  LiveServerOptions opt;
+  opt.workers = 1;
+  LiveServer server(&frontend_, &clock_, &app, opt);
+  server.Start();
+
+  ClientWaiter waiter;
+  LiveRequest req;
+  req.key = MakeLiveKey(1, 1);
+  req.type = 1;
+  req.waiter = &waiter;
+  ASSERT_TRUE(server.Submit(req));
+
+  // Wait for the worker to publish the task, then cancel it by key — the
+  // same call the Atropos initiator makes from the drainer thread.
+  bool delivered = false;
+  for (int i = 0; i < 2000 && !delivered; i++) {
+    delivered = server.board().RequestCancel(req.key);
+    if (!delivered) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_TRUE(delivered);
+  EXPECT_EQ(waiter.Wait(), LiveOutcome::kCancelled);
+
+  server.Stop();
+  const auto& stats = server.stats_by_type();
+  ASSERT_EQ(stats.count(1), 1u);
+  EXPECT_EQ(stats.at(1).cancelled, 1u);
+  EXPECT_EQ(stats.at(1).completed, 0u);
+}
+
+TEST_F(LiveServerTest, ShutdownAbortCountsAsShedNotCancelled) {
+  LiveMiniWebOptions app_opt;
+  app_opt.script_cost = Seconds(30.0);
+  app_opt.script_slice = 1000;
+  LiveMiniWeb app(app_opt);
+  LiveServerOptions opt;
+  opt.workers = 1;
+  LiveServer server(&frontend_, &clock_, &app, opt);
+  server.Start();
+
+  ClientWaiter waiter;
+  LiveRequest req;
+  req.key = MakeLiveKey(1, 1);
+  req.type = 1;
+  req.waiter = &waiter;
+  ASSERT_TRUE(server.Submit(req));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // let it start
+
+  server.Stop();  // aborts the in-flight script via RequestCancelAll
+  EXPECT_EQ(waiter.Wait(), LiveOutcome::kShed);
+  // The abort is shutdown bookkeeping, not an Atropos decision: it must not
+  // inflate the cancellation stats the bench reports.
+  const auto& stats = server.stats_by_type();
+  if (stats.count(1) != 0) {
+    EXPECT_EQ(stats.at(1).cancelled, 0u);
+  }
+  EXPECT_GE(server.shed(), 1u);
+}
+
+}  // namespace
+}  // namespace atropos
