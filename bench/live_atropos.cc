@@ -12,6 +12,11 @@
 // Usage: live_atropos [--scenario=culprit-burst|noisy-neighbor|lock-convoy]
 //                     [--duration=SECONDS] [--workers=N] [--load-scale=F]
 //                     [--seed=N] [--no-crosscheck] [--json[=path]]
+//                     [--trace=path] [--trace-baseline=path]
+//
+// --trace / --trace-baseline dump the flight-recorder stream of the
+// cancellation-on / cancellation-off run as JSONL, consumable by
+// `atropos_mine diagnose --trace=...` (the offline bottleneck diagnoser).
 //
 // Exit status: 0 when the digest cross-check passes (or was disabled),
 // 1 when it fails.
@@ -24,6 +29,7 @@
 #include "src/common/json_writer.h"
 #include "src/common/table.h"
 #include "src/live/live_run.h"
+#include "src/obs/export.h"
 
 namespace atropos {
 namespace {
@@ -36,6 +42,8 @@ struct CliOptions {
   uint64_t seed = 1;
   bool crosscheck = true;
   std::string json_path;
+  std::string trace_path;           // cancellation-on run's event stream
+  std::string trace_baseline_path;  // cancellation-off run's event stream
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* opt) {
@@ -60,6 +68,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       opt->json_path = "BENCH_live.json";
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       opt->json_path = arg + 7;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      opt->trace_path = arg + 8;
+    } else if (std::strncmp(arg, "--trace-baseline=", 17) == 0) {
+      opt->trace_baseline_path = arg + 17;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg);
       return false;
@@ -146,6 +158,22 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(live.intake.dropped_total),
               static_cast<unsigned long long>(live.intake.producers_seen),
               static_cast<unsigned long long>(live.intake.producers_retired));
+
+  for (const auto& [path, run] :
+       {std::pair<const std::string&, const LiveRunResult&>{opt.trace_path, live},
+        {opt.trace_baseline_path, baseline}}) {
+    if (path.empty()) {
+      continue;
+    }
+    Status written = WriteJsonl(path, run.events);
+    if (written.ok()) {
+      std::printf("wrote %zu flight event(s) to %s\n", run.events.size(), path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+  }
 
   SimCounterpartResult sim;
   CrossCheckReport report;

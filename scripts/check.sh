@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Repo gate: full build + ctest (including the fuzz_smoke corpus), then the
-# static-analysis stage (atropos_lint always; clang-tidy and clang's
-# thread-safety analysis when clang is installed), then the obs/workload/
-# atropos tests and a fuzz corpus under ASan/UBSan, then the concurrent
-# intake tests, the live-mode tests (incl. live_smoke), and the mt_ingest
-# smoke under TSan.
+# Repo gate: full build + ctest (including the fuzz_smoke and corpus_replay
+# corpora), the corpus_smoke stage (mine 5 scenarios from a fixed seed,
+# replay them, diagnoser agreement oracle), then the static-analysis stage
+# (atropos_lint always; clang-tidy and clang's thread-safety analysis when
+# clang is installed), then the obs/workload/atropos tests, a fuzz corpus,
+# and a corpus-replay slice under ASan/UBSan, then the concurrent intake
+# tests, the live-mode tests (incl. live_smoke), and the mt_ingest smoke
+# under TSan.
 #
 #   scripts/check.sh          # build + all tests + lint + ASan/UBSan + TSan
 #   scripts/check.sh --fast   # skip the lint and sanitizer stages
@@ -61,6 +63,12 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 echo "== fuzz smoke (deterministic corpus, replay-checked) =="
 ./build/tools/fuzz_atropos --seed=1 --runs=25 --replay-check
 
+echo "== corpus smoke (mine 5 scenarios from a fixed seed, replay, diagnoser oracle) =="
+rm -rf build/corpus-smoke
+./build/tools/atropos_mine mine --corpus=build/corpus-smoke --seed-start=1 \
+  --max-seeds=40 --target=5 --shrink-budget=20 --quiet
+./build/tools/atropos_mine replay --corpus=build/corpus-smoke --require-agreement=0.95
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipping lint + sanitizer stages (--fast) =="
   exit 0
@@ -70,7 +78,8 @@ run_lint
 
 echo "== configure + build with ASan/UBSan (build-asan/) =="
 cmake -B build-asan -S . -DATROPOS_SANITIZE=ON >/dev/null
-cmake --build build-asan -j "$JOBS" --target obs_test workload_test atropos_test fuzz_atropos
+cmake --build build-asan -j "$JOBS" --target obs_test workload_test atropos_test fuzz_atropos \
+  atropos_mine
 
 echo "== obs + workload + atropos tests under ASan/UBSan =="
 ./build-asan/tests/obs_test
@@ -79,6 +88,9 @@ echo "== obs + workload + atropos tests under ASan/UBSan =="
 
 echo "== fuzz corpus under ASan/UBSan =="
 ./build-asan/tools/fuzz_atropos --seed=1 --runs=10 --replay-check
+
+echo "== corpus replay under ASan/UBSan (first 10 scenarios) =="
+./build-asan/tools/atropos_mine replay --corpus=corpus --require-agreement=0.95 --limit=10
 
 echo "== configure + build with TSan (build-tsan/) =="
 cmake -B build-tsan -S . -DATROPOS_TSAN=ON >/dev/null

@@ -1,0 +1,39 @@
+// Flight-recorder trace ingestion for offline analysis.
+//
+// The exporters (src/obs/export.h) write one JSON object per line with a
+// fixed field vocabulary; this is the inverse: parse a JSONL trace — from a
+// bench `--trace=` dump, a live run, or a checked-in fixture — back into
+// FlightEvents so the bottleneck diagnoser can replay decision history
+// without the process that produced it.
+//
+// The parser accepts exactly the shape EventToJson emits (flat objects,
+// string/number/bool scalars, one level of object arrays for resources and
+// candidates) and tolerates unknown keys by skipping their value, so traces
+// from newer writers still load.
+
+#ifndef SRC_DIAGNOSE_TRACE_IO_H_
+#define SRC_DIAGNOSE_TRACE_IO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/events.h"
+
+namespace atropos {
+
+// Parses one JSONL document (possibly with blank lines). Errors name the
+// 1-based line and what was expected.
+StatusOr<std::vector<FlightEvent>> ParseEventsJsonl(std::string_view text);
+
+// Reads and parses a trace file.
+StatusOr<std::vector<FlightEvent>> ReadTraceFile(const std::string& path);
+
+// Parses the canonical event-kind name ("cancel_issued", ...); false on
+// unknown names.
+bool ParseObsEventKind(std::string_view name, ObsEventKind* out);
+
+}  // namespace atropos
+
+#endif  // SRC_DIAGNOSE_TRACE_IO_H_

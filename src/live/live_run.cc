@@ -90,7 +90,8 @@ LiveRunResult RunLiveScenario(const LiveScenario& scenario, const LiveRunOptions
   LiveRunResult result;
   result.stats = frontend.runtime().stats();
   result.intake = frontend.intake_stats();
-  result.digest = NormalizeDecisions(recorder.Snapshot(), scenario.duration);
+  result.events = recorder.Snapshot();
+  result.digest = NormalizeDecisions(result.events, scenario.duration);
   result.by_type = server.stats_by_type();
   result.arrivals = gen.arrivals();
   result.shed = server.shed();

@@ -20,9 +20,12 @@
 
 #include <map>
 
+#include <vector>
+
 #include "src/atropos/concurrent_frontend.h"
 #include "src/atropos/stats.h"
 #include "src/live/decision_digest.h"
+#include "src/obs/events.h"
 #include "src/live/live_server.h"
 #include "src/live/scenario.h"
 
@@ -54,6 +57,9 @@ struct LiveRunResult {
   AtroposStats stats;                     // wrapped runtime, after final Tick
   ConcurrentFrontend::IntakeStats intake; // ring totals, after final Tick
   DecisionDigest digest;
+  // Raw flight-recorder stream (the digest's preimage), for --trace dumps
+  // and the offline bottleneck diagnoser.
+  std::vector<FlightEvent> events;
 
   std::map<int, LiveTypeStats> by_type;
 };

@@ -1,0 +1,451 @@
+#include "src/mining/corpus.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <set>
+
+namespace atropos {
+
+namespace {
+
+// Shortest round-trip decimal form, so serialize(parse(x)) is byte-stable.
+std::string FormatDouble(double v) {
+  char buf[64];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  return std::string(buf, end);
+}
+
+std::string FormatHex64(uint64_t v) {
+  char buf[17];
+  snprintf(buf, sizeof(buf), "%016llx", (unsigned long long)v);
+  return buf;
+}
+
+// "-" stands for the empty string in single-token fields.
+std::string OrDash(const std::string& s) { return s.empty() ? "-" : s; }
+
+Status LineError(size_t line_no, std::string what) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "line %zu: ", line_no);
+  return Status::InvalidArgument(buf + std::move(what));
+}
+
+bool ParseU64Token(std::string_view token, uint64_t* out) {
+  if (token.empty()) {
+    return false;
+  }
+  uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), v, 10);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseHex64Token(std::string_view token, uint64_t* out) {
+  if (token.empty() || token.size() > 16) {
+    return false;
+  }
+  uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), v, 16);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseIntToken(std::string_view token, int* out) {
+  if (token.empty()) {
+    return false;
+  }
+  int v = 0;
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), v, 10);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseDoubleToken(std::string_view token, double* out) {
+  std::string copy(token);
+  char* end = nullptr;
+  double v = strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || copy.empty()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string FormatKeepRanges(const std::vector<size_t>& keep) {
+  if (keep.empty()) {
+    return "-";
+  }
+  std::string out;
+  char buf[48];
+  size_t i = 0;
+  while (i < keep.size()) {
+    size_t j = i;
+    while (j + 1 < keep.size() && keep[j + 1] == keep[j] + 1) {
+      j++;
+    }
+    if (!out.empty()) {
+      out += ',';
+    }
+    if (j > i) {
+      snprintf(buf, sizeof(buf), "%zu-%zu", keep[i], keep[j]);
+    } else {
+      snprintf(buf, sizeof(buf), "%zu", keep[i]);
+    }
+    out += buf;
+    i = j + 1;
+  }
+  return out;
+}
+
+StatusOr<std::vector<size_t>> ParseKeepRanges(std::string_view text) {
+  std::vector<size_t> keep;
+  if (text == "-") {
+    return keep;
+  }
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    std::string_view run = text.substr(pos, comma == std::string_view::npos ? std::string_view::npos
+                                                                            : comma - pos);
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    size_t dash = run.find('-');
+    if (dash == std::string_view::npos) {
+      if (!ParseU64Token(run, &lo)) {
+        return Status::InvalidArgument("bad keep index: " + std::string(run));
+      }
+      hi = lo;
+    } else {
+      if (!ParseU64Token(run.substr(0, dash), &lo) || !ParseU64Token(run.substr(dash + 1), &hi) ||
+          hi < lo) {
+        return Status::InvalidArgument("bad keep range: " + std::string(run));
+      }
+    }
+    if (!keep.empty() && lo <= keep.back()) {
+      return Status::InvalidArgument("keep indices must be strictly ascending");
+    }
+    for (uint64_t v = lo; v <= hi; v++) {
+      keep.push_back(static_cast<size_t>(v));
+    }
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return keep;
+}
+
+std::string SerializeEntry(const CorpusEntry& entry) {
+  std::string out;
+  char buf[64];
+  out += "scenario " + entry.name + "\n";
+  snprintf(buf, sizeof(buf), "seed %llu\n", (unsigned long long)entry.seed);
+  out += buf;
+  out += "mode " + entry.mode + "\n";
+  out += "load_scale " + FormatDouble(entry.load_scale) + "\n";
+  snprintf(buf, sizeof(buf), "drop_free %d\n", entry.drop_free);
+  out += buf;
+  out += std::string("extended_modes ") + (entry.extended_modes ? "1" : "0") + "\n";
+  snprintf(buf, sizeof(buf), "force_mode %d\n", entry.force_mode);
+  out += buf;
+  out += "keep " + FormatKeepRanges(entry.keep) + "\n";
+  out += std::string("quiet_faults ") + (entry.quiet_faults ? "1" : "0") + "\n";
+  snprintf(buf, sizeof(buf), "requests %llu\n", (unsigned long long)entry.requests);
+  out += buf;
+  out += "digest " + FormatHex64(entry.digest) + "\n";
+  out += "baseline_digest " + FormatHex64(entry.baseline_digest) + "\n";
+  snprintf(buf, sizeof(buf), "cancels %llu\n", (unsigned long long)entry.cancels);
+  out += buf;
+  out += "p99_ratio " + FormatDouble(entry.p99_ratio) + "\n";
+  out += "blamed_class " + OrDash(entry.blamed_class) + "\n";
+  out += "estimator_class " + OrDash(entry.estimator_class) + "\n";
+  out += std::string("agreement ") + (entry.agreement ? "yes" : "no") + "\n";
+  out += "note " + OrDash(entry.note) + "\n";
+  out += "end\n";
+  return out;
+}
+
+std::string SerializeCorpus(const std::vector<CorpusEntry>& entries) {
+  std::string out(kCorpusHeader);
+  out += "\n";
+  for (const CorpusEntry& entry : entries) {
+    out += "\n";
+    out += SerializeEntry(entry);
+  }
+  return out;
+}
+
+StatusOr<std::vector<CorpusEntry>> ParseCorpus(std::string_view text) {
+  // Split into lines (tolerating a missing trailing newline and CRLF).
+  std::vector<std::string_view> lines;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    lines.push_back(line);
+    if (nl == std::string_view::npos) {
+      break;
+    }
+    pos = nl + 1;
+  }
+
+  if (lines.empty() || lines[0].empty()) {
+    return Status::InvalidArgument("line 1: missing corpus header (want \"" +
+                                   std::string(kCorpusHeader) + "\")");
+  }
+  if (lines[0] != kCorpusHeader) {
+    if (lines[0].rfind("atropos-corpus", 0) == 0) {
+      return Status::InvalidArgument("line 1: unsupported corpus schema version \"" +
+                                     std::string(lines[0]) + "\" (want \"" +
+                                     std::string(kCorpusHeader) + "\")");
+    }
+    return Status::InvalidArgument("line 1: truncated or malformed corpus header \"" +
+                                   std::string(lines[0]) + "\"");
+  }
+
+  std::vector<CorpusEntry> entries;
+  std::set<std::string> names;
+  size_t i = 1;
+  while (i < lines.size()) {
+    if (lines[i].empty()) {
+      i++;
+      continue;
+    }
+    size_t start_line = i + 1;
+    std::string_view line = lines[i];
+    if (line.rfind("scenario ", 0) != 0) {
+      return LineError(start_line, "expected \"scenario <name>\", got \"" + std::string(line) + "\"");
+    }
+    CorpusEntry entry;
+    entry.name = std::string(line.substr(strlen("scenario ")));
+    if (entry.name.empty()) {
+      return LineError(start_line, "empty scenario name");
+    }
+    if (!names.insert(entry.name).second) {
+      return LineError(start_line, "duplicate scenario name \"" + entry.name + "\"");
+    }
+    i++;
+
+    std::set<std::string> seen;
+    bool ended = false;
+    for (; i < lines.size(); i++) {
+      size_t line_no = i + 1;
+      std::string_view body = lines[i];
+      if (body == "end") {
+        ended = true;
+        i++;
+        break;
+      }
+      if (body.empty()) {
+        return LineError(line_no, "blank line inside scenario \"" + entry.name + "\"");
+      }
+      size_t space = body.find(' ');
+      if (space == std::string_view::npos) {
+        return LineError(line_no, "expected \"<field> <value>\", got \"" + std::string(body) + "\"");
+      }
+      std::string key(body.substr(0, space));
+      std::string_view value = body.substr(space + 1);
+      if (!seen.insert(key).second) {
+        return LineError(line_no, "duplicate field \"" + key + "\"");
+      }
+      bool ok = true;
+      if (key == "seed") {
+        ok = ParseU64Token(value, &entry.seed);
+      } else if (key == "mode") {
+        entry.mode = std::string(value);
+        FuzzAppMode mode;
+        ok = ParseFuzzAppMode(entry.mode, &mode);
+      } else if (key == "load_scale") {
+        ok = ParseDoubleToken(value, &entry.load_scale);
+      } else if (key == "drop_free") {
+        ok = ParseIntToken(value, &entry.drop_free);
+      } else if (key == "extended_modes") {
+        ok = value == "0" || value == "1";
+        entry.extended_modes = value == "1";
+      } else if (key == "force_mode") {
+        ok = ParseIntToken(value, &entry.force_mode);
+      } else if (key == "keep") {
+        auto keep = ParseKeepRanges(value);
+        if (!keep.ok()) {
+          return LineError(line_no, keep.status().message());
+        }
+        entry.keep = std::move(keep).value();
+      } else if (key == "quiet_faults") {
+        ok = value == "0" || value == "1";
+        entry.quiet_faults = value == "1";
+      } else if (key == "requests") {
+        ok = ParseU64Token(value, &entry.requests);
+      } else if (key == "digest") {
+        ok = ParseHex64Token(value, &entry.digest);
+      } else if (key == "baseline_digest") {
+        ok = ParseHex64Token(value, &entry.baseline_digest);
+      } else if (key == "cancels") {
+        ok = ParseU64Token(value, &entry.cancels);
+      } else if (key == "p99_ratio") {
+        ok = ParseDoubleToken(value, &entry.p99_ratio);
+      } else if (key == "blamed_class") {
+        entry.blamed_class = value == "-" ? "" : std::string(value);
+      } else if (key == "estimator_class") {
+        entry.estimator_class = value == "-" ? "" : std::string(value);
+      } else if (key == "agreement") {
+        ok = value == "yes" || value == "no";
+        entry.agreement = value == "yes";
+      } else if (key == "note") {
+        entry.note = value == "-" ? "" : std::string(value);
+      } else {
+        return LineError(line_no, "unknown field \"" + key + "\"");
+      }
+      if (!ok) {
+        return LineError(line_no,
+                         "bad value for \"" + key + "\": \"" + std::string(value) + "\"");
+      }
+    }
+    if (!ended) {
+      return LineError(lines.size(), "scenario \"" + entry.name + "\" missing \"end\"");
+    }
+    for (const char* required :
+         {"seed", "mode", "load_scale", "drop_free", "extended_modes", "force_mode", "keep",
+          "quiet_faults", "requests", "digest", "baseline_digest", "cancels", "p99_ratio",
+          "blamed_class", "estimator_class", "agreement", "note"}) {
+      if (seen.count(required) == 0) {
+        return LineError(start_line,
+                         "scenario \"" + entry.name + "\" missing field \"" + required + "\"");
+      }
+    }
+    if (!entry.agreement && entry.note.empty()) {
+      return LineError(start_line, "scenario \"" + entry.name +
+                                       "\" has agreement no but no annotation note");
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+StatusOr<std::vector<CorpusEntry>> LoadCorpusDir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("corpus directory not found: " + dir);
+  }
+  std::vector<std::string> shards;
+  for (const auto& de : fs::directory_iterator(dir, ec)) {
+    if (de.path().extension() == ".corpus") {
+      shards.push_back(de.path().string());
+    }
+  }
+  if (ec) {
+    return Status::Internal("listing " + dir + ": " + ec.message());
+  }
+  std::sort(shards.begin(), shards.end());
+
+  std::vector<CorpusEntry> all;
+  std::set<std::string> names;
+  for (const std::string& shard : shards) {
+    FILE* f = fopen(shard.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::NotFound("cannot open " + shard);
+    }
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), f)) > 0) {
+      text.append(buf, n);
+    }
+    fclose(f);
+    auto parsed = ParseCorpus(text);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(shard + ": " + parsed.status().message());
+    }
+    for (CorpusEntry& entry : parsed.value()) {
+      if (!names.insert(entry.name).second) {
+        return Status::InvalidArgument(shard + ": scenario \"" + entry.name +
+                                       "\" duplicates a name from another shard");
+      }
+      all.push_back(std::move(entry));
+    }
+  }
+  return all;
+}
+
+Status WriteCorpusShards(const std::string& dir, const std::vector<CorpusEntry>& entries) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create " + dir + ": " + ec.message());
+  }
+  std::map<std::string, std::vector<CorpusEntry>> by_mode;
+  for (const CorpusEntry& entry : entries) {
+    by_mode[entry.mode].push_back(entry);
+  }
+  for (auto& [mode, shard] : by_mode) {
+    std::sort(shard.begin(), shard.end(),
+              [](const CorpusEntry& a, const CorpusEntry& b) { return a.name < b.name; });
+    std::string text = SerializeCorpus(shard);
+    std::string path = dir + "/" + mode + ".corpus";
+    FILE* f = fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::Internal("cannot write " + path);
+    }
+    size_t written = fwrite(text.data(), 1, text.size(), f);
+    fclose(f);
+    if (written != text.size()) {
+      return Status::Internal("short write to " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<FuzzPlan> PlanForEntry(const CorpusEntry& entry) {
+  FuzzPlanOptions options;
+  options.load_scale = entry.load_scale;
+  options.drop_free_request_type = entry.drop_free;
+  options.extended_modes = entry.extended_modes;
+  options.force_mode = entry.force_mode;
+  FuzzPlan plan = PlanFromSeed(entry.seed, options);
+  if (entry.quiet_faults) {
+    plan.faults.cancel_delay = 0;
+    plan.faults.extra_ticks.clear();
+  }
+  if (std::string(FuzzAppModeName(plan.mode)) != entry.mode) {
+    return Status::FailedPrecondition(
+        "scenario " + entry.name + ": recorded mode " + entry.mode +
+        " but seed derives " + std::string(FuzzAppModeName(plan.mode)) +
+        " — plan derivation drifted; re-mine the corpus");
+  }
+  if (!entry.keep.empty()) {
+    if (entry.keep.back() >= plan.requests.size()) {
+      return Status::FailedPrecondition("scenario " + entry.name +
+                                        ": keep index out of range for the seed's schedule");
+    }
+    plan = RestrictPlan(plan, entry.keep);
+  }
+  if (plan.requests.size() != entry.requests) {
+    return Status::FailedPrecondition("scenario " + entry.name +
+                                      ": recorded request count does not match the derived plan");
+  }
+  return plan;
+}
+
+}  // namespace atropos

@@ -1,0 +1,97 @@
+// Versioned on-disk corpus of mined overload scenarios.
+//
+// A corpus entry is a *recipe*, not a trace: seed + plan options + keep mask
+// regenerate the exact FuzzPlan through the deterministic plan derivation, so
+// entries stay tiny while replays are byte-exact. Alongside the recipe each
+// entry records the expected outcome — treatment/baseline flight-recorder
+// digests, cancel count, p99 recovery ratio, and the diagnoser-vs-estimator
+// agreement verdict — which is what the corpus_replay test re-checks.
+//
+// The text format is line-oriented and canonical: a fixed header line
+// ("atropos-corpus v1"), then blank-line-separated entries of
+// `scenario <name>` ... `end` blocks with one `key value` pair per line, every
+// field always present, fields in a fixed order, doubles in shortest
+// round-trip form, digests as zero-padded lowercase hex. Canonical form makes
+// parse → serialize → parse a byte-for-byte identity, which the golden-file
+// tests pin. The parser accepts fields in any order (so hand-annotated notes
+// survive), but rejects unknown keys, duplicate keys, duplicate scenario
+// names, truncated headers, and unknown schema versions.
+//
+// On disk the corpus is sharded per application mode: corpus/<mode>.corpus.
+
+#ifndef SRC_MINING_CORPUS_H_
+#define SRC_MINING_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/testing/fuzz_plan.h"
+
+namespace atropos {
+
+inline constexpr std::string_view kCorpusHeader = "atropos-corpus v1";
+
+struct CorpusEntry {
+  std::string name;  // "<mode>/s<seed>", unique corpus-wide
+
+  // ---- Plan recipe: regenerates the exact FuzzPlan.
+  uint64_t seed = 0;
+  std::string mode;  // FuzzAppModeName of the plan's mode (validated on replay)
+  double load_scale = 1.0;
+  int drop_free = -1;
+  bool extended_modes = false;
+  int force_mode = -1;
+  std::vector<size_t> keep;  // shrunk schedule indices; empty = full schedule
+  // The shrinker's phase 1 may strip fault-injection noise (cancel delays,
+  // off-cadence ticks) from a survivor; that is part of the recipe, so the
+  // entry records whether the replayed plan runs with quiet faults.
+  bool quiet_faults = false;
+
+  // ---- Expected replay outcome.
+  uint64_t requests = 0;         // request count of the materialized plan
+  uint64_t digest = 0;           // treatment (cancellation on) event digest
+  uint64_t baseline_digest = 0;  // baseline (cancellation off) event digest
+  uint64_t cancels = 0;          // treatment cancels issued
+  double p99_ratio = 0.0;        // baseline p99 / treatment p99
+
+  // ---- Diagnoser-vs-estimator oracle, both computed on the baseline trace.
+  std::string blamed_class;     // offline diagnoser's bottleneck class
+  std::string estimator_class;  // online estimator's dominant overloaded class
+  bool agreement = true;
+  std::string note;  // required (non-empty) when agreement is false
+};
+
+// Canonical single-entry serialization (scenario ... end, trailing newline).
+std::string SerializeEntry(const CorpusEntry& entry);
+
+// Canonical corpus document: header, then entries each preceded by one blank
+// line, in the given order.
+std::string SerializeCorpus(const std::vector<CorpusEntry>& entries);
+
+// Parses one corpus document. Errors name the 1-based line.
+StatusOr<std::vector<CorpusEntry>> ParseCorpus(std::string_view text);
+
+// Reads and parses every *.corpus file under `dir` (sorted by filename, so
+// load order is stable), rejecting duplicate scenario names across shards.
+StatusOr<std::vector<CorpusEntry>> LoadCorpusDir(const std::string& dir);
+
+// Writes entries sharded by mode to `dir`/<mode>.corpus in canonical form.
+// Entries are sorted by name within each shard. Existing shard files are
+// overwritten; unrelated files are left alone.
+Status WriteCorpusShards(const std::string& dir, const std::vector<CorpusEntry>& entries);
+
+// Rebuilds the entry's FuzzPlan (PlanFromSeed + RestrictPlan) and
+// cross-checks the recorded mode and request count.
+StatusOr<FuzzPlan> PlanForEntry(const CorpusEntry& entry);
+
+// Keep-mask codec: ascending indices as comma-separated runs ("0-12,37"),
+// "-" for the empty mask.
+std::string FormatKeepRanges(const std::vector<size_t>& keep);
+StatusOr<std::vector<size_t>> ParseKeepRanges(std::string_view text);
+
+}  // namespace atropos
+
+#endif  // SRC_MINING_CORPUS_H_

@@ -20,8 +20,23 @@ std::string_view FuzzAppModeName(FuzzAppMode mode) {
       return "db_buffer_pool";
     case FuzzAppMode::kDbIo:
       return "db_io";
+    case FuzzAppMode::kKvCompactionStorm:
+      return "kv_compaction_storm";
+    case FuzzAppMode::kDbTenantNoisy:
+      return "db_tenant_noisy";
   }
   return "unknown";
+}
+
+bool ParseFuzzAppMode(std::string_view name, FuzzAppMode* out) {
+  for (int i = 0; i < kNumFuzzAppModesExtended; i++) {
+    FuzzAppMode mode = static_cast<FuzzAppMode>(i);
+    if (FuzzAppModeName(mode) == name) {
+      *out = mode;
+      return true;
+    }
+  }
+  return false;
 }
 
 namespace {
@@ -55,7 +70,11 @@ FuzzPlan PlanFromSeed(uint64_t seed, const FuzzPlanOptions& options) {
   Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x6a09e667f3bcc909ull);
   FuzzPlan plan;
   plan.seed = seed;
-  plan.mode = static_cast<FuzzAppMode>(rng.NextBounded(kNumFuzzAppModes));
+  plan.mode = static_cast<FuzzAppMode>(rng.NextBounded(
+      options.extended_modes ? kNumFuzzAppModesExtended : kNumFuzzAppModes));
+  if (options.force_mode >= 0 && options.force_mode < kNumFuzzAppModesExtended) {
+    plan.mode = static_cast<FuzzAppMode>(options.force_mode);
+  }
 
   // ---- Runtime configuration points.
   AtroposConfig& cfg = plan.config;
@@ -114,6 +133,67 @@ FuzzPlan PlanFromSeed(uint64_t seed, const FuzzPlanOptions& options) {
       AddStream(reqs, rng.Fork(), 400 * scale, kDbIoQuery, 0, t0, end, 0, 0);
       uint64_t bytes = (128 + rng.NextBounded(384)) * 1024 * 1024;
       AddStream(reqs, rng.Fork(), rng.NextUniform(0.15, 0.3), kDbVacuum, 1, tc, end, 0, bytes);
+      break;
+    }
+    case FuzzAppMode::kKvCompactionStorm: {
+      // Mixed storm on the keyspace lock: steady point ops, a *background*
+      // compaction-style range sweep (no SLO, guaranteed re-execution under
+      // §4), and bursts of foreground scans from the SLO-bearing class —
+      // the convoy forms from both directions at once.
+      AddStream(reqs, rng.Fork(), 380 * scale, kKvPointOp, 0, t0, end, 0, 0);
+      uint64_t sweep_span = 250'000 + rng.NextBounded(450'000);
+      {
+        Rng compaction = rng.Fork();
+        double mean_gap = rng.NextUniform(1.5, 3.0) * kMicrosPerSecond;
+        TimeMicros t = tc;
+        while (true) {
+          t += static_cast<TimeMicros>(compaction.NextExponential(mean_gap)) + 1;
+          if (t >= end) {
+            break;
+          }
+          FuzzRequest req;
+          req.at = t;
+          req.type = kKvRangeRead;
+          req.arg = sweep_span;
+          req.client_class = 1;
+          req.background = true;
+          reqs->push_back(req);
+        }
+      }
+      {
+        Rng storm = rng.Fork();
+        uint64_t storm_span = 15'000 + rng.NextBounded(50'000);
+        TimeMicros t = tc + static_cast<TimeMicros>(rng.NextUniform(0.0, 0.8) * kMicrosPerSecond);
+        while (t < end) {
+          size_t burst = 2 + storm.NextBounded(5);
+          for (size_t i = 0; i < burst; i++) {
+            FuzzRequest req;
+            req.at = t + static_cast<TimeMicros>(storm.NextUniform(0, 100'000));
+            if (req.at >= end) {
+              continue;
+            }
+            req.type = kKvRangeRead;
+            req.arg = storm_span;
+            req.client_class = 0;  // foreground scans carry the SLO
+            reqs->push_back(req);
+          }
+          t += static_cast<TimeMicros>(storm.NextUniform(1.0, 2.2) * kMicrosPerSecond);
+        }
+      }
+      break;
+    }
+    case FuzzAppMode::kDbTenantNoisy: {
+      // Multi-tenant noisy neighbor: tenant 0 carries the SLO with a point
+      // workload sized to the pool's hot set; tenant 1 floods the shared
+      // buffer pool with repeated mid-size dumps. No single giant request —
+      // the aggregate neighbor pressure is the culprit shape.
+      AddStream(reqs, rng.Fork(), 900 * scale, kDbPointSelect, 0, t0, end, 5, 0);
+      AddStream(reqs, rng.Fork(), 300 * scale, kDbRowUpdate, 0, t0, end, 5, 0);
+      uint64_t pages = 2500 + rng.NextBounded(4500);
+      uint64_t table = rng.NextBounded(5);
+      AddStream(reqs, rng.Fork(), rng.NextUniform(0.4, 1.0), kDbDumpQuery, 1, tc, end, 0,
+                (pages << 8) | table);
+      AddStream(reqs, rng.Fork(), 60 * scale, kDbPointSelect, 1, tc, end, 5, 0);
       break;
     }
   }

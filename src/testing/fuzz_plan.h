@@ -21,16 +21,27 @@ namespace atropos {
 
 // Which application + resource-class mix a plan exercises. Each mode mirrors
 // one of the reproduced overload cases so culprit shapes are known to bite.
+// Modes above kNumFuzzAppModes are the *extended* shapes the scenario miner
+// searches in addition to the base set; they are only reachable through
+// FuzzPlanOptions (extended_modes / force_mode) so default seeds keep
+// producing exactly the plans they always did.
 enum class FuzzAppMode {
-  kKvLock = 0,        // MiniKv keyspace lock (c16, lock)
-  kDbTableLocks = 1,  // MiniDb table locks / backup convoy (c1, lock)
-  kDbTickets = 2,     // MiniDb InnoDB ticket queue (c2, queue)
-  kDbBufferPool = 3,  // MiniDb buffer pool thrash (c5, memory)
-  kDbIo = 4,          // MiniDb vacuum I/O (c8, io)
+  kKvLock = 0,             // MiniKv keyspace lock (c16, lock)
+  kDbTableLocks = 1,       // MiniDb table locks / backup convoy (c1, lock)
+  kDbTickets = 2,          // MiniDb InnoDB ticket queue (c2, queue)
+  kDbBufferPool = 3,       // MiniDb buffer pool thrash (c5, memory)
+  kDbIo = 4,               // MiniDb vacuum I/O (c8, io)
+  kKvCompactionStorm = 5,  // background compaction + foreground scan storm (lock)
+  kDbTenantNoisy = 6,      // multi-tenant noisy neighbor on the buffer pool (memory)
 };
-inline constexpr int kNumFuzzAppModes = 5;
+inline constexpr int kNumFuzzAppModes = 5;          // base, seed-stable set
+inline constexpr int kNumFuzzAppModesExtended = 7;  // miner search space
 
 std::string_view FuzzAppModeName(FuzzAppMode mode);
+
+// Inverse of FuzzAppModeName over the extended mode set. Returns false (and
+// leaves `out` untouched) for unknown names.
+bool ParseFuzzAppMode(std::string_view name, FuzzAppMode* out);
 
 // One concrete arrival. `at` is absolute virtual time; requests are injected
 // as frontend one-shots so a shrunk schedule replays byte-for-byte.
@@ -82,6 +93,14 @@ struct FuzzPlanOptions {
   double load_scale = 1.0;
   // Forwarded into FuzzFaults of every generated plan.
   int drop_free_request_type = -1;
+  // When true, the seed's mode draw covers the extended shapes as well
+  // (kNumFuzzAppModesExtended instead of kNumFuzzAppModes). Off by default so
+  // plain seeds remain byte-compatible with the historical plan space.
+  bool extended_modes = false;
+  // Forces a specific FuzzAppMode regardless of the seed's draw (-1 =
+  // disabled). The draw is still consumed so the rest of the plan derivation
+  // stays aligned with the unforced plan of the same seed.
+  int force_mode = -1;
 };
 
 // Derives the full plan for `seed`. Deterministic: equal seeds and options

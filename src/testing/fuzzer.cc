@@ -57,6 +57,23 @@ std::unique_ptr<App> MakeApp(Executor& executor, OverloadController* controller,
       opt.seed = plan.seed;
       return std::make_unique<MiniDb>(executor, controller, opt);
     }
+    case FuzzAppMode::kKvCompactionStorm: {
+      MiniKvOptions opt;
+      opt.store.point_op_cost = 1000;
+      opt.store.scan_cost_per_key = 20;
+      return std::make_unique<MiniKv>(executor, controller, opt);
+    }
+    case FuzzAppMode::kDbTenantNoisy: {
+      MiniDbOptions opt;
+      opt.use_buffer_pool = true;
+      opt.pool.capacity_pages = 1500;
+      opt.pages_per_table = 8192;
+      opt.hot_pages_per_table = 256;
+      opt.point_select_cost = 50;
+      opt.row_update_cost = 60;
+      opt.seed = plan.seed;
+      return std::make_unique<MiniDb>(executor, controller, opt);
+    }
   }
   return nullptr;
 }
@@ -127,6 +144,7 @@ FuzzRunResult RunPlan(const FuzzPlan& plan) {
   result.metrics = frontend.Run();
   result.stats = runtime.stats();
   result.digest = DigestEvents(obs.recorder);
+  result.events = obs.recorder.Snapshot();
 
   OracleContext ctx;
   ctx.runtime = &runtime;

@@ -24,6 +24,9 @@ struct FuzzRunResult {
   AtroposStats stats;
   std::vector<OracleViolation> violations;
   uint64_t digest = 0;  // FNV-1a over the full flight-recorder stream
+  // The run's complete flight-recorder stream (the digest's preimage). The
+  // scenario miner hands this to the offline bottleneck diagnoser.
+  std::vector<FlightEvent> events;
 
   bool ok() const { return violations.empty(); }
 };

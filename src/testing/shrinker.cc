@@ -7,10 +7,27 @@ namespace atropos {
 
 namespace {
 
-bool StillFails(const FuzzPlan& plan, int* runs) {
-  (*runs)++;
-  return !RunPlan(plan).violations.empty();
-}
+// Wraps the caller's predicate with run counting and the optional budget.
+// Once the budget is exhausted every further probe reports "not interesting",
+// which makes ddmin terminate with the best reduction accepted so far.
+class BudgetedPredicate {
+ public:
+  BudgetedPredicate(const PlanPredicate& pred, const ShrinkOptions& options, int* runs)
+      : pred_(pred), max_runs_(options.max_runs), runs_(runs) {}
+
+  bool operator()(const FuzzPlan& plan) {
+    if (max_runs_ > 0 && *runs_ >= max_runs_) {
+      return false;
+    }
+    (*runs_)++;
+    return pred_(plan);
+  }
+
+ private:
+  const PlanPredicate& pred_;
+  int max_runs_;
+  int* runs_;
+};
 
 }  // namespace
 
@@ -27,6 +44,13 @@ std::string ReproCommand(const FuzzPlan& plan, const FuzzPlanOptions& options) {
     snprintf(buf, sizeof(buf), " --inject-drop-free=%d", plan.faults.drop_free_request_type);
     cmd += buf;
   }
+  if (options.extended_modes) {
+    cmd += " --extended-modes";
+  }
+  if (options.force_mode >= 0) {
+    snprintf(buf, sizeof(buf), " --force-mode=%d", options.force_mode);
+    cmd += buf;
+  }
   if (!plan.kept.empty() || plan.requests.empty()) {
     cmd += " --keep=";
     for (size_t i = 0; i < plan.kept.size(); i++) {
@@ -37,16 +61,18 @@ std::string ReproCommand(const FuzzPlan& plan, const FuzzPlanOptions& options) {
   return cmd;
 }
 
-ShrinkResult ShrinkPlan(const FuzzPlan& failing, const FuzzPlanOptions& options) {
+ShrinkResult ShrinkPlanIf(const FuzzPlan& plan, const PlanPredicate& interesting,
+                          const FuzzPlanOptions& options, const ShrinkOptions& shrink_options) {
   ShrinkResult result;
-  FuzzPlan base = failing;
+  BudgetedPredicate still_interesting(interesting, shrink_options, &result.runs);
+  FuzzPlan base = plan;
 
   // Phase 1: drop fault noise that isn't needed to reproduce.
   if (base.faults.cancel_delay != 0 || !base.faults.extra_ticks.empty()) {
     FuzzPlan quiet = base;
     quiet.faults.cancel_delay = 0;
     quiet.faults.extra_ticks.clear();
-    if (StillFails(quiet, &result.runs)) {
+    if (still_interesting(quiet)) {
       base = quiet;
     }
   }
@@ -73,7 +99,7 @@ ShrinkResult ShrinkPlan(const FuzzPlan& failing, const FuzzPlanOptions& options)
       if (complement.empty()) {
         continue;
       }
-      if (StillFails(RestrictPlan(base, complement), &result.runs)) {
+      if (still_interesting(RestrictPlan(base, complement))) {
         current = std::move(complement);
         chunks = std::max<size_t>(chunks - 1, 2);
         reduced = true;
@@ -95,6 +121,12 @@ ShrinkResult ShrinkPlan(const FuzzPlan& failing, const FuzzPlanOptions& options)
   result.kept = result.plan.kept;
   result.repro = ReproCommand(result.plan, options);
   return result;
+}
+
+ShrinkResult ShrinkPlan(const FuzzPlan& failing, const FuzzPlanOptions& options) {
+  return ShrinkPlanIf(
+      failing, [](const FuzzPlan& candidate) { return !RunPlan(candidate).violations.empty(); },
+      options);
 }
 
 }  // namespace atropos

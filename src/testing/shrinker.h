@@ -1,15 +1,21 @@
 // Failing-seed minimizer: delta-debugging over a plan's request schedule.
 //
-// Given a plan whose run violates an oracle, the shrinker first tries to
-// strip the fault-injection noise (cancel delays, extra ticks), then runs
-// ddmin over the request schedule, re-executing candidate subsets until no
-// chunk can be removed without losing the violation. The result carries the
-// surviving original schedule indices and a ready-to-paste fuzz_atropos
-// command line that replays the minimal repro.
+// Given a plan whose run is "interesting" — by default, violates an invariant
+// oracle — the shrinker first tries to strip the fault-injection noise
+// (cancel delays, extra ticks), then runs ddmin over the request schedule,
+// re-executing candidate subsets until no chunk can be removed without losing
+// the property. The result carries the surviving original schedule indices
+// and a ready-to-paste fuzz_atropos command line that replays the minimal
+// repro.
+//
+// The interestingness test is pluggable (ShrinkPlanIf): the scenario miner
+// shrinks against its SLO-miss/recovery predicate — two simulations per probe
+// — instead of the oracle-violation predicate, under an explicit run budget.
 
 #ifndef SRC_TESTING_SHRINKER_H_
 #define SRC_TESTING_SHRINKER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -17,17 +23,35 @@
 
 namespace atropos {
 
+// Returns true when the candidate plan still exhibits the property being
+// minimized. Must be deterministic: ddmin assumes a probe's answer does not
+// change across re-evaluations of the same subset.
+using PlanPredicate = std::function<bool(const FuzzPlan&)>;
+
+struct ShrinkOptions {
+  // Upper bound on predicate evaluations (0 = unbounded). When the budget
+  // runs out mid-ddmin the best reduction found so far is returned — still a
+  // valid (predicate-holding) plan, just not necessarily 1-minimal.
+  int max_runs = 0;
+};
+
 struct ShrinkResult {
-  FuzzPlan plan;                            // minimal still-failing plan
+  FuzzPlan plan;                            // minimal still-interesting plan
   std::vector<size_t> kept;                 // original schedule indices kept
   std::vector<OracleViolation> violations;  // of the minimal plan
-  int runs = 0;                             // simulations spent shrinking
+  int runs = 0;                             // predicate evaluations spent
   std::string repro;                        // fuzz_atropos replay command
 };
 
 // Minimizes `failing` (whose full run must violate an oracle). `options` are
 // the plan options the seed was generated with, echoed into the repro line.
 ShrinkResult ShrinkPlan(const FuzzPlan& failing, const FuzzPlanOptions& options = {});
+
+// Generalized minimizer: `interesting` must hold for `plan` itself and is
+// preserved by every accepted reduction.
+ShrinkResult ShrinkPlanIf(const FuzzPlan& plan, const PlanPredicate& interesting,
+                          const FuzzPlanOptions& options = {},
+                          const ShrinkOptions& shrink_options = {});
 
 // The repro command for a (possibly restricted) plan.
 std::string ReproCommand(const FuzzPlan& plan, const FuzzPlanOptions& options);

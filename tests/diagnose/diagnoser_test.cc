@@ -1,0 +1,226 @@
+// Bottleneck-diagnoser attribution: synthetic-trace units for the
+// calibration, degraded-window, blame, and culprit logic, plus the live
+// fixture suite — recorded live_atropos traces for the three scenarios,
+// asserting the blamed resource class matches each scenario's known
+// bottleneck.
+
+#include "src/diagnose/diagnoser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/diagnose/trace_io.h"
+
+namespace atropos {
+namespace {
+
+FlightEvent Window(uint64_t seq, TimeMicros t, double p99, const char* label) {
+  FlightEvent ev;
+  ev.seq = seq;
+  ev.time = t;
+  ev.kind = ObsEventKind::kWindowClosed;
+  ev.value = p99;
+  ev.label = label;
+  return ev;
+}
+
+ObsResourceSample Resource(uint32_t id, const char* name, const char* cls, double raw,
+                           uint64_t delay_us, bool overloaded) {
+  ObsResourceSample r;
+  r.id = id;
+  r.name = name;
+  r.cls = cls;
+  r.contention_raw = raw;
+  r.delay_us = delay_us;
+  r.overloaded = overloaded;
+  return r;
+}
+
+FlightEvent Snapshot(uint64_t seq, TimeMicros t, std::vector<ObsResourceSample> resources) {
+  FlightEvent ev;
+  ev.seq = seq;
+  ev.time = t;
+  ev.kind = ObsEventKind::kContentionSnapshot;
+  ev.resources = std::move(resources);
+  return ev;
+}
+
+TEST(DiagnoserTest, CalibratesFromLabeledWindowsAndCountsDegraded) {
+  std::vector<FlightEvent> events;
+  uint64_t seq = 0;
+  for (int i = 0; i < 5; i++) {
+    events.push_back(Window(seq++, 1000 * (i + 1), 1000.0, "calibrating"));
+  }
+  events.push_back(Window(seq++, 6000, 1200.0, "normal"));   // 1.2x: healthy
+  events.push_back(Window(seq++, 7000, 5000.0, "suspected_overload"));  // degraded
+  events.push_back(Window(seq++, 8000, 9000.0, "suspected_overload"));  // degraded
+
+  Diagnosis d = DiagnoseTrace(events);
+  EXPECT_EQ(d.windows, 8u);
+  EXPECT_EQ(d.baseline_p99, 1000u);
+  EXPECT_EQ(d.degraded_windows, 2u);
+  EXPECT_EQ(d.peak_p99, 9000u);
+  EXPECT_TRUE(d.overload_observed);
+  // Degraded windows without snapshots: overload observed, nothing to blame.
+  EXPECT_TRUE(d.blamed_class.empty());
+}
+
+TEST(DiagnoserTest, FallsBackToLeadingWindowsWithoutCalibrationLabels) {
+  std::vector<FlightEvent> events;
+  for (int i = 0; i < 12; i++) {
+    events.push_back(Window(i, 1000 * (i + 1), 2000.0, "normal"));
+  }
+  events.push_back(Window(99, 99000, 50000.0, "suspected_overload"));
+  Diagnosis d = DiagnoseTrace(events);
+  EXPECT_EQ(d.baseline_p99, 2000u);
+  EXPECT_EQ(d.degraded_windows, 1u);
+}
+
+TEST(DiagnoserTest, BlamesTheClassWithTheMostIntegratedDelay) {
+  std::vector<FlightEvent> events;
+  // Lock is severely contended; io shows mild, sub-floor contention.
+  events.push_back(Snapshot(0, 1000,
+                            {Resource(1, "table_locks", "lock", 4.0, 800000, true),
+                             Resource(2, "vacuum_io", "io", 0.4, 200000, false)}));
+  events.push_back(Snapshot(1, 2000,
+                            {Resource(1, "table_locks", "lock", 6.0, 900000, true),
+                             Resource(2, "vacuum_io", "io", 0.2, 100000, false)}));
+
+  Diagnosis d = DiagnoseTrace(events);
+  EXPECT_TRUE(d.overload_observed);
+  EXPECT_EQ(d.blamed_class, "lock");
+  EXPECT_EQ(d.blamed_resource, "table_locks");
+  EXPECT_NEAR(d.blame_share, 1700000.0 / 2000000.0, 1e-9);
+  ASSERT_EQ(d.resources.size(), 2u);
+  EXPECT_EQ(d.resources[0].name, "table_locks");  // sorted by delay, desc
+  EXPECT_EQ(d.resources[0].snapshots, 2u);
+  EXPECT_DOUBLE_EQ(d.resources[0].mean_contention_raw, 5.0);
+}
+
+TEST(DiagnoserTest, SeverelyContendedExecutionResourceOutranksQueueBackpressure) {
+  // The admission queue integrates 10x the lock's delay — workers are stuck,
+  // so arrivals pile up — but the lock convoy is the root cause.
+  std::vector<FlightEvent> events;
+  for (int i = 0; i < 3; i++) {
+    events.push_back(Snapshot(i, 1000 * (i + 1),
+                              {Resource(1, "worker_pool", "queue", 12.0, 10000000, true),
+                               Resource(2, "keyspace", "lock", 7.0, 1000000, true)}));
+  }
+  Diagnosis d = DiagnoseTrace(events);
+  EXPECT_EQ(d.blamed_class, "lock");
+  EXPECT_EQ(d.blamed_resource, "keyspace");
+
+  // With the lock healthy (raw below the floor), the queue keeps the blame.
+  std::vector<FlightEvent> saturated;
+  for (int i = 0; i < 3; i++) {
+    saturated.push_back(Snapshot(i, 1000 * (i + 1),
+                                 {Resource(1, "worker_pool", "queue", 12.0, 10000000, true),
+                                  Resource(2, "keyspace", "lock", 0.3, 1000000, false)}));
+  }
+  Diagnosis saturated_d = DiagnoseTrace(saturated);
+  EXPECT_EQ(saturated_d.blamed_class, "queue");
+  EXPECT_EQ(saturated_d.blamed_resource, "worker_pool");
+}
+
+TEST(DiagnoserTest, RanksCulpritsByCancelsThenPolicyEvidence) {
+  std::vector<FlightEvent> events;
+  FlightEvent decision;
+  decision.seq = 0;
+  decision.time = 1000;
+  decision.kind = ObsEventKind::kPolicyDecision;
+  ObsCandidateSample winner;
+  winner.key = 42;
+  winner.pareto = true;
+  winner.score = 0.9;
+  ObsCandidateSample runner_up;
+  runner_up.key = 7;
+  runner_up.pareto = true;
+  runner_up.score = 0.4;
+  decision.candidates = {winner, runner_up};
+  events.push_back(decision);
+
+  FlightEvent cancel;
+  cancel.seq = 1;
+  cancel.time = 1001;
+  cancel.kind = ObsEventKind::kCancelIssued;
+  cancel.key = 42;
+  events.push_back(cancel);
+
+  Diagnosis d = DiagnoseTrace(events);
+  EXPECT_EQ(d.cancels, 1u);
+  ASSERT_EQ(d.culprits.size(), 2u);
+  EXPECT_EQ(d.culprits[0].key, 42u);
+  EXPECT_EQ(d.culprits[0].cancels, 1u);
+  EXPECT_EQ(d.culprits[0].pareto, 1u);
+  EXPECT_EQ(d.culprits[1].key, 7u);
+}
+
+TEST(DiagnoserTest, EmptyTraceYieldsNoVerdict) {
+  Diagnosis d = DiagnoseTrace({});
+  EXPECT_FALSE(d.overload_observed);
+  EXPECT_TRUE(d.blamed_class.empty());
+  EXPECT_EQ(d.windows, 0u);
+  EXPECT_FALSE(d.Render().empty());
+}
+
+TEST(DiagnoserTest, EstimatorVerdictCountsOverloadFlags) {
+  std::vector<FlightEvent> events;
+  events.push_back(Snapshot(0, 1000,
+                            {Resource(1, "a", "lock", 2.0, 100, true),
+                             Resource(2, "b", "queue", 2.0, 100, true)}));
+  events.push_back(Snapshot(1, 2000,
+                            {Resource(1, "a", "lock", 2.0, 100, false),
+                             Resource(2, "b", "queue", 2.0, 100, true)}));
+  EXPECT_EQ(EstimatorBlamedClass(events), "queue");
+  EXPECT_EQ(EstimatorBlamedClass({}), "");
+}
+
+// ---- Live-trace fixture suite (satellite: recorded live_atropos traces).
+//
+// The fixtures are cancellation-off baseline runs of the three live
+// scenarios, recorded once with `live_atropos --trace-baseline=...`. Each
+// scenario's bottleneck class is known by construction: culprit-burst and
+// noisy-neighbor saturate the miniweb worker pool (queue); lock-convoy
+// convoys on the minikv keyspace lock behind the pool.
+
+Diagnosis DiagnoseFixture(const std::string& name, std::string* estimator) {
+  std::string path = std::string(ATROPOS_DIAGNOSE_TEST_DATA_DIR) + "/fixtures/" + name;
+  auto events = ReadTraceFile(path);
+  EXPECT_TRUE(events.ok()) << events.status().ToString();
+  if (!events.ok()) {
+    return Diagnosis{};
+  }
+  EXPECT_GT(events.value().size(), 50u) << name << " looks truncated";
+  *estimator = EstimatorBlamedClass(events.value());
+  return DiagnoseTrace(events.value());
+}
+
+TEST(DiagnoserFixtureTest, CulpritBurstBlamesTheWorkerQueue) {
+  std::string estimator;
+  Diagnosis d = DiagnoseFixture("culprit-burst.jsonl", &estimator);
+  EXPECT_TRUE(d.overload_observed);
+  EXPECT_EQ(d.blamed_class, "queue");
+  EXPECT_EQ(estimator, "queue");
+}
+
+TEST(DiagnoserFixtureTest, NoisyNeighborBlamesTheWorkerQueue) {
+  std::string estimator;
+  Diagnosis d = DiagnoseFixture("noisy-neighbor.jsonl", &estimator);
+  EXPECT_TRUE(d.overload_observed);
+  EXPECT_EQ(d.blamed_class, "queue");
+  EXPECT_EQ(estimator, "queue");
+}
+
+TEST(DiagnoserFixtureTest, LockConvoyBlamesTheLockNotTheQueueSymptom) {
+  std::string estimator;
+  Diagnosis d = DiagnoseFixture("lock-convoy.jsonl", &estimator);
+  EXPECT_TRUE(d.overload_observed);
+  // The queue integrates far more wait (every arrival sits behind the stuck
+  // workers), but the convoyed lock is the root cause — the demotion rule
+  // must see through the backpressure symptom.
+  EXPECT_EQ(d.blamed_class, "lock");
+  EXPECT_EQ(d.blamed_resource, "capi_lock");
+  EXPECT_EQ(estimator, "lock");
+}
+
+}  // namespace
+}  // namespace atropos

@@ -1,0 +1,190 @@
+// Corpus text-format contract: golden round-trip (parse → serialize → parse
+// is a byte-for-byte identity on canonical documents), the malformed-input
+// rejection table, the keep-range codec, and shard I/O.
+
+#include "src/mining/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace atropos {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(ATROPOS_MINING_TEST_DATA_DIR) + "/golden/" + name;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(CorpusFormatTest, GoldenRoundTripIsByteForByteStable) {
+  std::string golden = ReadFileOrDie(GoldenPath("roundtrip.corpus"));
+  auto parsed = ParseCorpus(golden);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 2u);
+
+  std::string serialized = SerializeCorpus(parsed.value());
+  EXPECT_EQ(serialized, golden) << "canonical serialization drifted from the golden file";
+
+  auto reparsed = ParseCorpus(serialized);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(SerializeCorpus(reparsed.value()), serialized);
+}
+
+TEST(CorpusFormatTest, GoldenFieldsParseExactly) {
+  auto parsed = ParseCorpus(ReadFileOrDie(GoldenPath("roundtrip.corpus")));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const CorpusEntry& first = parsed.value()[0];
+  EXPECT_EQ(first.name, "db_tickets/s7");
+  EXPECT_EQ(first.seed, 7u);
+  EXPECT_EQ(first.mode, "db_tickets");
+  EXPECT_DOUBLE_EQ(first.load_scale, 1.0);
+  EXPECT_TRUE(first.extended_modes);
+  EXPECT_EQ(first.force_mode, -1);
+  EXPECT_EQ(first.keep, (std::vector<size_t>{0, 1, 2, 3, 4, 9, 17, 18, 19, 20, 21}));
+  EXPECT_TRUE(first.quiet_faults);
+  EXPECT_EQ(first.requests, 11u);
+  EXPECT_EQ(first.digest, 0x00000000deadbeefull);
+  EXPECT_EQ(first.baseline_digest, 0x0123456789abcdefull);
+  EXPECT_EQ(first.cancels, 2u);
+  EXPECT_DOUBLE_EQ(first.p99_ratio, 3.5);
+  EXPECT_EQ(first.blamed_class, "queue");
+  EXPECT_TRUE(first.agreement);
+  EXPECT_TRUE(first.note.empty());
+
+  const CorpusEntry& second = parsed.value()[1];
+  EXPECT_FALSE(second.agreement);
+  EXPECT_EQ(second.note, "diagnoser blames lock but estimator flagged queue");
+  EXPECT_FALSE(second.quiet_faults);
+  EXPECT_TRUE(second.keep.empty());
+}
+
+// One malformed document per failure class; every entry must be rejected
+// with a message mentioning the expected fragment.
+struct RejectionCase {
+  const char* label;
+  const char* text;
+  const char* expect_in_message;
+};
+
+std::string ValidEntryBody() {
+  CorpusEntry entry;
+  entry.name = "kv_lock/s1";
+  entry.mode = "kv_lock";
+  entry.seed = 1;
+  return SerializeEntry(entry);
+}
+
+TEST(CorpusFormatTest, MalformedInputsAreRejected) {
+  const std::string valid = ValidEntryBody();
+  const std::string two_same = std::string(kCorpusHeader) + "\n\n" + valid + "\n" + valid;
+  const std::string missing_end =
+      std::string(kCorpusHeader) + "\n\nscenario kv_lock/s1\nseed 1\n";
+  const std::string unknown_field =
+      std::string(kCorpusHeader) + "\n\nscenario kv_lock/s1\nbogus 1\nend\n";
+  const std::string dup_field =
+      std::string(kCorpusHeader) + "\n\nscenario kv_lock/s1\nseed 1\nseed 2\nend\n";
+  const std::string bad_seed =
+      std::string(kCorpusHeader) + "\n\nscenario kv_lock/s1\nseed banana\nend\n";
+  const std::string unannotated = [&] {
+    CorpusEntry entry;
+    entry.name = "kv_lock/s2";
+    entry.mode = "kv_lock";
+    entry.agreement = false;  // no note
+    return std::string(kCorpusHeader) + "\n\n" + SerializeEntry(entry);
+  }();
+
+  const RejectionCase cases[] = {
+      {"empty input", "", "missing corpus header"},
+      {"truncated header", "atropos-corpus", "unsupported corpus schema version"},
+      {"unknown schema version", "atropos-corpus v2\n", "unsupported corpus schema version"},
+      {"not a corpus at all", "hello world\n", "truncated or malformed corpus header"},
+      {"duplicate scenario name", two_same.c_str(), "duplicate scenario name"},
+      {"missing end", missing_end.c_str(), "missing \"end\""},
+      {"unknown field", unknown_field.c_str(), "unknown field"},
+      {"duplicate field", dup_field.c_str(), "duplicate field"},
+      {"bad integer value", bad_seed.c_str(), "bad value for \"seed\""},
+      {"disagreement without note", unannotated.c_str(), "no annotation note"},
+  };
+  for (const RejectionCase& c : cases) {
+    auto parsed = ParseCorpus(c.text);
+    EXPECT_FALSE(parsed.ok()) << c.label << " was accepted";
+    if (!parsed.ok()) {
+      EXPECT_NE(parsed.status().message().find(c.expect_in_message), std::string::npos)
+          << c.label << ": got \"" << parsed.status().message() << "\"";
+    }
+  }
+}
+
+TEST(CorpusFormatTest, MissingRequiredFieldIsRejected) {
+  // Drop the digest line from an otherwise-valid entry.
+  std::string entry = ValidEntryBody();
+  size_t pos = entry.find("digest ");
+  ASSERT_NE(pos, std::string::npos);
+  size_t eol = entry.find('\n', pos);
+  entry.erase(pos, eol - pos + 1);
+  auto parsed = ParseCorpus(std::string(kCorpusHeader) + "\n\n" + entry);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("missing field \"digest\""), std::string::npos)
+      << parsed.status().message();
+}
+
+TEST(CorpusFormatTest, KeepRangeCodecRoundTrips) {
+  const std::vector<std::vector<size_t>> masks = {
+      {}, {0}, {5}, {0, 1, 2}, {0, 2, 4}, {0, 1, 2, 9, 17, 18, 19, 200}};
+  for (const auto& mask : masks) {
+    std::string text = FormatKeepRanges(mask);
+    auto parsed = ParseKeepRanges(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.value(), mask) << text;
+  }
+  EXPECT_EQ(FormatKeepRanges({}), "-");
+  EXPECT_EQ(FormatKeepRanges({0, 1, 2, 9}), "0-2,9");
+  EXPECT_FALSE(ParseKeepRanges("3-1").ok());       // inverted range
+  EXPECT_FALSE(ParseKeepRanges("5,4").ok());       // not ascending
+  EXPECT_FALSE(ParseKeepRanges("1,1").ok());       // duplicate
+  EXPECT_FALSE(ParseKeepRanges("x").ok());         // not a number
+}
+
+TEST(CorpusFormatTest, ShardWriteAndDirectoryLoadRoundTrip) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "atropos_corpus_format_test";
+  fs::remove_all(dir);
+
+  auto golden = ParseCorpus(ReadFileOrDie(GoldenPath("roundtrip.corpus")));
+  ASSERT_TRUE(golden.ok());
+  Status written = WriteCorpusShards(dir.string(), golden.value());
+  ASSERT_TRUE(written.ok()) << written.ToString();
+  // Two modes → two shard files.
+  EXPECT_TRUE(fs::exists(dir / "db_tickets.corpus"));
+  EXPECT_TRUE(fs::exists(dir / "kv_lock.corpus"));
+
+  auto loaded = LoadCorpusDir(dir.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), golden.value().size());
+  // Loading is shard-name-ordered; both entries must survive unchanged.
+  EXPECT_EQ(SerializeEntry(loaded.value()[0]), SerializeEntry(golden.value()[0]));
+  EXPECT_EQ(SerializeEntry(loaded.value()[1]), SerializeEntry(golden.value()[1]));
+
+  // A duplicate name in a second shard is rejected at load time.
+  std::string dup = SerializeCorpus({golden.value()[0]});
+  FILE* f = fopen((dir / "zz_dup.corpus").string().c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  fwrite(dup.data(), 1, dup.size(), f);
+  fclose(f);
+  auto reload = LoadCorpusDir(dir.string());
+  EXPECT_FALSE(reload.ok());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace atropos

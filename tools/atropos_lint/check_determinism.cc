@@ -23,11 +23,13 @@ namespace {
 
 constexpr char kCheckName[] = "determinism";
 
-constexpr std::array<std::string_view, 4> kDigestPrefixes = {
+constexpr std::array<std::string_view, 6> kDigestPrefixes = {
     "src/atropos/",
     "src/obs/",
     "src/testing/",
     "src/common/",
+    "src/mining/",    // corpus entries must replay to byte-stable digests
+    "src/diagnose/",  // offline diagnosis must be a pure function of the trace
 };
 
 constexpr std::string_view kSanctionedShim = "src/common/clock.h";

@@ -1,0 +1,224 @@
+// Scenario-corpus toolchain driver: mine, replay, diagnose.
+//
+// Subcommands:
+//   mine     — scan seeds for baseline-misses/treatment-recovers scenarios,
+//              shrink the survivors, and write/merge them into a sharded
+//              corpus directory.
+//   replay   — re-execute every corpus entry and enforce the replay oracles:
+//              byte-stable digests, clean invariant oracles, and the
+//              diagnoser-vs-estimator agreement floor. This is the
+//              corpus_replay ctest entry point.
+//   diagnose — run the offline bottleneck diagnoser over a JSONL
+//              flight-recorder trace (e.g. a live_atropos --trace dump) and
+//              print the attribution report.
+//
+// Usage:
+//   atropos_mine mine --corpus=DIR [--seed-start=S] [--max-seeds=N]
+//                     [--target=K] [--shrink-budget=B] [--load-scale=X]
+//                     [--base-modes] [--force-mode=M] [--quiet]
+//   atropos_mine replay --corpus=DIR [--require-agreement=F] [--limit=N]
+//   atropos_mine diagnose --trace=FILE
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "src/diagnose/diagnoser.h"
+#include "src/diagnose/trace_io.h"
+#include "src/mining/corpus.h"
+#include "src/mining/miner.h"
+#include "src/mining/replay.h"
+
+namespace {
+
+int Usage() {
+  fprintf(stderr,
+          "usage: atropos_mine mine --corpus=DIR [--seed-start=S] [--max-seeds=N]\n"
+          "                         [--target=K] [--shrink-budget=B] [--load-scale=X]\n"
+          "                         [--base-modes] [--force-mode=M] [--quiet]\n"
+          "       atropos_mine replay --corpus=DIR [--require-agreement=F] [--limit=N]\n"
+          "       atropos_mine diagnose --trace=FILE\n");
+  return 2;
+}
+
+const char* Value(const std::string& arg, const char* prefix) {
+  return arg.c_str() + strlen(prefix);
+}
+
+int Mine(int argc, char** argv) {
+  std::string corpus_dir;
+  atropos::MineOptions options;
+  options.plan_options.extended_modes = true;  // the miner's default search space
+  bool quiet = false;
+  for (int i = 2; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg.rfind("--corpus=", 0) == 0) {
+      corpus_dir = Value(arg, "--corpus=");
+    } else if (arg.rfind("--seed-start=", 0) == 0) {
+      options.seed_start = strtoull(Value(arg, "--seed-start="), nullptr, 10);
+    } else if (arg.rfind("--max-seeds=", 0) == 0) {
+      options.max_seeds = atoi(Value(arg, "--max-seeds="));
+    } else if (arg.rfind("--target=", 0) == 0) {
+      options.target = atoi(Value(arg, "--target="));
+    } else if (arg.rfind("--shrink-budget=", 0) == 0) {
+      options.shrink_budget = atoi(Value(arg, "--shrink-budget="));
+    } else if (arg.rfind("--load-scale=", 0) == 0) {
+      options.plan_options.load_scale = atof(Value(arg, "--load-scale="));
+    } else if (arg == "--base-modes") {
+      options.plan_options.extended_modes = false;
+    } else if (arg.rfind("--force-mode=", 0) == 0) {
+      options.plan_options.force_mode = atoi(Value(arg, "--force-mode="));
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (corpus_dir.empty()) {
+    fprintf(stderr, "mine: --corpus=DIR is required\n");
+    return Usage();
+  }
+  if (!quiet) {
+    options.progress = [](const std::string& line) { printf("  %s\n", line.c_str()); };
+  }
+
+  atropos::MineReport report = atropos::MineScenarios(options);
+  printf("scanned %d seed(s): %d candidate(s), %d mined, %d disagreement(s), "
+         "%d shrink probe(s)\n",
+         report.seeds_scanned, report.candidates, (int)report.entries.size(),
+         report.disagreements, report.shrink_runs);
+  if (report.entries.empty()) {
+    fprintf(stderr, "error: mined zero scenarios — nothing to write\n");
+    return 1;
+  }
+
+  // Merge with any existing corpus: new entries replace same-named old ones,
+  // everything else is preserved.
+  std::map<std::string, atropos::CorpusEntry> merged;
+  auto existing = atropos::LoadCorpusDir(corpus_dir);
+  if (existing.ok()) {
+    for (auto& entry : existing.value()) {
+      merged[entry.name] = std::move(entry);
+    }
+  }
+  int fresh = 0;
+  for (auto& entry : report.entries) {
+    fresh += merged.count(entry.name) == 0 ? 1 : 0;
+    merged[entry.name] = std::move(entry);
+  }
+  std::vector<atropos::CorpusEntry> all;
+  all.reserve(merged.size());
+  for (auto& [name, entry] : merged) {
+    all.push_back(std::move(entry));
+  }
+  atropos::Status written = atropos::WriteCorpusShards(corpus_dir, all);
+  if (!written.ok()) {
+    fprintf(stderr, "error: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  printf("corpus now has %zu scenario(s) in %s (%d new this run)\n", all.size(),
+         corpus_dir.c_str(), fresh);
+  return 0;
+}
+
+int Replay(int argc, char** argv) {
+  std::string corpus_dir;
+  atropos::ReplayOptions options;
+  for (int i = 2; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg.rfind("--corpus=", 0) == 0) {
+      corpus_dir = Value(arg, "--corpus=");
+    } else if (arg.rfind("--require-agreement=", 0) == 0) {
+      options.require_agreement = atof(Value(arg, "--require-agreement="));
+    } else if (arg.rfind("--limit=", 0) == 0) {
+      options.limit = atoi(Value(arg, "--limit="));
+    } else {
+      fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (corpus_dir.empty()) {
+    fprintf(stderr, "replay: --corpus=DIR is required\n");
+    return Usage();
+  }
+
+  auto entries = atropos::LoadCorpusDir(corpus_dir);
+  if (!entries.ok()) {
+    fprintf(stderr, "error: %s\n", entries.status().ToString().c_str());
+    return 1;
+  }
+  if (entries.value().empty()) {
+    fprintf(stderr, "error: corpus %s is empty — an empty replay asserts nothing\n",
+            corpus_dir.c_str());
+    return 1;
+  }
+
+  atropos::ReplayReport report = atropos::ReplayCorpus(entries.value(), options);
+  printf("replayed %d/%zu scenario(s): %d agreement(s), %d annotated disagreement(s), "
+         "rate %.3f (floor %.3f)\n",
+         report.replayed, entries.value().size(), report.agreements, report.disagreements,
+         report.agreement_rate, options.require_agreement);
+  for (const atropos::ReplayFailure& failure : report.failures) {
+    fprintf(stderr, "FAIL %s: %s\n", failure.name.c_str(), failure.what.c_str());
+  }
+  if (!report.ok()) {
+    fprintf(stderr, "%zu failure(s)\n", report.failures.size());
+    return 1;
+  }
+  printf("corpus replay ok\n");
+  return 0;
+}
+
+int Diagnose(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 2; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = Value(arg, "--trace=");
+    } else {
+      fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (trace_path.empty()) {
+    fprintf(stderr, "diagnose: --trace=FILE is required\n");
+    return Usage();
+  }
+  auto events = atropos::ReadTraceFile(trace_path);
+  if (!events.ok()) {
+    fprintf(stderr, "error: %s\n", events.status().ToString().c_str());
+    return 1;
+  }
+  atropos::Diagnosis diagnosis = atropos::DiagnoseTrace(events.value());
+  printf("%zu event(s) from %s\n", events.value().size(), trace_path.c_str());
+  fputs(diagnosis.Render().c_str(), stdout);
+  std::string estimator = atropos::EstimatorBlamedClass(events.value());
+  printf("estimator verdict: %s\n", estimator.empty() ? "-" : estimator.c_str());
+  if (!diagnosis.blamed_class.empty() && !estimator.empty()) {
+    printf("agreement: %s\n", diagnosis.blamed_class == estimator ? "yes" : "no");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string cmd = argv[1];
+  if (cmd == "mine") {
+    return Mine(argc, argv);
+  }
+  if (cmd == "replay") {
+    return Replay(argc, argv);
+  }
+  if (cmd == "diagnose") {
+    return Diagnose(argc, argv);
+  }
+  fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
+  return Usage();
+}

@@ -9,7 +9,13 @@
 // Usage:
 //   fuzz_atropos [--seed=S] [--runs=N | --minutes=M] [--shrink]
 //                [--replay-check] [--keep=i,j,...] [--inject-drop-free=T]
-//                [--load-scale=X] [--verbose]
+//                [--load-scale=X] [--extended-modes] [--force-mode=M]
+//                [--verbose]
+//
+// A batch invocation that ends up executing zero runs (e.g. --runs=0, or a
+// --minutes deadline already in the past) is a hard error: an empty corpus
+// asserts nothing, and a CI stage that silently runs nothing is worse than
+// one that fails loudly.
 
 #include <chrono>
 #include <cstdio>
@@ -68,6 +74,10 @@ CliArgs Parse(int argc, char** argv) {
       args.plan_options.drop_free_request_type = atoi(value("--inject-drop-free="));
     } else if (arg.rfind("--load-scale=", 0) == 0) {
       args.plan_options.load_scale = atof(value("--load-scale="));
+    } else if (arg == "--extended-modes") {
+      args.plan_options.extended_modes = true;
+    } else if (arg.rfind("--force-mode=", 0) == 0) {
+      args.plan_options.force_mode = atoi(value("--force-mode="));
     } else {
       fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       args.ok = false;
@@ -97,7 +107,8 @@ int main(int argc, char** argv) {
     fprintf(stderr,
             "usage: fuzz_atropos [--seed=S] [--runs=N | --minutes=M] [--shrink]\n"
             "                    [--replay-check] [--keep=i,j,...]\n"
-            "                    [--inject-drop-free=T] [--load-scale=X] [--verbose]\n");
+            "                    [--inject-drop-free=T] [--load-scale=X]\n"
+            "                    [--extended-modes] [--force-mode=M] [--verbose]\n");
     return 2;
   }
 
@@ -148,5 +159,12 @@ int main(int argc, char** argv) {
   }
 
   printf("%d run(s), %d failure(s)\n", executed, failures);
+  if (executed == 0) {
+    // An empty corpus (--runs=0, or an already-expired --minutes deadline)
+    // exercised nothing; exiting 0 here would let a misconfigured CI stage
+    // pass forever without running a single plan.
+    fprintf(stderr, "error: zero runs executed — empty corpus is a hard error\n");
+    return 1;
+  }
   return failures == 0 ? 0 : 1;
 }
