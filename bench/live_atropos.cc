@@ -9,6 +9,12 @@
 //   3. simulator counterpart  — the same scenario shape on the coroutine
 //      apps, for the sim-vs-live digest cross-check.
 //
+// The lock-convoy scenario adds a fourth run: cancellation on but abortable
+// synchronization off (checkpoint polling, DESIGN.md §16) — a cancelled
+// waiter still acquires the contended lock before it can observe the order,
+// so the cancel-to-release latency tracks the culprit's hold time instead of
+// collapsing to delivery cost.
+//
 // Usage: live_atropos [--scenario=culprit-burst|noisy-neighbor|lock-convoy]
 //                     [--duration=SECONDS] [--workers=N] [--load-scale=F]
 //                     [--seed=N] [--no-crosscheck] [--json[=path]]
@@ -101,6 +107,11 @@ void JsonLiveRun(JsonWriter& json, const char* name, const LiveRunResult& r) {
   json.Field("cancels_issued", r.stats.cancels_issued);
   json.Field("cancels_delivered", r.cancels_delivered);
   json.Field("cancels_missed", r.cancels_missed);
+  json.Field("lock_waits_aborted", r.lock_waits_aborted);
+  json.Field("queued_cancelled", r.queued_cancelled);
+  json.Field("cancel_to_release_count", r.cancel_to_release_count);
+  json.Field("cancel_to_release_p50_us", static_cast<uint64_t>(r.cancel_to_release_p50));
+  json.Field("cancel_to_release_p99_us", static_cast<uint64_t>(r.cancel_to_release_p99));
   json.Field("windows", r.stats.windows);
   json.Field("overload_windows", r.stats.suspected_overload_windows);
   json.Field("trace_events_drained", r.intake.drained_total);
@@ -142,11 +153,38 @@ int Main(int argc, char** argv) {
   no_cancel.cancellation_enabled = false;
   const LiveRunResult baseline = RunLiveScenario(scenario, no_cancel);
 
+  // Lock-convoy only: the checkpoint-polling counterpart isolates the value
+  // of in-place waiter abort with cancellation otherwise identical.
+  const bool convoy = opt.scenario == LiveScenarioKind::kLockConvoy;
+  LiveRunResult polling;
+  if (convoy) {
+    LiveRunOptions poll_opts;
+    poll_opts.cancellation_enabled = true;
+    poll_opts.abortable_sync = false;
+    polling = RunLiveScenario(scenario, poll_opts);
+  }
+
   TextTable table({"run", "goodput qps", "victim p50 ms", "victim p99 ms", "culprits done",
                    "culprits cancelled", "cancels issued", "shed"});
   AddLiveRow(table, "live + atropos", live);
+  if (convoy) {
+    AddLiveRow(table, "live + atropos, polling sync", polling);
+  }
   AddLiveRow(table, "live, no cancellation", baseline);
   std::printf("%s\n", table.Render().c_str());
+
+  if (convoy) {
+    std::printf("cancel-to-release: in-place abort p50 %.1f ms / p99 %.1f ms (%llu waits aborted, "
+                "%llu queued tasks cancelled unexecuted)\n",
+                static_cast<double>(live.cancel_to_release_p50) / 1000.0,
+                static_cast<double>(live.cancel_to_release_p99) / 1000.0,
+                static_cast<unsigned long long>(live.lock_waits_aborted),
+                static_cast<unsigned long long>(live.queued_cancelled));
+    std::printf("cancel-to-release: checkpoint polling p50 %.1f ms / p99 %.1f ms (cancelled "
+                "waiters acquire before observing the order)\n\n",
+                static_cast<double>(polling.cancel_to_release_p50) / 1000.0,
+                static_cast<double>(polling.cancel_to_release_p99) / 1000.0);
+  }
 
   const double recovery = baseline.goodput_qps > 0
                               ? live.goodput_qps / baseline.goodput_qps
@@ -195,6 +233,9 @@ int Main(int argc, char** argv) {
     json.Field("duration_s", ToSeconds(scenario.duration));
     json.Field("seed", opt.seed);
     JsonLiveRun(json, "live_with_cancel", live);
+    if (convoy) {
+      JsonLiveRun(json, "live_with_cancel_polling", polling);
+    }
     JsonLiveRun(json, "live_no_cancel", baseline);
     json.Field("goodput_recovery", recovery);
     JsonDigest(json, "live_digest", live.digest);

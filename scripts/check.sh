@@ -5,8 +5,8 @@
 # (atropos_lint always; clang-tidy and clang's thread-safety analysis when
 # clang is installed), then the obs/workload/atropos tests, a fuzz corpus,
 # and a corpus-replay slice under ASan/UBSan, then the concurrent intake
-# tests, the live-mode tests (incl. live_smoke), and the mt_ingest smoke
-# under TSan.
+# tests, the live-mode tests (incl. live_smoke), the abortable-sync storms
+# (sync_test — the CQS oracle gate), and the mt_ingest smoke under TSan.
 #
 #   scripts/check.sh          # build + all tests + lint + ASan/UBSan + TSan
 #   scripts/check.sh --fast   # skip the lint and sanitizer stages
@@ -78,13 +78,14 @@ run_lint
 
 echo "== configure + build with ASan/UBSan (build-asan/) =="
 cmake -B build-asan -S . -DATROPOS_SANITIZE=ON >/dev/null
-cmake --build build-asan -j "$JOBS" --target obs_test workload_test atropos_test fuzz_atropos \
-  atropos_mine
+cmake --build build-asan -j "$JOBS" --target obs_test workload_test atropos_test sync_test \
+  fuzz_atropos atropos_mine
 
-echo "== obs + workload + atropos tests under ASan/UBSan =="
+echo "== obs + workload + atropos + sync tests under ASan/UBSan =="
 ./build-asan/tests/obs_test
 ./build-asan/tests/workload_test
 ./build-asan/tests/atropos_test
+./build-asan/tests/sync_test
 
 echo "== fuzz corpus under ASan/UBSan =="
 ./build-asan/tools/fuzz_atropos --seed=1 --runs=10 --replay-check
@@ -94,13 +95,16 @@ echo "== corpus replay under ASan/UBSan (first 10 scenarios) =="
 
 echo "== configure + build with TSan (build-tsan/) =="
 cmake -B build-tsan -S . -DATROPOS_TSAN=ON >/dev/null
-cmake --build build-tsan -j "$JOBS" --target concurrent_test live_test mt_ingest
+cmake --build build-tsan -j "$JOBS" --target concurrent_test live_test sync_test mt_ingest
 
 echo "== concurrent intake + capi facade tests under TSan =="
 ./build-tsan/tests/concurrent_test
 
 echo "== live-mode tests + live_smoke under TSan =="
 ./build-tsan/tests/live_test
+
+echo "== abortable-sync units + CQS storms under TSan =="
+./build-tsan/tests/sync_test
 
 echo "== mt_ingest smoke under TSan =="
 ./build-tsan/bench/mt_ingest --events=20000 --max-threads=4

@@ -15,12 +15,13 @@ MiniDb::MiniDb(Executor& executor, OverloadController* controller, MiniDbOptions
   if (options_.use_table_locks) {
     table_lock_resource_ = controller_->RegisterResource("table_locks", ResourceClass::kLock);
     locks_ = std::make_unique<TableLockManager>(executor_, options_.num_tables, controller_,
-                                                table_lock_resource_);
+                                                table_lock_resource_, options_.cancel_mode);
   }
   if (options_.use_tickets) {
     ticket_resource_ = controller_->RegisterResource("innodb_tickets", ResourceClass::kQueue);
     tickets_ = std::make_unique<InstrumentedSemaphore>(executor_, options_.innodb_tickets,
-                                                       controller_, ticket_resource_);
+                                                       controller_, ticket_resource_,
+                                                       options_.cancel_mode);
   }
   if (options_.use_io) {
     io_resource_ = controller_->RegisterResource("disk_io", ResourceClass::kIo);
@@ -32,6 +33,7 @@ MiniDb::MiniDb(Executor& executor, OverloadController* controller, MiniDbOptions
       // Misses and dirty flushes share the disk (the real thrashing path).
       options_.pool.device = io_.get();
     }
+    options_.pool.cancel_mode = options_.cancel_mode;
     pool_ = std::make_unique<BufferPool>(executor_, options_.pool, controller_, pool_resource_);
   }
   if (options_.use_undo) {

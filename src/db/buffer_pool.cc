@@ -28,8 +28,20 @@ Task<PageAccess> BufferPool::Access(uint64_t key, uint64_t page_id, bool write,
     co_return out;
   }
 
-  // Miss. Make room first so the capacity invariant holds across the awaits.
+  // Miss. The admission gate bounds concurrent evict-and-read sections; a
+  // task cancelled while parked here is aborted in place — it never takes a
+  // slot, so it cannot lengthen the miss convoy it was queued behind.
   misses_++;
+  if (admission_ != nullptr) {
+    Status admitted = co_await admission_->Acquire(1, token);
+    if (!admitted.ok()) {
+      admission_aborts_++;
+      out.status = std::move(admitted);
+      co_return out;
+    }
+  }
+
+  // Make room first so the capacity invariant holds across the awaits.
   if (frames_.size() >= options_.capacity_pages && !lru_.empty()) {
     uint64_t victim_page = lru_.back();
     auto victim = frames_.find(victim_page);
@@ -63,6 +75,11 @@ Task<PageAccess> BufferPool::Access(uint64_t key, uint64_t page_id, bool write,
   }
   if (out.evicted && tracer_ != nullptr) {
     tracer_->OnWaitEnd(key, resource_);
+  }
+  if (admission_ != nullptr) {
+    // Release before the cancellation check: a cancelled-after-read task must
+    // not strand its admission slot.
+    admission_->Release(1);
   }
   if (token != nullptr && token->cancelled()) {
     out.status = Status::Cancelled("page access cancelled after disk read");

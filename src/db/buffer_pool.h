@@ -11,6 +11,7 @@
 #define SRC_DB_BUFFER_POOL_H_
 
 #include <list>
+#include <memory>
 #include <unordered_map>
 
 #include "src/atropos/controller.h"
@@ -18,6 +19,7 @@
 #include "src/sim/cancel.h"
 #include "src/sim/cpu.h"
 #include "src/sim/executor.h"
+#include "src/sim/sync.h"
 #include "src/sim/task.h"
 
 namespace atropos {
@@ -35,6 +37,13 @@ struct BufferPoolOptions {
   // also needs (§2.1 case 1).
   IoDevice* device = nullptr;
   uint64_t page_bytes = 64 * 1024;
+
+  // When > 0, at most this many misses run their evict-and-read section
+  // concurrently (InnoDB's single-page-flush throttle analogue). The
+  // admission wait is a cancellable FIFO semaphore: Atropos can abort a
+  // task parked at admission without it ever taking a slot.
+  uint64_t admission_limit = 0;
+  CancelMode cancel_mode = CancelMode::kSmart;
 };
 
 struct PageAccess {
@@ -48,7 +57,12 @@ class BufferPool {
  public:
   BufferPool(Executor& executor, const BufferPoolOptions& options, OverloadController* tracer,
              ResourceId resource)
-      : executor_(executor), options_(options), tracer_(tracer), resource_(resource) {}
+      : executor_(executor), options_(options), tracer_(tracer), resource_(resource) {
+    if (options_.admission_limit > 0) {
+      admission_ = std::make_unique<SimSemaphore>(executor_, options_.admission_limit);
+      admission_->set_cancel_mode(options_.cancel_mode);
+    }
+  }
 
   // Accesses `page_id` on behalf of task `key`. Write accesses mark the page
   // dirty. Cancellation is honoured at the access boundary.
@@ -61,6 +75,10 @@ class BufferPool {
   uint64_t evictions() const { return evictions_; }
   // Pages currently resident that were loaded by `key`.
   uint64_t ResidentOwnedBy(uint64_t key) const;
+  // Misses cancelled while parked at the admission gate (never admitted).
+  uint64_t admission_aborts() const { return admission_aborts_; }
+  // Null unless options.admission_limit > 0.
+  SimSemaphore* admission() { return admission_.get(); }
 
  private:
   struct Frame {
@@ -76,10 +94,12 @@ class BufferPool {
 
   std::unordered_map<uint64_t, Frame> frames_;
   std::list<uint64_t> lru_;  // front = MRU, back = LRU victim
+  std::unique_ptr<SimSemaphore> admission_;
 
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t admission_aborts_ = 0;
 };
 
 }  // namespace atropos

@@ -6,9 +6,23 @@
 // cancellation and return — no blocking, no allocation (the atropos_lint
 // cancel-action-safety check enforces this shape). The board is the live
 // subsystem's realization: one fixed slot per worker holding the key of the
-// task the worker is executing plus a cancel flag. The initiator scans the
-// slots with atomic loads and flips the matching flag; the worker polls the
-// flag at its request checkpoints (the §2.4 cooperative pattern).
+// task the worker is executing, a keyed cancel word, and an AbortCell the
+// worker parks on when it blocks inside an abortable primitive.
+//
+// Delivery is *keyed*: RequestCancel stores the key it intends to cancel
+// into the slot's cancel word, and the worker's CancelSignal compares the
+// word against its own task's key at checkpoints. The earlier design used a
+// bool flag cleared by BeginTask before publishing the new key — an
+// initiator that loaded the previous key could store `cancel=true` after the
+// clear and wrongly cancel the *next* task. With keyed delivery that store
+// writes the previous key, which can never equal the next task's (unique)
+// key, so the race is structurally impossible (regression-stressed under
+// TSan in tests/live/live_test.cc).
+//
+// The embedded AbortCell makes cancellation reach a *parked* waiter too:
+// RequestCancel CASes the cell (AbortCell::TryAbort, lock-free) so a task
+// blocked on a CancellableMutex/Semaphore or the abortable request queue
+// aborts in place instead of waiting for its next polling checkpoint.
 
 #ifndef SRC_LIVE_CANCEL_BOARD_H_
 #define SRC_LIVE_CANCEL_BOARD_H_
@@ -17,6 +31,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "src/common/clock.h"
+#include "src/sync/abort_cell.h"
 
 namespace atropos {
 
@@ -27,25 +44,50 @@ class CancelBoard {
   CancelBoard(const CancelBoard&) = delete;
   CancelBoard& operator=(const CancelBoard&) = delete;
 
-  // Worker side. BeginTask publishes the worker's current task key (clearing
-  // any stale cancel flag first, so a flag raced onto the *previous* task
-  // can never leak into the next one); EndTask retracts it.
+  // Worker side. BeginTask publishes the worker's current task key; EndTask
+  // retracts it. The cancel word is cleared only as hygiene — a stale store
+  // racing BeginTask writes the *previous* key and cannot match the new one.
   void BeginTask(size_t slot, uint64_t key) {
-    slots_[slot].cancel.store(false, std::memory_order_relaxed);
-    slots_[slot].key.store(key, std::memory_order_release);
+    Slot& s = slots_[slot];
+    s.cancel_key.store(0, std::memory_order_seq_cst);
+    s.cancel_time.store(0, std::memory_order_relaxed);
+    s.key.store(key, std::memory_order_seq_cst);
   }
 
-  void EndTask(size_t slot) { slots_[slot].key.store(0, std::memory_order_release); }
+  void EndTask(size_t slot) { slots_[slot].key.store(0, std::memory_order_seq_cst); }
 
-  // The flag the worker's request handler polls at checkpoints.
-  const std::atomic<bool>& flag(size_t slot) const { return slots_[slot].cancel; }
+  // The keyed signal the worker's request handler polls at checkpoints while
+  // executing task `key` on `slot`.
+  CancelSignal signal(size_t slot, uint64_t key) const {
+    return CancelSignal(&slots_[slot].cancel_key, key);
+  }
+
+  // The worker's reusable park cell — its storage outlives every wait, so
+  // the initiator's lock-free TryAbort never chases freed memory.
+  AbortCell* cell(size_t slot) { return &slots_[slot].cell; }
+
+  // RunClock stamp of the cancel order currently delivered to `slot` (0 when
+  // none); the worker reads it after observing the cancellation to measure
+  // cancel-to-release latency.
+  TimeMicros cancel_time(size_t slot) const {
+    return slots_[slot].cancel_time.load(std::memory_order_relaxed);
+  }
 
   // Initiator side (safe from the Atropos control loop): a bounded scan of
-  // atomic loads plus one store. Returns true if the key was found in-flight.
-  bool RequestCancel(uint64_t key) {
+  // atomic loads, two stores, and one CAS. Returns true if the key was found
+  // in-flight. `now` (optional) timestamps the order for the cancel-to-release
+  // measurement.
+  bool RequestCancel(uint64_t key, TimeMicros now = 0) {
     for (Slot& s : slots_) {
-      if (s.key.load(std::memory_order_acquire) == key) {
-        s.cancel.store(true, std::memory_order_release);
+      if (s.key.load(std::memory_order_seq_cst) == key) {
+        // Stamp before the word: the worker only reads the stamp after it
+        // observed the cancellation.
+        s.cancel_time.store(now, std::memory_order_relaxed);
+        s.cancel_key.store(key, std::memory_order_seq_cst);
+        // Abort the wait the worker may be parked in right now. A miss is
+        // fine: the Dekker pairing in abort_cell.h guarantees a waiter that
+        // published after our store sees the cancel word before parking.
+        s.cell.TryAbort(key);
         delivered_.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
@@ -54,20 +96,23 @@ class CancelBoard {
     return false;
   }
 
-  // Shutdown: raise every occupied slot's flag so long-running handlers
-  // abort at their next checkpoint and the worker pool joins promptly.
+  // Shutdown: raise every occupied slot's cancel word (and abort its parked
+  // wait) so long-running handlers abort promptly and the pool joins.
   void RequestCancelAll() {
     for (Slot& s : slots_) {
-      if (s.key.load(std::memory_order_acquire) != 0) {
-        s.cancel.store(true, std::memory_order_release);
+      const uint64_t key = s.key.load(std::memory_order_seq_cst);
+      if (key != 0) {
+        s.cancel_key.store(key, std::memory_order_seq_cst);
+        s.cell.TryAbort(key);
       }
     }
   }
 
   uint64_t delivered() const { return delivered_.load(std::memory_order_relaxed); }
   // Cancel orders whose task was no longer (or not yet) on a worker: it
-  // already completed, or was still queued. Queued tasks are shed by the
-  // server at shutdown; mid-run misses simply mean the overload resolved.
+  // already completed, or was still queued. Still-queued tasks are handled by
+  // the server's abortable queue (LiveServer::DeliverCancel falls through to
+  // it); mid-run misses on completed tasks mean the overload resolved.
   uint64_t missed() const { return missed_.load(std::memory_order_relaxed); }
 
  private:
@@ -75,7 +120,9 @@ class CancelBoard {
     // One cache line per slot: the initiator's scan must not false-share
     // with the hot worker-side BeginTask/EndTask stores.
     alignas(64) std::atomic<uint64_t> key{0};
-    std::atomic<bool> cancel{false};
+    std::atomic<uint64_t> cancel_key{0};
+    std::atomic<TimeMicros> cancel_time{0};
+    AbortCell cell;
   };
 
   std::vector<Slot> slots_;

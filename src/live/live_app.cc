@@ -31,23 +31,23 @@ std::string_view LiveMiniWeb::RequestTypeName(int type) const {
   }
 }
 
-LiveOutcome LiveMiniWeb::Execute(const LiveRequest& req, const std::atomic<bool>& cancel) {
+LiveOutcome LiveMiniWeb::Execute(const LiveRequest& req, const WaitContext& ctx) {
   if (req.type == culprit_type()) {
-    return RunScript(req, cancel);
+    return RunScript(req, ctx);
   }
   SleepMicros(options_.static_cost);
   return LiveOutcome::kOk;
 }
 
-LiveOutcome LiveMiniWeb::RunScript(const LiveRequest& req, const std::atomic<bool>& cancel) {
+LiveOutcome LiveMiniWeb::RunScript(const LiveRequest& req, const WaitContext& ctx) {
   // A PHP-style handler: options_.script_cost of wall-clock work in slices,
-  // polling the thread-cancellation flag between slices (§5.2's thread-level
+  // polling the keyed cancel signal between slices (§5.2's thread-level
   // cancel) and reporting GetNext-style progress (§3.4).
   const TimeMicros total = req.arg != 0 ? req.arg : options_.script_cost;
   TimeMicros done = 0;
   LiveOutcome out = LiveOutcome::kOk;
   while (done < total) {
-    if (cancel.load(std::memory_order_acquire)) {
+    if (ctx.signal.Raised()) {
       out = LiveOutcome::kCancelled;
       break;
     }
@@ -72,50 +72,76 @@ std::string_view LiveMiniKv::RequestTypeName(int type) const {
   }
 }
 
-LiveOutcome LiveMiniKv::Execute(const LiveRequest& req, const std::atomic<bool>& cancel) {
+LiveOutcome LiveMiniKv::Execute(const LiveRequest& req, const WaitContext& ctx) {
   if (req.type == culprit_type()) {
-    return RangeRead(req, cancel);
+    return RangeRead(req, ctx);
   }
-  return PointOp(req);
+  return PointOp(req, ctx);
 }
 
-LiveOutcome LiveMiniKv::PointOp(const LiveRequest& req) {
+LiveOutcome LiveMiniKv::PointOp(const LiveRequest& req, const WaitContext& ctx) {
   // Bracketing the acquisition (slowByResourceBegin/End) makes the stall
   // visible to the estimator *while* the op is convoyed behind a long range
   // read — the in-progress-wait extension the capi header motivates.
   slowByResourceBegin(CApiResourceType::LOCK);
-  std::unique_lock<std::mutex> lock(keyspace_mu_);
+  // With a cell the wait is abortable in place; without one (checkpoint-
+  // polling baseline) the signal is withheld too, reproducing the old
+  // uninterruptible std::mutex exactly — a point op never polled it.
+  const SyncOutcome got = keyspace_mu_.Acquire(
+      req.key, ctx.cell, ctx.cell != nullptr ? &ctx.signal : nullptr);
   slowByResourceEnd(CApiResourceType::LOCK);
+  if (got == SyncOutcome::kCancelled) {
+    return LiveOutcome::kCancelled;
+  }
   getResource(1, CApiResourceType::LOCK);
   SleepMicros(options_.point_op_cost);
   freeResource(1, CApiResourceType::LOCK);
+  keyspace_mu_.Release();
   return LiveOutcome::kOk;
 }
 
-LiveOutcome LiveMiniKv::RangeRead(const LiveRequest& req, const std::atomic<bool>& cancel) {
+LiveOutcome LiveMiniKv::RangeRead(const LiveRequest& req, const WaitContext& ctx) {
   const uint64_t span = req.arg != 0 ? req.arg : options_.default_range_span;
-  slowByResourceBegin(CApiResourceType::LOCK);
-  std::unique_lock<std::mutex> lock(keyspace_mu_);
-  slowByResourceEnd(CApiResourceType::LOCK);
-  getResource(1, CApiResourceType::LOCK);
-  // Scan in batches while holding the keyspace lock — the c16 convoy. Each
-  // batch boundary is a cancellation checkpoint; an aborted scan releases
-  // the lock within one batch, which is exactly the mitigation the paper's
-  // targeted cancellation buys.
+  // Keys scanned per lock hold: the whole span by default, or a yield chunk
+  // when the scan periodically releases the lock (scan_yield_every).
+  const uint64_t chunk_keys = options_.scan_yield_every == 0
+                                  ? span
+                                  : options_.scan_yield_every * options_.scan_batch;
   uint64_t scanned = 0;
-  LiveOutcome out = LiveOutcome::kOk;
   while (scanned < span) {
-    if (cancel.load(std::memory_order_acquire)) {
-      out = LiveOutcome::kCancelled;
-      break;
+    slowByResourceBegin(CApiResourceType::LOCK);
+    const SyncOutcome got = keyspace_mu_.Acquire(
+        req.key, ctx.cell, ctx.cell != nullptr ? &ctx.signal : nullptr);
+    slowByResourceEnd(CApiResourceType::LOCK);
+    if (got == SyncOutcome::kCancelled) {
+      // Aborted in place while parked (initial acquire or a re-acquire after
+      // a yield): the scan leaves the lock queue without ever holding it.
+      return LiveOutcome::kCancelled;
     }
-    const uint64_t batch = std::min<uint64_t>(options_.scan_batch, span - scanned);
-    SleepMicros(batch * options_.scan_cost_per_key);
-    scanned += batch;
-    reportProgress(scanned, span);
+    getResource(1, CApiResourceType::LOCK);
+    // Scan in batches while holding the keyspace lock — the c16 convoy. Each
+    // batch boundary is a cancellation checkpoint; an aborted scan releases
+    // the lock within one batch, which is exactly the mitigation the paper's
+    // targeted cancellation buys.
+    const uint64_t chunk_end = std::min<uint64_t>(span, scanned + chunk_keys);
+    LiveOutcome out = LiveOutcome::kOk;
+    while (scanned < chunk_end) {
+      if (ctx.signal.Raised()) {
+        out = LiveOutcome::kCancelled;
+        break;
+      }
+      const uint64_t batch = std::min<uint64_t>(options_.scan_batch, chunk_end - scanned);
+      SleepMicros(batch * options_.scan_cost_per_key);
+      scanned += batch;
+      reportProgress(scanned, span);
+    }
+    freeResource(1, CApiResourceType::LOCK);
+    keyspace_mu_.Release();
+    if (out != LiveOutcome::kOk) {
+      return out;
+    }
   }
-  freeResource(1, CApiResourceType::LOCK);
-  return out;
+  return LiveOutcome::kOk;
 }
 
 }  // namespace atropos

@@ -3,11 +3,19 @@
 //
 // Each handler executes synchronously on a worker thread, burning genuine
 // wall-clock time and contending on genuine synchronization (minikv's
-// keyspace lock is a real std::mutex). Instrumentation goes through the
+// keyspace lock is a real CancellableMutex). Instrumentation goes through the
 // paper's C API exactly as an integrated application's would: the worker
 // establishes the thread's current cancellable before calling Execute, so
 // getResource / freeResource / slowByResourceBegin/End / reportProgress
 // attribute to the right task via thread identity (paper §3.2).
+//
+// Cancellation reaches a handler through its WaitContext two ways:
+//   - the keyed CancelSignal, polled at checkpoints (§2.4 cooperative
+//     pattern) — always available;
+//   - the worker's AbortCell, which lets the initiator abort a wait *parked*
+//     inside the keyspace lock in place (DESIGN.md §16). A null cell is the
+//     checkpoint-polling baseline: lock waits are uninterruptible and a
+//     cancelled waiter still acquires before it can notice the order.
 //
 // Request type enum values and names deliberately match the simulator apps
 // (MiniWebRequestType / MiniKvRequestType, "static"/"script",
@@ -17,13 +25,13 @@
 #ifndef SRC_LIVE_LIVE_APP_H_
 #define SRC_LIVE_LIVE_APP_H_
 
-#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string_view>
 
 #include "src/common/clock.h"
 #include "src/live/live_request.h"
+#include "src/sync/abort_cell.h"
+#include "src/sync/cancellable_mutex.h"
 
 namespace atropos {
 
@@ -37,10 +45,15 @@ class LiveApp {
   virtual int victim_type() const = 0;
   virtual int culprit_type() const = 0;
 
-  // Runs the request to completion on the calling worker thread. `cancel` is
-  // the worker's CancelBoard flag; long handlers poll it at checkpoints and
-  // return kCancelled when it is raised.
-  virtual LiveOutcome Execute(const LiveRequest& req, const std::atomic<bool>& cancel) = 0;
+  // Runs the request to completion on the calling worker thread. `ctx`
+  // carries the keyed cancel signal (polled at checkpoints) and, when the
+  // abortable sync layer is enabled, the worker's park cell.
+  virtual LiveOutcome Execute(const LiveRequest& req, const WaitContext& ctx) = 0;
+
+  // Lock waits the app's substrate aborted in place (0 for apps without an
+  // abortable lock). Under a convoy this is the count of cancelled waiters
+  // that left the keyspace queue without ever acquiring.
+  virtual uint64_t aborted_lock_waits() const { return 0; }
 };
 
 // Apache MaxClients analogue (sim case c9): fast static serves vs. scripts
@@ -62,23 +75,32 @@ class LiveMiniWeb final : public LiveApp {
   int victim_type() const override { return 0; }   // kWebStatic
   int culprit_type() const override { return 1; }  // kWebScript
 
-  LiveOutcome Execute(const LiveRequest& req, const std::atomic<bool>& cancel) override;
+  LiveOutcome Execute(const LiveRequest& req, const WaitContext& ctx) override;
 
  private:
-  LiveOutcome RunScript(const LiveRequest& req, const std::atomic<bool>& cancel);
+  LiveOutcome RunScript(const LiveRequest& req, const WaitContext& ctx);
 
   LiveMiniWebOptions options_;
 };
 
 // etcd keyspace-lock analogue (sim case c16): point ops and large range
 // reads serialize on one real mutex. A range read holds it for seconds,
-// convoying every point op behind it; cancellation releases the lock at the
-// next scan-batch checkpoint.
+// convoying every point op behind it; with the abortable lock a cancelled
+// waiter aborts in place, without it cancellation takes effect only at the
+// holder's next scan-batch checkpoint.
 struct LiveMiniKvOptions {
   TimeMicros point_op_cost = 1000;   // 1 ms under the lock
   TimeMicros scan_cost_per_key = 20;
   uint64_t scan_batch = 200;         // keys per cancellation checkpoint
   uint64_t default_range_span = 50'000;
+  // Batches scanned per lock hold before the scan releases and re-acquires
+  // (the etcd/InnoDB periodic-yield idiom). 0 = hold for the whole scan.
+  // With yielding, concurrent scans spend most of their time *parked* at
+  // re-acquisition, so a cancel aimed at the top culprit usually lands on a
+  // parked waiter — the case in-place abort exists for: under checkpoint
+  // polling that waiter must still climb through the whole convoy before it
+  // can observe the order.
+  uint64_t scan_yield_every = 0;
 };
 
 class LiveMiniKv final : public LiveApp {
@@ -90,14 +112,16 @@ class LiveMiniKv final : public LiveApp {
   int victim_type() const override { return 0; }   // kKvPointOp
   int culprit_type() const override { return 1; }  // kKvRangeRead
 
-  LiveOutcome Execute(const LiveRequest& req, const std::atomic<bool>& cancel) override;
+  LiveOutcome Execute(const LiveRequest& req, const WaitContext& ctx) override;
+
+  uint64_t aborted_lock_waits() const override { return keyspace_mu_.aborted_waits(); }
 
  private:
-  LiveOutcome PointOp(const LiveRequest& req);
-  LiveOutcome RangeRead(const LiveRequest& req, const std::atomic<bool>& cancel);
+  LiveOutcome PointOp(const LiveRequest& req, const WaitContext& ctx);
+  LiveOutcome RangeRead(const LiveRequest& req, const WaitContext& ctx);
 
   LiveMiniKvOptions options_;
-  std::mutex keyspace_mu_;  // the real keyspace lock workers contend on
+  CancellableMutex keyspace_mu_;  // the real keyspace lock workers contend on
 };
 
 }  // namespace atropos

@@ -37,12 +37,15 @@ LiveRunResult RunLiveScenario(const LiveScenario& scenario, const LiveRunOptions
   sopt.workers = scenario.workers;
   sopt.queue_capacity = scenario.queue_capacity;
   sopt.measure_start = scenario.warmup;
+  sopt.abortable_sync = options.abortable_sync;
   LiveServer server(&frontend, &clock, app.get(), sopt);
 
-  // The cancellation initiator the drainer invokes: a bounded scan of atomic
-  // slots (cancel-action-safety: no blocking, no allocation).
-  CancelBoard* board = &server.board();
-  frontend.runtime().SetCancelAction([board](uint64_t key) { board->RequestCancel(key); });
+  // The cancellation initiator the drainer invokes: DeliverCancel is a
+  // bounded scan of atomic slots — board first (aborting a parked wait in
+  // place), then the queue (cancelling a still-queued task in its slot).
+  // Cancel-action-safety: no blocking, no allocation on any path.
+  LiveServer* server_ptr = &server;
+  frontend.runtime().SetCancelAction([server_ptr](uint64_t key) { server_ptr->DeliverCancel(key); });
 
   LiveApp* app_raw = app.get();
   frontend.runtime().SetCancelObserver([&recorder, app_raw](uint64_t key, double /*score*/) {
@@ -95,8 +98,13 @@ LiveRunResult RunLiveScenario(const LiveScenario& scenario, const LiveRunOptions
   result.by_type = server.stats_by_type();
   result.arrivals = gen.arrivals();
   result.shed = server.shed();
-  result.cancels_delivered = board->delivered();
-  result.cancels_missed = board->missed();
+  result.cancels_delivered = server.board().delivered();
+  result.cancels_missed = server.board().missed();
+  result.lock_waits_aborted = app->aborted_lock_waits();
+  result.queued_cancelled = server.queued_cancelled();
+  result.cancel_to_release_count = server.cancel_to_release().count();
+  result.cancel_to_release_p50 = server.cancel_to_release().P50();
+  result.cancel_to_release_p99 = server.cancel_to_release().P99();
 
   const int victim = app->victim_type();
   const int culprit = app->culprit_type();

@@ -35,6 +35,10 @@ struct LiveRunOptions {
   // Overrides scenario.config.cancellation_enabled — the Fig-14-style pair of
   // runs (tracing on, actions on/off) that the CLI prints side by side.
   bool cancellation_enabled = true;
+  // Abortable synchronization (DESIGN.md §16): cancellation aborts parked
+  // lock/queue waiters in place. Off = checkpoint-polling baseline, where a
+  // cancelled waiter still acquires before it can observe the order.
+  bool abortable_sync = true;
 };
 
 struct LiveRunResult {
@@ -53,6 +57,15 @@ struct LiveRunResult {
   // Cancellation delivery accounting (board-side).
   uint64_t cancels_delivered = 0;
   uint64_t cancels_missed = 0;
+  // In-place abort accounting (DESIGN.md §16). Lock waits the app's substrate
+  // aborted without the waiter ever acquiring; tasks cancelled while still
+  // queued (never executed); and the RequestCancel-to-handler-return latency
+  // distribution for delivered cancellations.
+  uint64_t lock_waits_aborted = 0;
+  uint64_t queued_cancelled = 0;
+  uint64_t cancel_to_release_count = 0;
+  TimeMicros cancel_to_release_p50 = 0;
+  TimeMicros cancel_to_release_p99 = 0;
 
   AtroposStats stats;                     // wrapped runtime, after final Tick
   ConcurrentFrontend::IntakeStats intake; // ring totals, after final Tick

@@ -1,6 +1,7 @@
 #include "src/live/live_server.h"
 
 #include <chrono>
+#include <cstdio>
 
 #include "src/atropos/capi.h"
 
@@ -18,58 +19,74 @@ LiveServer::LiveServer(ConcurrentFrontend* frontend, Clock* clock, LiveApp* app,
       // sees the thread pool the way case c9's simulator does.
       queue_resource_(CApiDefaultResource(CApiResourceType::QUEUE)),
       board_(options.workers),
+      queue_(options.queue_capacity),
       worker_stats_(options.workers) {}
 
 LiveServer::~LiveServer() { Stop(); }
 
-void LiveServer::Start() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (started_) {
-      return;
-    }
-    started_ = true;
+bool LiveServer::Start() {
+  State expected = State::kNew;
+  if (!state_.compare_exchange_strong(expected, State::kRunning)) {
+    // Fail loudly: the old lifecycle silently no-opped here, leaving callers
+    // running against a server with no workers.
+    std::fprintf(stderr, "LiveServer::Start: server %s; construct a new one to run again\n",
+                 expected == State::kRunning ? "is already running" : "was already stopped");
+    return false;
   }
   workers_.reserve(options_.workers);
   for (size_t slot = 0; slot < options_.workers; slot++) {
     workers_.emplace_back([this, slot] { WorkerLoop(slot); });
   }
+  return true;
 }
 
 bool LiveServer::Submit(LiveRequest req) {
   req.enqueued = clock_->NowMicros();
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (!started_ || stopping_ || queue_.size() >= options_.queue_capacity) {
-      shed_.fetch_add(1, std::memory_order_relaxed);
-      return false;
-    }
-    // Emitted under the queue mutex, before the request is visible to any
-    // worker: the worker's OnWaitEnd stamp can only be later.
-    frontend_->OnTaskRegistered(req.key, /*background=*/false);
-    frontend_->OnRequestStart(req.key, req.type, req.client_class);
-    frontend_->OnWaitBegin(req.key, queue_resource_);
-    queue_.push_back(req);
+  if (state_.load(std::memory_order_acquire) != State::kRunning) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
   }
-  queue_cv_.notify_one();
-  return true;
+  const uint64_t key = req.key;
+  const int type = req.type;
+  const int client_class = req.client_class;
+  // The events are emitted by the under-lock hook: inside the queue mutex,
+  // after the slot is filled but before any worker can pop it, so the
+  // worker's OnWaitEnd stamp can only be later.
+  const bool accepted = queue_.Push(req, key, [this, key, type, client_class] {
+    frontend_->OnTaskRegistered(key, /*background=*/false);
+    frontend_->OnRequestStart(key, type, client_class);
+    frontend_->OnWaitBegin(key, queue_resource_);
+  });
+  if (!accepted) {
+    // Queue full, or Stop closed it between the state check and the push.
+    shed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return accepted;
+}
+
+bool LiveServer::DeliverCancel(uint64_t key) {
+  if (board_.RequestCancel(key, clock_->NowMicros())) {
+    return true;
+  }
+  return queue_.AbortKey(key);
 }
 
 void LiveServer::WorkerLoop(size_t slot) {
   WorkerStats* stats = &worker_stats_[slot];
   while (true) {
-    LiveRequest req;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_) {
-        // Anything still queued is drained and shed by Stop().
-        return;
-      }
-      req = queue_.front();
-      queue_.pop_front();
+    AbortableQueue<LiveRequest>::Popped popped = queue_.Pop();
+    if (popped.status == AbortableQueue<LiveRequest>::PopStatus::kClosed) {
+      return;  // anything still queued is drained and shed by Stop()
     }
+    LiveRequest req = std::move(popped.item);
     frontend_->OnWaitEnd(req.key, queue_resource_);
+    if (popped.status == AbortableQueue<LiveRequest>::PopStatus::kAborted) {
+      // Cancelled in place while still queued: the queue wait was this task's
+      // first and only blocking point, and it never executes.
+      stats->queued_cancelled++;
+      FinishRequest(req, LiveOutcome::kCancelled, stats, /*cancel_at=*/0);
+      continue;
+    }
     board_.BeginTask(slot, req.key);
     LiveOutcome out;
     {
@@ -79,15 +96,22 @@ void LiveServer::WorkerLoop(size_t slot) {
       Cancellable handle{req.key};
       CancellableScope scope(&handle);
       getResource(1, CApiResourceType::QUEUE);  // holding one worker
-      out = app_->Execute(req, board_.flag(slot));
+      WaitContext ctx;
+      ctx.signal = board_.signal(slot, req.key);
+      ctx.cell = options_.abortable_sync ? board_.cell(slot) : nullptr;
+      out = app_->Execute(req, ctx);
       freeResource(1, CApiResourceType::QUEUE);
     }
+    // Read the order stamp before EndTask: it belongs to this task's slot
+    // occupancy (BeginTask clears it for the next one).
+    const TimeMicros cancel_at = board_.cancel_time(slot);
     board_.EndTask(slot);
-    FinishRequest(req, out, stats);
+    FinishRequest(req, out, stats, cancel_at);
   }
 }
 
-void LiveServer::FinishRequest(const LiveRequest& req, LiveOutcome out, WorkerStats* stats) {
+void LiveServer::FinishRequest(const LiveRequest& req, LiveOutcome out, WorkerStats* stats,
+                               TimeMicros cancel_at) {
   const TimeMicros now = clock_->NowMicros();
   const TimeMicros latency = now >= req.enqueued ? now - req.enqueued : 0;
   frontend_->OnRequestEnd(req.key, latency, req.type, req.client_class);
@@ -100,10 +124,17 @@ void LiveServer::FinishRequest(const LiveRequest& req, LiveOutcome out, WorkerSt
     }
     return;
   }
-  if (now >= options_.measure_start) {
+  // Measurement-window membership is decided by when the request was
+  // *admitted*: gating on completion time biased the warmup boundary toward
+  // slow requests (fast warmup requests finished before measure_start and
+  // were dropped; slow ones leaked in).
+  if (req.enqueued >= options_.measure_start) {
     LiveTypeStats& ts = stats->by_type[req.type];
     if (out == LiveOutcome::kCancelled) {
       ts.cancelled++;
+      if (cancel_at > 0 && now >= cancel_at) {
+        stats->cancel_to_release.Record(now - cancel_at);
+      }
     } else {
       ts.completed++;
       ts.latency.Record(latency);
@@ -115,22 +146,18 @@ void LiveServer::FinishRequest(const LiveRequest& req, LiveOutcome out, WorkerSt
 }
 
 void LiveServer::Stop() {
-  std::vector<LiveRequest> drained;
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (!started_ || stopping_) {
-      return;
-    }
-    stopping_ = true;
-    drained.assign(queue_.begin(), queue_.end());
-    queue_.clear();
+  State expected = State::kRunning;
+  if (!state_.compare_exchange_strong(expected, State::kStopped)) {
+    // Never started, or a previous Stop already ran (and merged the stats).
+    return;
   }
-  queue_cv_.notify_all();
-  // Abort in-flight handlers at their next checkpoint so join is prompt. A
-  // worker can be between popping a request and publishing it on the board;
-  // the second sweep after a grace period closes that window.
   aborting_.store(true, std::memory_order_release);
+  // Abort in-flight handlers — at their next checkpoint, or immediately if
+  // parked in an abortable wait — so join is prompt. A worker can be between
+  // popping a request and publishing it on the board; the second sweep after
+  // a grace period closes that window.
   board_.RequestCancelAll();
+  std::vector<LiveRequest> drained = queue_.CloseAndDrain();
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   board_.RequestCancelAll();
   for (std::thread& w : workers_) {
@@ -159,6 +186,8 @@ void LiveServer::Stop() {
       dst.cancelled += s.cancelled;
       dst.latency.Merge(s.latency);
     }
+    cancel_to_release_.Merge(ws.cancel_to_release);
+    queued_cancelled_ += ws.queued_cancelled;
   }
 }
 

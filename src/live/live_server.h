@@ -1,13 +1,19 @@
 // LiveServer: a bounded request queue served by real OS worker threads, with
 // per-worker Atropos instrumentation through the C API.
 //
-// Threading model (documented in DESIGN.md §14):
+// Threading model (documented in DESIGN.md §14/§16):
 //
-//   load generator threads ──Submit()──► bounded queue ──► worker 0..N-1
+//   load generator threads ──Submit()──► AbortableQueue ──► worker 0..N-1
 //                                                             │
 //        per-thread SPSC rings (ConcurrentFrontend) ◄─────────┘ capi tracing
 //                                                             │
 //        CancelBoard slot[i] ◄── Atropos drainer's cancel initiator
+//
+// Cancellation (DeliverCancel, the registered initiator) is delivered three
+// ways, all lock-free from the initiator: the board's keyed cancel word
+// (polled at handler checkpoints), the board's AbortCell (aborts a wait
+// parked inside an abortable primitive in place), and the queue's slot mark
+// (a still-queued task is completed as cancelled without executing).
 //
 // Event ordering contract: Submit emits OnTaskRegistered / OnRequestStart /
 // OnWaitBegin(queue) on the *submitting* thread before the request becomes
@@ -17,17 +23,19 @@
 //
 // Every accepted request is signalled exactly once: at completion, at
 // cancellation, or as kShed when Stop() drains the queue. Submit on a full
-// queue (or after Stop) rejects immediately without emitting any events —
-// the MaxClients listen-backlog overflowing.
+// queue (or on a server that is not running) rejects immediately without
+// emitting any events — the MaxClients listen-backlog overflowing.
+//
+// Lifecycle: kNew → Start() → kRunning → Stop() → kStopped, one way. Start
+// on anything but kNew fails loudly (returns false, logs to stderr); Stop is
+// idempotent and merges worker stats exactly once.
 
 #ifndef SRC_LIVE_LIVE_SERVER_H_
 #define SRC_LIVE_LIVE_SERVER_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -36,14 +44,21 @@
 #include "src/live/cancel_board.h"
 #include "src/live/live_app.h"
 #include "src/live/live_request.h"
+#include "src/sync/abortable_queue.h"
 
 namespace atropos {
 
 struct LiveServerOptions {
   size_t workers = 8;
   size_t queue_capacity = 512;
-  // Completions before this RunClock time are warmup and excluded from stats.
+  // Requests enqueued before this RunClock time are warmup and excluded from
+  // stats (classified by admission, not completion — a slow request admitted
+  // during warmup must not leak into the measured window).
   TimeMicros measure_start = 0;
+  // Hand workers' AbortCells to the app so cancellation aborts parked lock
+  // waits in place. Off = the checkpoint-polling baseline the bench compares
+  // against.
+  bool abortable_sync = true;
 };
 
 // Per-request-type outcome accounting over the measured window.
@@ -62,14 +77,22 @@ class LiveServer {
   LiveServer(const LiveServer&) = delete;
   LiveServer& operator=(const LiveServer&) = delete;
 
-  void Start();
+  // False (with a stderr diagnostic) if the server already ran: the lifecycle
+  // is one-way, construct a new server to run again.
+  bool Start();
 
   // Any load-generator thread. False = shed (queue full or server stopped);
   // the caller must not expect a waiter signal in that case.
   bool Submit(LiveRequest req);
 
+  // Cancellation initiator entry point (registered as the runtime's cancel
+  // action): board first — covering the executing task and any wait it is
+  // parked in — then the queue, cancelling a still-queued task in its slot.
+  // Lock-free and allocation-free on every path.
+  bool DeliverCancel(uint64_t key);
+
   // Cancels in-flight work, drains and sheds the queue (signalling every
-  // parked waiter), and joins the workers. Idempotent.
+  // parked waiter), and joins the workers. Idempotent; merges stats once.
   void Stop();
 
   CancelBoard& board() { return board_; }
@@ -77,14 +100,24 @@ class LiveServer {
   // Post-Stop accessors (worker stats are merged by Stop).
   const std::map<int, LiveTypeStats>& stats_by_type() const { return merged_; }
   uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  // Tasks cancelled in place while still queued (never executed).
+  uint64_t queued_cancelled() const { return queued_cancelled_; }
+  // RequestCancel-to-handler-return latency for cancellations delivered to an
+  // executing task: the paper's cancel-to-release collapse measurement.
+  const LatencyHistogram& cancel_to_release() const { return cancel_to_release_; }
 
  private:
+  enum class State : uint32_t { kNew = 0, kRunning = 1, kStopped = 2 };
+
   struct WorkerStats {
     std::map<int, LiveTypeStats> by_type;
+    LatencyHistogram cancel_to_release;
+    uint64_t queued_cancelled = 0;
   };
 
   void WorkerLoop(size_t slot);
-  void FinishRequest(const LiveRequest& req, LiveOutcome out, WorkerStats* stats);
+  void FinishRequest(const LiveRequest& req, LiveOutcome out, WorkerStats* stats,
+                     TimeMicros cancel_at);
 
   ConcurrentFrontend* frontend_;
   Clock* clock_;
@@ -93,14 +126,11 @@ class LiveServer {
   ResourceId queue_resource_;
 
   CancelBoard board_;
+  AbortableQueue<LiveRequest> queue_;
   std::vector<std::thread> workers_;
   std::vector<WorkerStats> worker_stats_;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<LiveRequest> queue_;
-  bool stopping_ = false;
-  bool started_ = false;
+  std::atomic<State> state_{State::kNew};
 
   std::atomic<uint64_t> shed_{0};
   // Set by Stop() before it raises every board flag: handlers aborted by the
@@ -108,6 +138,8 @@ class LiveServer {
   // toward the cancelled stats.
   std::atomic<bool> aborting_{false};
   std::map<int, LiveTypeStats> merged_;
+  LatencyHistogram cancel_to_release_;
+  uint64_t queued_cancelled_ = 0;
 };
 
 }  // namespace atropos

@@ -109,14 +109,22 @@ LiveScenario MakeScenario(LiveScenarioKind kind, size_t workers, TimeMicros dura
       victims.qps = 200 * load_scale;
       clients.type = 0;
       // Range reads spanning 100k keys hold the real keyspace mutex for ~2 s
-      // each (scan_cost_per_key = 20 µs).
+      // each (scan_cost_per_key = 20 µs). The arrival rate is set well above
+      // one scan per hold time so a convoy of parked scans forms behind the
+      // holder — the predicted-gain policy then cancels *parked* culprits
+      // (their whole future hold is the gain), which is what exercises the
+      // in-place waiter abort against the checkpoint-polling baseline.
       OpenLoopSpec scans;
       scans.type = 1;  // range_read
-      scans.qps = 0.4;
+      scans.qps = 2.0;
       scans.arg = 100'000;
       scans.client_class = 1;
       scans.start = inject_at;
       s.open_streams.push_back(scans);
+      // Scans yield the lock every 5 batches (1k keys ≈ 20 ms per hold):
+      // concurrent scans rotate through the lock, so the top culprit is
+      // usually parked at re-acquisition when its cancel arrives.
+      s.kv_options.scan_yield_every = 5;
       break;
     }
   }

@@ -1,0 +1,225 @@
+// AbortCell: the rendezvous between a thread parked inside an abortable
+// synchronization primitive and a cancellation initiator that must never
+// block (paper §3.6, atropos_lint cancel-action-safety).
+//
+// The cell is the CQS "cell" specialized to one wait per owner: a worker
+// thread parks on at most one primitive at a time, so the live CancelBoard
+// embeds one reusable cell per worker slot and the cell's storage outlives
+// every wait it hosts (no allocation, no dangling pointers from the
+// initiator's side).
+//
+// Linearization: the cell's state word is the single CAS point between grant
+// and cancel. The grantor CASes kWaiting -> kGranted under the primitive's
+// internal mutex; the initiator CASes kWaiting -> kCancelled lock-free.
+// Exactly one wins, so a cancelled waiter can never acquire and a granted
+// waiter can never be half-cancelled.
+//
+// Lost-wakeup freedom is the Dekker pairing on seq_cst operations:
+//
+//   waiter:     publish wait_key --------- then load cancel word (CancelSignal)
+//   initiator:  store cancel word -------- then load wait_key (TryAbort)
+//
+// In the seq_cst total order at least one side observes the other: either
+// TryAbort sees the published wait_key and CASes the cell, or the waiter's
+// post-publish signal check sees the cancel word and self-aborts before
+// parking. Parking itself is futex-style (std::atomic::wait on the state
+// word), so there is no separate predicate/sleep window to race with.
+
+#ifndef SRC_SYNC_ABORT_CELL_H_
+#define SRC_SYNC_ABORT_CELL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace atropos {
+
+// The cancellation word a request handler polls at checkpoints. The initiator
+// stores *the key it intends to cancel* into the word; the signal compares it
+// against its own task's key, so a store aimed at a previous task can never
+// read as a cancellation of the current one (the keyed-delivery fix for the
+// CancelBoard's clear-then-publish race).
+class CancelSignal {
+ public:
+  CancelSignal() = default;
+  CancelSignal(const std::atomic<uint64_t>* word, uint64_t key) : word_(word), key_(key) {}
+
+  bool Raised() const {
+    return word_ != nullptr && word_->load(std::memory_order_seq_cst) == key_;
+  }
+  uint64_t key() const { return key_; }
+
+ private:
+  const std::atomic<uint64_t>* word_ = nullptr;
+  uint64_t key_ = 0;
+};
+
+class AbortCell {
+ public:
+  enum State : uint32_t {
+    kIdle = 0,      // not hosting a wait
+    kWaiting = 1,   // parked (or about to park) in a primitive
+    kGranted = 2,   // the primitive handed the resource to this waiter
+    kCancelled = 3  // aborted in place; the waiter must not acquire
+  };
+
+  AbortCell() = default;
+  AbortCell(const AbortCell&) = delete;
+  AbortCell& operator=(const AbortCell&) = delete;
+
+  // ---- waiter side -------------------------------------------------------
+
+  // Arms the cell for one wait on behalf of task `key`. The state must be
+  // kWaiting *before* wait_key publishes: once an initiator can see the key,
+  // its CAS must be able to land.
+  void BeginWait(uint64_t key, uint64_t amount = 1) {
+    amount_ = amount;
+    state_.store(kWaiting, std::memory_order_relaxed);
+    wait_key_.store(key, std::memory_order_seq_cst);
+  }
+
+  // Retracts the cell after the wait resolved (granted, cancelled, or
+  // self-aborted). Retract the key first so a late TryAbort for this key can
+  // no longer CAS a recycled state.
+  void EndWait() {
+    wait_key_.store(0, std::memory_order_seq_cst);
+    state_.store(kIdle, std::memory_order_relaxed);
+  }
+
+  // Futex-style park until the state leaves kWaiting. Every transition out of
+  // kWaiting notifies, so there is no lost-wakeup window.
+  void Park() {
+    uint32_t s = state_.load(std::memory_order_seq_cst);
+    while (s == kWaiting) {
+      state_.wait(kWaiting, std::memory_order_seq_cst);
+      s = state_.load(std::memory_order_seq_cst);
+    }
+  }
+
+  // The waiter observed its own cancel signal between enqueue and park; mark
+  // the cell cancelled. Losing the CAS means the initiator's TryAbort already
+  // did — either way the wait ends cancelled.
+  void CancelSelf() {
+    uint32_t expected = kWaiting;
+    state_.compare_exchange_strong(expected, kCancelled, std::memory_order_seq_cst);
+  }
+
+  // ---- primitive side (called with the primitive's mutex held) -----------
+
+  // Grant the resource to this waiter. False means a concurrent abort won the
+  // cell; the caller must skip it (it never acquires).
+  bool TryGrant() {
+    uint32_t expected = kWaiting;
+    if (state_.compare_exchange_strong(expected, kGranted, std::memory_order_seq_cst)) {
+      state_.notify_all();
+      return true;
+    }
+    return false;
+  }
+
+  // ---- initiator side (lock-free, allocation-free) -----------------------
+
+  // Aborts the wait in place iff the cell is currently hosting a wait for
+  // `key`. The key guard makes a stale abort aimed at a previous wait a
+  // no-op even when the cell has been recycled.
+  bool TryAbort(uint64_t key) {
+    if (key == 0 || wait_key_.load(std::memory_order_seq_cst) != key) {
+      return false;
+    }
+    uint32_t expected = kWaiting;
+    if (state_.compare_exchange_strong(expected, kCancelled, std::memory_order_seq_cst)) {
+      state_.notify_all();
+      return true;
+    }
+    return false;
+  }
+
+  uint32_t state() const { return state_.load(std::memory_order_seq_cst); }
+  uint64_t amount() const { return amount_; }
+
+ private:
+  friend class CellList;
+
+  std::atomic<uint32_t> state_{kIdle};
+  std::atomic<uint64_t> wait_key_{0};
+  uint64_t amount_ = 1;  // semaphore units requested; written before publish
+
+  // Intrusive FIFO links, guarded by the owning primitive's mutex.
+  AbortCell* next_ = nullptr;
+  AbortCell* prev_ = nullptr;
+  void* list_ = nullptr;
+};
+
+// Intrusive FIFO of cells. All operations require the owning primitive's
+// mutex; membership is tracked through the cell's list_ pointer so Remove is
+// idempotent and "is it still linked?" is a field test, not a scan.
+class CellList {
+ public:
+  CellList() = default;
+  CellList(const CellList&) = delete;
+  CellList& operator=(const CellList&) = delete;
+
+  bool empty() const { return head_ == nullptr; }
+  size_t size() const { return size_; }
+  AbortCell* front() const { return head_; }
+  bool Linked(const AbortCell* cell) const { return cell->list_ == this; }
+
+  void PushBack(AbortCell* cell) {
+    cell->list_ = this;
+    cell->next_ = nullptr;
+    cell->prev_ = tail_;
+    if (tail_ != nullptr) {
+      tail_->next_ = cell;
+    } else {
+      head_ = cell;
+    }
+    tail_ = cell;
+    size_++;
+  }
+
+  void Remove(AbortCell* cell) {
+    if (cell->list_ != this) {
+      return;
+    }
+    if (cell->prev_ != nullptr) {
+      cell->prev_->next_ = cell->next_;
+    } else {
+      head_ = cell->next_;
+    }
+    if (cell->next_ != nullptr) {
+      cell->next_->prev_ = cell->prev_;
+    } else {
+      tail_ = cell->prev_;
+    }
+    cell->next_ = nullptr;
+    cell->prev_ = nullptr;
+    cell->list_ = nullptr;
+    size_--;
+  }
+
+  AbortCell* PopFront() {
+    AbortCell* cell = head_;
+    if (cell != nullptr) {
+      Remove(cell);
+    }
+    return cell;
+  }
+
+ private:
+  AbortCell* head_ = nullptr;
+  AbortCell* tail_ = nullptr;
+  size_t size_ = 0;
+};
+
+// Everything a request handler needs to make its blocking points abortable:
+// the keyed cancel signal it polls at checkpoints, and (when the abortable
+// sync layer is enabled) the worker's cell to park on. A null cell means
+// checkpoint-polling only — waits are uninterruptible, the pre-CQS baseline.
+struct WaitContext {
+  CancelSignal signal;
+  AbortCell* cell = nullptr;
+};
+
+}  // namespace atropos
+
+#endif  // SRC_SYNC_ABORT_CELL_H_

@@ -1,0 +1,167 @@
+// AbortableQueue<T>: a bounded FIFO whose *queued* items can be cancelled in
+// place by a lock-free initiator (DESIGN.md §16).
+//
+// The live server's request queue is the first wait a task performs; without
+// in-place abort, cancelling a still-queued task is a miss — the order only
+// takes effect if the overload lasts until a worker dequeues it. Here the
+// initiator marks the item's slot and the dequeuing worker completes it as
+// cancelled without executing it: the queue wait itself became a
+// cancellation point.
+//
+// Delivery uses the same keyed protocol as the CancelBoard: each slot carries
+// the occupant's key and a cancel word; AbortKey stores the key it intends to
+// cancel into the word, and the consumer compares the word against the
+// occupant's key at pop time. A store that lands after the slot was recycled
+// can never match the new occupant's (unique) key, so a stale abort is
+// harmless — no generation counter needed.
+//
+// Locking: one internal mutex for producers/consumers; AbortKey touches only
+// the slots' atomics (safe from the Atropos control loop, lint-clean under
+// cancel-action-safety).
+
+#ifndef SRC_SYNC_ABORTABLE_QUEUE_H_
+#define SRC_SYNC_ABORTABLE_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace atropos {
+
+template <typename T>
+class AbortableQueue {
+ public:
+  enum class PopStatus {
+    kItem = 0,     // a live item; execute it
+    kAborted = 1,  // cancelled while queued; complete without executing
+    kClosed = 2,   // queue closed and drained; consumer should exit
+  };
+
+  struct Popped {
+    PopStatus status = PopStatus::kClosed;
+    T item{};
+  };
+
+  explicit AbortableQueue(size_t capacity) : slots_(capacity) {}
+
+  AbortableQueue(const AbortableQueue&) = delete;
+  AbortableQueue& operator=(const AbortableQueue&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  bool Push(T item, uint64_t key) {
+    return Push(std::move(item), key, [] {});
+  }
+
+  // Producer. False when full or closed (the caller sheds). `under_lock` runs
+  // while the queue mutex is held, after the slot is filled but before any
+  // consumer can observe the item — the hook the live server uses to emit its
+  // lifecycle events strictly before the request becomes visible.
+  template <typename Fn>
+  bool Push(T item, uint64_t key, Fn&& under_lock) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_ || count_ == slots_.size()) {
+      return false;
+    }
+    Slot& s = slots_[tail_ % slots_.size()];
+    s.item = std::move(item);
+    s.cancel_key.store(0, std::memory_order_relaxed);
+    s.key.store(key, std::memory_order_seq_cst);
+    tail_++;
+    count_++;
+    under_lock();
+    cv_.notify_one();
+    return true;
+  }
+
+  // Consumer; blocks until an item arrives or the queue closes.
+  Popped Pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return closed_ || count_ > 0; });
+    if (count_ == 0) {
+      return Popped{};  // closed and drained
+    }
+    return PopLocked();
+  }
+
+  // Initiator side: lock-free, allocation-free scan marking the queued item
+  // with `key` cancelled in place. False if the key is not currently queued.
+  bool AbortKey(uint64_t key) {
+    if (key == 0) {
+      return false;
+    }
+    for (Slot& s : slots_) {
+      if (s.key.load(std::memory_order_seq_cst) == key) {
+        s.cancel_key.store(key, std::memory_order_seq_cst);
+        aborted_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Shutdown: rejects further pushes, returns everything still queued
+  // (including aborted items — the caller sheds them all), and wakes every
+  // parked consumer so Pop returns kClosed.
+  std::vector<T> CloseAndDrain() {
+    std::vector<T> drained;
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+    drained.reserve(count_);
+    while (count_ > 0) {
+      drained.push_back(std::move(PopLocked().item));
+    }
+    cv_.notify_all();
+    return drained;
+  }
+
+  size_t size() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return count_;
+  }
+
+  // Items marked cancelled while queued (delivery count; a mark can still be
+  // superseded by shutdown draining the item as shed).
+  uint64_t aborted_in_queue() const { return aborted_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Slot {
+    // The initiator scans keys while producers/consumers churn neighbouring
+    // slots; keep each slot's atomics on their own line.
+    alignas(64) std::atomic<uint64_t> key{0};
+    std::atomic<uint64_t> cancel_key{0};
+    T item{};
+  };
+
+  Popped PopLocked() {
+    Slot& s = slots_[head_ % slots_.size()];
+    Popped out;
+    out.item = std::move(s.item);
+    const uint64_t key = s.key.load(std::memory_order_relaxed);
+    out.status = s.cancel_key.load(std::memory_order_seq_cst) == key && key != 0
+                     ? PopStatus::kAborted
+                     : PopStatus::kItem;
+    s.key.store(0, std::memory_order_seq_cst);
+    head_++;
+    count_--;
+    return out;
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  size_t head_ = 0;   // next slot to pop (mod capacity)
+  size_t tail_ = 0;   // next slot to fill (mod capacity)
+  size_t count_ = 0;  // occupied slots
+  bool closed_ = false;
+
+  std::atomic<uint64_t> aborted_{0};
+};
+
+}  // namespace atropos
+
+#endif  // SRC_SYNC_ABORTABLE_QUEUE_H_

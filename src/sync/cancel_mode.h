@@ -1,0 +1,28 @@
+// Cancellation modes for abortable synchronization, after CQS (PAPERS.md):
+//
+//   kSmart:  a cancelled waiter is physically unlinked at cancellation time
+//            and the grant chain is repaired immediately — if removing it
+//            makes the next eligible waiter grantable (e.g. a large semaphore
+//            request was blocking smaller ones), that waiter is granted
+//            without waiting for the next release.
+//   kSimple: the cancelled waiter is still unlinked (its storage is reused),
+//            but the grant pass is deferred to the next release — the cheap
+//            mode when cancellation is rare and releases are frequent.
+//
+// Both modes preserve the CQS safety invariants: a cancelled waiter never
+// acquires, and no wakeup is lost. The modes differ only in *when* a
+// cancellation unblocks waiters queued behind the cancelled one.
+
+#ifndef SRC_SYNC_CANCEL_MODE_H_
+#define SRC_SYNC_CANCEL_MODE_H_
+
+namespace atropos {
+
+enum class CancelMode {
+  kSmart = 0,
+  kSimple = 1,
+};
+
+}  // namespace atropos
+
+#endif  // SRC_SYNC_CANCEL_MODE_H_

@@ -1,0 +1,91 @@
+#include "src/sync/cancellable_mutex.h"
+
+namespace atropos {
+
+SyncOutcome CancellableMutex::Acquire(uint64_t key, AbortCell* cell, const CancelSignal* signal) {
+  // Checkpoint before touching the lock: a task cancelled while running
+  // should not join the queue at all.
+  if (signal != nullptr && signal->Raised()) {
+    aborted_waits_.fetch_add(1, std::memory_order_relaxed);
+    return SyncOutcome::kCancelled;
+  }
+
+  // An uninstrumented caller still parks on a (stack) cell; it just isn't
+  // reachable by any initiator.
+  AbortCell local;
+  AbortCell* c = cell != nullptr ? cell : &local;
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!held_ && waiters_.empty()) {
+      held_ = true;
+      return SyncOutcome::kAcquired;
+    }
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    c->BeginWait(key, 1);
+    waiters_.PushBack(c);
+    // Dekker re-check (abort_cell.h): an initiator that stored the cancel
+    // word before our wait_key publish may have missed the cell; this load
+    // is guaranteed to see its store.
+    if (signal != nullptr && signal->Raised()) {
+      c->CancelSelf();  // losing the CAS means the initiator already aborted us
+      waiters_.Remove(c);
+      c->EndWait();
+      aborted_waits_.fetch_add(1, std::memory_order_relaxed);
+      return SyncOutcome::kCancelled;
+    }
+  }
+
+  c->Park();
+
+  if (c->state() == AbortCell::kGranted) {
+    // Release unlinked the cell before granting; held_ is still true.
+    c->EndWait();
+    return SyncOutcome::kAcquired;
+  }
+
+  // Aborted in place. Unlink (Release may already have skipped past us) and
+  // return without ever holding the lock. No grant repair is needed: the
+  // lock is either held (nothing to grant) or was released through the
+  // skip-cancelled loop below (which already granted past us).
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    waiters_.Remove(c);
+  }
+  c->EndWait();
+  aborted_waits_.fetch_add(1, std::memory_order_relaxed);
+  return SyncOutcome::kCancelled;
+}
+
+bool CancellableMutex::TryAcquire() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (held_ || !waiters_.empty()) {
+    return false;  // strict FIFO: never barge past a queued waiter
+  }
+  held_ = true;
+  return true;
+}
+
+void CancellableMutex::Release() {
+  std::lock_guard<std::mutex> lk(mu_);
+  while (AbortCell* head = waiters_.PopFront()) {
+    if (head->TryGrant()) {
+      return;  // handed over directly; held_ stays true
+    }
+    // The head lost its cell to a concurrent abort: skip it. It wakes, finds
+    // itself unlinked, and returns kCancelled.
+  }
+  held_ = false;
+}
+
+size_t CancellableMutex::waiter_count() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return waiters_.size();
+}
+
+bool CancellableMutex::held() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return held_;
+}
+
+}  // namespace atropos

@@ -146,6 +146,45 @@ TEST_F(BufferPoolTest, DeviceBackedMissesShareTheDisk) {
   EXPECT_EQ(ex_.now(), Millis(200));
 }
 
+TEST_F(BufferPoolTest, AdmissionGateSerializesMisses) {
+  BufferPoolOptions opt = SmallPool();
+  opt.admission_limit = 1;  // one evict-and-read section at a time
+  BufferPool pool(ex_, opt, &ctl_, 1);
+  std::vector<PageAccess> out;
+  AccessPage(ex_, pool, 1, 1, false, nullptr, out);
+  AccessPage(ex_, pool, 2, 2, false, nullptr, out);
+  ex_.Run();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[0].status.ok());
+  EXPECT_TRUE(out[1].status.ok());
+  // Two 100 us miss reads serialized by the gate instead of overlapping.
+  EXPECT_EQ(ex_.now(), 200u);
+  EXPECT_EQ(pool.admission_aborts(), 0u);
+}
+
+TEST_F(BufferPoolTest, CancelAbortsMissParkedAtAdmission) {
+  BufferPoolOptions opt = SmallPool();
+  opt.admission_limit = 1;
+  BufferPool pool(ex_, opt, &ctl_, 1);
+  CancelToken token(ex_);
+  std::vector<PageAccess> out;
+  AccessPage(ex_, pool, 1, 1, false, nullptr, out);   // holds the gate [0,100)
+  AccessPage(ex_, pool, 2, 2, false, &token, out);    // parked at admission
+  ex_.CallAt(20, [&] { token.Cancel(); });
+  ex_.Run();
+  ASSERT_EQ(out.size(), 2u);
+  // Completion order: the abort resolves at t=20, the gate holder at t=100.
+  // Aborted in place — without the abortable gate the second access would
+  // have been admitted at t=100 and only then observed the cancellation.
+  EXPECT_TRUE(out[0].status.IsCancelled());
+  EXPECT_TRUE(out[1].status.ok());
+  EXPECT_EQ(pool.admission_aborts(), 1u);
+  // The slot was never taken, so the gate is immediately reusable.
+  AccessPage(ex_, pool, 3, 3, false, nullptr, out);
+  ex_.Run();
+  EXPECT_TRUE(out[2].status.ok());
+}
+
 TEST_F(BufferPoolTest, ConcurrentMissesOnSamePageDoNotDoubleInsert) {
   BufferPool pool(ex_, SmallPool(), &ctl_, 1);
   std::vector<PageAccess> out;

@@ -1,0 +1,55 @@
+// Good fixture for the cancel-action-safety initiator-root rule: the in-place
+// abort entry points in their intended shape — lock-free keyed scans over
+// atomics (compare-exchange plus notify), nothing that blocks, allocates, or
+// throws. Mirrors src/sync/abort_cell.h and src/sync/abortable_queue.h.
+
+#include <atomic>
+#include <cstdint>
+
+namespace {
+
+struct Slot {
+  std::atomic<uint64_t> key{0};
+  std::atomic<uint64_t> cancel_key{0};
+};
+
+struct Cell {
+  std::atomic<uint32_t> state{0};
+  std::atomic<uint64_t> wait_key{0};
+
+  bool TryAbort(uint64_t key) {
+    if (key == 0 || wait_key.load(std::memory_order_seq_cst) != key) {
+      return false;
+    }
+    uint32_t expected = 1;  // kWaiting
+    if (!state.compare_exchange_strong(expected, 3, std::memory_order_seq_cst)) {
+      return false;
+    }
+    state.notify_all();
+    return true;
+  }
+};
+
+Slot g_slots[16];
+Cell g_cells[16];
+
+bool AbortKey(uint64_t key) {
+  for (Slot& slot : g_slots) {
+    if (slot.key.load(std::memory_order_seq_cst) == key) {
+      slot.cancel_key.store(key, std::memory_order_seq_cst);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DeliverCancel(uint64_t key) {
+  for (Cell& cell : g_cells) {
+    if (cell.TryAbort(key)) {
+      return true;
+    }
+  }
+  return AbortKey(key);
+}
+
+}  // namespace

@@ -66,12 +66,20 @@ TEST(GoldenTest, LiveInitiatorBadMatchesGolden) {
   EXPECT_EQ(LintFixture("live_initiator_bad.cc"), Golden("live_initiator_bad.expected"));
 }
 
+// The initiator-root rule: abort entry points (DeliverCancel, AbortKey, ...)
+// are walked even with no registration site in the file, because the
+// registration lives elsewhere and reaches them by contract.
+TEST(GoldenTest, AbortEntryBadMatchesGolden) {
+  EXPECT_EQ(LintFixture("abort_entry_bad.cc"), Golden("abort_entry_bad.expected"));
+}
+
 TEST(GoldenTest, GoodFixturesLintClean) {
   EXPECT_EQ(LintFixture("capi_pairing_good.cc"), "");
   EXPECT_EQ(LintFixture("cancel_safety_good.cc"), "");
   EXPECT_EQ(LintFixture("determinism_good.cc"), "");
   EXPECT_EQ(LintFixture("lock_order_good.cc"), "");
   EXPECT_EQ(LintFixture("live_initiator_good.cc"), "");
+  EXPECT_EQ(LintFixture("abort_entry_good.cc"), "");
 }
 
 // Suppression directives neutralize findings and are counted, end to end.

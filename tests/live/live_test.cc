@@ -1,9 +1,11 @@
 // Unit tests for the live-threads execution mode: key packing, the cancel
-// board, the decision digest + cross-check, and the LiveServer lifecycle
-// (complete / shed / targeted cancel / shutdown-abort accounting).
+// board (keyed delivery + stale-cancel races), the decision digest +
+// cross-check, and the LiveServer lifecycle (complete / shed / targeted
+// cancel / in-place waiter abort / shutdown-abort accounting).
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -38,20 +40,68 @@ TEST(LiveKeyTest, TypeRoundTripsThroughKey) {
 TEST(CancelBoardTest, DeliversToInFlightMissesOtherwise) {
   CancelBoard board(2);
   board.BeginTask(0, 42);
-  EXPECT_TRUE(board.RequestCancel(42));
-  EXPECT_TRUE(board.flag(0).load());
+  EXPECT_FALSE(board.signal(0, 42).Raised());
+  EXPECT_TRUE(board.RequestCancel(42, /*now=*/123));
+  EXPECT_TRUE(board.signal(0, 42).Raised());
+  EXPECT_EQ(board.cancel_time(0), 123u);
   EXPECT_FALSE(board.RequestCancel(99));  // not on any worker
   EXPECT_EQ(board.delivered(), 1u);
   EXPECT_EQ(board.missed(), 1u);
 }
 
-TEST(CancelBoardTest, BeginTaskClearsStaleFlag) {
+TEST(CancelBoardTest, StaleCancelCannotHitSuccessor) {
   CancelBoard board(1);
   board.BeginTask(0, 1);
-  board.RequestCancel(1);  // flag raised against task 1
+  board.RequestCancel(1);  // cancel word now holds key 1
   board.EndTask(0);
-  board.BeginTask(0, 2);  // next task must start with a clean flag
-  EXPECT_FALSE(board.flag(0).load());
+  board.BeginTask(0, 2);  // next task must observe a clean signal
+  EXPECT_FALSE(board.signal(0, 2).Raised());
+  // Even without BeginTask's clear, the word holds key 1, which can never
+  // match task 2's key — the keyed design is what closes the race below.
+}
+
+// The race the old boolean flag had: RequestCancel could observe task i on
+// the slot, get descheduled across EndTask/BeginTask, and raise its flag
+// against task i+1. With the keyed word, the delayed store still writes key
+// i, which cannot match the successor's key. Run under TSan.
+TEST(CancelBoardStressTest, StaleCancelNeverHitsSuccessor) {
+  CancelBoard board(1);
+  constexpr uint64_t kIters = 20'000;
+  std::atomic<uint64_t> published{0};
+  std::atomic<bool> misdelivered{false};
+
+  std::thread worker([&] {
+    for (uint64_t i = 1; i <= kIters; i++) {
+      board.BeginTask(0, i);
+      published.store(i, std::memory_order_release);
+      // The canceller only ever targets key i-1: if this task sees its own
+      // signal raised, a stale delivery crossed the task boundary.
+      const CancelSignal sig = board.signal(0, i);
+      for (int spin = 0; spin < 8; spin++) {
+        if (sig.Raised()) {
+          misdelivered.store(true);
+          return;
+        }
+      }
+      board.EndTask(0);
+    }
+  });
+  std::thread canceller([&] {
+    uint64_t last = 0;
+    while (last < kIters && !misdelivered.load()) {
+      const uint64_t cur = published.load(std::memory_order_acquire);
+      if (cur > 1 && cur != last) {
+        board.RequestCancel(cur - 1);  // always the *previous* task
+        last = cur;
+      }
+      if (cur == kIters) {
+        break;
+      }
+    }
+  });
+  worker.join();
+  canceller.join();
+  EXPECT_FALSE(misdelivered.load());
 }
 
 // ---------------------------------------------------------------------------
@@ -298,6 +348,187 @@ TEST_F(LiveServerTest, TargetedCancelReachesHandler) {
   const auto& stats = server.stats_by_type();
   ASSERT_EQ(stats.count(1), 1u);
   EXPECT_EQ(stats.at(1).cancelled, 1u);
+  EXPECT_EQ(stats.at(1).completed, 0u);
+}
+
+TEST_F(LiveServerTest, LifecycleIsSingleUseAndFailsLoudly) {
+  LiveMiniWebOptions app_opt;
+  app_opt.static_cost = 1000;
+  LiveMiniWeb app(app_opt);
+  LiveServerOptions opt;
+  opt.workers = 1;
+  LiveServer server(&frontend_, &clock_, &app, opt);
+
+  ASSERT_TRUE(server.Start());
+  EXPECT_FALSE(server.Start());  // already running: loud failure, not a no-op
+
+  ClientWaiter waiter;
+  LiveRequest req;
+  req.key = MakeLiveKey(0, 1);
+  req.type = 0;
+  req.waiter = &waiter;
+  ASSERT_TRUE(server.Submit(req));
+  EXPECT_EQ(waiter.Wait(), LiveOutcome::kOk);
+
+  server.Stop();
+  ASSERT_EQ(server.stats_by_type().count(0), 1u);
+  EXPECT_EQ(server.stats_by_type().at(0).completed, 1u);
+
+  // Second Stop must not re-merge (doubling the stats) or lose them.
+  server.Stop();
+  EXPECT_EQ(server.stats_by_type().at(0).completed, 1u);
+
+  // The old lifecycle silently no-opped here, leaving the caller submitting
+  // into a server with no workers; now it refuses.
+  EXPECT_FALSE(server.Start());
+  LiveRequest after;
+  after.key = MakeLiveKey(0, 2);
+  after.type = 0;
+  EXPECT_FALSE(server.Submit(after));
+}
+
+TEST_F(LiveServerTest, StopBeforeStartIsNoOpAndStartStillWorks) {
+  LiveMiniWebOptions app_opt;
+  app_opt.static_cost = 1000;
+  LiveMiniWeb app(app_opt);
+  LiveServerOptions opt;
+  opt.workers = 1;
+  LiveServer server(&frontend_, &clock_, &app, opt);
+
+  server.Stop();  // never started: nothing to stop, must not poison Start
+  ASSERT_TRUE(server.Start());
+
+  ClientWaiter waiter;
+  LiveRequest req;
+  req.key = MakeLiveKey(0, 1);
+  req.type = 0;
+  req.waiter = &waiter;
+  ASSERT_TRUE(server.Submit(req));
+  EXPECT_EQ(waiter.Wait(), LiveOutcome::kOk);
+  server.Stop();
+}
+
+TEST_F(LiveServerTest, MeasurementWindowClassifiesByAdmission) {
+  LiveMiniWebOptions app_opt;
+  app_opt.static_cost = 1000;        // 1 ms
+  app_opt.script_cost = 150'000;     // 150 ms: straddles measure_start below
+  app_opt.script_slice = 5000;
+  LiveMiniWeb app(app_opt);
+  LiveServerOptions opt;
+  opt.workers = 1;
+  opt.measure_start = Millis(100);
+  LiveServer server(&frontend_, &clock_, &app, opt);
+  ASSERT_TRUE(server.Start());
+
+  // Admitted during warmup, completes inside the measured window. The old
+  // completion-time gate counted it (tail-biasing the sample toward exactly
+  // the slow stragglers); the admission gate excludes it.
+  ClientWaiter warmup_waiter;
+  LiveRequest warmup;
+  warmup.key = MakeLiveKey(1, 1);
+  warmup.type = 1;
+  warmup.waiter = &warmup_waiter;
+  ASSERT_TRUE(server.Submit(warmup));
+  EXPECT_EQ(warmup_waiter.Wait(), LiveOutcome::kOk);
+  ASSERT_GE(clock_.NowMicros(), opt.measure_start);  // window has opened
+
+  // Admitted after measure_start: counted.
+  ClientWaiter fast_waiter;
+  LiveRequest fast;
+  fast.key = MakeLiveKey(0, 2);
+  fast.type = 0;
+  fast.waiter = &fast_waiter;
+  ASSERT_TRUE(server.Submit(fast));
+  EXPECT_EQ(fast_waiter.Wait(), LiveOutcome::kOk);
+
+  server.Stop();
+  const auto& stats = server.stats_by_type();
+  EXPECT_EQ(stats.count(1), 0u);  // warmup-admitted script excluded
+  ASSERT_EQ(stats.count(0), 1u);
+  EXPECT_EQ(stats.at(0).completed, 1u);
+}
+
+TEST_F(LiveServerTest, CancelAbortsParkedLockWaiterInPlace) {
+  LiveMiniKvOptions kv_opt;
+  kv_opt.scan_cost_per_key = 20;
+  kv_opt.scan_batch = 200;  // 4 ms of lock hold per cancellation checkpoint
+  LiveMiniKv app(kv_opt);
+  LiveServerOptions opt;
+  opt.workers = 2;
+  LiveServer server(&frontend_, &clock_, &app, opt);
+  ASSERT_TRUE(server.Start());
+
+  // Worker 0: a range read that holds the keyspace lock for ~10 s.
+  LiveRequest scan;
+  scan.key = MakeLiveKey(1, 1);
+  scan.type = 1;
+  scan.arg = 500'000;
+  ASSERT_TRUE(server.Submit(scan));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Worker 1: a point op that parks on the keyspace lock behind the scan.
+  ClientWaiter point_waiter;
+  LiveRequest point;
+  point.key = MakeLiveKey(0, 2);
+  point.type = 0;
+  point.waiter = &point_waiter;
+  ASSERT_TRUE(server.Submit(point));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Cancel the parked waiter. In-place abort: it returns kCancelled *now*,
+  // while the scan still holds the lock — without the abortable layer it
+  // could not observe the order until the holder released.
+  const TimeMicros cancel_issued = clock_.NowMicros();
+  ASSERT_TRUE(server.DeliverCancel(point.key));
+  EXPECT_EQ(point_waiter.Wait(), LiveOutcome::kCancelled);
+  const TimeMicros released = clock_.NowMicros();
+  // Well under the scan's remaining multi-second hold.
+  EXPECT_LT(released - cancel_issued, Seconds(2.0));
+  EXPECT_GE(app.aborted_lock_waits(), 1u);
+
+  server.Stop();  // sweeps the scan as shed
+  const auto& stats = server.stats_by_type();
+  ASSERT_EQ(stats.count(0), 1u);
+  EXPECT_EQ(stats.at(0).cancelled, 1u);
+  EXPECT_EQ(stats.at(0).completed, 0u);
+  EXPECT_GE(server.cancel_to_release().count(), 1u);
+}
+
+TEST_F(LiveServerTest, QueuedTaskCancelledInPlaceWithoutExecuting) {
+  LiveMiniWebOptions app_opt;
+  app_opt.script_cost = Seconds(30.0);
+  app_opt.script_slice = 1000;
+  LiveMiniWeb app(app_opt);
+  LiveServerOptions opt;
+  opt.workers = 1;
+  LiveServer server(&frontend_, &clock_, &app, opt);
+  ASSERT_TRUE(server.Start());
+
+  // Occupy the lone worker, then queue a second script behind it.
+  LiveRequest running;
+  running.key = MakeLiveKey(1, 1);
+  running.type = 1;
+  ASSERT_TRUE(server.Submit(running));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  ClientWaiter queued_waiter;
+  LiveRequest queued;
+  queued.key = MakeLiveKey(1, 2);
+  queued.type = 1;
+  queued.waiter = &queued_waiter;
+  ASSERT_TRUE(server.Submit(queued));
+
+  // Not on any board slot -> the queue-slot abort must take it.
+  ASSERT_TRUE(server.DeliverCancel(queued.key));
+  // Cancel the runner so the worker reaches the aborted slot promptly.
+  ASSERT_TRUE(server.DeliverCancel(running.key));
+  EXPECT_EQ(queued_waiter.Wait(), LiveOutcome::kCancelled);
+
+  server.Stop();
+  EXPECT_EQ(server.queued_cancelled(), 1u);
+  const auto& stats = server.stats_by_type();
+  ASSERT_EQ(stats.count(1), 1u);
+  EXPECT_EQ(stats.at(1).cancelled, 2u);  // the runner and the queued task
   EXPECT_EQ(stats.at(1).completed, 0u);
 }
 

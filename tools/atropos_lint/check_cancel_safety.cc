@@ -13,6 +13,14 @@
 //     mutex locking (.lock(), std::lock_guard/unique_lock/scoped_lock),
 //   - allocation: new-expressions, malloc family, make_unique/make_shared,
 //     and growing container mutations (push_back, insert, resize, ...).
+//
+// Additionally, the in-place abort entry points of the abortable-sync layer
+// (DESIGN.md §16) — DeliverCancel, RequestCancel, RequestCancelAll,
+// AbortCell::TryAbort, AbortableQueue::AbortKey — are walked as initiator
+// roots wherever they are *defined*, registration site or not: SetCancelAction
+// installs DeliverCancel, and the others are the paths it fans out to, so a
+// lock or allocation added to any of them reintroduces the §3.6 hazard even
+// though the registration lives in another file.
 
 #include <set>
 #include <string>
@@ -76,6 +84,18 @@ class CancelActionSafetyCheck final : public Check {
         if (lambda >= 0) {
           Walk(file, static_cast<size_t>(lambda), 0, &analyzed, sink);
         }
+      }
+    }
+
+    // Initiator-root rule: the abortable-sync entry points are reachable from
+    // the cancel action by contract; walk their definitions unconditionally.
+    static const std::set<std::string> kInitiatorRoots = {
+        "DeliverCancel", "RequestCancel", "RequestCancelAll", "TryAbort", "AbortKey",
+    };
+    for (size_t f = 0; f < file.outline.functions.size(); f++) {
+      const FunctionInfo& fn = file.outline.functions[f];
+      if (!fn.is_lambda && kInitiatorRoots.count(fn.name) > 0) {
+        Walk(file, f, 0, &analyzed, sink);
       }
     }
   }
