@@ -78,6 +78,19 @@ class CancelBoard {
   // in-flight. `now` (optional) timestamps the order for the cancel-to-release
   // measurement.
   bool RequestCancel(uint64_t key, TimeMicros now = 0) {
+    if (TryDeliver(key, now)) {
+      delivered_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    missed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  // One counter-free delivery scan, for retry loops that account the whole
+  // order once at a higher level (LiveServer::DeliverCancel chasing a task
+  // that was popped from the queue mid-abort but has not reached BeginTask
+  // yet). Same lock-free shape as RequestCancel.
+  bool TryDeliver(uint64_t key, TimeMicros now = 0) {
     for (Slot& s : slots_) {
       if (s.key.load(std::memory_order_seq_cst) == key) {
         // Stamp before the word: the worker only reads the stamp after it
@@ -88,11 +101,9 @@ class CancelBoard {
         // fine: the Dekker pairing in abort_cell.h guarantees a waiter that
         // published after our store sees the cancel word before parking.
         s.cell.TryAbort(key);
-        delivered_.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
     }
-    missed_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
 

@@ -26,17 +26,21 @@ LiveServer::~LiveServer() { Stop(); }
 
 bool LiveServer::Start() {
   State expected = State::kNew;
-  if (!state_.compare_exchange_strong(expected, State::kRunning)) {
+  if (!state_.compare_exchange_strong(expected, State::kStarting)) {
     // Fail loudly: the old lifecycle silently no-opped here, leaving callers
     // running against a server with no workers.
     std::fprintf(stderr, "LiveServer::Start: server %s; construct a new one to run again\n",
-                 expected == State::kRunning ? "is already running" : "was already stopped");
+                 expected == State::kStopped ? "was already stopped" : "is already running");
     return false;
   }
+  // Populate workers_ fully before publishing kRunning: Stop() only proceeds
+  // from kRunning (spinning past kStarting), so it can never join/clear the
+  // vector while this loop is still emplacing threads.
   workers_.reserve(options_.workers);
   for (size_t slot = 0; slot < options_.workers; slot++) {
     workers_.emplace_back([this, slot] { WorkerLoop(slot); });
   }
+  state_.store(State::kRunning, std::memory_order_release);
   return true;
 }
 
@@ -65,10 +69,28 @@ bool LiveServer::Submit(LiveRequest req) {
 }
 
 bool LiveServer::DeliverCancel(uint64_t key) {
-  if (board_.RequestCancel(key, clock_->NowMicros())) {
+  const TimeMicros now = clock_->NowMicros();
+  if (board_.RequestCancel(key, now)) {
     return true;
   }
-  return queue_.AbortKey(key);
+  switch (queue_.AbortKey(key)) {
+    case AbortableQueue<LiveRequest>::AbortResult::kAborted:
+      return true;
+    case AbortableQueue<LiveRequest>::AbortResult::kMiss:
+      return false;  // completed, or never admitted — nothing to cancel
+    case AbortableQueue<LiveRequest>::AbortResult::kRaced:
+      break;
+  }
+  // A worker popped the slot while we were marking it and may have missed
+  // the mark; it is a few instructions from BeginTask publishing the key on
+  // the board. Chase it with a bounded, lock-free retry (counter-free scans:
+  // this is still the same cancel order, already accounted one board miss).
+  for (int attempt = 0; attempt < 256; attempt++) {
+    if (board_.TryDeliver(key, now)) {
+      return true;
+    }
+  }
+  return false;  // the handler finished before ever reaching the board
 }
 
 void LiveServer::WorkerLoop(size_t slot) {
@@ -146,6 +168,11 @@ void LiveServer::FinishRequest(const LiveRequest& req, LiveOutcome out, WorkerSt
 }
 
 void LiveServer::Stop() {
+  // A Stop racing Start waits for the worker vector to be fully published
+  // before taking it down — joining threads mid-emplace is a data race.
+  while (state_.load(std::memory_order_acquire) == State::kStarting) {
+    std::this_thread::yield();
+  }
   State expected = State::kRunning;
   if (!state_.compare_exchange_strong(expected, State::kStopped)) {
     // Never started, or a previous Stop already ran (and merged the stats).

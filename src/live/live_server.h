@@ -26,9 +26,11 @@
 // queue (or on a server that is not running) rejects immediately without
 // emitting any events — the MaxClients listen-backlog overflowing.
 //
-// Lifecycle: kNew → Start() → kRunning → Stop() → kStopped, one way. Start
-// on anything but kNew fails loudly (returns false, logs to stderr); Stop is
-// idempotent and merges worker stats exactly once.
+// Lifecycle: kNew → Start() → kStarting → kRunning → Stop() → kStopped, one
+// way. Start on anything but kNew fails loudly (returns false, logs to
+// stderr); Stop is idempotent, waits out a concurrent Start's kStarting
+// window before touching the worker vector, and merges worker stats exactly
+// once.
 
 #ifndef SRC_LIVE_LIVE_SERVER_H_
 #define SRC_LIVE_LIVE_SERVER_H_
@@ -88,7 +90,10 @@ class LiveServer {
   // Cancellation initiator entry point (registered as the runtime's cancel
   // action): board first — covering the executing task and any wait it is
   // parked in — then the queue, cancelling a still-queued task in its slot.
-  // Lock-free and allocation-free on every path.
+  // A queue mark that raced the pop of its own slot (AbortResult::kRaced) is
+  // chased back to the board with a bounded retry: the popping worker is
+  // about to publish the key via BeginTask. Lock-free and allocation-free on
+  // every path.
   bool DeliverCancel(uint64_t key);
 
   // Cancels in-flight work, drains and sheds the queue (signalling every
@@ -107,7 +112,10 @@ class LiveServer {
   const LatencyHistogram& cancel_to_release() const { return cancel_to_release_; }
 
  private:
-  enum class State : uint32_t { kNew = 0, kRunning = 1, kStopped = 2 };
+  // kStarting covers the window where Start() is still spawning workers:
+  // Submit sheds (not yet kRunning) and Stop spins until the worker vector
+  // is fully published before it may CAS kRunning -> kStopped and join.
+  enum class State : uint32_t { kNew = 0, kStarting = 1, kRunning = 2, kStopped = 3 };
 
   struct WorkerStats {
     std::map<int, LiveTypeStats> by_type;

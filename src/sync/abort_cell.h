@@ -24,6 +24,21 @@
 // post-publish signal check sees the cancel word and self-aborts before
 // parking. Parking itself is futex-style (std::atomic::wait on the state
 // word), so there is no separate predicate/sleep window to race with.
+//
+// Stale aborts and the validation protocol. TryAbort is check-then-act: it
+// loads wait_key_, then CASes the separate state word. An initiator preempted
+// between the two can see its CAS land on a *recycled* cell — the wait it
+// targeted resolved, EndWait ran, and a successor task's BeginWait re-armed
+// the same per-worker cell — spuriously cancelling an untargeted wait. The
+// key guard narrows the window (a stale CAS aimed at an already-retracted key
+// usually misses) but cannot close it without widening the CAS to cover the
+// key. Instead the *waiter* closes it: initiators are required to store the
+// keyed cancel word BEFORE calling TryAbort, so a waiter that wakes
+// kCancelled re-checks its own CancelSignal — raised means the abort was
+// genuinely addressed to it; not raised means the CAS was a stale leftover
+// and the waiter re-enters the wait (CancellableMutex/Semaphore::Acquire).
+// A spurious abort therefore costs one extra trip through the wait queue and
+// is counted (spurious_aborts()), never observed as a cancellation.
 
 #ifndef SRC_SYNC_ABORT_CELL_H_
 #define SRC_SYNC_ABORT_CELL_H_
@@ -120,8 +135,12 @@ class AbortCell {
   // ---- initiator side (lock-free, allocation-free) -----------------------
 
   // Aborts the wait in place iff the cell is currently hosting a wait for
-  // `key`. The key guard makes a stale abort aimed at a previous wait a
-  // no-op even when the cell has been recycled.
+  // `key`. The key guard filters most stale aborts aimed at a previous wait,
+  // but the load/CAS pair is not atomic: a CAS delayed past a recycle can
+  // still land on a successor's kWaiting state. Callers MUST store the keyed
+  // cancel word before invoking this, so the woken waiter can tell a genuine
+  // abort (its signal is raised) from a stale one (it re-enters the wait) —
+  // see the validation protocol in the header comment.
   bool TryAbort(uint64_t key) {
     if (key == 0 || wait_key_.load(std::memory_order_seq_cst) != key) {
       return false;

@@ -15,6 +15,14 @@
 // can never match the new occupant's (unique) key, so a stale abort is
 // harmless — no generation counter needed.
 //
+// A mark racing the pop of its own slot is resolved by a Dekker pairing on
+// the slot's key: the popper retracts the key (store 0) *before* it reads the
+// cancel word, and AbortKey re-loads the key *after* storing the word. In the
+// seq_cst total order one side observes the other — either the popper sees
+// the mark and completes the item as cancelled, or AbortKey sees the
+// retracted key and reports kRaced so the caller can chase the task to its
+// executing home (LiveServer::DeliverCancel retries the CancelBoard).
+//
 // Locking: one internal mutex for producers/consumers; AbortKey touches only
 // the slots' atomics (safe from the Atropos control loop, lint-clean under
 // cancel-action-safety).
@@ -46,7 +54,16 @@ class AbortableQueue {
     T item{};
   };
 
-  explicit AbortableQueue(size_t capacity) : slots_(capacity) {}
+  enum class AbortResult {
+    kMiss = 0,     // key not queued (never was, or already popped and gone)
+    kAborted = 1,  // slot marked; the popper is guaranteed to see the mark
+    kRaced = 2,    // a consumer popped the slot mid-mark and may have missed
+                   // it: the task is executing (or draining) — chase it there
+  };
+
+  // Capacity 0 would make every slot index a modulo-by-zero; clamp to one
+  // slot rather than propagate the caller's degenerate config as UB.
+  explicit AbortableQueue(size_t capacity) : slots_(capacity == 0 ? 1 : capacity) {}
 
   AbortableQueue(const AbortableQueue&) = delete;
   AbortableQueue& operator=(const AbortableQueue&) = delete;
@@ -89,19 +106,31 @@ class AbortableQueue {
   }
 
   // Initiator side: lock-free, allocation-free scan marking the queued item
-  // with `key` cancelled in place. False if the key is not currently queued.
-  bool AbortKey(uint64_t key) {
+  // with `key` cancelled in place. kAborted is a guarantee, not a hope: the
+  // post-store key re-load below Dekker-pairs with PopLocked's retract-then-
+  // read, so a mark acknowledged here is always observed by the popper.
+  AbortResult AbortKey(uint64_t key) {
     if (key == 0) {
-      return false;
+      return AbortResult::kMiss;
     }
     for (Slot& s : slots_) {
       if (s.key.load(std::memory_order_seq_cst) == key) {
         s.cancel_key.store(key, std::memory_order_seq_cst);
-        aborted_.fetch_add(1, std::memory_order_relaxed);
-        return true;
+        // Dekker re-check: if the key is still published, the popper has not
+        // retracted it yet, and its later cancel-word read must see our
+        // store. If it is gone, the pop raced us and may have read the word
+        // before the mark landed — report kRaced instead of claiming a
+        // delivery that may never take effect. The stale mark itself is
+        // harmless: it holds this (unique) key and cannot match a future
+        // occupant of the slot.
+        if (s.key.load(std::memory_order_seq_cst) == key) {
+          aborted_.fetch_add(1, std::memory_order_relaxed);
+          return AbortResult::kAborted;
+        }
+        return AbortResult::kRaced;
       }
     }
-    return false;
+    return AbortResult::kMiss;
   }
 
   // Shutdown: rejects further pushes, returns everything still queued
@@ -142,10 +171,13 @@ class AbortableQueue {
     Popped out;
     out.item = std::move(s.item);
     const uint64_t key = s.key.load(std::memory_order_relaxed);
+    // Retract the key BEFORE reading the cancel word: this is the popper's
+    // half of the Dekker pairing with AbortKey (store word, re-load key). A
+    // mark we miss here is one AbortKey reported as kRaced, never kAborted.
+    s.key.store(0, std::memory_order_seq_cst);
     out.status = s.cancel_key.load(std::memory_order_seq_cst) == key && key != 0
                      ? PopStatus::kAborted
                      : PopStatus::kItem;
-    s.key.store(0, std::memory_order_seq_cst);
     head_++;
     count_--;
     return out;

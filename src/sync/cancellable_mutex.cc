@@ -15,46 +15,62 @@ SyncOutcome CancellableMutex::Acquire(uint64_t key, AbortCell* cell, const Cance
   AbortCell local;
   AbortCell* c = cell != nullptr ? cell : &local;
 
-  {
-    std::unique_lock<std::mutex> lk(mu_);
-    if (!held_ && waiters_.empty()) {
-      held_ = true;
+  bool counted_contended = false;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (!held_ && waiters_.empty()) {
+        held_ = true;
+        return SyncOutcome::kAcquired;
+      }
+      if (!counted_contended) {
+        contended_.fetch_add(1, std::memory_order_relaxed);
+        counted_contended = true;
+      }
+      c->BeginWait(key, 1);
+      waiters_.PushBack(c);
+      // Dekker re-check (abort_cell.h): an initiator that stored the cancel
+      // word before our wait_key publish may have missed the cell; this load
+      // is guaranteed to see its store.
+      if (signal != nullptr && signal->Raised()) {
+        c->CancelSelf();  // losing the CAS means the initiator already aborted us
+        waiters_.Remove(c);
+        c->EndWait();
+        aborted_waits_.fetch_add(1, std::memory_order_relaxed);
+        return SyncOutcome::kCancelled;
+      }
+    }
+
+    c->Park();
+
+    if (c->state() == AbortCell::kGranted) {
+      // Release unlinked the cell before granting; held_ is still true.
+      c->EndWait();
       return SyncOutcome::kAcquired;
     }
-    contended_.fetch_add(1, std::memory_order_relaxed);
-    c->BeginWait(key, 1);
-    waiters_.PushBack(c);
-    // Dekker re-check (abort_cell.h): an initiator that stored the cancel
-    // word before our wait_key publish may have missed the cell; this load
-    // is guaranteed to see its store.
-    if (signal != nullptr && signal->Raised()) {
-      c->CancelSelf();  // losing the CAS means the initiator already aborted us
+
+    // Aborted in place. Unlink (Release may already have skipped past us) and
+    // retract the cell. No grant repair is needed: the lock is either held
+    // (nothing to grant) or was released through the skip-cancelled loop
+    // (which already granted past us).
+    {
+      std::lock_guard<std::mutex> lk(mu_);
       waiters_.Remove(c);
-      c->EndWait();
-      aborted_waits_.fetch_add(1, std::memory_order_relaxed);
-      return SyncOutcome::kCancelled;
     }
-  }
-
-  c->Park();
-
-  if (c->state() == AbortCell::kGranted) {
-    // Release unlinked the cell before granting; held_ is still true.
     c->EndWait();
-    return SyncOutcome::kAcquired;
-  }
 
-  // Aborted in place. Unlink (Release may already have skipped past us) and
-  // return without ever holding the lock. No grant repair is needed: the
-  // lock is either held (nothing to grant) or was released through the
-  // skip-cancelled loop below (which already granted past us).
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    waiters_.Remove(c);
+    // Validate the abort against our keyed signal (abort_cell.h protocol:
+    // initiators store the cancel word before TryAbort, and while our task
+    // occupies its board slot the word can only be 0 or our key). Not raised
+    // means a stale CAS aimed at a previous occupant of this recycled cell
+    // landed on our wait — re-enter; we were never the target.
+    if (signal != nullptr && !signal->Raised()) {
+      spurious_aborts_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    aborted_waits_.fetch_add(1, std::memory_order_relaxed);
+    return SyncOutcome::kCancelled;
   }
-  c->EndWait();
-  aborted_waits_.fetch_add(1, std::memory_order_relaxed);
-  return SyncOutcome::kCancelled;
 }
 
 bool CancellableMutex::TryAcquire() {

@@ -41,7 +41,10 @@ class CancellableMutex {
   // Acquires for task `key`. `cell` hosts the parked wait and makes it
   // abortable (null: the wait is uninterruptible — the checkpoint-polling
   // baseline). `signal` is re-checked after enqueue so a cancellation racing
-  // the park is never lost; a raised signal aborts without acquiring.
+  // the park is never lost; a raised signal aborts without acquiring. A wake
+  // in the cancelled state with `signal` NOT raised is a stale TryAbort that
+  // landed on this recycled cell (abort_cell.h): the waiter re-enters the
+  // wait instead of reporting a cancellation it was never addressed.
   SyncOutcome Acquire(uint64_t key, AbortCell* cell, const CancelSignal* signal);
 
   // Plain blocking acquire (no cancellation surface).
@@ -64,6 +67,9 @@ class CancellableMutex {
   // waiters left the queue without acquiring.
   uint64_t aborted_waits() const { return aborted_waits_.load(std::memory_order_relaxed); }
   uint64_t contended_acquires() const { return contended_.load(std::memory_order_relaxed); }
+  // Stale aborts that landed on a recycled cell and were re-entered instead
+  // of surfacing as cancellations (expected to be rare; never user-visible).
+  uint64_t spurious_aborts() const { return spurious_aborts_.load(std::memory_order_relaxed); }
 
  private:
   const CancelMode mode_;
@@ -73,6 +79,7 @@ class CancellableMutex {
 
   std::atomic<uint64_t> aborted_waits_{0};
   std::atomic<uint64_t> contended_{0};
+  std::atomic<uint64_t> spurious_aborts_{0};
 };
 
 }  // namespace atropos

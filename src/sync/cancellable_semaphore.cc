@@ -12,46 +12,57 @@ SyncOutcome CancellableSemaphore::Acquire(uint64_t key, uint64_t units, AbortCel
   AbortCell local;
   AbortCell* c = cell != nullptr ? cell : &local;
 
-  {
-    std::unique_lock<std::mutex> lk(mu_);
-    if (waiters_.empty() && available_ >= units) {
-      available_ -= units;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (waiters_.empty() && available_ >= units) {
+        available_ -= units;
+        return SyncOutcome::kAcquired;
+      }
+      c->BeginWait(key, units);
+      waiters_.PushBack(c);
+      // Dekker re-check (abort_cell.h): see the cancel word the initiator may
+      // have stored before our wait_key was visible.
+      if (signal != nullptr && signal->Raised()) {
+        c->CancelSelf();
+        waiters_.Remove(c);  // we are the tail; removal can't unblock anyone
+        c->EndWait();
+        aborted_waits_.fetch_add(1, std::memory_order_relaxed);
+        return SyncOutcome::kCancelled;
+      }
+    }
+
+    c->Park();
+
+    if (c->state() == AbortCell::kGranted) {
+      // The granter already debited available_ and unlinked the cell.
+      c->EndWait();
       return SyncOutcome::kAcquired;
     }
-    c->BeginWait(key, units);
-    waiters_.PushBack(c);
-    // Dekker re-check (abort_cell.h): see the cancel word the initiator may
-    // have stored before our wait_key was visible.
-    if (signal != nullptr && signal->Raised()) {
-      c->CancelSelf();
-      waiters_.Remove(c);  // we are the tail; removal can't unblock anyone
-      c->EndWait();
-      aborted_waits_.fetch_add(1, std::memory_order_relaxed);
-      return SyncOutcome::kCancelled;
+
+    // Aborted in place: unlink and, in smart mode, transfer the grant — a
+    // cancelled multi-unit head may have been the only thing blocking smaller
+    // requests behind it.
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      waiters_.Remove(c);
+      if (mode_ == CancelMode::kSmart) {
+        GrantLocked();
+      }
     }
-  }
-
-  c->Park();
-
-  if (c->state() == AbortCell::kGranted) {
-    // The granter already debited available_ and unlinked the cell.
     c->EndWait();
-    return SyncOutcome::kAcquired;
-  }
 
-  // Aborted in place: unlink and, in smart mode, transfer the grant — a
-  // cancelled multi-unit head may have been the only thing blocking smaller
-  // requests behind it.
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    waiters_.Remove(c);
-    if (mode_ == CancelMode::kSmart) {
-      GrantLocked();
+    // Stale-abort validation (abort_cell.h): a kCancelled wake whose keyed
+    // signal is not raised means a delayed TryAbort aimed at a previous
+    // occupant of this recycled cell hit our wait. Re-enter — the grant pass
+    // above already repaired the chain past us, so re-queueing is safe.
+    if (signal != nullptr && !signal->Raised()) {
+      spurious_aborts_.fetch_add(1, std::memory_order_relaxed);
+      continue;
     }
+    aborted_waits_.fetch_add(1, std::memory_order_relaxed);
+    return SyncOutcome::kCancelled;
   }
-  c->EndWait();
-  aborted_waits_.fetch_add(1, std::memory_order_relaxed);
-  return SyncOutcome::kCancelled;
 }
 
 bool CancellableSemaphore::TryAcquire(uint64_t units) {

@@ -52,6 +52,9 @@ class CancellableSemaphore {
   size_t waiter_count();
 
   uint64_t aborted_waits() const { return aborted_waits_.load(std::memory_order_relaxed); }
+  // Stale aborts re-entered instead of surfacing as cancellations (see
+  // CancellableMutex::spurious_aborts and the abort_cell.h protocol).
+  uint64_t spurious_aborts() const { return spurious_aborts_.load(std::memory_order_relaxed); }
 
  private:
   // Grants from the head while units fit, skipping cancelled cells. Requires
@@ -65,6 +68,7 @@ class CancellableSemaphore {
   CellList waiters_;
 
   std::atomic<uint64_t> aborted_waits_{0};
+  std::atomic<uint64_t> spurious_aborts_{0};
 };
 
 }  // namespace atropos

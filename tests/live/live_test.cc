@@ -387,6 +387,30 @@ TEST_F(LiveServerTest, LifecycleIsSingleUseAndFailsLoudly) {
   EXPECT_FALSE(server.Submit(after));
 }
 
+// A Stop racing Start must not join/clear the worker vector while Start is
+// still emplacing threads (the REVIEW.md data race): Start publishes
+// kRunning only after the vector is complete, and Stop waits out the
+// kStarting window. Run under TSan by scripts/check.sh.
+TEST_F(LiveServerTest, ConcurrentStartAndStopDoNotRace) {
+  for (int round = 0; round < 20; round++) {
+    LiveMiniWebOptions app_opt;
+    app_opt.static_cost = 1000;
+    LiveMiniWeb app(app_opt);
+    LiveServerOptions opt;
+    opt.workers = 4;
+    LiveServer server(&frontend_, &clock_, &app, opt);
+
+    std::atomic<bool> started{false};
+    std::thread starter([&] { started.store(server.Start()); });
+    std::thread stopper([&] { server.Stop(); });
+    starter.join();
+    stopper.join();
+    EXPECT_TRUE(started.load());  // the CAS from kNew always wins for Start
+    server.Stop();  // idempotent whether the racing Stop won or lost
+    EXPECT_FALSE(server.Start());  // lifecycle fully consumed either way
+  }
+}
+
 TEST_F(LiveServerTest, StopBeforeStartIsNoOpAndStartStillWorks) {
   LiveMiniWebOptions app_opt;
   app_opt.static_cost = 1000;

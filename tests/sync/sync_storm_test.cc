@@ -10,7 +10,11 @@
 //   - no stranded units: after all threads join, the full capacity is
 //     TryAcquire-able again;
 //   - queue: every pushed key resolves exactly once (popped live, popped
-//     aborted, or drained at close).
+//     aborted, or drained at close), and an abort acknowledged as kAborted is
+//     always observed by the popper;
+//   - no untargeted cancellations: an Acquire that returns kCancelled had its
+//     own keyed word raised — a stale TryAbort landing on a recycled cell
+//     re-enters the wait instead of cancelling the wrong task.
 //
 // The initiator threads use exactly the production cancel path: store the
 // keyed cancel word, then AbortCell::TryAbort / AbortableQueue::AbortKey —
@@ -43,11 +47,21 @@ uint64_t StormKey(int tid, uint64_t iter) {
 TEST(SyncStormTest, MutexStormKeepsExclusionAndNeverStrands) {
   CancellableMutex mu;
   std::vector<AbortCell> cells(kThreads);
-  std::vector<std::atomic<uint64_t>> words(kThreads);
+  // One cancel word per (thread, iteration) — the production shape, where
+  // BeginTask hands every task a fresh word. A stale initiator store then
+  // lands in the OLD iteration's word, so "Acquire returned kCancelled but
+  // my word was never raised" is a sound oracle for the stale-TryAbort race
+  // (the untargeted-task cancellation REVIEW.md flagged): a spurious CAS must
+  // re-enter the wait, never surface as a cancellation.
+  std::vector<std::vector<std::atomic<uint64_t>>> words(kThreads);
+  for (auto& w : words) {
+    w = std::vector<std::atomic<uint64_t>>(kIters);
+  }
   std::vector<std::atomic<uint64_t>> published(kThreads);
   std::atomic<int> holders{0};
   std::atomic<uint64_t> cancelled{0};
   std::atomic<bool> exclusion_violated{false};
+  std::atomic<bool> untargeted_cancel{false};
   std::atomic<bool> stop_initiator{false};
 
   std::vector<std::thread> workers;
@@ -55,7 +69,7 @@ TEST(SyncStormTest, MutexStormKeepsExclusionAndNeverStrands) {
     workers.emplace_back([&, t] {
       for (uint64_t i = 0; i < kIters; i++) {
         const uint64_t key = StormKey(t, i);
-        CancelSignal signal(&words[t], key);
+        CancelSignal signal(&words[t][i], key);
         published[t].store(key, std::memory_order_seq_cst);
         const SyncOutcome out = mu.Acquire(key, &cells[t], &signal);
         published[t].store(0, std::memory_order_seq_cst);
@@ -66,6 +80,12 @@ TEST(SyncStormTest, MutexStormKeepsExclusionAndNeverStrands) {
           holders.fetch_sub(1, std::memory_order_seq_cst);
           mu.Release();
         } else {
+          // Only the initiator writes words[t][i], and only with `key`: a
+          // cancelled outcome with the word still 0 is a stale abort that
+          // leaked through as a cancellation of an untargeted task.
+          if (words[t][i].load(std::memory_order_seq_cst) != key) {
+            untargeted_cancel.store(true);
+          }
           cancelled.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -79,8 +99,9 @@ TEST(SyncStormTest, MutexStormKeepsExclusionAndNeverStrands) {
       const uint64_t key = published[t].load(std::memory_order_seq_cst);
       if (key != 0) {
         // Production order: word first (so a pre-park check can observe it),
-        // then the in-place cell abort.
-        words[t].store(key, std::memory_order_seq_cst);
+        // then the in-place cell abort. The published key may be stale by the
+        // time these land — exactly the delayed-initiator shape under test.
+        words[t][(key & 0xffffffff) - 1].store(key, std::memory_order_seq_cst);
         cells[t].TryAbort(key);
       }
     }
@@ -93,6 +114,7 @@ TEST(SyncStormTest, MutexStormKeepsExclusionAndNeverStrands) {
   initiator.join();
 
   EXPECT_FALSE(exclusion_violated.load());
+  EXPECT_FALSE(untargeted_cancel.load());
   EXPECT_TRUE(mu.TryAcquire());  // nothing held, nothing stranded
   mu.Release();
   EXPECT_EQ(mu.waiter_count(), 0u);
@@ -104,10 +126,16 @@ TEST(SyncStormTest, SemaphoreStormConservesUnits) {
   for (CancelMode mode : {CancelMode::kSmart, CancelMode::kSimple}) {
     CancellableSemaphore sem(kCapacity, mode);
     std::vector<AbortCell> cells(kThreads);
-    std::vector<std::atomic<uint64_t>> words(kThreads);
+    // Per-iteration words: see the mutex storm for why this makes the
+    // untargeted-cancel oracle sound.
+    std::vector<std::vector<std::atomic<uint64_t>>> words(kThreads);
+    for (auto& w : words) {
+      w = std::vector<std::atomic<uint64_t>>(kIters);
+    }
     std::vector<std::atomic<uint64_t>> published(kThreads);
     std::atomic<uint64_t> in_use{0};
     std::atomic<bool> conservation_violated{false};
+    std::atomic<bool> untargeted_cancel{false};
     std::atomic<bool> stop_initiator{false};
 
     std::vector<std::thread> workers;
@@ -117,7 +145,7 @@ TEST(SyncStormTest, SemaphoreStormConservesUnits) {
         for (uint64_t i = 0; i < kIters; i++) {
           const uint64_t units = 1 + rng() % kCapacity;
           const uint64_t key = StormKey(t, i);
-          CancelSignal signal(&words[t], key);
+          CancelSignal signal(&words[t][i], key);
           published[t].store(key, std::memory_order_seq_cst);
           const SyncOutcome out = sem.Acquire(key, units, &cells[t], &signal);
           published[t].store(0, std::memory_order_seq_cst);
@@ -127,6 +155,8 @@ TEST(SyncStormTest, SemaphoreStormConservesUnits) {
             }
             in_use.fetch_sub(units, std::memory_order_seq_cst);
             sem.Release(units);
+          } else if (words[t][i].load(std::memory_order_seq_cst) != key) {
+            untargeted_cancel.store(true);
           }
         }
       });
@@ -138,7 +168,7 @@ TEST(SyncStormTest, SemaphoreStormConservesUnits) {
         const int t = static_cast<int>(rng() % kThreads);
         const uint64_t key = published[t].load(std::memory_order_seq_cst);
         if (key != 0) {
-          words[t].store(key, std::memory_order_seq_cst);
+          words[t][(key & 0xffffffff) - 1].store(key, std::memory_order_seq_cst);
           cells[t].TryAbort(key);
         }
       }
@@ -151,6 +181,7 @@ TEST(SyncStormTest, SemaphoreStormConservesUnits) {
     initiator.join();
 
     EXPECT_FALSE(conservation_violated.load()) << "mode " << static_cast<int>(mode);
+    EXPECT_FALSE(untargeted_cancel.load()) << "mode " << static_cast<int>(mode);
     // No stranded units: the whole capacity is immediately acquirable.
     EXPECT_EQ(sem.available(), kCapacity) << "mode " << static_cast<int>(mode);
     EXPECT_TRUE(sem.TryAcquire(kCapacity));
@@ -168,6 +199,9 @@ TEST(SyncStormTest, QueueStormResolvesEveryKeyExactlyOnce) {
   AbortableQueue<uint64_t> q(16);
   // Index = producer * kPerProducer + iter; value = times resolved.
   std::vector<std::atomic<uint32_t>> resolved(kTotal);
+  // kAborted acknowledgements are binding: the popper must observe the mark.
+  std::vector<std::atomic<uint8_t>> abort_acked(kTotal);
+  std::vector<std::atomic<uint8_t>> popped_aborted(kTotal);
   std::atomic<uint64_t> last_pushed{0};  // a recently-live key for the aborter
   std::atomic<bool> producers_done{false};
 
@@ -193,6 +227,9 @@ TEST(SyncStormTest, QueueStormResolvesEveryKeyExactlyOnce) {
         if (popped.status == AbortableQueue<uint64_t>::PopStatus::kClosed) {
           return;
         }
+        if (popped.status == AbortableQueue<uint64_t>::PopStatus::kAborted) {
+          popped_aborted[popped.item].store(1, std::memory_order_seq_cst);
+        }
         resolved[popped.item].fetch_add(1, std::memory_order_relaxed);
       }
     });
@@ -203,7 +240,11 @@ TEST(SyncStormTest, QueueStormResolvesEveryKeyExactlyOnce) {
     while (!producers_done.load(std::memory_order_acquire)) {
       const uint64_t key = last_pushed.load(std::memory_order_seq_cst);
       if (key != 0 && rng() % 4 == 0) {
-        q.AbortKey(key);  // races the consumers' pops; either resolution is fine
+        // Races the consumers' pops. kRaced / kMiss are allowed resolutions;
+        // kAborted is an acknowledgement the popper is guaranteed to honor.
+        if (q.AbortKey(key) == AbortableQueue<uint64_t>::AbortResult::kAborted) {
+          abort_acked[key - 1].store(1, std::memory_order_seq_cst);
+        }
       }
     }
   });
@@ -228,6 +269,12 @@ TEST(SyncStormTest, QueueStormResolvesEveryKeyExactlyOnce) {
 
   for (uint64_t i = 0; i < kTotal; i++) {
     ASSERT_EQ(resolved[i].load(), 1u) << "key index " << i;
+    // No lost cancels: every abort the queue acknowledged as kAborted was
+    // observed by the popper (the REVIEW.md race returned true while the
+    // consumer executed the item normally).
+    if (abort_acked[i].load() != 0) {
+      ASSERT_EQ(popped_aborted[i].load(), 1u) << "acked abort lost for key index " << i;
+    }
   }
 }
 

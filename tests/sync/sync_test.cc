@@ -120,6 +120,77 @@ TEST(CancellableMutexTest, InitiatorAbortsParkedWaiterInPlace) {
   mu.Release();
 }
 
+// Regression for the stale-TryAbort race: the initiator's load/CAS pair in
+// TryAbort is not atomic, so a delayed CAS can land on a *recycled* cell that
+// now hosts an untargeted task's wait. The waiter must detect that its keyed
+// cancel word was never stored (initiators store the word before TryAbort),
+// treat the abort as spurious, re-enter the wait, and eventually acquire —
+// never report a cancellation it was not addressed.
+TEST(CancellableMutexTest, SpuriousAbortReentersInsteadOfCancelling) {
+  CancellableMutex mu;
+  mu.Acquire();  // main thread is the holder
+
+  std::atomic<uint64_t> word{0};  // never stores key 7: no genuine cancel
+  AbortCell cell;
+  SyncOutcome out = SyncOutcome::kCancelled;
+  std::thread waiter([&] {
+    CancelSignal signal(&word, 7);
+    out = mu.Acquire(7, &cell, &signal);
+  });
+  while (mu.waiter_count() == 0) {
+    std::this_thread::yield();
+  }
+
+  // Simulate the delayed stale CAS: flip the cell without storing the cancel
+  // word — exactly what an initiator preempted across a cell recycle does.
+  EXPECT_TRUE(cell.TryAbort(7));
+  while (mu.spurious_aborts() == 0) {
+    std::this_thread::yield();
+  }
+  while (mu.waiter_count() == 0) {
+    std::this_thread::yield();  // the waiter re-enqueued itself
+  }
+  mu.Release();
+  waiter.join();
+  EXPECT_EQ(out, SyncOutcome::kAcquired);  // the untargeted task acquired
+  EXPECT_EQ(mu.spurious_aborts(), 1u);
+  EXPECT_EQ(mu.aborted_waits(), 0u);  // never surfaced as a cancellation
+  mu.Release();
+  EXPECT_TRUE(mu.TryAcquire());
+  mu.Release();
+}
+
+TEST(CancellableSemaphoreTest, SpuriousAbortReentersInsteadOfCancelling) {
+  CancellableSemaphore sem(2);
+  ASSERT_TRUE(sem.TryAcquire(2));  // drained: the waiter must park
+
+  std::atomic<uint64_t> word{0};
+  AbortCell cell;
+  SyncOutcome out = SyncOutcome::kCancelled;
+  std::thread waiter([&] {
+    CancelSignal signal(&word, 9);
+    out = sem.Acquire(9, 1, &cell, &signal);
+  });
+  while (sem.waiter_count() == 0) {
+    std::this_thread::yield();
+  }
+
+  EXPECT_TRUE(cell.TryAbort(9));
+  while (sem.spurious_aborts() == 0) {
+    std::this_thread::yield();
+  }
+  while (sem.waiter_count() == 0) {
+    std::this_thread::yield();
+  }
+  sem.Release(2);
+  waiter.join();
+  EXPECT_EQ(out, SyncOutcome::kAcquired);
+  EXPECT_EQ(sem.spurious_aborts(), 1u);
+  EXPECT_EQ(sem.aborted_waits(), 0u);
+  sem.Release(1);
+  EXPECT_EQ(sem.available(), 2u);  // no units lost across the re-entry
+}
+
 TEST(CancellableMutexTest, ReleaseGrantsInFifoOrderSkippingCancelled) {
   CancellableMutex mu;
   mu.Acquire();
@@ -283,8 +354,8 @@ TEST(AbortableQueueTest, AbortedItemPopsAsCancelledWithoutExecuting) {
   AbortableQueue<int> q(4);
   EXPECT_TRUE(q.Push(10, 1));
   EXPECT_TRUE(q.Push(20, 2));
-  EXPECT_TRUE(q.AbortKey(1));
-  EXPECT_FALSE(q.AbortKey(99));  // not queued
+  EXPECT_EQ(q.AbortKey(1), AbortableQueue<int>::AbortResult::kAborted);
+  EXPECT_EQ(q.AbortKey(99), AbortableQueue<int>::AbortResult::kMiss);  // not queued
   auto a = q.Pop();
   auto b = q.Pop();
   EXPECT_EQ(a.status, AbortableQueue<int>::PopStatus::kAborted);
@@ -295,13 +366,21 @@ TEST(AbortableQueueTest, AbortedItemPopsAsCancelledWithoutExecuting) {
 TEST(AbortableQueueTest, StaleAbortCannotHitRecycledSlot) {
   AbortableQueue<int> q(1);
   EXPECT_TRUE(q.Push(10, 1));
-  EXPECT_TRUE(q.AbortKey(1));
+  EXPECT_EQ(q.AbortKey(1), AbortableQueue<int>::AbortResult::kAborted);
   EXPECT_EQ(q.Pop().status, AbortableQueue<int>::PopStatus::kAborted);
   // Same physical slot, new occupant: the old cancel mark holds key 1, which
   // cannot match key 2 — keyed delivery needs no generation counter.
   EXPECT_TRUE(q.Push(20, 2));
-  EXPECT_FALSE(q.AbortKey(1));
+  EXPECT_EQ(q.AbortKey(1), AbortableQueue<int>::AbortResult::kMiss);
   EXPECT_EQ(q.Pop().status, AbortableQueue<int>::PopStatus::kItem);
+}
+
+TEST(AbortableQueueTest, ZeroCapacityClampsToOneSlot) {
+  AbortableQueue<int> q(0);  // would be modulo-by-zero without the clamp
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.Push(10, 1));
+  EXPECT_FALSE(q.Push(20, 2));
+  EXPECT_EQ(q.Pop().item, 10);
 }
 
 TEST(AbortableQueueTest, CloseAndDrainReturnsLeftovers) {
