@@ -14,7 +14,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <functional>
 #include <iterator>
 #include <memory>
 #include <string>
@@ -24,6 +27,7 @@
 #include "src/apps/minisearch.h"
 #include "src/apps/miniweb.h"
 #include "src/atropos/runtime.h"
+#include "src/common/json_writer.h"
 #include "src/common/table.h"
 #include "src/workload/frontend.h"
 
@@ -98,6 +102,86 @@ void BM_TickWith100Tasks(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TickWith100Tasks);
+
+// Hand-rolled steady-clock loops mirroring the google-benchmark cases above,
+// so the machine-readable trajectory (BENCH_fig14.json) carries stable
+// per-event nanosecond figures without parsing benchmark console output.
+struct MicroCosts {
+  double on_get_sampled_ns = 0;
+  double on_get_per_event_ns = 0;
+  double wait_pair_per_event_ns = 0;
+  double on_request_end_ns = 0;
+  double tick_100_tasks_us = 0;
+};
+
+double TimeLoopNs(uint64_t iters, const std::function<void()>& body) {
+  // One untimed pass warms caches and the ledger's first-touch allocations.
+  body();
+  // Best-of-3: the minimum over repetitions is the least-scheduler-noise
+  // estimate of the true cost — a single timed pass on a shared core can
+  // read 2x high and trip the perf-trajectory gate spuriously.
+  double best = 0;
+  for (int rep = 0; rep < 3; rep++) {
+    const auto start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < iters; i++) {
+      body();
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double ns = std::chrono::duration<double, std::nano>(end - start).count() /
+                      static_cast<double>(iters);
+    if (rep == 0 || ns < best) {
+      best = ns;
+    }
+  }
+  return best;
+}
+
+MicroCosts MeasureMicroCosts() {
+  constexpr uint64_t kHookIters = 2'000'000;
+  constexpr uint64_t kTickIters = 2'000;
+  MicroCosts costs;
+  {
+    SteadyClock clock;
+    std::unique_ptr<AtroposRuntime> rt(MakeMicroRuntime(TimestampMode::kSampled, &clock));
+    ResourceId r = rt->RegisterResource("pool", ResourceClass::kMemory);
+    rt->OnTaskRegistered(1, false);
+    costs.on_get_sampled_ns = TimeLoopNs(kHookIters, [&] { rt->OnGet(1, r, 1); });
+  }
+  {
+    SteadyClock clock;
+    std::unique_ptr<AtroposRuntime> rt(MakeMicroRuntime(TimestampMode::kPerEvent, &clock));
+    ResourceId r = rt->RegisterResource("pool", ResourceClass::kMemory);
+    rt->OnTaskRegistered(1, false);
+    costs.on_get_per_event_ns = TimeLoopNs(kHookIters, [&] { rt->OnGet(1, r, 1); });
+  }
+  {
+    SteadyClock clock;
+    std::unique_ptr<AtroposRuntime> rt(MakeMicroRuntime(TimestampMode::kPerEvent, &clock));
+    ResourceId r = rt->RegisterResource("lock", ResourceClass::kLock);
+    rt->OnTaskRegistered(1, false);
+    costs.wait_pair_per_event_ns = TimeLoopNs(kHookIters, [&] {
+      rt->OnWaitBegin(1, r);
+      rt->OnWaitEnd(1, r);
+    });
+  }
+  {
+    SteadyClock clock;
+    std::unique_ptr<AtroposRuntime> rt(MakeMicroRuntime(TimestampMode::kSampled, &clock));
+    rt->OnTaskRegistered(1, false);
+    costs.on_request_end_ns = TimeLoopNs(kHookIters, [&] { rt->OnRequestEnd(1, 1000, 0, 0); });
+  }
+  {
+    SteadyClock clock;
+    std::unique_ptr<AtroposRuntime> rt(MakeMicroRuntime(TimestampMode::kSampled, &clock));
+    ResourceId r = rt->RegisterResource("lock", ResourceClass::kLock);
+    for (uint64_t k = 1; k <= 100; k++) {
+      rt->OnTaskRegistered(k, false);
+      rt->OnGet(k, r, 1);
+    }
+    costs.tick_100_tasks_us = TimeLoopNs(kTickIters, [&] { rt->Tick(); }) / 1000.0;
+  }
+  return costs;
+}
 
 // ---------------------------------------------------------------------------
 // Part 2: simulated end-to-end overhead.
@@ -250,7 +334,28 @@ void RunSimPart() {
 }  // namespace
 }  // namespace atropos
 
+// Usage: fig14_overhead [--json[=path]] [--skip-sim] [google-benchmark flags]
+//   --json      writes BENCH_fig14.json with the part-1 micro ns figures
+//   --skip-sim  skips the (slow) part-2 simulation sweep; useful for the
+//               perf-trajectory run, which only consumes the micro costs
 int main(int argc, char** argv) {
+  // Peel our flags before handing the rest to google-benchmark.
+  std::string json_path;
+  bool skip_sim = false;
+  int kept = 1;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_fig14.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--skip-sim") == 0) {
+      skip_sim = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
   std::printf("Figure 14: overhead of Atropos\n\n");
   std::printf("Part 1: tracing API micro-costs (real clock, google-benchmark)\n");
   int bench_argc = 2;
@@ -264,6 +369,37 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
 
+  if (!json_path.empty()) {
+    std::printf("\nPart 1b: steady-clock micro costs for the perf trajectory\n");
+    const atropos::MicroCosts costs = atropos::MeasureMicroCosts();
+    std::printf(
+        "  on_get sampled %.1f ns | on_get per-event %.1f ns | wait pair %.1f ns\n"
+        "  on_request_end %.1f ns | tick(100 tasks) %.2f us\n",
+        costs.on_get_sampled_ns, costs.on_get_per_event_ns, costs.wait_pair_per_event_ns,
+        costs.on_request_end_ns, costs.tick_100_tasks_us);
+    atropos::JsonWriter json;
+    json.BeginObject();
+    json.Field("bench", "fig14_overhead");
+    json.Field("on_get_sampled_ns", costs.on_get_sampled_ns);
+    json.Field("on_get_per_event_ns", costs.on_get_per_event_ns);
+    json.Field("wait_pair_per_event_ns", costs.wait_pair_per_event_ns);
+    json.Field("on_request_end_ns", costs.on_request_end_ns);
+    json.Field("tick_100_tasks_us", costs.tick_100_tasks_us);
+    // Headline per-event cost: the sampled-mode OnGet every request pays in
+    // normal operation (the ROADMAP ~10ns/event target).
+    json.Field("ns_per_event", costs.on_get_sampled_ns);
+    json.EndObject();
+    if (json.WriteFile(json_path)) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    }
+  }
+
+  if (skip_sim) {
+    std::printf("\nPart 2 skipped (--skip-sim)\n");
+    return 0;
+  }
   std::printf("\nPart 2: end-to-end overhead in simulation\n");
   atropos::RunSimPart();
   return 0;

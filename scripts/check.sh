@@ -8,9 +8,11 @@
 # tests, the live-mode tests (incl. live_smoke), the abortable-sync storms
 # (sync_test — the CQS oracle gate), and the mt_ingest smoke under TSan.
 #
-#   scripts/check.sh          # build + all tests + lint + ASan/UBSan + TSan
-#   scripts/check.sh --fast   # skip the lint and sanitizer stages
+#   scripts/check.sh          # build + tests + perf trajectory + lint +
+#                             # ASan/UBSan + TSan
+#   scripts/check.sh --fast   # skip the perf, lint and sanitizer stages
 #   scripts/check.sh --lint   # configure + run only the static-analysis stage
+#   scripts/check.sh --perf   # configure + run only the perf-trajectory stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,12 +50,34 @@ run_lint() {
   fi
 }
 
+# Perf trajectory (DESIGN.md §17): regenerate the machine-readable benchmark
+# outputs with pinned invocations, then compare every tracked metric against
+# the baselines committed under bench/baselines/. Warns on >1.25x noise-band
+# drift; fails only on a >2x regression — the accidental-allocation /
+# O(n)-scan-on-the-hot-path class this gate exists to catch.
+run_perf() {
+  echo "== perf trajectory: regenerate BENCH_*.json (pinned invocations) =="
+  cmake --build build -j "$JOBS" --target fig14_overhead mt_ingest obs_overhead >/dev/null
+  # Single-thread micro benches first; mt_ingest's saturation runs oversubscribe
+  # the box and would inflate a micro loop that runs right after them.
+  ./build/bench/fig14_overhead --json --skip-sim
+  ./build/bench/obs_overhead --json
+  ./build/bench/mt_ingest --events=2000000 --max-threads=8 --json
+
+  echo "== perf trajectory: compare against bench/baselines/ =="
+  python3 scripts/perf_trajectory.py
+}
+
 echo "== configure + build (build/) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 
 if [[ "${1:-}" == "--lint" ]]; then
   run_lint
+  exit 0
+fi
+if [[ "${1:-}" == "--perf" ]]; then
+  run_perf
   exit 0
 fi
 
@@ -70,9 +94,11 @@ rm -rf build/corpus-smoke
 ./build/tools/atropos_mine replay --corpus=build/corpus-smoke --require-agreement=0.95
 
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "== skipping lint + sanitizer stages (--fast) =="
+  echo "== skipping perf + lint + sanitizer stages (--fast) =="
   exit 0
 fi
+
+run_perf
 
 run_lint
 

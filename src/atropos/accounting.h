@@ -9,7 +9,6 @@
 #define SRC_ATROPOS_ACCOUNTING_H_
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/atropos/types.h"
@@ -17,7 +16,9 @@
 
 namespace atropos {
 
-// Usage of one resource by one task.
+// Usage of one resource by one task. Stored as one cell of the TaskLedger's
+// dense task×resource usage matrix; a default-constructed (all-zero) cell is
+// semantically "this task never touched this resource".
 struct TaskResourceUsage {
   // Cumulative over the task's lifetime.
   uint64_t acquired = 0;       // units obtained (pages, locks, queue slots)
@@ -34,6 +35,10 @@ struct TaskResourceUsage {
   // Open wait interval: a task blocked on a lock must be visible to the
   // estimator *while* it is blocked, not only after the wait completes.
   bool waiting = false;
+  // Whether any tracing event ever landed on this (task, resource) cell —
+  // distinguishes "never touched" from "touched with zero totals" for
+  // introspection (TaskLedger::UsedResources).
+  bool touched = false;
   TimeMicros wait_started_at = 0;
 
   uint64_t held_now() const { return acquired > released ? acquired - released : 0; }
@@ -73,7 +78,9 @@ struct TaskRecord {
   uint64_t progress_total = 0;
   bool has_progress = false;
 
-  std::unordered_map<ResourceId, TaskResourceUsage> usage;
+  // Per-resource usage lives in the TaskLedger's dense usage matrix, keyed by
+  // this record's slot — not inline, so recycling a task slot never frees
+  // per-pair map nodes on the hot path.
 
   // Progress in (0, 1]; `fallback` is used when the task reports none.
   double Progress(double fallback) const {

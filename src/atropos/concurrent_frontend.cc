@@ -1,6 +1,8 @@
 #include "src/atropos/concurrent_frontend.h"
 
 #include <algorithm>
+#include <cstring>
+#include <mutex>
 #include <unordered_map>
 
 namespace atropos {
@@ -86,6 +88,27 @@ bool EventRing::TryPop(TraceEvent* out) {
   return true;
 }
 
+size_t EventRing::PopBatch(TraceEvent* out, size_t max) {
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  const uint64_t tail = tail_.load(std::memory_order_acquire);
+  const size_t n = std::min(static_cast<size_t>(tail - head), max);
+  if (n == 0) {
+    return 0;
+  }
+  // Slots in [head, head + n) were published by the release store of tail_,
+  // so after the acquire load above they are plain memory: copy them in at
+  // most two contiguous spans (the ring may wrap) and retire them with a
+  // single release store of head_.
+  const size_t start = static_cast<size_t>(head & mask_);
+  const size_t first = std::min(n, slots_.size() - start);
+  std::memcpy(out, slots_.data() + start, first * sizeof(TraceEvent));
+  if (n > first) {
+    std::memcpy(out + first, slots_.data(), (n - first) * sizeof(TraceEvent));
+  }
+  head_.store(head + n, std::memory_order_release);
+  return n;
+}
+
 size_t EventRing::SizeApprox() const {
   const uint64_t head = head_.load(std::memory_order_acquire);
   const uint64_t tail = tail_.load(std::memory_order_acquire);
@@ -94,73 +117,73 @@ size_t EventRing::SizeApprox() const {
 
 // ---- Producer --------------------------------------------------------------
 
-void ConcurrentFrontend::Producer::Push(TraceEvent ev) {
+bool ConcurrentFrontend::Producer::Push(TraceEvent ev) {
   ev.time = clock_->NowMicros();
-  ring_.Push(ev);
+  return ring_.Push(ev);
 }
 
-void ConcurrentFrontend::Producer::OnTaskRegistered(uint64_t key, bool background,
+bool ConcurrentFrontend::Producer::OnTaskRegistered(uint64_t key, bool background,
                                                     bool cancellable) {
   TraceEvent ev;
   ev.kind = TraceEventKind::kTaskRegistered;
   ev.key = key;
   ev.background = background;
   ev.cancellable = cancellable;
-  Push(ev);
+  return Push(ev);
 }
 
-void ConcurrentFrontend::Producer::OnTaskFreed(uint64_t key) {
+bool ConcurrentFrontend::Producer::OnTaskFreed(uint64_t key) {
   TraceEvent ev;
   ev.kind = TraceEventKind::kTaskFreed;
   ev.key = key;
-  Push(ev);
+  return Push(ev);
 }
 
-void ConcurrentFrontend::Producer::OnGet(uint64_t key, ResourceId resource, uint64_t amount) {
+bool ConcurrentFrontend::Producer::OnGet(uint64_t key, ResourceId resource, uint64_t amount) {
   TraceEvent ev;
   ev.kind = TraceEventKind::kGet;
   ev.key = key;
   ev.resource = resource;
   ev.a = amount;
-  Push(ev);
+  return Push(ev);
 }
 
-void ConcurrentFrontend::Producer::OnFree(uint64_t key, ResourceId resource, uint64_t amount) {
+bool ConcurrentFrontend::Producer::OnFree(uint64_t key, ResourceId resource, uint64_t amount) {
   TraceEvent ev;
   ev.kind = TraceEventKind::kFree;
   ev.key = key;
   ev.resource = resource;
   ev.a = amount;
-  Push(ev);
+  return Push(ev);
 }
 
-void ConcurrentFrontend::Producer::OnWaitBegin(uint64_t key, ResourceId resource) {
+bool ConcurrentFrontend::Producer::OnWaitBegin(uint64_t key, ResourceId resource) {
   TraceEvent ev;
   ev.kind = TraceEventKind::kWaitBegin;
   ev.key = key;
   ev.resource = resource;
-  Push(ev);
+  return Push(ev);
 }
 
-void ConcurrentFrontend::Producer::OnWaitEnd(uint64_t key, ResourceId resource) {
+bool ConcurrentFrontend::Producer::OnWaitEnd(uint64_t key, ResourceId resource) {
   TraceEvent ev;
   ev.kind = TraceEventKind::kWaitEnd;
   ev.key = key;
   ev.resource = resource;
-  Push(ev);
+  return Push(ev);
 }
 
-void ConcurrentFrontend::Producer::OnRequestStart(uint64_t key, int request_type,
+bool ConcurrentFrontend::Producer::OnRequestStart(uint64_t key, int request_type,
                                                   int client_class) {
   TraceEvent ev;
   ev.kind = TraceEventKind::kRequestStart;
   ev.key = key;
   ev.request_type = request_type;
   ev.client_class = client_class;
-  Push(ev);
+  return Push(ev);
 }
 
-void ConcurrentFrontend::Producer::OnRequestEnd(uint64_t key, TimeMicros latency,
+bool ConcurrentFrontend::Producer::OnRequestEnd(uint64_t key, TimeMicros latency,
                                                 int request_type, int client_class) {
   TraceEvent ev;
   ev.kind = TraceEventKind::kRequestEnd;
@@ -168,10 +191,10 @@ void ConcurrentFrontend::Producer::OnRequestEnd(uint64_t key, TimeMicros latency
   ev.a = latency;
   ev.request_type = request_type;
   ev.client_class = client_class;
-  Push(ev);
+  return Push(ev);
 }
 
-void ConcurrentFrontend::Producer::OnUsage(uint64_t key, ResourceId resource, TimeMicros waited,
+bool ConcurrentFrontend::Producer::OnUsage(uint64_t key, ResourceId resource, TimeMicros waited,
                                            TimeMicros used) {
   TraceEvent ev;
   ev.kind = TraceEventKind::kUsage;
@@ -179,16 +202,16 @@ void ConcurrentFrontend::Producer::OnUsage(uint64_t key, ResourceId resource, Ti
   ev.resource = resource;
   ev.a = waited;
   ev.b = used;
-  Push(ev);
+  return Push(ev);
 }
 
-void ConcurrentFrontend::Producer::OnProgress(uint64_t key, uint64_t done, uint64_t total) {
+bool ConcurrentFrontend::Producer::OnProgress(uint64_t key, uint64_t done, uint64_t total) {
   TraceEvent ev;
   ev.kind = TraceEventKind::kProgress;
   ev.key = key;
   ev.a = done;
   ev.b = total;
-  Push(ev);
+  return Push(ev);
 }
 
 // ---- ConcurrentFrontend ----------------------------------------------------
@@ -214,7 +237,7 @@ ConcurrentFrontend::~ConcurrentFrontend() {
 }
 
 ConcurrentFrontend::Producer* ConcurrentFrontend::RegisterProducer() {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MalthusianLockGuard lock(registry_mu_);
   producers_.push_back(
       std::unique_ptr<Producer>(new Producer(clock_, options_.ring_capacity)));
   producers_seen_++;
@@ -222,7 +245,7 @@ ConcurrentFrontend::Producer* ConcurrentFrontend::RegisterProducer() {
 }
 
 size_t ConcurrentFrontend::live_producer_count() {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MalthusianLockGuard lock(registry_mu_);
   return producers_.size();
 }
 
@@ -329,7 +352,7 @@ void ConcurrentFrontend::Tick() {
   uint64_t seen = 0;
   uint64_t retired_count = 0;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MalthusianLockGuard lock(registry_mu_);
     size_t keep = 0;
     for (size_t i = 0; i < producers_.size(); i++) {
       std::unique_ptr<Producer>& p = producers_[i];
@@ -341,9 +364,13 @@ void ConcurrentFrontend::Tick() {
       // ring that still holds events pushed just before the exit.
       const bool retired = p->retired_.load(std::memory_order_acquire);
       const size_t before = drain_buf_.size();
-      TraceEvent ev;
-      while (p->ring_.TryPop(&ev)) {
-        drain_buf_.push_back(ev);
+      // Batched drain: each PopBatch is one acquire/release pair and at most
+      // two memcpy spans, instead of a fence pair per event.
+      constexpr size_t kChunk = 256;
+      TraceEvent chunk[kChunk];
+      size_t n;
+      while ((n = p->ring_.PopBatch(chunk, kChunk)) > 0) {
+        drain_buf_.insert(drain_buf_.end(), chunk, chunk + n);
       }
       max_depth = std::max<uint64_t>(max_depth, drain_buf_.size() - before);
       if (retired) {

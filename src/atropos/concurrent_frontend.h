@@ -52,12 +52,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <type_traits>
 #include <vector>
 
 #include "src/atropos/config.h"
 #include "src/atropos/controller.h"
+#include "src/atropos/malthusian_mutex.h"
 #include "src/atropos/runtime.h"
 #include "src/common/clock.h"
 #include "src/common/thread_annotations.h"
@@ -108,6 +108,12 @@ class EventRing {
 
   // Consumer side. Returns false when empty.
   bool TryPop(TraceEvent* out);
+
+  // Consumer side, batched: pops up to `max` events into `out`, returning the
+  // number popped. One acquire load of the published tail and at most two
+  // memcpy spans (wrap-around), then a single release store of the head —
+  // amortizing the per-event fence traffic TryPop pays.
+  size_t PopBatch(TraceEvent* out, size_t max);
 
   // Racy-but-monotone observations, safe from any thread.
   size_t SizeApprox() const;
@@ -166,25 +172,29 @@ class ConcurrentFrontend final : public OverloadController {
   // handles are held explicitly; the OverloadController hooks below bind the
   // calling thread automatically instead). Handles stay valid for the
   // frontend's lifetime. Thread-safe.
+  // Each hook returns true when the event reached the ring and false when a
+  // full ring dropped (and counted) it — callers that need loss-free delivery
+  // (benchmarks, batch loaders) can retry on false as backpressure; the
+  // OverloadController facade below ignores the result (lossy-with-counter).
   class Producer {
    public:
-    void OnTaskRegistered(uint64_t key, bool background, bool cancellable = true);
-    void OnTaskFreed(uint64_t key);
-    void OnGet(uint64_t key, ResourceId resource, uint64_t amount);
-    void OnFree(uint64_t key, ResourceId resource, uint64_t amount);
-    void OnWaitBegin(uint64_t key, ResourceId resource);
-    void OnWaitEnd(uint64_t key, ResourceId resource);
-    void OnRequestStart(uint64_t key, int request_type, int client_class);
-    void OnRequestEnd(uint64_t key, TimeMicros latency, int request_type, int client_class);
-    void OnUsage(uint64_t key, ResourceId resource, TimeMicros waited, TimeMicros used);
-    void OnProgress(uint64_t key, uint64_t done, uint64_t total);
+    bool OnTaskRegistered(uint64_t key, bool background, bool cancellable = true);
+    bool OnTaskFreed(uint64_t key);
+    bool OnGet(uint64_t key, ResourceId resource, uint64_t amount);
+    bool OnFree(uint64_t key, ResourceId resource, uint64_t amount);
+    bool OnWaitBegin(uint64_t key, ResourceId resource);
+    bool OnWaitEnd(uint64_t key, ResourceId resource);
+    bool OnRequestStart(uint64_t key, int request_type, int client_class);
+    bool OnRequestEnd(uint64_t key, TimeMicros latency, int request_type, int client_class);
+    bool OnUsage(uint64_t key, ResourceId resource, TimeMicros waited, TimeMicros used);
+    bool OnProgress(uint64_t key, uint64_t done, uint64_t total);
 
     uint64_t dropped() const { return ring_.dropped(); }
 
    private:
     friend class ConcurrentFrontend;
     Producer(Clock* clock, size_t ring_capacity) : clock_(clock), ring_(ring_capacity) {}
-    void Push(TraceEvent ev);
+    bool Push(TraceEvent ev);
 
     Clock* clock_;
     EventRing ring_;
@@ -265,7 +275,11 @@ class ConcurrentFrontend final : public OverloadController {
   AtroposRuntime runtime_;
   Options options_;
 
-  std::mutex registry_mu_;  // guards producers_ (registration is rare)
+  // Guards producers_. Registration is rare but bursty (worker-pool spin-up)
+  // and the drainer takes this lock every Tick, so the guard is a Malthusian
+  // mutex: surplus waiters are culled to sleep instead of spinning against
+  // the drainer (DESIGN.md §17).
+  MalthusianMutex registry_mu_;
   std::vector<std::unique_ptr<Producer>> producers_ ATROPOS_GUARDED_BY(registry_mu_);
   uint64_t producers_seen_ ATROPOS_GUARDED_BY(registry_mu_) = 0;
   uint64_t producers_retired_ ATROPOS_GUARDED_BY(registry_mu_) = 0;

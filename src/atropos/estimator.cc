@@ -1,6 +1,7 @@
 #include "src/atropos/estimator.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace atropos {
 
@@ -14,50 +15,54 @@ double FutureFactor(double progress) {
 
 }  // namespace
 
-Estimator::Output Estimator::Estimate(std::map<TaskId, TaskRecord>& tasks,
-                                      std::map<ResourceId, ResourceRecord>& resources,
-                                      TimeMicros exec_time, TimeMicros window_start,
-                                      TimeMicros now) {
+Estimator::Output Estimator::Estimate(TaskLedger& ledger, TimeMicros exec_time,
+                                      TimeMicros window_start, TimeMicros now) {
   Output out;
+  const size_t resource_count = ledger.resource_count();
 
   // ---- Per-resource window wait/hold: closed intervals were folded into
   // the resource windows as they completed; add the still-open intervals of
-  // live tasks, clipped to this window.
+  // live tasks, clipped to this window. Deltas are dense (indexed by
+  // resource slot = id - 1); untouched usage cells are all-zero and
+  // contribute nothing, exactly like absent map entries did.
   struct Delta {
     TimeMicros wait = 0;
     TimeMicros hold = 0;
   };
-  std::map<ResourceId, Delta> deltas;
-  for (auto& [tid, task] : tasks) {
-    for (auto& [rid, usage] : task.usage) {
-      Delta& d = deltas[rid];
+  std::vector<Delta> deltas(resource_count);
+  for (uint32_t slot = ledger.live_head(); slot != TaskLedger::kNilSlot;
+       slot = ledger.next_live(slot)) {
+    const TaskResourceUsage* row = ledger.usage_row(slot);
+    for (size_t r = 0; r < resource_count; r++) {
+      const TaskResourceUsage& usage = row[r];
       if (usage.waiting) {
         TimeMicros from = std::max(usage.wait_started_at, window_start);
         if (now > from) {
-          d.wait += now - from;
+          deltas[r].wait += now - from;
         }
       }
       if (usage.active_units > 0) {
         TimeMicros from = std::max(usage.hold_started_at, window_start);
         if (now > from) {
-          d.hold += now - from;
+          deltas[r].hold += now - from;
         }
       }
     }
   }
-  for (auto& [rid, res] : resources) {
-    Delta& d = deltas[rid];
-    d.wait += res.window.wait_time;
-    d.hold += res.window.hold_time;
+  for (size_t r = 0; r < resource_count; r++) {
+    const ResourceRecord& res = ledger.resource_at(r);
+    deltas[r].wait += res.window.wait_time;
+    deltas[r].hold += res.window.hold_time;
   }
 
   // ---- Contention levels (§3.4 formulas, §3.5 normalization).
   double t_exec = static_cast<double>(std::max<TimeMicros>(exec_time, 1));
-  for (auto& [rid, res] : resources) {
+  for (size_t r = 0; r < resource_count; r++) {
+    const ResourceRecord& res = ledger.resource_at(r);
     ResourceMetrics m;
-    m.id = rid;
+    m.id = res.id;
     m.cls = res.cls;
-    const Delta d = deltas[rid];
+    const Delta d = deltas[r];
     switch (res.cls) {
       case ResourceClass::kMemory: {
         // Eviction ratio sum(E_i) / sum(M_i); D_r = eviction time weighted by
@@ -86,7 +91,7 @@ Estimator::Output Estimator::Estimate(std::map<TaskId, TaskRecord>& tasks,
         static_cast<double>(m.delay) / (t_exec + static_cast<double>(m.delay));
     if (calibrating_) {
       // Record the healthy level; nothing is overloaded while calibrating.
-      Baseline& baseline = baseline_contention_[rid];
+      Baseline& baseline = baseline_contention_[m.id];
       baseline.sum += m.contention_norm;
       baseline.windows++;
     } else {
@@ -95,7 +100,7 @@ Estimator::Output Estimator::Estimate(std::map<TaskId, TaskRecord>& tasks,
       // below that ceiling.
       double floor = std::max(config_.contention_threshold,
                               std::min(config_.contention_baseline_factor *
-                                           BaselineContention(rid),
+                                           BaselineContention(m.id),
                                        0.75));
       m.overloaded = m.contention_norm >= floor;
     }
@@ -116,7 +121,8 @@ Estimator::Output Estimator::Estimate(std::map<TaskId, TaskRecord>& tasks,
     return out;
   }
 
-  // Raw gains per (task, objective).
+  // Raw gains per (task, objective). Live-list order is ascending TaskId, so
+  // candidate order matches the map-based estimator byte for byte.
   struct Row {
     TaskId task;
     bool cancellable;
@@ -126,23 +132,27 @@ Estimator::Output Estimator::Estimate(std::map<TaskId, TaskRecord>& tasks,
   std::vector<Row> rows;
   double min_time_gain =
       config_.min_gain_window_fraction * static_cast<double>(config_.window);
-  for (auto& [tid, task] : tasks) {
+  for (uint32_t slot = ledger.live_head(); slot != TaskLedger::kNilSlot;
+       slot = ledger.next_live(slot)) {
+    const TaskRecord& task = ledger.task_at(slot);
     if (!task.alive) {
       continue;
     }
+    const TaskResourceUsage* row_cells = ledger.usage_row(slot);
     Row row;
-    row.task = tid;
+    row.task = task.id;
     row.cancellable = task.cancellable && task.cancel_count < config_.max_cancels_per_task;
     double factor = FutureFactor(task.Progress(config_.default_progress));
     bool significant = false;
     for (const ResourceMetrics& m : objectives) {
-      auto it = task.usage.find(m.id);
-      if (it == task.usage.end()) {
+      const TaskResourceUsage& u = row_cells[static_cast<size_t>(m.id) - 1];
+      if (!u.touched) {
+        // Never-touched pair: zero contribution, and — exactly like the
+        // absent map entry it replaces — exempt from the significance test.
         row.gain.push_back(0.0);
         row.current.push_back(0.0);
         continue;
       }
-      const TaskResourceUsage& u = it->second;
       double current = 0.0;
       if (m.cls == ResourceClass::kMemory) {
         // Pages (units) held right now.

@@ -10,10 +10,10 @@
 #define SRC_ATROPOS_ESTIMATOR_H_
 
 #include <map>
-#include <unordered_map>
 
 #include "src/atropos/accounting.h"
 #include "src/atropos/config.h"
+#include "src/atropos/ledger.h"
 #include "src/atropos/policy.h"
 
 namespace atropos {
@@ -40,15 +40,17 @@ class Estimator {
     bool resource_overload = false;              // any resource over threshold
   };
 
-  // Computes the window's metrics. `exec_time` is T_base: the window's
-  // *productive* execution time (completed request time attributed to the
-  // window, floored at the window length). The §3.5 normalization is then
-  // C_r = D_r / (T_base + D_r), bounded and per-resource. `window_start`
-  // clips the open wait/hold intervals of live tasks to this window; closed
-  // intervals are expected in the resources' window counters.
-  Output Estimate(std::map<TaskId, TaskRecord>& tasks,
-                  std::map<ResourceId, ResourceRecord>& resources, TimeMicros exec_time,
-                  TimeMicros window_start, TimeMicros now);
+  // Computes the window's metrics from the ledger's books: live tasks are
+  // walked in ascending-TaskId order (the ledger's stable live list) and
+  // resources in ascending-id order, so the output is deterministic.
+  // `exec_time` is T_base: the window's *productive* execution time
+  // (completed request time attributed to the window, floored at the window
+  // length). The §3.5 normalization is then C_r = D_r / (T_base + D_r),
+  // bounded and per-resource. `window_start` clips the open wait/hold
+  // intervals of live tasks to this window; closed intervals are expected in
+  // the resources' window counters.
+  Output Estimate(TaskLedger& ledger, TimeMicros exec_time, TimeMicros window_start,
+                  TimeMicros now);
 
  private:
   AtroposConfig config_;

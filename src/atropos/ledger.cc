@@ -8,6 +8,8 @@ TaskLedger::TaskLedger(Clock* clock, const AtroposConfig& config, AtroposStats* 
     : clock_(clock), config_(config), stats_(stats), effective_mode_(config.timestamp_mode) {
   window_start_ = clock_->NowMicros();
   cached_now_ = window_start_;
+  trace_now_fn_ = &TaskLedger::TraceNowPerEvent;  // overwritten just below
+  SetEffectiveMode(config.timestamp_mode);
 }
 
 ResourceId TaskLedger::RegisterResource(std::string name, ResourceClass cls) {
@@ -16,133 +18,203 @@ ResourceId TaskLedger::RegisterResource(std::string name, ResourceClass cls) {
   rec.id = id;
   rec.cls = cls;
   rec.name = std::move(name);
-  resources_.emplace(id, std::move(rec));
+  resources_.push_back(std::move(rec));
+  if (resources_.size() > usage_stride_) {
+    // Setup-time growth: widen every task's usage row. Geometric so N
+    // resources cost O(log N) repacks.
+    Restride(std::max<size_t>({usage_stride_ * 2, resources_.size(), 4}));
+  }
   return id;
 }
 
+void TaskLedger::Restride(size_t new_stride) {
+  std::vector<TaskResourceUsage> wider(task_slots_.size() * new_stride);
+  for (size_t s = 0; s < task_slots_.size(); s++) {
+    std::copy_n(usage_.begin() + static_cast<ptrdiff_t>(s * usage_stride_), usage_stride_,
+                wider.begin() + static_cast<ptrdiff_t>(s * new_stride));
+  }
+  usage_ = std::move(wider);
+  usage_stride_ = new_stride;
+}
+
 const ResourceRecord* TaskLedger::FindResource(ResourceId id) const {
-  auto it = resources_.find(id);
-  return it == resources_.end() ? nullptr : &it->second;
+  const size_t i = ResourceSlot(id);
+  return i == static_cast<size_t>(-1) ? nullptr : &resources_[i];
 }
 
 const TaskRecord* TaskLedger::FindTask(uint64_t key) const {
-  auto it = key_to_task_.find(key);
-  if (it == key_to_task_.end()) {
-    return nullptr;
-  }
-  auto t = tasks_.find(it->second);
-  return t == tasks_.end() ? nullptr : &t->second;
+  const uint32_t slot = key_index_.Find(key);
+  return slot == kNilSlot ? nullptr : &task_slots_[slot];
 }
 
 TaskRecord* TaskLedger::FindTaskById(TaskId id) {
-  auto it = tasks_.find(id);
-  return it == tasks_.end() ? nullptr : &it->second;
+  const uint32_t slot = id_index_.Find(id);
+  return slot == kNilSlot ? nullptr : &task_slots_[slot];
 }
 
-TimeMicros TaskLedger::TraceNow() {
-  if (effective_mode_ == TimestampMode::kPerEvent) {
-    cached_now_ = clock_->NowMicros();
-    return cached_now_;
-  }
+TimeMicros TaskLedger::TraceNowPerEvent(TaskLedger* self) {
+  self->cached_now_ = self->clock_->NowMicros();
+  return self->cached_now_;
+}
+
+TimeMicros TaskLedger::TraceNowSampled(TaskLedger* self) {
   // Sampled mode: reuse the cached timestamp within the sampling interval —
   // the batching that amortizes timestamp retrieval (§3.2). In a real
-  // deployment the refresh is driven by a timer; here the interval check
-  // plays that role without a second clock source.
-  TimeMicros now = clock_->NowMicros();
-  if (now >= cached_now_ + config_.timestamp_sample_interval) {
-    cached_now_ = now - now % config_.timestamp_sample_interval;
+  // deployment the refresh is driven by a timer; here the cached-deadline
+  // compare plays that role without a second clock source.
+  const TimeMicros now = self->clock_->NowMicros();
+  if (now >= self->sample_deadline_) {
+    self->cached_now_ = now - now % self->config_.timestamp_sample_interval;
+    self->sample_deadline_ = self->cached_now_ + self->config_.timestamp_sample_interval;
   }
-  return cached_now_;
+  return self->cached_now_;
+}
+
+void TaskLedger::SetEffectiveMode(TimestampMode mode) {
+  effective_mode_ = mode;
+  if (mode == TimestampMode::kPerEvent) {
+    trace_now_fn_ = &TaskLedger::TraceNowPerEvent;
+  } else {
+    trace_now_fn_ = &TaskLedger::TraceNowSampled;
+    // Rearm the deadline against the current cached stamp, preserving the
+    // "refresh once now >= cached + interval" semantics across mode flips.
+    sample_deadline_ = cached_now_ + config_.timestamp_sample_interval;
+  }
 }
 
 void TaskLedger::RegisterTask(uint64_t key, bool background, bool cancellable) {
   TaskId id = next_task_id_++;
-  TaskRecord rec;
+  // Replace any stale registration under the same key.
+  const uint32_t stale = key_index_.Find(key);
+  if (stale != kNilSlot) {
+    ReleaseSlot(stale);
+  }
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(task_slots_.size());
+    task_slots_.emplace_back();
+    slot_prev_.push_back(kNilSlot);
+    slot_next_.push_back(kNilSlot);
+    usage_.resize(usage_.size() + usage_stride_);
+  }
+  TaskRecord& rec = task_slots_[slot];
+  rec = TaskRecord{};
   rec.id = id;
   rec.key = key;
   rec.created_at = clock_->NowMicros();
   rec.background = background;
   rec.cancellable = cancellable;
-  // Replace any stale registration under the same key.
-  auto old = key_to_task_.find(key);
-  if (old != key_to_task_.end()) {
-    auto stale = tasks_.find(old->second);
-    if (stale != tasks_.end()) {
-      RetireTaskAccounting(stale->second);
-      tasks_.erase(stale);
-    }
+  // Append at the live-list tail: ids are monotone, so the head-to-tail walk
+  // stays sorted by ascending TaskId (the estimator's deterministic order).
+  slot_prev_[slot] = live_tail_;
+  slot_next_[slot] = kNilSlot;
+  if (live_tail_ == kNilSlot) {
+    live_head_ = slot;
+  } else {
+    slot_next_[live_tail_] = slot;
   }
-  key_to_task_[key] = id;
-  tasks_.emplace(id, std::move(rec));
+  live_tail_ = slot;
+  key_index_.Put(key, slot);
+  id_index_.Put(id, slot);
 }
 
 void TaskLedger::FreeTask(uint64_t key) {
-  auto it = key_to_task_.find(key);
-  if (it == key_to_task_.end()) {
+  const uint32_t slot = key_index_.Find(key);
+  if (slot == kNilSlot) {
     return;
   }
-  auto task = tasks_.find(it->second);
-  if (task != tasks_.end()) {
-    RetireTaskAccounting(task->second);
-    tasks_.erase(task);
-  }
-  key_to_task_.erase(it);
+  ReleaseSlot(slot);
+  key_index_.Erase(key);
 }
 
-void TaskLedger::RetireTaskAccounting(const TaskRecord& task) {
-  for (const auto& [rid, usage] : task.usage) {
-    if (usage.active_units == 0) {
-      continue;
-    }
-    auto res = resources_.find(rid);
-    if (res != resources_.end()) {
-      res->second.leaked_units += usage.active_units;
+// atropos-lint: alloc-free
+void TaskLedger::ReleaseSlot(uint32_t slot) {
+  // Fold the departing task's open holdings into the per-resource ledger and
+  // clear its usage row for the next occupant.
+  TaskResourceUsage* row = usage_.data() + static_cast<size_t>(slot) * usage_stride_;
+  for (size_t r = 0; r < resources_.size(); r++) {
+    if (row[r].active_units != 0) {
+      resources_[r].leaked_units += row[r].active_units;
     }
   }
+  std::fill_n(row, usage_stride_, TaskResourceUsage{});
+  // Unlink from the live list.
+  const uint32_t prev = slot_prev_[slot];
+  const uint32_t next = slot_next_[slot];
+  if (prev == kNilSlot) {
+    live_head_ = next;
+  } else {
+    slot_next_[prev] = next;
+  }
+  if (next == kNilSlot) {
+    live_tail_ = prev;
+  } else {
+    slot_prev_[next] = prev;
+  }
+  id_index_.Erase(task_slots_[slot].id);
+  free_slots_.push_back(slot);
 }
 
 std::vector<ResourceAudit> TaskLedger::AuditAccounting() const {
-  std::map<ResourceId, uint64_t> live_held;
-  for (const auto& [tid, task] : tasks_) {
-    for (const auto& [rid, usage] : task.usage) {
-      live_held[rid] += usage.active_units;
+  std::vector<uint64_t> live_held(resources_.size(), 0);
+  for (uint32_t slot = live_head_; slot != kNilSlot; slot = slot_next_[slot]) {
+    const TaskResourceUsage* row = usage_row(slot);
+    for (size_t r = 0; r < resources_.size(); r++) {
+      live_held[r] += row[r].active_units;
     }
   }
   std::vector<ResourceAudit> out;
   out.reserve(resources_.size());
-  for (const auto& [rid, res] : resources_) {
+  for (size_t r = 0; r < resources_.size(); r++) {
+    const ResourceRecord& res = resources_[r];
     ResourceAudit row;
-    row.id = rid;
+    row.id = res.id;
     row.name = res.name;
     row.cls = res.cls;
     row.acquired = res.total_gets;
     row.released = res.total_frees;
     row.leaked = res.leaked_units;
     row.overfreed = res.overfreed_units;
-    auto it = live_held.find(rid);
-    row.live_held = it == live_held.end() ? 0 : it->second;
+    row.live_held = live_held[r];
     out.push_back(std::move(row));
   }
   return out;
 }
 
+// atropos-lint: alloc-free
 TaskRecord* TaskLedger::Lookup(uint64_t key) {
-  auto it = key_to_task_.find(key);
-  if (it == key_to_task_.end()) {
+  const uint32_t slot = key_index_.Find(key);
+  if (slot == kNilSlot) {
     stats_->ignored_events++;
     return nullptr;
   }
-  return &tasks_.find(it->second)->second;
+  return &task_slots_[slot];
 }
 
+// atropos-lint: alloc-free
 TaskResourceUsage* TaskLedger::UsageFor(uint64_t key, ResourceId resource) {
-  TaskRecord* task = Lookup(key);
-  if (task == nullptr) {
+  const uint32_t slot = key_index_.Find(key);
+  if (slot == kNilSlot) {
+    stats_->ignored_events++;
     return nullptr;
   }
-  return &task->usage[resource];
+  const size_t r = ResourceSlot(resource);
+  if (r == static_cast<size_t>(-1)) {
+    // Event against a resource id that was never registered: counted in
+    // trace_events by the caller (like always), otherwise untracked — such
+    // usage was observationally dead weight in the map-based ledger too (it
+    // could never reach the estimator, audits, or digests).
+    return nullptr;
+  }
+  TaskResourceUsage* cell = usage_.data() + static_cast<size_t>(slot) * usage_stride_ + r;
+  cell->touched = true;
+  return cell;
 }
 
+// atropos-lint: alloc-free
 void TaskLedger::RecordGet(uint64_t key, ResourceId resource, uint64_t amount) {
   stats_->trace_events++;
   TaskResourceUsage* usage = UsageFor(key, resource);
@@ -155,16 +227,15 @@ void TaskLedger::RecordGet(uint64_t key, ResourceId resource, uint64_t amount) {
     usage->hold_started_at = now;
   }
   usage->active_units += amount;
-  auto res = resources_.find(resource);
-  if (res != resources_.end()) {
-    // Window gets count API calls, not units: the §3.4 eviction ratio is
-    // "slowByResource calls / getResource calls" regardless of whether a call
-    // acquires one page or a multi-KB allocation.
-    res->second.window.gets++;
-    res->second.total_gets += amount;
-  }
+  ResourceRecord& res = resources_[ResourceSlot(resource)];
+  // Window gets count API calls, not units: the §3.4 eviction ratio is
+  // "slowByResource calls / getResource calls" regardless of whether a call
+  // acquires one page or a multi-KB allocation.
+  res.window.gets++;
+  res.total_gets += amount;
 }
 
+// atropos-lint: alloc-free
 void TaskLedger::RecordFree(uint64_t key, ResourceId resource, uint64_t amount) {
   stats_->trace_events++;
   TaskResourceUsage* usage = UsageFor(key, resource);
@@ -175,27 +246,22 @@ void TaskLedger::RecordFree(uint64_t key, ResourceId resource, uint64_t amount) 
   usage->released += amount;
   uint64_t dec = std::min(usage->active_units, amount);
   usage->active_units -= dec;
-  auto res = resources_.find(resource);
-  if (res != resources_.end()) {
-    res->second.total_frees += amount;
-    res->second.overfreed_units += amount - dec;
-  }
+  ResourceRecord& res = resources_[ResourceSlot(resource)];
+  res.total_frees += amount;
+  res.overfreed_units += amount - dec;
   if (usage->active_units == 0 && dec > 0 && now > usage->hold_started_at) {
     usage->hold_time += now - usage->hold_started_at;
-    if (res != resources_.end()) {
-      // Window counters take the part of the closed interval inside this
-      // window; earlier parts were visible as an open interval before.
-      TimeMicros from = std::max(usage->hold_started_at, window_start_);
-      if (now > from) {
-        res->second.window.hold_time += now - from;
-      }
+    // Window counters take the part of the closed interval inside this
+    // window; earlier parts were visible as an open interval before.
+    TimeMicros from = std::max(usage->hold_started_at, window_start_);
+    if (now > from) {
+      res.window.hold_time += now - from;
     }
   }
-  if (res != resources_.end()) {
-    res->second.window.frees += amount;
-  }
+  res.window.frees += amount;
 }
 
+// atropos-lint: alloc-free
 void TaskLedger::RecordWaitBegin(uint64_t key, ResourceId resource) {
   stats_->trace_events++;
   TaskResourceUsage* usage = UsageFor(key, resource);
@@ -206,6 +272,7 @@ void TaskLedger::RecordWaitBegin(uint64_t key, ResourceId resource) {
   usage->wait_started_at = TraceNow();
 }
 
+// atropos-lint: alloc-free
 void TaskLedger::RecordWaitEnd(uint64_t key, ResourceId resource) {
   stats_->trace_events++;
   TaskResourceUsage* usage = UsageFor(key, resource);
@@ -218,17 +285,16 @@ void TaskLedger::RecordWaitEnd(uint64_t key, ResourceId resource) {
     usage->wait_time += now - usage->wait_started_at;
   }
   usage->slow_events++;
-  auto res = resources_.find(resource);
-  if (res != resources_.end()) {
-    res->second.window.slow_events++;
-    res->second.total_slow_events++;
-    TimeMicros from = std::max(usage->wait_started_at, window_start_);
-    if (now > from) {
-      res->second.window.wait_time += now - from;
-    }
+  ResourceRecord& res = resources_[ResourceSlot(resource)];
+  res.window.slow_events++;
+  res.total_slow_events++;
+  TimeMicros from = std::max(usage->wait_started_at, window_start_);
+  if (now > from) {
+    res.window.wait_time += now - from;
   }
 }
 
+// atropos-lint: alloc-free
 void TaskLedger::RecordUsage(uint64_t key, ResourceId resource, TimeMicros waited,
                              TimeMicros used) {
   stats_->trace_events++;
@@ -238,20 +304,17 @@ void TaskLedger::RecordUsage(uint64_t key, ResourceId resource, TimeMicros waite
   }
   usage->wait_time += waited;
   usage->hold_time += used;
-  auto res = resources_.find(resource);
-  if (res != resources_.end()) {
-    res->second.window.wait_time += waited;
-    res->second.window.hold_time += used;
-    if (waited > 0) {
-      res->second.window.slow_events++;
-      res->second.total_slow_events++;
-    }
-  }
+  ResourceRecord& res = resources_[ResourceSlot(resource)];
+  res.window.wait_time += waited;
+  res.window.hold_time += used;
   if (waited > 0) {
+    res.window.slow_events++;
+    res.total_slow_events++;
     usage->slow_events++;
   }
 }
 
+// atropos-lint: alloc-free
 void TaskLedger::RecordProgress(uint64_t key, uint64_t done, uint64_t total) {
   TaskRecord* task = Lookup(key);
   if (task == nullptr) {
@@ -264,9 +327,61 @@ void TaskLedger::RecordProgress(uint64_t key, uint64_t done, uint64_t total) {
 
 void TaskLedger::RollWindow(TimeMicros now) {
   window_start_ = now;
-  for (auto& [rid, res] : resources_) {
+  for (ResourceRecord& res : resources_) {
     res.window.Reset();
   }
+}
+
+const TaskResourceUsage* TaskLedger::FindUsage(uint64_t key, ResourceId resource) const {
+  const uint32_t slot = key_index_.Find(key);
+  if (slot == kNilSlot) {
+    return nullptr;
+  }
+  const size_t r = ResourceSlot(resource);
+  if (r == static_cast<size_t>(-1)) {
+    return nullptr;
+  }
+  const TaskResourceUsage* cell = usage_row(slot) + r;
+  return cell->touched ? cell : nullptr;
+}
+
+std::vector<ResourceId> TaskLedger::UsedResources(uint64_t key) const {
+  std::vector<ResourceId> out;
+  const uint32_t slot = key_index_.Find(key);
+  if (slot == kNilSlot) {
+    return out;
+  }
+  const TaskResourceUsage* row = usage_row(slot);
+  for (size_t r = 0; r < resources_.size(); r++) {
+    if (row[r].touched) {
+      out.push_back(static_cast<ResourceId>(r + 1));
+    }
+  }
+  return out;
+}
+
+TaskResourceUsage* TaskLedger::MutableUsage(uint64_t key, ResourceId resource) {
+  const uint32_t slot = key_index_.Find(key);
+  if (slot == kNilSlot) {
+    return nullptr;
+  }
+  const size_t r = ResourceSlot(resource);
+  if (r == static_cast<size_t>(-1)) {
+    return nullptr;
+  }
+  TaskResourceUsage* cell = usage_.data() + static_cast<size_t>(slot) * usage_stride_ + r;
+  cell->touched = true;
+  return cell;
+}
+
+TaskRecord* TaskLedger::MutableTask(uint64_t key) {
+  const uint32_t slot = key_index_.Find(key);
+  return slot == kNilSlot ? nullptr : &task_slots_[slot];
+}
+
+ResourceRecord* TaskLedger::MutableResource(ResourceId id) {
+  const size_t i = ResourceSlot(id);
+  return i == static_cast<size_t>(-1) ? nullptr : &resources_[i];
 }
 
 }  // namespace atropos

@@ -7,9 +7,19 @@
 // DecisionPipeline reads its books once per window, and the AtroposRuntime
 // façade coordinates the two.
 //
-// Every tracing hook is O(log tasks) worst case (std::map keeps iteration
-// deterministic for the estimator); nothing here allocates on the steady
-// state path beyond first-touch of a (task, resource) pair.
+// Layout (DESIGN.md §17): struct-of-arrays registries for mechanical
+// sympathy. Task records live in a dense slot vector with free-list
+// recycling; an open-addressed DenseKeyIndex maps application keys (and task
+// ids) to slots; per-(task, resource) usage is a flat matrix indexed
+// slot * stride + (resource - 1). Live tasks are threaded on an intrusive
+// doubly-linked list in registration order — task ids are monotone, so
+// walking it visits tasks in ascending-id order, the same deterministic
+// iteration the estimator saw when these were std::maps. Resources are a
+// plain vector indexed by id - 1 (they are never freed).
+//
+// Steady-state RecordGet/RecordFree/RecordUsage are O(1), branch-light, and
+// allocation-free: allocation happens only on first-touch growth (more live
+// tasks or resources than ever before).
 //
 // Threading: single-threaded by design — the ledger is owned by whichever
 // thread drives the runtime (the drainer thread behind ConcurrentFrontend,
@@ -20,13 +30,12 @@
 #ifndef SRC_ATROPOS_LEDGER_H_
 #define SRC_ATROPOS_LEDGER_H_
 
-#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/atropos/accounting.h"
 #include "src/atropos/config.h"
+#include "src/atropos/dense_index.h"
 #include "src/atropos/stats.h"
 #include "src/common/clock.h"
 
@@ -52,6 +61,9 @@ struct ResourceAudit {
 
 class TaskLedger {
  public:
+  // End-of-list sentinel for the live-task slot walk.
+  static constexpr uint32_t kNilSlot = DenseKeyIndex::kNotFound;
+
   TaskLedger(Clock* clock, const AtroposConfig& config, AtroposStats* stats);
 
   // ---- Resource registry ---------------------------------------------------
@@ -65,7 +77,7 @@ class TaskLedger {
   void FreeTask(uint64_t key);
   const TaskRecord* FindTask(uint64_t key) const;
   TaskRecord* FindTaskById(TaskId id);
-  size_t live_task_count() const { return key_to_task_.size(); }
+  size_t live_task_count() const { return key_index_.size(); }
 
   // ---- Usage tracing (§3.2) ------------------------------------------------
   void RecordGet(uint64_t key, ResourceId resource, uint64_t amount);
@@ -77,10 +89,13 @@ class TaskLedger {
 
   // ---- Timestamp-mode handling (§3.2) --------------------------------------
   // The façade escalates to per-event timestamps while an overload is
-  // suspected; the ledger owns the cached-timestamp machinery.
-  void SetEffectiveMode(TimestampMode mode) { effective_mode_ = mode; }
+  // suspected; the ledger owns the cached-timestamp machinery. The mode
+  // selects a function pointer, so TraceNow itself is branch-free; sampled
+  // mode refreshes against a cached deadline instead of re-deriving the
+  // interval arithmetic per event.
+  void SetEffectiveMode(TimestampMode mode);
   TimestampMode effective_mode() const { return effective_mode_; }
-  TimeMicros TraceNow();
+  TimeMicros TraceNow() { return trace_now_fn_(this); }
 
   // ---- Window boundary -----------------------------------------------------
   // Resets the per-resource window counters; closed wait/hold intervals are
@@ -89,26 +104,77 @@ class TaskLedger {
   TimeMicros window_start() const { return window_start_; }
 
   // ---- Estimation-stage access ---------------------------------------------
-  // std::map keeps iteration order deterministic for the estimator.
-  std::map<TaskId, TaskRecord>& tasks() { return tasks_; }
-  std::map<ResourceId, ResourceRecord>& resources() { return resources_; }
+  // Slot-based iteration over live tasks in ascending-TaskId order (the
+  // intrusive live list; see header comment). The usage row of a slot holds
+  // resource_count() cells, cell r belonging to ResourceId r + 1.
+  uint32_t live_head() const { return live_head_; }
+  uint32_t next_live(uint32_t slot) const { return slot_next_[slot]; }
+  TaskRecord& task_at(uint32_t slot) { return task_slots_[slot]; }
+  const TaskRecord& task_at(uint32_t slot) const { return task_slots_[slot]; }
+  const TaskResourceUsage* usage_row(uint32_t slot) const {
+    return usage_.data() + static_cast<size_t>(slot) * usage_stride_;
+  }
+  size_t resource_count() const { return resources_.size(); }
+  ResourceRecord& resource_at(size_t i) { return resources_[i]; }
+  const ResourceRecord& resource_at(size_t i) const { return resources_[i]; }
+
+  // ---- Introspection / test access -----------------------------------------
+  // The (task, resource) usage cell, or null when the task is unknown, the
+  // resource id is out of range, or no tracing event ever touched the pair.
+  const TaskResourceUsage* FindUsage(uint64_t key, ResourceId resource) const;
+  // Resource ids this task's tracing events have touched, ascending.
+  std::vector<ResourceId> UsedResources(uint64_t key) const;
+  // Mutable cell access for tests that stage ledger state directly; creates
+  // (and marks touched) the cell. Null when key/resource are unknown.
+  TaskResourceUsage* MutableUsage(uint64_t key, ResourceId resource);
+  TaskRecord* MutableTask(uint64_t key);
+  ResourceRecord* MutableResource(ResourceId id);
 
   // ---- Accounting audit (fuzzer oracles) -----------------------------------
   std::vector<ResourceAudit> AuditAccounting() const;
 
  private:
+  using TraceNowFn = TimeMicros (*)(TaskLedger*);
+  static TimeMicros TraceNowPerEvent(TaskLedger* self);
+  static TimeMicros TraceNowSampled(TaskLedger* self);
+
   TaskRecord* Lookup(uint64_t key);
   TaskResourceUsage* UsageFor(uint64_t key, ResourceId resource);
-  // Folds a departing task's open holdings into the per-resource ledger.
-  void RetireTaskAccounting(const TaskRecord& task);
+  // Valid resource slot index for `id`, or SIZE_MAX when out of range.
+  size_t ResourceSlot(ResourceId id) const {
+    const size_t i = static_cast<size_t>(id) - 1;
+    return i < resources_.size() ? i : static_cast<size_t>(-1);
+  }
+  // Folds a departing task's open holdings into the per-resource ledger,
+  // unlinks the slot from the live list, zeroes its usage row, and recycles
+  // the slot. All O(stride), allocation-free.
+  void ReleaseSlot(uint32_t slot);
+  // Grows the usage matrix to a new stride (setup-time: resource
+  // registration only), repacking existing rows.
+  void Restride(size_t new_stride);
 
   Clock* clock_;
   const AtroposConfig config_;
   AtroposStats* stats_;
 
-  std::map<TaskId, TaskRecord> tasks_;
-  std::map<ResourceId, ResourceRecord> resources_;
-  std::unordered_map<uint64_t, TaskId> key_to_task_;
+  // Struct-of-arrays task registry: dense slots + free list + intrusive live
+  // list (ascending-id iteration) + open-addressed key/id indexes.
+  std::vector<TaskRecord> task_slots_;
+  std::vector<uint32_t> slot_prev_;
+  std::vector<uint32_t> slot_next_;
+  std::vector<uint32_t> free_slots_;
+  uint32_t live_head_ = kNilSlot;
+  uint32_t live_tail_ = kNilSlot;
+  DenseKeyIndex key_index_;  // application key -> slot
+  DenseKeyIndex id_index_;   // TaskId -> slot (ids are unique, never reused)
+
+  // Resource registry: ids are dense and never freed; index = id - 1.
+  std::vector<ResourceRecord> resources_;
+
+  // Flat task×resource usage matrix: cell = slot * usage_stride_ + (rid - 1).
+  std::vector<TaskResourceUsage> usage_;
+  size_t usage_stride_ = 0;
+
   TaskId next_task_id_ = 1;
   ResourceId next_resource_id_ = 1;
 
@@ -116,7 +182,9 @@ class TaskLedger {
 
   // Timestamp sampling (§3.2).
   TimestampMode effective_mode_;
+  TraceNowFn trace_now_fn_;
   TimeMicros cached_now_ = 0;
+  TimeMicros sample_deadline_ = 0;  // cached_now_ + sample interval
 };
 
 }  // namespace atropos

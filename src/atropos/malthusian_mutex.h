@@ -1,0 +1,154 @@
+// Contention-adaptive mutex with Malthusian waiter culling.
+//
+// A plain spinlock burns every waiting core; a plain blocking mutex pays a
+// futex round-trip even when the owner is gone in nanoseconds. Malthusian
+// locks (Dice, "Malthusian Locks", EuroSys'17) split the difference by
+// CULLING the waiter population: at most ONE waiter spins actively on the
+// lock word, and every surplus waiter is passivated into sleep-with-backoff.
+// The active spinner gets spinlock-grade handoff latency; the passive crowd
+// stops stealing cycles from the lock holder — which is exactly the property
+// the intake path wants, because the holder of the registration lock may be
+// the drainer mid-Tick, and delaying the drainer delays cancellation
+// decisions for everyone.
+//
+// Usage profile in this codebase: ConcurrentFrontend's producer-registry
+// guard. Registration is rare (thread birth) but bursty (a worker pool
+// spinning up registers from every thread at once), and the drainer takes the
+// same lock once per Tick — precisely the short-critical-section, occasional-
+// convoy shape the culling targets.
+//
+// The implementation is deliberately simple: a CAS lock word, a single
+// active-spinner census slot (CAS 0→1), exponential sleep backoff for
+// passivated waiters, and relaxed counters for observability. No waiter
+// queue, no handoff fairness guarantee — acquisition order under contention
+// is unspecified, which callers accept (the registry guard has no ordering
+// requirement). Annotated as a capability so clang's thread-safety analysis
+// checks the lock discipline of guarded members.
+
+#ifndef SRC_ATROPOS_MALTHUSIAN_MUTEX_H_
+#define SRC_ATROPOS_MALTHUSIAN_MUTEX_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "src/common/thread_annotations.h"
+
+namespace atropos {
+
+class ATROPOS_CAPABILITY("mutex") MalthusianMutex {
+ public:
+  MalthusianMutex() = default;
+  MalthusianMutex(const MalthusianMutex&) = delete;
+  MalthusianMutex& operator=(const MalthusianMutex&) = delete;
+
+  bool try_lock() ATROPOS_TRY_ACQUIRE(true) {
+    uint32_t expected = 0;
+    bool won = locked_.compare_exchange_strong(expected, 1, std::memory_order_acquire,
+                                               std::memory_order_relaxed);
+    if (won) {
+      acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return won;
+  }
+
+  void lock() ATROPOS_ACQUIRE() {
+    if (try_lock()) {
+      return;  // uncontended fast path: one CAS
+    }
+    LockSlow();
+  }
+
+  void unlock() ATROPOS_RELEASE() { locked_.store(0, std::memory_order_release); }
+
+  struct Stats {
+    uint64_t acquisitions = 0;  // successful lock()/try_lock() acquisitions
+    uint64_t contended = 0;     // acquisitions that found the lock held
+    uint64_t passivated = 0;    // waiters culled to sleep-backoff
+  };
+  // Racy-but-monotone snapshot, safe from any thread.
+  Stats stats() const {
+    Stats s;
+    s.acquisitions = acquisitions_.load(std::memory_order_relaxed);
+    s.contended = contended_.load(std::memory_order_relaxed);
+    s.passivated = passivated_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  // Bounded spin budget for the one active spinner before it, too, starts
+  // yielding: a registration critical section is a few dozen instructions, so
+  // a held lock that outlasts this budget means the holder was preempted —
+  // spinning harder only delays its reschedule.
+  static constexpr int kActiveSpinBudget = 256;
+
+  void LockSlow() ATROPOS_NO_THREAD_SAFETY_ANALYSIS {
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    // Claim the single active-spinner slot; losers are passivated.
+    uint32_t vacant = 0;
+    const bool active = spinner_census_.compare_exchange_strong(
+        vacant, 1, std::memory_order_relaxed, std::memory_order_relaxed);
+    if (!active) {
+      passivated_.fetch_add(1, std::memory_order_relaxed);
+    }
+    int spins = 0;
+    auto nap = std::chrono::microseconds(16);
+    constexpr auto kMaxNap = std::chrono::microseconds(1024);
+    for (;;) {
+      // Test-and-test-and-set: only CAS when the lock word reads free, so
+      // the spinner doesn't bounce the cache line while the lock is held.
+      if (locked_.load(std::memory_order_relaxed) == 0) {
+        uint32_t expected = 0;
+        if (locked_.compare_exchange_weak(expected, 1, std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+          break;
+        }
+      }
+      if (active) {
+        if (++spins >= kActiveSpinBudget) {
+          spins = 0;
+          std::this_thread::yield();  // holder likely preempted; let it run
+        }
+      } else {
+        // Passive waiter: sleep with exponential backoff. Wake-ups are cheap
+        // relative to the cycles a second spinner would burn, and the census
+        // slot may have freed up — try to activate before napping again.
+        std::this_thread::sleep_for(nap);
+        if (nap < kMaxNap) {
+          nap *= 2;
+        }
+      }
+    }
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    if (active) {
+      spinner_census_.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::atomic<uint32_t> locked_{0};
+  std::atomic<uint32_t> spinner_census_{0};  // 1 while an active spinner exists
+  std::atomic<uint64_t> acquisitions_{0};
+  std::atomic<uint64_t> contended_{0};
+  std::atomic<uint64_t> passivated_{0};
+};
+
+// RAII guard, annotated as a scoped capability (std::lock_guard would not
+// carry the annotations through clang's analysis for a custom capability).
+class ATROPOS_SCOPED_CAPABILITY MalthusianLockGuard {
+ public:
+  explicit MalthusianLockGuard(MalthusianMutex& mu) ATROPOS_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~MalthusianLockGuard() ATROPOS_RELEASE() { mu_.unlock(); }
+
+  MalthusianLockGuard(const MalthusianLockGuard&) = delete;
+  MalthusianLockGuard& operator=(const MalthusianLockGuard&) = delete;
+
+ private:
+  MalthusianMutex& mu_;
+};
+
+}  // namespace atropos
+
+#endif  // SRC_ATROPOS_MALTHUSIAN_MUTEX_H_

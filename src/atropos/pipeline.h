@@ -87,8 +87,7 @@ class GainEstimationStage final : public EstimationStage {
   void SetCalibrating(bool calibrating) override { estimator_.SetCalibrating(calibrating); }
   Estimator::Output Estimate(TaskLedger& ledger, TimeMicros exec_time,
                              TimeMicros window_start, TimeMicros now) override {
-    return estimator_.Estimate(ledger.tasks(), ledger.resources(), exec_time, window_start,
-                               now);
+    return estimator_.Estimate(ledger, exec_time, window_start, now);
   }
 
  private:

@@ -120,6 +120,14 @@ class AtroposRuntime final : public OverloadController {
   const std::vector<ResourceMetrics>& last_metrics() const { return last_metrics_; }
   TimestampMode effective_timestamp_mode() const { return ledger_.effective_mode(); }
   const TaskRecord* FindTask(uint64_t key) const { return ledger_.FindTask(key); }
+  // The (task, resource) usage cell; null when unknown or never touched.
+  const TaskResourceUsage* FindUsage(uint64_t key, ResourceId resource) const {
+    return ledger_.FindUsage(key, resource);
+  }
+  // Resource ids the task's tracing events have touched, ascending.
+  std::vector<ResourceId> UsedResources(uint64_t key) const {
+    return ledger_.UsedResources(key);
+  }
   size_t live_task_count() const { return ledger_.live_task_count(); }
   // Live entries of the §4 cancelled-key memo (bounded by calm-window aging).
   size_t cancelled_key_count() const { return dispatcher_.cancelled_key_count(); }

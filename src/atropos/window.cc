@@ -10,18 +10,61 @@ WindowAggregator::WindowAggregator(Clock* clock, const AtroposConfig& config,
   window_start_ = clock_->NowMicros();
 }
 
-void WindowAggregator::OnRequestStart(uint64_t key, int client_class) {
-  auto [it, inserted] = active_requests_.try_emplace(key);
-  if (!inserted) {
-    // A second start under a live key: the application reused the key without
-    // reporting the prior request's end. Treat it as an implicit end — the
-    // stale ActiveRequest would otherwise silently vanish, mis-attributing
-    // overdue_actives to the wrong start time with no trace of the loss.
-    stats_->request_restarts++;
+// atropos-lint: alloc-free
+void WindowAggregator::ReleaseRequestSlot(uint32_t slot) {
+  const uint32_t prev = req_prev_[slot];
+  const uint32_t next = req_next_[slot];
+  if (prev != kNilSlot) {
+    req_next_[prev] = next;
+  } else {
+    inflight_head_ = next;
   }
-  it->second = ActiveRequest{clock_->NowMicros(), client_class};
+  if (next != kNilSlot) {
+    req_prev_[next] = prev;
+  } else {
+    inflight_tail_ = prev;
+  }
+  free_req_slots_.push_back(slot);
 }
 
+void WindowAggregator::OnRequestStart(uint64_t key, int client_class) {
+  const TimeMicros now = clock_->NowMicros();
+  const uint32_t existing = inflight_index_.Find(key);
+  if (existing != kNilSlot) {
+    // A second start under a live key: the application reused the key without
+    // reporting the prior request's end. Treat it as an implicit end — the
+    // stale slot would otherwise silently mis-attribute overdue_actives to
+    // the wrong start time with no trace of the loss.
+    stats_->request_restarts++;
+    req_start_[existing] = now;
+    req_class_[existing] = client_class;
+    return;
+  }
+  uint32_t slot;
+  if (!free_req_slots_.empty()) {
+    slot = free_req_slots_.back();
+    free_req_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(req_start_.size());
+    req_start_.push_back(0);
+    req_class_.push_back(0);
+    req_prev_.push_back(kNilSlot);
+    req_next_.push_back(kNilSlot);
+  }
+  req_start_[slot] = now;
+  req_class_[slot] = client_class;
+  req_prev_[slot] = inflight_tail_;
+  req_next_[slot] = kNilSlot;
+  if (inflight_tail_ != kNilSlot) {
+    req_next_[inflight_tail_] = slot;
+  } else {
+    inflight_head_ = slot;
+  }
+  inflight_tail_ = slot;
+  inflight_index_.Put(key, slot);
+}
+
+// atropos-lint: alloc-free
 void WindowAggregator::OnRequestEnd(uint64_t key, TimeMicros latency, int client_class) {
   if (config_.slo_client_class < 0 || client_class == config_.slo_client_class) {
     window_latency_.Record(latency);
@@ -32,18 +75,30 @@ void WindowAggregator::OnRequestEnd(uint64_t key, TimeMicros latency, int client
   TimeMicros now = clock_->NowMicros();
   TimeMicros in_window = now > window_start_ ? now - window_start_ : 0;
   window_exec_time_ += std::min(latency, in_window);
-  active_requests_.erase(key);
+  const uint32_t slot = inflight_index_.Find(key);
+  if (slot != kNilSlot) {
+    inflight_index_.Erase(key);
+    ReleaseRequestSlot(slot);
+  }
 }
 
-void WindowAggregator::DropKey(uint64_t key) { active_requests_.erase(key); }
+// atropos-lint: alloc-free
+void WindowAggregator::DropKey(uint64_t key) {
+  const uint32_t slot = inflight_index_.Find(key);
+  if (slot != kNilSlot) {
+    inflight_index_.Erase(key);
+    ReleaseRequestSlot(slot);
+  }
+}
 
+// atropos-lint: alloc-free
 uint64_t WindowAggregator::CountOverdue(TimeMicros now, TimeMicros slo) const {
   uint64_t overdue = 0;
-  for (const auto& [key, req] : active_requests_) {
-    if (config_.slo_client_class >= 0 && req.client_class != config_.slo_client_class) {
+  for (uint32_t slot = inflight_head_; slot != kNilSlot; slot = req_next_[slot]) {
+    if (config_.slo_client_class >= 0 && req_class_[slot] != config_.slo_client_class) {
       continue;  // long-running batch requests are not SLO violations
     }
-    if (now > req.start && now - req.start > slo) {
+    if (now > req_start_[slot] && now - req_start_[slot] > slo) {
       overdue++;
     }
   }
@@ -54,8 +109,9 @@ TimeMicros WindowAggregator::ExecTimeFloored(TimeMicros now) const {
   return std::max<TimeMicros>(window_exec_time_, now - window_start_);
 }
 
+// atropos-lint: alloc-free
 void WindowAggregator::Roll(TimeMicros now) {
-  window_latency_.Reset();
+  window_latency_.Reset();  // O(1) epoch bump
   window_completions_ = 0;
   window_exec_time_ = 0;
   window_start_ = now;

@@ -6,13 +6,20 @@
 // (for the overdue-convoy stall signal), and the T_exec accumulator the
 // estimator uses as the normalization denominator (§3.5). It holds no
 // decision state; the façade closes it once per Tick.
+//
+// Layout (DESIGN.md §17): the latency histogram is epoch-sliced so Roll() is
+// O(1) instead of an O(buckets) memset, and the in-flight registry is a dense
+// slot pool (DenseKeyIndex + intrusive live list) so the steady-state request
+// lifecycle — start, end, drop — is allocation-free and CountOverdue walks a
+// contiguous live list instead of a node-based hash map.
 
 #ifndef SRC_ATROPOS_WINDOW_H_
 #define SRC_ATROPOS_WINDOW_H_
 
-#include <unordered_map>
+#include <vector>
 
 #include "src/atropos/config.h"
+#include "src/atropos/dense_index.h"
 #include "src/atropos/stats.h"
 #include "src/common/clock.h"
 #include "src/common/histogram.h"
@@ -47,20 +54,32 @@ class WindowAggregator {
   TimeMicros window_start() const { return window_start_; }
 
  private:
+  static constexpr uint32_t kNilSlot = DenseKeyIndex::kNotFound;
+
+  // Unlinks and recycles an in-flight slot. Allocation-free.
+  void ReleaseRequestSlot(uint32_t slot);
+
   Clock* clock_;
   const AtroposConfig config_;
   AtroposStats* stats_;
 
-  LatencyHistogram window_latency_;
+  EpochLatencyHistogram window_latency_;
   uint64_t window_completions_ = 0;
   TimeMicros window_exec_time_ = 0;  // T_exec accumulator (completed requests)
   TimeMicros window_start_ = 0;
 
-  struct ActiveRequest {
-    TimeMicros start = 0;
-    int client_class = 0;
-  };
-  std::unordered_map<uint64_t, ActiveRequest> active_requests_;
+  // In-flight registry: dense slot pool with free-list recycling. The
+  // intrusive live list exists so CountOverdue can walk exactly the live
+  // slots; its order is irrelevant (CountOverdue only counts, matching the
+  // order-free semantics of the hash map it replaces).
+  DenseKeyIndex inflight_index_;  // request key -> slot
+  std::vector<TimeMicros> req_start_;
+  std::vector<int> req_class_;
+  std::vector<uint32_t> req_prev_;
+  std::vector<uint32_t> req_next_;
+  std::vector<uint32_t> free_req_slots_;
+  uint32_t inflight_head_ = kNilSlot;
+  uint32_t inflight_tail_ = kNilSlot;
 };
 
 }  // namespace atropos

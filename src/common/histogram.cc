@@ -5,9 +5,9 @@
 
 namespace atropos {
 
-LatencyHistogram::LatencyHistogram() : buckets_(64 * kSubBuckets, 0) {}
+namespace hist_detail {
 
-int LatencyHistogram::BucketIndex(uint64_t value) {
+int BucketIndex(uint64_t value) {
   if (value < kSubBuckets) {
     return static_cast<int>(value);
   }
@@ -17,7 +17,7 @@ int LatencyHistogram::BucketIndex(uint64_t value) {
   return (shift + 1) * kSubBuckets + sub;
 }
 
-uint64_t LatencyHistogram::BucketMidpoint(int index) {
+uint64_t BucketMidpoint(int index) {
   if (index < kSubBuckets) {
     return static_cast<uint64_t>(index);
   }
@@ -28,6 +28,10 @@ uint64_t LatencyHistogram::BucketMidpoint(int index) {
   return lo + width / 2;
 }
 
+}  // namespace hist_detail
+
+LatencyHistogram::LatencyHistogram() : buckets_(hist_detail::kBucketCount, 0) {}
+
 void LatencyHistogram::Record(TimeMicros value) {
   if (count_ == 0 || value < min_) {
     min_ = value;
@@ -37,7 +41,7 @@ void LatencyHistogram::Record(TimeMicros value) {
   }
   count_++;
   sum_ += value;
-  int idx = BucketIndex(value);
+  int idx = hist_detail::BucketIndex(value);
   if (idx >= static_cast<int>(buckets_.size())) {
     idx = static_cast<int>(buckets_.size()) - 1;
   }
@@ -89,7 +93,75 @@ TimeMicros LatencyHistogram::Percentile(double q) const {
   for (size_t i = 0; i < buckets_.size(); i++) {
     seen += buckets_[i];
     if (seen > target) {
-      uint64_t mid = BucketMidpoint(static_cast<int>(i));
+      uint64_t mid = hist_detail::BucketMidpoint(static_cast<int>(i));
+      return std::clamp<uint64_t>(mid, min_, max_);
+    }
+  }
+  return max_;
+}
+
+EpochLatencyHistogram::EpochLatencyHistogram()
+    : buckets_(hist_detail::kBucketCount, 0),
+      bucket_epoch_(hist_detail::kBucketCount, 0) {}
+
+// atropos-lint: alloc-free
+void EpochLatencyHistogram::Record(TimeMicros value) {
+  if (count_ == 0 || value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+  count_++;
+  sum_ += value;
+  int idx = hist_detail::BucketIndex(value);
+  if (idx >= static_cast<int>(buckets_.size())) {
+    idx = static_cast<int>(buckets_.size()) - 1;
+  }
+  const size_t i = static_cast<size_t>(idx);
+  if (bucket_epoch_[i] != epoch_) {
+    // First touch since the last Reset: the count is left over from an
+    // earlier window; clear it before counting into the new one.
+    bucket_epoch_[i] = epoch_;
+    buckets_[i] = 0;
+  }
+  buckets_[i]++;
+}
+
+void EpochLatencyHistogram::Reset() {
+  epoch_++;
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double EpochLatencyHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+TimeMicros EpochLatencyHistogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (q <= 0.0) {
+    return min_;
+  }
+  if (q >= 1.0) {
+    return max_;
+  }
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (target >= count_) {
+    target = count_ - 1;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    if (bucket_epoch_[i] != epoch_) {
+      continue;  // stale bucket: logically zero this window
+    }
+    seen += buckets_[i];
+    if (seen > target) {
+      uint64_t mid = hist_detail::BucketMidpoint(static_cast<int>(i));
       return std::clamp<uint64_t>(mid, min_, max_);
     }
   }

@@ -46,6 +46,9 @@
   ATROPOS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
 #define ATROPOS_RELEASE(...) \
   ATROPOS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+// Try-lock: first argument is the value returned on successful acquisition.
+#define ATROPOS_TRY_ACQUIRE(...) \
+  ATROPOS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
 
 // Escape hatch for code the analysis cannot model (init/teardown paths).
 #define ATROPOS_NO_THREAD_SAFETY_ANALYSIS \

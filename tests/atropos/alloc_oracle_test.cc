@@ -1,0 +1,189 @@
+// Steady-state allocation oracle (DESIGN.md §17).
+//
+// The SoA refactor's core promise is that the per-event hot path — tracing
+// hooks into the TaskLedger, request lifecycle into the WindowAggregator, and
+// task registration/teardown over recycled slots — performs ZERO heap
+// allocations once the registries are warm. This binary overrides global
+// operator new/delete with counting wrappers and asserts exactly that: warm
+// the structures past their high-water mark, arm the counter, drive tens of
+// thousands of events, and require the allocation count to still be zero.
+//
+// The oracle lives in its own test binary because replacing global
+// operator new affects the whole program; keeping it isolated means the main
+// suites run against the stock allocator.
+//
+// Deliberately NOT inside the armed region: Tick()/estimation (the estimator
+// builds per-window candidate vectors by design — once per window, off the
+// per-event path) and first-touch growth (new tasks/resources beyond the
+// high-water mark).
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "src/atropos/ledger.h"
+#include "src/atropos/window.h"
+#include "src/common/clock.h"
+
+namespace {
+
+std::atomic<bool> g_armed{false};
+std::atomic<uint64_t> g_allocations{0};
+
+void* CountingAlloc(size_t size) {
+  if (g_armed.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(size_t size) { return CountingAlloc(size); }
+void* operator new[](size_t size) { return CountingAlloc(size); }
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  return std::malloc(size == 0 ? 1 : size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace atropos {
+namespace {
+
+class AllocArmed {
+ public:
+  AllocArmed() {
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_armed.store(true, std::memory_order_relaxed);
+  }
+  ~AllocArmed() { g_armed.store(false, std::memory_order_relaxed); }
+  uint64_t count() const { return g_allocations.load(std::memory_order_relaxed); }
+};
+
+TEST(AllocOracleTest, LedgerSteadyStateIsAllocationFree) {
+  ManualClock clock;
+  AtroposConfig config;
+  AtroposStats stats;
+  TaskLedger ledger(&clock, config, &stats);
+
+  const ResourceId lock = ledger.RegisterResource("lock", ResourceClass::kLock);
+  const ResourceId pool = ledger.RegisterResource("pool", ResourceClass::kMemory);
+
+  // Warm past the high-water mark: more concurrent tasks than the steady
+  // phase will ever hold, every (task, resource) cell touched, both key
+  // indexes forced through their growth doublings.
+  constexpr uint64_t kWarmTasks = 64;
+  for (uint64_t k = 0; k < kWarmTasks; k++) {
+    ledger.RegisterTask(1000 + k, false, true);
+    ledger.RecordGet(1000 + k, lock, 1);
+    ledger.RecordGet(1000 + k, pool, 16);
+    ledger.RecordFree(1000 + k, lock, 1);
+  }
+  for (uint64_t k = 0; k < kWarmTasks; k++) {
+    ledger.FreeTask(1000 + k);
+  }
+
+  AllocArmed armed;
+  // 10k+ steady-state events over recycled slots: registration, the full
+  // tracing surface, window rolls, and teardown.
+  for (int round = 0; round < 1000; round++) {
+    const uint64_t a = 2000 + static_cast<uint64_t>(round % 32);
+    const uint64_t b = 3000 + static_cast<uint64_t>(round % 32);
+    ledger.RegisterTask(a, false, true);
+    ledger.RegisterTask(b, false, true);
+    ledger.RecordGet(a, lock, 1);
+    ledger.RecordWaitBegin(b, lock);
+    clock.Advance(100);
+    ledger.RecordWaitEnd(b, lock);
+    ledger.RecordGet(b, pool, 8);
+    ledger.RecordUsage(a, pool, 5, 20);
+    ledger.RecordProgress(a, static_cast<uint64_t>(round), 1000);
+    ledger.RecordFree(a, lock, 1);
+    ledger.RecordFree(b, pool, 8);
+    if (round % 16 == 15) {
+      ledger.RollWindow(clock.NowMicros());
+    }
+    ledger.FreeTask(a);
+    ledger.FreeTask(b);
+  }
+  EXPECT_EQ(armed.count(), 0u)
+      << "ledger hot path allocated after warm-up";
+}
+
+TEST(AllocOracleTest, WindowAggregatorSteadyStateIsAllocationFree) {
+  ManualClock clock;
+  AtroposConfig config;
+  AtroposStats stats;
+  WindowAggregator window(&clock, config, &stats);
+
+  // Warm the in-flight slot pool and the epoch histogram's (fixed) buckets.
+  for (uint64_t k = 0; k < 64; k++) {
+    window.OnRequestStart(100 + k, 0);
+  }
+  for (uint64_t k = 0; k < 64; k++) {
+    clock.Advance(50);
+    window.OnRequestEnd(100 + k, 500, 0);
+  }
+  window.Roll(clock.NowMicros());
+
+  AllocArmed armed;
+  for (int round = 0; round < 2000; round++) {
+    const uint64_t key = 500 + static_cast<uint64_t>(round % 48);
+    window.OnRequestStart(key, 0);
+    clock.Advance(25);
+    window.OnRequestEnd(key, 1000 + static_cast<TimeMicros>(round % 997), 0);
+    if (round % 64 == 63) {
+      (void)window.P99();
+      (void)window.CountOverdue(clock.NowMicros(), 10000);
+      window.Roll(clock.NowMicros());  // epoch bump, no memset, no alloc
+    }
+  }
+  EXPECT_EQ(armed.count(), 0u)
+      << "window aggregator hot path allocated after warm-up";
+}
+
+// Slot recycling keeps the ledger allocation-free even when the *set* of live
+// keys churns completely — distinct keys forever, bounded concurrency.
+TEST(AllocOracleTest, KeyChurnOverRecycledSlotsIsAllocationFree) {
+  ManualClock clock;
+  AtroposConfig config;
+  AtroposStats stats;
+  TaskLedger ledger(&clock, config, &stats);
+  const ResourceId lock = ledger.RegisterResource("lock", ResourceClass::kLock);
+
+  // Warm: the key index must have grown past the live-set size it will see.
+  for (uint64_t k = 0; k < 128; k++) {
+    ledger.RegisterTask(k, false, true);
+  }
+  for (uint64_t k = 0; k < 128; k++) {
+    ledger.FreeTask(k);
+  }
+
+  AllocArmed armed;
+  uint64_t next_key = 1000000;
+  for (int round = 0; round < 5000; round++) {
+    const uint64_t key = next_key++;  // never-repeating keys
+    ledger.RegisterTask(key, false, true);
+    ledger.RecordGet(key, lock, 1);
+    ledger.RecordFree(key, lock, 1);
+    ledger.FreeTask(key);
+  }
+  EXPECT_EQ(armed.count(), 0u)
+      << "key churn over recycled slots allocated after warm-up";
+}
+
+}  // namespace
+}  // namespace atropos

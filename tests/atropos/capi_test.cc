@@ -59,11 +59,13 @@ TEST_F(CApiTest, TracingAttributedToCurrentCancellable) {
   }
   const TaskRecord* task = runtime_.FindTask(7);
   ASSERT_NE(task, nullptr);
-  ASSERT_EQ(task->usage.size(), 1u);
-  const TaskResourceUsage& u = task->usage.begin()->second;
-  EXPECT_EQ(u.acquired, 10u);
-  EXPECT_EQ(u.released, 4u);
-  EXPECT_EQ(u.wait_time, 500u);
+  std::vector<ResourceId> used = runtime_.UsedResources(7);
+  ASSERT_EQ(used.size(), 1u);
+  const TaskResourceUsage* u = runtime_.FindUsage(7, used[0]);
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->acquired, 10u);
+  EXPECT_EQ(u->released, 4u);
+  EXPECT_EQ(u->wait_time, 500u);
   EXPECT_TRUE(task->has_progress);
   EXPECT_EQ(task->progress_done, 3u);
   freeCancel(c);
@@ -86,8 +88,8 @@ TEST_F(CApiTest, ScopesNest) {
     }
     getResource(1, CApiResourceType::LOCK);
   }
-  EXPECT_EQ(runtime_.FindTask(1)->usage.begin()->second.acquired, 2u);
-  EXPECT_EQ(runtime_.FindTask(2)->usage.begin()->second.acquired, 1u);
+  EXPECT_EQ(runtime_.FindUsage(1, runtime_.UsedResources(1)[0])->acquired, 2u);
+  EXPECT_EQ(runtime_.FindUsage(2, runtime_.UsedResources(2)[0])->acquired, 1u);
   freeCancel(a);
   freeCancel(b);
 }
@@ -136,7 +138,7 @@ TEST_F(CApiTest, FreeCancelOfOuterHandleUnderNestedScopes) {
   }
   EXPECT_EQ(runtime_.FindTask(1), nullptr);
   ASSERT_NE(runtime_.FindTask(2), nullptr);
-  EXPECT_EQ(runtime_.FindTask(2)->usage.begin()->second.acquired, 5u);
+  EXPECT_EQ(runtime_.FindUsage(2, runtime_.UsedResources(2)[0])->acquired, 5u);
   freeCancel(b);
 }
 
@@ -162,7 +164,7 @@ TEST_F(CApiTest, SetCancelActionRoutesToFunctionPointer) {
   }
   // Victim stalls on the same default lock resource.
   runtime_.OnRequestStart(200, 0, 0);
-  runtime_.OnWaitBegin(200, runtime_.FindTask(100)->usage.begin()->first);
+  runtime_.OnWaitBegin(200, runtime_.UsedResources(100)[0]);
   clock_.Advance(Millis(100));
   runtime_.Tick();
   ASSERT_EQ(CancelLog().size(), 1u);

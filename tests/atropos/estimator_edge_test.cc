@@ -4,10 +4,12 @@
 // sets.
 
 #include <cmath>
+#include <memory>
 
 #include <gtest/gtest.h>
 
 #include "src/atropos/estimator.h"
+#include "src/common/clock.h"
 
 namespace atropos {
 namespace {
@@ -17,57 +19,58 @@ class EstimatorEdgeTest : public ::testing::Test {
   EstimatorEdgeTest() {
     config_.contention_threshold = 0.10;
     config_.default_progress = 0.5;
+    ledger_ = std::make_unique<TaskLedger>(&clock_, config_, &stats_);
   }
 
-  TaskRecord& AddTask(TaskId id, bool cancellable = true) {
-    TaskRecord rec;
-    rec.id = id;
-    rec.key = id;
-    rec.cancellable = cancellable;
-    return tasks_.emplace(id, std::move(rec)).first->second;
+  void AddTask(uint64_t key, bool cancellable = true) {
+    ledger_->RegisterTask(key, /*background=*/false, cancellable);
   }
 
-  ResourceRecord& AddResource(ResourceId id, ResourceClass cls) {
-    ResourceRecord rec;
-    rec.id = id;
-    rec.cls = cls;
-    return resources_.emplace(id, std::move(rec)).first->second;
+  ResourceId AddResource(ResourceClass cls) {
+    return ledger_->RegisterResource("r", cls);
   }
+
+  TaskRecord& Task(uint64_t key) { return *ledger_->MutableTask(key); }
+  TaskResourceUsage& Usage(uint64_t key, ResourceId rid) {
+    return *ledger_->MutableUsage(key, rid);
+  }
+  ResourceRecord& Resource(ResourceId rid) { return *ledger_->MutableResource(rid); }
 
   // An overloaded memory pool: every get evicted, with measurable stalls.
-  ResourceRecord& AddThrashedPool() {
-    ResourceRecord& pool = AddResource(1, ResourceClass::kMemory);
-    pool.window.gets = 100;
-    pool.window.slow_events = 100;
-    pool.window.wait_time = Millis(50);
+  ResourceId AddThrashedPool() {
+    ResourceId pool = AddResource(ResourceClass::kMemory);
+    Resource(pool).window.gets = 100;
+    Resource(pool).window.slow_events = 100;
+    Resource(pool).window.wait_time = Millis(50);
     return pool;
   }
 
   Estimator::Output Estimate(TimeMicros exec_time = Millis(100)) {
     Estimator est(config_);
     est.SetCalibrating(false);
-    return est.Estimate(tasks_, resources_, exec_time, 0, Millis(100));
+    return est.Estimate(*ledger_, exec_time, 0, Millis(100));
   }
 
   AtroposConfig config_;
-  std::map<TaskId, TaskRecord> tasks_;
-  std::map<ResourceId, ResourceRecord> resources_;
+  ManualClock clock_;
+  AtroposStats stats_;
+  std::unique_ptr<TaskLedger> ledger_;
 };
 
 // A task at 0% reported progress must not blow up the (1-p)/p future factor:
 // Progress() floors at 1%, so gains stay finite and normalized.
 TEST_F(EstimatorEdgeTest, ZeroProgressTaskHasBoundedFiniteGains) {
-  AddThrashedPool();
-  TaskRecord& fresh = AddTask(10);
-  fresh.usage[1].acquired = 500;
-  fresh.has_progress = true;
-  fresh.progress_done = 0;
-  fresh.progress_total = 100;
-  TaskRecord& halfway = AddTask(11);
-  halfway.usage[1].acquired = 500;
-  halfway.has_progress = true;
-  halfway.progress_done = 50;
-  halfway.progress_total = 100;
+  ResourceId pool = AddThrashedPool();
+  AddTask(10);
+  Usage(10, pool).acquired = 500;
+  Task(10).has_progress = true;
+  Task(10).progress_done = 0;
+  Task(10).progress_total = 100;
+  AddTask(11);
+  Usage(11, pool).acquired = 500;
+  Task(11).has_progress = true;
+  Task(11).progress_done = 50;
+  Task(11).progress_total = 100;
 
   auto out = Estimate();
   ASSERT_TRUE(out.resource_overload);
@@ -88,12 +91,12 @@ TEST_F(EstimatorEdgeTest, ZeroProgressTaskHasBoundedFiniteGains) {
 // progress_total == 0 means "no usable progress report": fall back to the
 // configured default rather than dividing by zero.
 TEST_F(EstimatorEdgeTest, ZeroTotalProgressFallsBackToDefault) {
-  AddThrashedPool();
-  TaskRecord& broken = AddTask(10);
-  broken.usage[1].acquired = 500;
-  broken.has_progress = true;
-  broken.progress_done = 7;
-  broken.progress_total = 0;
+  ResourceId pool = AddThrashedPool();
+  AddTask(10);
+  Usage(10, pool).acquired = 500;
+  Task(10).has_progress = true;
+  Task(10).progress_done = 7;
+  Task(10).progress_total = 0;
 
   auto out = Estimate();
   ASSERT_EQ(out.policy_input.candidates.size(), 1u);
@@ -113,9 +116,9 @@ TEST_F(EstimatorEdgeTest, EmptyWindowProducesEmptyOutput) {
 }
 
 TEST_F(EstimatorEdgeTest, ResourcesWithNoTrafficStayQuiet) {
-  AddResource(1, ResourceClass::kLock);
-  AddResource(2, ResourceClass::kMemory);
-  AddResource(3, ResourceClass::kQueue);
+  AddResource(ResourceClass::kLock);
+  AddResource(ResourceClass::kMemory);
+  AddResource(ResourceClass::kQueue);
   auto out = Estimate();
   ASSERT_EQ(out.all_resources.size(), 3u);
   for (const auto& m : out.all_resources) {
@@ -128,8 +131,8 @@ TEST_F(EstimatorEdgeTest, ResourcesWithNoTrafficStayQuiet) {
 // A window with no productive execution time (full stall) must not divide by
 // zero: contention saturates toward 1 and stays finite.
 TEST_F(EstimatorEdgeTest, ZeroExecTimeSaturatesWithoutNan) {
-  ResourceRecord& lock = AddResource(1, ResourceClass::kLock);
-  lock.window.wait_time = Millis(50);
+  ResourceId lock = AddResource(ResourceClass::kLock);
+  Resource(lock).window.wait_time = Millis(50);
   auto out = Estimate(/*exec_time=*/0);
   const ResourceMetrics& m = out.all_resources[0];
   EXPECT_TRUE(std::isfinite(m.contention_norm));

@@ -1,63 +1,76 @@
 #include "src/atropos/estimator.h"
 
+#include <memory>
+
 #include <gtest/gtest.h>
+
+#include "src/common/clock.h"
 
 namespace atropos {
 namespace {
 
+// Tests stage ledger state directly through the Mutable* accessors (no stats
+// side effects), then run the estimator over the ledger's books. Task keys
+// map to ledger-assigned ids via FindTask; candidate order is the ledger's
+// live list, i.e. registration order.
 class EstimatorTest : public ::testing::Test {
  protected:
   EstimatorTest() {
     config_.contention_threshold = 0.10;
     config_.default_progress = 0.5;
+    ledger_ = std::make_unique<TaskLedger>(&clock_, config_, &stats_);
   }
 
-  TaskRecord& AddTask(TaskId id, bool cancellable = true) {
-    TaskRecord rec;
-    rec.id = id;
-    rec.key = id;
-    rec.cancellable = cancellable;
-    return tasks_.emplace(id, std::move(rec)).first->second;
+  void AddTask(uint64_t key, bool cancellable = true) {
+    ledger_->RegisterTask(key, /*background=*/false, cancellable);
   }
 
-  ResourceRecord& AddResource(ResourceId id, ResourceClass cls) {
-    ResourceRecord rec;
-    rec.id = id;
-    rec.cls = cls;
-    return resources_.emplace(id, std::move(rec)).first->second;
+  ResourceId AddResource(ResourceClass cls) {
+    return ledger_->RegisterResource("r", cls);
+  }
+
+  TaskRecord& Task(uint64_t key) { return *ledger_->MutableTask(key); }
+  TaskId IdOf(uint64_t key) { return ledger_->FindTask(key)->id; }
+  TaskResourceUsage& Usage(uint64_t key, ResourceId rid) {
+    return *ledger_->MutableUsage(key, rid);
+  }
+  ResourceRecord& Resource(ResourceId rid) { return *ledger_->MutableResource(rid); }
+
+  Estimator::Output Estimate(TimeMicros exec_time, TimeMicros window_start,
+                             TimeMicros now) {
+    Estimator est(config_);
+    est.SetCalibrating(false);
+    return est.Estimate(*ledger_, exec_time, window_start, now);
   }
 
   AtroposConfig config_;
-  std::map<TaskId, TaskRecord> tasks_;
-  std::map<ResourceId, ResourceRecord> resources_;
+  ManualClock clock_;
+  AtroposStats stats_;
+  std::unique_ptr<TaskLedger> ledger_;
 };
 
 TEST_F(EstimatorTest, IdleSystemHasNoContention) {
-  AddResource(1, ResourceClass::kLock);
+  AddResource(ResourceClass::kLock);
   AddTask(10);
-  Estimator est(config_);
-  est.SetCalibrating(false);
-  auto out = est.Estimate(tasks_, resources_, /*exec_time=*/Millis(100), /*window_start=*/0,
-                          /*now=*/Millis(100));
+  auto out = Estimate(/*exec_time=*/Millis(100), /*window_start=*/0,
+                      /*now=*/Millis(100));
   ASSERT_EQ(out.all_resources.size(), 1u);
   EXPECT_FALSE(out.resource_overload);
   EXPECT_EQ(out.all_resources[0].contention_norm, 0.0);
 }
 
 TEST_F(EstimatorTest, LockWaitTimeDrivesContention) {
-  AddResource(1, ResourceClass::kLock);
-  TaskRecord& holder = AddTask(10);
-  TaskRecord& waiter = AddTask(11);
+  ResourceId lock = AddResource(ResourceClass::kLock);
+  AddTask(10);
+  AddTask(11);
   // Holder has held the lock since t=0; waiter blocked since t=10ms.
-  holder.usage[1].acquired = 1;
-  holder.usage[1].active_units = 1;
-  holder.usage[1].hold_started_at = 0;
-  waiter.usage[1].waiting = true;
-  waiter.usage[1].wait_started_at = Millis(10);
+  Usage(10, lock).acquired = 1;
+  Usage(10, lock).active_units = 1;
+  Usage(10, lock).hold_started_at = 0;
+  Usage(11, lock).waiting = true;
+  Usage(11, lock).wait_started_at = Millis(10);
 
-  Estimator est(config_);
-  est.SetCalibrating(false);
-  auto out = est.Estimate(tasks_, resources_, Millis(100), 0, Millis(100));
+  auto out = Estimate(Millis(100), 0, Millis(100));
   const ResourceMetrics& m = out.all_resources[0];
   // D_r = 90ms of waiting; T_base = 100ms -> C_r = 90/(100+90) = 0.474.
   EXPECT_NEAR(m.contention_norm, 90.0 / 190.0, 0.01);
@@ -66,41 +79,37 @@ TEST_F(EstimatorTest, LockWaitTimeDrivesContention) {
 }
 
 TEST_F(EstimatorTest, HolderGainsExceedWaiterGains) {
-  AddResource(1, ResourceClass::kLock);
-  TaskRecord& holder = AddTask(10);
-  TaskRecord& waiter = AddTask(11);
-  holder.usage[1].acquired = 1;
-  holder.usage[1].active_units = 1;
-  holder.usage[1].hold_started_at = 0;
-  waiter.usage[1].waiting = true;
-  waiter.usage[1].wait_started_at = Millis(10);
+  ResourceId lock = AddResource(ResourceClass::kLock);
+  AddTask(10);
+  AddTask(11);
+  Usage(10, lock).acquired = 1;
+  Usage(10, lock).active_units = 1;
+  Usage(10, lock).hold_started_at = 0;
+  Usage(11, lock).waiting = true;
+  Usage(11, lock).wait_started_at = Millis(10);
 
-  Estimator est(config_);
-  est.SetCalibrating(false);
-  auto out = est.Estimate(tasks_, resources_, Millis(100), 0, Millis(100));
+  auto out = Estimate(Millis(100), 0, Millis(100));
   ASSERT_EQ(out.policy_input.candidates.size(), 2u);
   const auto& holder_cand = out.policy_input.candidates[0];
   const auto& waiter_cand = out.policy_input.candidates[1];
-  ASSERT_EQ(holder_cand.task, 10u);
+  ASSERT_EQ(holder_cand.task, IdOf(10));
   EXPECT_GT(holder_cand.gains[0], waiter_cand.gains[0]);
   EXPECT_EQ(waiter_cand.gains[0], 0.0);  // the victim holds nothing
 }
 
 TEST_F(EstimatorTest, MemoryEvictionRatioDrivesContention) {
-  ResourceRecord& pool = AddResource(1, ResourceClass::kMemory);
-  TaskRecord& hog = AddTask(10);
+  ResourceId pool = AddResource(ResourceClass::kMemory);
+  AddTask(10);
   // Window saw 100 page gets and 60 evictions, with 50ms of eviction stalls
   // (closed waits land in the resource's window counters).
-  pool.window.gets = 100;
-  pool.window.slow_events = 60;
-  pool.window.wait_time = Millis(50);
-  hog.usage[1].acquired = 500;
-  hog.usage[1].released = 100;
-  hog.usage[1].slow_events = 60;
+  Resource(pool).window.gets = 100;
+  Resource(pool).window.slow_events = 60;
+  Resource(pool).window.wait_time = Millis(50);
+  Usage(10, pool).acquired = 500;
+  Usage(10, pool).released = 100;
+  Usage(10, pool).slow_events = 60;
 
-  Estimator est(config_);
-  est.SetCalibrating(false);
-  auto out = est.Estimate(tasks_, resources_, Millis(100), 0, Millis(100));
+  auto out = Estimate(Millis(100), 0, Millis(100));
   const ResourceMetrics& m = out.all_resources[0];
   EXPECT_NEAR(m.contention_raw, 0.6, 1e-9);
   // D_r = 50ms * 0.6 = 30ms -> C_r = 30/(100+30) = 0.231.
@@ -109,25 +118,23 @@ TEST_F(EstimatorTest, MemoryEvictionRatioDrivesContention) {
 }
 
 TEST_F(EstimatorTest, FutureGainPrefersEarlyProgressTask) {
-  ResourceRecord& pool = AddResource(1, ResourceClass::kMemory);
-  pool.window.gets = 100;
-  pool.window.slow_events = 100;
-  pool.window.wait_time = Millis(20);
+  ResourceId pool = AddResource(ResourceClass::kMemory);
+  Resource(pool).window.gets = 100;
+  Resource(pool).window.slow_events = 100;
+  Resource(pool).window.wait_time = Millis(20);
   // §3.4: query A 90% done holding 400 pages; query B 10% done holding 300.
-  TaskRecord& a = AddTask(10);
-  a.usage[1].acquired = 400;
-  a.has_progress = true;
-  a.progress_done = 90;
-  a.progress_total = 100;
-  TaskRecord& b = AddTask(11);
-  b.usage[1].acquired = 300;
-  b.has_progress = true;
-  b.progress_done = 10;
-  b.progress_total = 100;
+  AddTask(10);
+  Usage(10, pool).acquired = 400;
+  Task(10).has_progress = true;
+  Task(10).progress_done = 90;
+  Task(10).progress_total = 100;
+  AddTask(11);
+  Usage(11, pool).acquired = 300;
+  Task(11).has_progress = true;
+  Task(11).progress_done = 10;
+  Task(11).progress_total = 100;
 
-  Estimator est(config_);
-  est.SetCalibrating(false);
-  auto out = est.Estimate(tasks_, resources_, Millis(100), 0, Millis(100));
+  auto out = Estimate(Millis(100), 0, Millis(100));
   ASSERT_TRUE(out.resource_overload);
   const auto& ca = out.policy_input.candidates[0];
   const auto& cb = out.policy_input.candidates[1];
@@ -138,18 +145,16 @@ TEST_F(EstimatorTest, FutureGainPrefersEarlyProgressTask) {
 }
 
 TEST_F(EstimatorTest, GainsNormalizedToUnitRange) {
-  ResourceRecord& pool = AddResource(1, ResourceClass::kMemory);
-  pool.window.gets = 10;
-  pool.window.slow_events = 10;
-  pool.window.wait_time = Millis(50);
-  TaskRecord& big = AddTask(10);
-  big.usage[1].acquired = 100000;
-  TaskRecord& small = AddTask(11);
-  small.usage[1].acquired = 10;
+  ResourceId pool = AddResource(ResourceClass::kMemory);
+  Resource(pool).window.gets = 10;
+  Resource(pool).window.slow_events = 10;
+  Resource(pool).window.wait_time = Millis(50);
+  AddTask(10);
+  Usage(10, pool).acquired = 100000;
+  AddTask(11);
+  Usage(11, pool).acquired = 10;
 
-  Estimator est(config_);
-  est.SetCalibrating(false);
-  auto out = est.Estimate(tasks_, resources_, Millis(100), 0, Millis(100));
+  auto out = Estimate(Millis(100), 0, Millis(100));
   for (const auto& c : out.policy_input.candidates) {
     for (double g : c.gains) {
       EXPECT_GE(g, 0.0);
@@ -160,18 +165,16 @@ TEST_F(EstimatorTest, GainsNormalizedToUnitRange) {
 }
 
 TEST_F(EstimatorTest, OpenWaitsAreClippedToTheWindow) {
-  AddResource(1, ResourceClass::kLock);
-  TaskRecord& waiter = AddTask(11);
-  waiter.usage[1].waiting = true;
-  waiter.usage[1].wait_started_at = 0;
+  ResourceId lock = AddResource(ResourceClass::kLock);
+  AddTask(11);
+  Usage(11, lock).waiting = true;
+  Usage(11, lock).wait_started_at = 0;
 
-  Estimator est(config_);
-  est.SetCalibrating(false);
   // First window [0, 100ms): 100ms of open waiting -> C = 100/(100+100).
-  auto out1 = est.Estimate(tasks_, resources_, Millis(100), 0, Millis(100));
+  auto out1 = Estimate(Millis(100), 0, Millis(100));
   EXPECT_NEAR(out1.all_resources[0].contention_norm, 0.5, 0.01);
   // Second window [100ms, 200ms): only the new 100ms counts.
-  auto out2 = est.Estimate(tasks_, resources_, Millis(100), Millis(100), Millis(200));
+  auto out2 = Estimate(Millis(100), Millis(100), Millis(200));
   EXPECT_NEAR(out2.all_resources[0].contention_norm, 0.5, 0.01);
   EXPECT_EQ(out2.all_resources[0].delay, Millis(100));
 }
@@ -179,17 +182,15 @@ TEST_F(EstimatorTest, OpenWaitsAreClippedToTheWindow) {
 TEST_F(EstimatorTest, ClosedWaitsFromFreedTasksStillCount) {
   // A victim waited 60ms and completed (its task record is gone); the
   // runtime folded the closed wait into the resource window counters.
-  ResourceRecord& lock = AddResource(1, ResourceClass::kLock);
-  lock.window.wait_time = Millis(60);
-  lock.window.slow_events = 30;
-  TaskRecord& holder = AddTask(10);
-  holder.usage[1].acquired = 1;
-  holder.usage[1].active_units = 1;
-  holder.usage[1].hold_started_at = 0;
+  ResourceId lock = AddResource(ResourceClass::kLock);
+  Resource(lock).window.wait_time = Millis(60);
+  Resource(lock).window.slow_events = 30;
+  AddTask(10);
+  Usage(10, lock).acquired = 1;
+  Usage(10, lock).active_units = 1;
+  Usage(10, lock).hold_started_at = 0;
 
-  Estimator est(config_);
-  est.SetCalibrating(false);
-  auto out = est.Estimate(tasks_, resources_, Millis(100), 0, Millis(100));
+  auto out = Estimate(Millis(100), 0, Millis(100));
   EXPECT_NEAR(out.all_resources[0].contention_norm, 60.0 / 160.0, 0.01);
   EXPECT_TRUE(out.resource_overload);
   // The live holder is the gain candidate.
@@ -198,30 +199,26 @@ TEST_F(EstimatorTest, ClosedWaitsFromFreedTasksStillCount) {
 }
 
 TEST_F(EstimatorTest, NonCancellableTasksFlaggedInPolicyInput) {
-  ResourceRecord& pool = AddResource(1, ResourceClass::kMemory);
-  pool.window.gets = 10;
-  pool.window.slow_events = 10;
-  pool.window.wait_time = Millis(50);
-  TaskRecord& t = AddTask(10, /*cancellable=*/false);
-  t.usage[1].acquired = 100;
+  ResourceId pool = AddResource(ResourceClass::kMemory);
+  Resource(pool).window.gets = 10;
+  Resource(pool).window.slow_events = 10;
+  Resource(pool).window.wait_time = Millis(50);
+  AddTask(10, /*cancellable=*/false);
+  Usage(10, pool).acquired = 100;
 
-  Estimator est(config_);
-  est.SetCalibrating(false);
-  auto out = est.Estimate(tasks_, resources_, Millis(100), 0, Millis(100));
+  auto out = Estimate(Millis(100), 0, Millis(100));
   ASSERT_EQ(out.policy_input.candidates.size(), 1u);
   EXPECT_FALSE(out.policy_input.candidates[0].cancellable);
 }
 
 TEST_F(EstimatorTest, QueueClassUsesWaitHoldRatio) {
-  ResourceRecord& queue = AddResource(1, ResourceClass::kQueue);
+  ResourceId queue = AddResource(ResourceClass::kQueue);
   AddTask(10);
   // Tasks waited 90ms in the queue this window, executed 10ms after leaving.
-  queue.window.wait_time = Millis(90);
-  queue.window.hold_time = Millis(10);
+  Resource(queue).window.wait_time = Millis(90);
+  Resource(queue).window.hold_time = Millis(10);
 
-  Estimator est(config_);
-  est.SetCalibrating(false);
-  auto out = est.Estimate(tasks_, resources_, Millis(100), 0, Millis(100));
+  auto out = Estimate(Millis(100), 0, Millis(100));
   EXPECT_NEAR(out.all_resources[0].contention_raw, 9.0, 0.01);
   EXPECT_NEAR(out.all_resources[0].contention_norm, 90.0 / 190.0, 0.01);
 }

@@ -74,12 +74,14 @@ TEST_F(RuntimeTest, HoldAndWaitAccounting) {
   runtime_.OnWaitEnd(2, lock_);
   runtime_.OnFree(1, lock_, 1);
 
-  const TaskRecord* holder = runtime_.FindTask(1);
-  const TaskRecord* waiter = runtime_.FindTask(2);
-  EXPECT_EQ(holder->usage.at(lock_).hold_time, Millis(40));
-  EXPECT_EQ(holder->usage.at(lock_).held_now(), 0u);
-  EXPECT_EQ(waiter->usage.at(lock_).wait_time, Millis(30));
-  EXPECT_EQ(waiter->usage.at(lock_).slow_events, 1u);
+  const TaskResourceUsage* holder = runtime_.FindUsage(1, lock_);
+  const TaskResourceUsage* waiter = runtime_.FindUsage(2, lock_);
+  ASSERT_NE(holder, nullptr);
+  ASSERT_NE(waiter, nullptr);
+  EXPECT_EQ(holder->hold_time, Millis(40));
+  EXPECT_EQ(holder->held_now(), 0u);
+  EXPECT_EQ(waiter->wait_time, Millis(30));
+  EXPECT_EQ(waiter->slow_events, 1u);
 }
 
 TEST_F(RuntimeTest, NoCancellationWithoutOverload) {

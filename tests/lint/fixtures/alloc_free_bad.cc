@@ -1,0 +1,48 @@
+// Bad fixture for alloc-free: allocation idioms inside marked hot-path
+// functions, plus a dangling marker. Golden diagnostics live in
+// tests/lint/golden/alloc_free_bad.expected; line numbers are load-bearing.
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Pool {
+  std::vector<int> slots;
+  std::vector<int> free_list;
+};
+
+// Violation: operator new on the per-event path.
+// atropos-lint: alloc-free
+int* HotNew() {
+  return new int(42);
+}
+
+// Violations: C allocator and string building.
+// atropos-lint: alloc-free
+char* HotMalloc(int n) {
+  std::string label = std::to_string(n);
+  (void)label;
+  return static_cast<char*>(std::malloc(16));
+}
+
+// Violation: std:: factory helper allocates.
+// atropos-lint: alloc-free
+std::unique_ptr<int> HotFactory() {
+  return std::make_unique<int>(7);
+}
+
+// Violations: capacity-growing container member calls.
+// atropos-lint: alloc-free
+void HotGrowth(Pool* pool) {
+  pool->slots.resize(128);
+  pool->slots.emplace_back(1);
+}
+
+// Violation: the marker below binds to nothing — there is no function
+// definition within reach, so the promise is attached to thin air.
+// atropos-lint: alloc-free
+
+}  // namespace

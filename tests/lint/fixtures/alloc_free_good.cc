@@ -1,0 +1,52 @@
+// Good fixture for alloc-free: the sanctioned steady-state idioms — slot
+// recycling via push_back onto a high-water-capacity free list, in-place
+// writes, and unmarked warm-up code that allocates freely. Must lint clean.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Pool {
+  std::vector<int> slots;
+  std::vector<int> free_list;
+};
+
+// push_back is allowed in marked functions: recycling a slot onto a free
+// list whose capacity was established during warm-up never reallocates in
+// steady state (the runtime oracle in tests/atropos/alloc_oracle_test.cc is
+// the hard gate for that claim).
+// atropos-lint: alloc-free
+void ReleaseSlot(Pool* pool, int slot) {
+  pool->slots[static_cast<size_t>(slot)] = 0;
+  pool->free_list.push_back(slot);
+}
+
+// In-place reads and arithmetic are fine; mentioning banned names in
+// comments is fine too (malloc, resize — comments never reach the checks).
+// atropos-lint: alloc-free
+int AcquireSlot(Pool* pool) {
+  if (pool->free_list.empty()) {
+    return -1;
+  }
+  int slot = pool->free_list.back();
+  pool->free_list.pop_back();
+  return slot;
+}
+
+// Unmarked warm-up code may allocate: no promise, no finding.
+void WarmUp(Pool* pool, int capacity) {
+  pool->slots.resize(static_cast<size_t>(capacity));
+  pool->free_list.reserve(static_cast<size_t>(capacity));
+}
+
+// A per-line suppression names the check in allow(); that must read as a
+// suppression, not as a marker for the next function.
+// atropos-lint: alloc-free
+void SlowPathEscapeHatch(Pool* pool) {
+  // atropos-lint: allow(alloc-free)
+  pool->slots.reserve(1024);
+}
+
+}  // namespace

@@ -43,6 +43,10 @@ std::string Golden(const std::string& name) {
   return ReadFile(std::string(ATROPOS_LINT_TEST_DATA_DIR) + "/golden/" + name);
 }
 
+TEST(GoldenTest, AllocFreeBadMatchesGolden) {
+  EXPECT_EQ(LintFixture("alloc_free_bad.cc"), Golden("alloc_free_bad.expected"));
+}
+
 TEST(GoldenTest, CapiPairingBadMatchesGolden) {
   EXPECT_EQ(LintFixture("capi_pairing_bad.cc"), Golden("capi_pairing_bad.expected"));
 }
@@ -74,6 +78,7 @@ TEST(GoldenTest, AbortEntryBadMatchesGolden) {
 }
 
 TEST(GoldenTest, GoodFixturesLintClean) {
+  EXPECT_EQ(LintFixture("alloc_free_good.cc"), "");
   EXPECT_EQ(LintFixture("capi_pairing_good.cc"), "");
   EXPECT_EQ(LintFixture("cancel_safety_good.cc"), "");
   EXPECT_EQ(LintFixture("determinism_good.cc"), "");

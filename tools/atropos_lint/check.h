@@ -36,6 +36,7 @@ class Check {
 };
 
 // Factory per check; `MakeAllChecks` returns them in canonical order.
+std::unique_ptr<Check> MakeAllocFreeCheck();
 std::unique_ptr<Check> MakeCapiPairingCheck();
 std::unique_ptr<Check> MakeCancelActionSafetyCheck();
 std::unique_ptr<Check> MakeDeterminismCheck();

@@ -1,0 +1,121 @@
+// alloc-free: no allocation idioms in functions marked steady-state
+// allocation-free.
+//
+// The SoA hot path (DESIGN.md §17) promises zero heap allocations per event
+// once the registries are warm; functions carrying that promise are marked
+// with a standalone `// atropos-lint: alloc-free` comment directly above the
+// definition. This check scans each marked function's body for token-level
+// allocation idioms: `new`/`delete`, the C allocator family, the std::
+// factory helpers, string building, and capacity-growing container member
+// calls.
+//
+// Known limitation (DESIGN.md §13): the check is token-local. It cannot see
+// through helper calls, cannot prove a `push_back` will hit capacity, and
+// does not flag `push_back` at all — pushing onto a free-list vector whose
+// capacity was established during warm-up is the sanctioned slot-recycling
+// idiom, indistinguishable from a growing push at token level. The hard gate
+// for the promise is the runtime allocation oracle
+// (tests/atropos/alloc_oracle_test.cc); this check exists to catch the
+// obvious regressions at lint time, before a binary ever runs.
+
+#include <string>
+#include <string_view>
+
+#include "tools/atropos_lint/check.h"
+
+namespace atropos::lint {
+
+namespace {
+
+constexpr char kCheckName[] = "alloc-free";
+
+// A marker binds to the first function whose declaration starts within this
+// many lines below it; anything further away is a dangling marker.
+constexpr int kMarkerBindWindow = 10;
+
+// Identifiers that are allocation calls when they appear in call position
+// (followed by '(').
+bool IsAllocCall(std::string_view s) {
+  return s == "malloc" || s == "calloc" || s == "realloc" || s == "strdup" ||
+         s == "aligned_alloc" || s == "to_string";
+}
+
+// Factory helpers flagged on any use: a template argument list usually sits
+// between the name and the '(', and the names are unambiguous anyway.
+bool IsAllocFactory(std::string_view s) {
+  return s == "make_unique" || s == "make_shared";
+}
+
+// Container member calls that (may) grow capacity — banned in marked
+// functions even though some uses could be capacity-neutral; the hot path
+// has no business calling them. push_back is deliberately absent (see file
+// comment).
+bool IsGrowthMemberCall(std::string_view s) {
+  return s == "resize" || s == "reserve" || s == "insert" || s == "emplace" ||
+         s == "emplace_back" || s == "try_emplace" || s == "push_front" ||
+         s == "emplace_front" || s == "append" || s == "shrink_to_fit";
+}
+
+class AllocFreeCheck final : public Check {
+ public:
+  std::string_view name() const override { return kCheckName; }
+
+  void Analyze(const SourceFile& file, DiagnosticSink* sink) override {
+    for (int marker_line : file.lex.alloc_free_lines) {
+      // Bind the marker to the nearest function starting at or below it.
+      const FunctionInfo* bound = nullptr;
+      for (const FunctionInfo& fn : file.outline.functions) {
+        if (fn.is_lambda || fn.line < marker_line) {
+          continue;
+        }
+        if (bound == nullptr || fn.line < bound->line) {
+          bound = &fn;
+        }
+      }
+      if (bound == nullptr || bound->line > marker_line + kMarkerBindWindow) {
+        sink->Report(file.path, marker_line, kCheckName,
+                     "alloc-free marker does not precede a function definition");
+        continue;
+      }
+      ScanBody(file, *bound, sink);
+    }
+  }
+
+ private:
+  void ScanBody(const SourceFile& file, const FunctionInfo& fn, DiagnosticSink* sink) {
+    const std::vector<Token>& toks = file.tokens();
+    for (size_t i = fn.body_begin; i < fn.body_end && i < toks.size(); i++) {
+      const Token& t = toks[i];
+      if (t.kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      if (t.text == "new" || t.text == "delete" || IsAllocFactory(t.text)) {
+        sink->Report(file.path, t.line, kCheckName,
+                     "'" + t.text + "' in alloc-free function '" + fn.name +
+                         "'; the steady-state hot path must not touch the heap");
+        continue;
+      }
+      const bool called = i + 1 < toks.size() && toks[i + 1].IsPunct("(");
+      if (!called) {
+        continue;
+      }
+      const bool member =
+          i > 0 && (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->"));
+      if (IsAllocCall(t.text)) {
+        sink->Report(file.path, t.line, kCheckName,
+                     "call of '" + t.text + "' in alloc-free function '" + fn.name +
+                         "'; the steady-state hot path must not allocate");
+      } else if (member && IsGrowthMemberCall(t.text)) {
+        sink->Report(file.path, t.line, kCheckName,
+                     "container '." + t.text + "(...)' in alloc-free function '" + fn.name +
+                         "'; growth belongs in warm-up/registration, not the hot path");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> MakeAllocFreeCheck() { return std::make_unique<AllocFreeCheck>(); }
+
+}  // namespace atropos::lint

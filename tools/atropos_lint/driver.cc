@@ -53,6 +53,7 @@ void AnalyzeSource(const std::string& display_path, const std::string& contents,
 
 std::vector<std::unique_ptr<Check>> MakeAllChecks() {
   std::vector<std::unique_ptr<Check>> checks;
+  checks.push_back(MakeAllocFreeCheck());
   checks.push_back(MakeCapiPairingCheck());
   checks.push_back(MakeCancelActionSafetyCheck());
   checks.push_back(MakeDeterminismCheck());

@@ -24,6 +24,7 @@ struct Directive {
   std::set<std::string> allow;       // per-line suppressions
   std::set<std::string> allow_file;  // file-wide suppressions
   bool digest_path = false;
+  bool alloc_free = false;
 };
 
 std::string Trimmed(std::string_view s) {
@@ -74,6 +75,12 @@ void ParseDirective(std::string_view comment, Directive* out) {
   if (rest.find("digest-path") != std::string_view::npos) {
     out->digest_path = true;
   }
+  // The alloc-free marker must be the directive's entire body, so that
+  // `allow(alloc-free)` (a suppression naming the check) is not mistaken for
+  // a marker.
+  if (Trimmed(rest) == "alloc-free") {
+    out->alloc_free = true;
+  }
 }
 
 }  // namespace
@@ -95,7 +102,7 @@ LexedFile Lex(std::string_view src) {
     d.line = at_line;
     d.code_before = (last_token_line == at_line);
     ParseDirective(text, &d);
-    if (!d.allow.empty() || !d.allow_file.empty() || d.digest_path) {
+    if (!d.allow.empty() || !d.allow_file.empty() || d.digest_path || d.alloc_free) {
       directives.push_back(std::move(d));
     }
   };
@@ -239,6 +246,9 @@ LexedFile Lex(std::string_view src) {
     }
     if (d.digest_path) {
       out.digest_path_marker = true;
+    }
+    if (d.alloc_free) {
+      out.alloc_free_lines.push_back(d.line);
     }
     if (d.allow.empty()) {
       continue;

@@ -9,6 +9,9 @@
 //   // atropos-lint: allow-file(check-a)       suppress for the whole file
 //   // atropos-lint: digest-path               mark this file as a digest path
 //                                              for the determinism check
+//   // atropos-lint: alloc-free                mark the next function as a
+//                                              steady-state allocation-free
+//                                              hot path (alloc-free check)
 //
 // Comments and preprocessor lines are consumed here and never reach the
 // checks, so API names mentioned in prose don't trigger findings.
@@ -33,6 +36,10 @@ struct LexedFile {
   std::map<int, std::set<std::string>> line_suppressions;
   std::set<std::string> file_suppressions;
   bool digest_path_marker = false;
+  // Lines carrying a standalone `alloc-free` marker; each binds to the next
+  // function definition (resolved by the alloc-free check against the
+  // outline).
+  std::vector<int> alloc_free_lines;
 };
 
 // Lexes `source`. Never fails: unrecognized bytes become single-char punct
