@@ -20,8 +20,11 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 
 # Static analysis, three sub-stages:
 #   1. atropos_lint (tools/atropos_lint): the domain checks — capi-pairing,
-#      cancel-action-safety, determinism, lock-order. Always runs; the tool
-#      is built from this repo so there is nothing to install.
+#      cancel-action-safety, alloc-free, determinism, lock-order, guarded-by,
+#      atomics-protocol, stale-suppression — resolved over the whole-program
+#      call graph. Always runs; the tool is built from this repo so there is
+#      nothing to install. The stderr summary includes the wall time; the
+#      perf stage tracks it via BENCH_lint.json.
 #   2. clang-tidy over the decision-pipeline layers, driven by the compile
 #      database the main configure exports. Skipped when not installed.
 #   3. clang thread-safety analysis: a clang compile of the concurrent intake
@@ -57,12 +60,17 @@ run_lint() {
 # O(n)-scan-on-the-hot-path class this gate exists to catch.
 run_perf() {
   echo "== perf trajectory: regenerate BENCH_*.json (pinned invocations) =="
-  cmake --build build -j "$JOBS" --target fig14_overhead mt_ingest obs_overhead >/dev/null
+  cmake --build build -j "$JOBS" --target fig14_overhead mt_ingest obs_overhead \
+    atropos_lint >/dev/null
   # Single-thread micro benches first; mt_ingest's saturation runs oversubscribe
   # the box and would inflate a micro loop that runs right after them.
   ./build/bench/fig14_overhead --json --skip-sim
   ./build/bench/obs_overhead --json
   ./build/bench/mt_ingest --events=2000000 --max-threads=8 --json
+  # The analyzer's own wall time is a tracked metric: the whole-program call
+  # graph must stay cheap enough to run on every gate.
+  ./build/tools/atropos_lint/atropos_lint --dir=src --dir=examples --dir=tests \
+    --dir=tools --json > BENCH_lint.json
 
   echo "== perf trajectory: compare against bench/baselines/ =="
   python3 scripts/perf_trajectory.py

@@ -59,6 +59,12 @@ TRACKED = {
         "recorder_record_ns": "lower",
         "recorder_disabled_ns": "lower",
     },
+    # atropos_lint over the whole tree (scripts/check.sh --perf pins the same
+    # --dir set as the lint stage). Guards the analyzer itself: the cross-file
+    # call graph and the lockset walk must stay cheap enough to gate on.
+    "BENCH_lint.json": {
+        "wall_ms": "lower",
+    },
 }
 
 

@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "src/common/clock.h"
+#include "src/common/thread_annotations.h"
 
 namespace atropos {
 
@@ -43,8 +44,8 @@ class ClientWaiter {
  private:
   std::mutex mu_;
   std::condition_variable cv_;
-  bool done_ = false;
-  LiveOutcome outcome_ = LiveOutcome::kOk;
+  bool done_ ATROPOS_GUARDED_BY(mu_) = false;
+  LiveOutcome outcome_ ATROPOS_GUARDED_BY(mu_) = LiveOutcome::kOk;
 };
 
 // One in-flight request. `waiter` is null for open-loop (fire-and-forget)

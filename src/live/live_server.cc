@@ -40,13 +40,13 @@ bool LiveServer::Start() {
   for (size_t slot = 0; slot < options_.workers; slot++) {
     workers_.emplace_back([this, slot] { WorkerLoop(slot); });
   }
-  state_.store(State::kRunning, std::memory_order_release);
+  state_.store(State::kRunning, std::memory_order_seq_cst);
   return true;
 }
 
 bool LiveServer::Submit(LiveRequest req) {
   req.enqueued = clock_->NowMicros();
-  if (state_.load(std::memory_order_acquire) != State::kRunning) {
+  if (state_.load(std::memory_order_seq_cst) != State::kRunning) {
     shed_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
@@ -170,7 +170,7 @@ void LiveServer::FinishRequest(const LiveRequest& req, LiveOutcome out, WorkerSt
 void LiveServer::Stop() {
   // A Stop racing Start waits for the worker vector to be fully published
   // before taking it down — joining threads mid-emplace is a data race.
-  while (state_.load(std::memory_order_acquire) == State::kStarting) {
+  while (state_.load(std::memory_order_seq_cst) == State::kStarting) {
     std::this_thread::yield();
   }
   State expected = State::kRunning;

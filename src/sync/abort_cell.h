@@ -89,7 +89,7 @@ class AbortCell {
   // its CAS must be able to land.
   void BeginWait(uint64_t key, uint64_t amount = 1) {
     amount_ = amount;
-    state_.store(kWaiting, std::memory_order_relaxed);
+    state_.store(kWaiting, std::memory_order_seq_cst);
     wait_key_.store(key, std::memory_order_seq_cst);
   }
 
@@ -98,7 +98,7 @@ class AbortCell {
   // no longer CAS a recycled state.
   void EndWait() {
     wait_key_.store(0, std::memory_order_seq_cst);
-    state_.store(kIdle, std::memory_order_relaxed);
+    state_.store(kIdle, std::memory_order_seq_cst);
   }
 
   // Futex-style park until the state leaves kWaiting. Every transition out of

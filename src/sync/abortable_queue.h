@@ -38,6 +38,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
+
 namespace atropos {
 
 template <typename T>
@@ -86,7 +88,7 @@ class AbortableQueue {
     }
     Slot& s = slots_[tail_ % slots_.size()];
     s.item = std::move(item);
-    s.cancel_key.store(0, std::memory_order_relaxed);
+    s.cancel_key.store(0, std::memory_order_seq_cst);
     s.key.store(key, std::memory_order_seq_cst);
     tail_++;
     count_++;
@@ -166,11 +168,11 @@ class AbortableQueue {
     T item{};
   };
 
-  Popped PopLocked() {
+  Popped PopLocked() ATROPOS_REQUIRES(mu_) {
     Slot& s = slots_[head_ % slots_.size()];
     Popped out;
     out.item = std::move(s.item);
-    const uint64_t key = s.key.load(std::memory_order_relaxed);
+    const uint64_t key = s.key.load(std::memory_order_seq_cst);
     // Retract the key BEFORE reading the cancel word: this is the popper's
     // half of the Dekker pairing with AbortKey (store word, re-load key). A
     // mark we miss here is one AbortKey reported as kRaced, never kAborted.
@@ -185,11 +187,13 @@ class AbortableQueue {
 
   std::mutex mu_;
   std::condition_variable cv_;
+  // slots_ itself is deliberately NOT guarded: AbortKey scans the slot
+  // atomics lock-free from the cancellation initiator.
   std::vector<Slot> slots_;
-  size_t head_ = 0;   // next slot to pop (mod capacity)
-  size_t tail_ = 0;   // next slot to fill (mod capacity)
-  size_t count_ = 0;  // occupied slots
-  bool closed_ = false;
+  size_t head_ ATROPOS_GUARDED_BY(mu_) = 0;   // next slot to pop (mod capacity)
+  size_t tail_ ATROPOS_GUARDED_BY(mu_) = 0;   // next slot to fill (mod capacity)
+  size_t count_ ATROPOS_GUARDED_BY(mu_) = 0;  // occupied slots
+  bool closed_ ATROPOS_GUARDED_BY(mu_) = false;
 
   std::atomic<uint64_t> aborted_{0};
 };

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "src/common/thread_annotations.h"
 #include "src/sync/abort_cell.h"
 #include "src/sync/cancel_mode.h"
 
@@ -74,8 +75,8 @@ class CancellableMutex {
  private:
   const CancelMode mode_;
   std::mutex mu_;
-  bool held_ = false;
-  CellList waiters_;
+  bool held_ ATROPOS_GUARDED_BY(mu_) = false;
+  CellList waiters_ ATROPOS_GUARDED_BY(mu_);
 
   std::atomic<uint64_t> aborted_waits_{0};
   std::atomic<uint64_t> contended_{0};

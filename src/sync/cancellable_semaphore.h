@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "src/common/thread_annotations.h"
 #include "src/sync/abort_cell.h"
 #include "src/sync/cancel_mode.h"
 #include "src/sync/cancellable_mutex.h"  // SyncOutcome
@@ -57,15 +58,14 @@ class CancellableSemaphore {
   uint64_t spurious_aborts() const { return spurious_aborts_.load(std::memory_order_relaxed); }
 
  private:
-  // Grants from the head while units fit, skipping cancelled cells. Requires
-  // mu_ held.
-  void GrantLocked();
+  // Grants from the head while units fit, skipping cancelled cells.
+  void GrantLocked() ATROPOS_REQUIRES(mu_);
 
   const CancelMode mode_;
   const uint64_t capacity_;
   std::mutex mu_;
-  uint64_t available_;
-  CellList waiters_;
+  uint64_t available_ ATROPOS_GUARDED_BY(mu_);
+  CellList waiters_ ATROPOS_GUARDED_BY(mu_);
 
   std::atomic<uint64_t> aborted_waits_{0};
   std::atomic<uint64_t> spurious_aborts_{0};

@@ -1,0 +1,206 @@
+// Cross-file call-graph resolution units: synthetic multi-buffer programs
+// pinning each resolution rule (qualified, typed receiver, unknown receiver,
+// bare-name fallback and its ambiguity caps), plus the real three-file abort
+// chain in this repo — LiveServer::DeliverCancel -> CancelBoard::RequestCancel
+// -> CancelBoard::TryDeliver -> AbortCell::TryAbort — which is exactly the
+// path cancel-action-safety must be able to walk across translation units.
+
+#include "tools/atropos_lint/call_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/atropos_lint/check.h"
+#include "tools/atropos_lint/lexer.h"
+#include "tools/atropos_lint/outline.h"
+
+namespace atropos::lint {
+namespace {
+
+SourceFile MakeFile(const std::string& path, const std::string& source) {
+  SourceFile f;
+  f.path = path;
+  f.repo_path = path;
+  f.lex = Lex(source);
+  f.outline = BuildOutline(f.lex.tokens);
+  return f;
+}
+
+SourceFile LoadRepoFile(const std::string& repo_path) {
+  const std::string full = std::string(ATROPOS_LINT_REPO_ROOT) + "/" + repo_path;
+  std::ifstream in(full);
+  EXPECT_TRUE(in.good()) << "cannot read " << full;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return MakeFile(repo_path, buf.str());
+}
+
+// The definition named `name` in the file whose path is `path`.
+FunctionRef FindFn(const std::vector<SourceFile>& files, const std::string& path,
+                   const std::string& name) {
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    if (files[fi].path != path) {
+      continue;
+    }
+    const auto& fns = files[fi].outline.functions;
+    for (size_t i = 0; i < fns.size(); ++i) {
+      if (fns[i].name == name) {
+        return FunctionRef{static_cast<int>(fi), static_cast<int>(i)};
+      }
+    }
+  }
+  return FunctionRef{};
+}
+
+// The first call site named `callee` inside `ref`, or nullptr.
+const CallSite* FindSite(const CallGraph& graph, const FunctionRef& ref,
+                         const std::string& callee) {
+  for (const CallSite& site : graph.CallsIn(ref)) {
+    if (site.name == callee) {
+      return &site;
+    }
+  }
+  return nullptr;
+}
+
+TEST(CallGraphTest, QualifiedCallResolvesAcrossFiles) {
+  std::vector<SourceFile> files;
+  files.push_back(MakeFile("app.cc", "void App::Run() { int x = 0; (void)x; }\n"));
+  files.push_back(MakeFile("main.cc", "void Main() { App::Run(); }\n"));
+  CallGraph graph;
+  graph.Build(files);
+
+  const CallSite* site = FindSite(graph, FindFn(files, "main.cc", "Main"), "Run");
+  ASSERT_NE(site, nullptr);
+  ASSERT_EQ(site->targets.size(), 1u);
+  EXPECT_EQ(site->targets[0], FindFn(files, "app.cc", "Run"));
+}
+
+TEST(CallGraphTest, TypedReceiverResolvesToThatClassOnly) {
+  std::vector<SourceFile> files;
+  files.push_back(MakeFile(
+      "board.cc", "class Board { public: void Deliver(int k) { (void)k; } };\n"));
+  files.push_back(MakeFile(
+      "other.cc", "class Other { public: void Deliver(int k) { (void)k; } };\n"));
+  files.push_back(
+      MakeFile("use.cc", "void Use(Board& board) { board.Deliver(1); }\n"));
+  CallGraph graph;
+  graph.Build(files);
+
+  // `board`'s declared type is known program-wide, so despite two classes
+  // defining Deliver the call binds to Board's alone.
+  const CallSite* site = FindSite(graph, FindFn(files, "use.cc", "Use"), "Deliver");
+  ASSERT_NE(site, nullptr);
+  ASSERT_EQ(site->targets.size(), 1u);
+  EXPECT_EQ(site->targets[0], FindFn(files, "board.cc", "Deliver"));
+}
+
+TEST(CallGraphTest, UnknownReceiverResolvesOnlyWhenUnique) {
+  std::vector<SourceFile> files;
+  files.push_back(MakeFile("a.cc", "class A { public: void Ping() {} };\n"));
+  files.push_back(MakeFile("use.cc", "void Use(M& m) { m.second->Ping(); }\n"));
+  CallGraph graph;
+  graph.Build(files);
+
+  // One program-wide definition of Ping: the untypeable receiver still binds.
+  const CallSite* site = FindSite(graph, FindFn(files, "use.cc", "Use"), "Ping");
+  ASSERT_NE(site, nullptr);
+  ASSERT_EQ(site->targets.size(), 1u);
+  EXPECT_EQ(site->targets[0], FindFn(files, "a.cc", "Ping"));
+
+  // A second definition elsewhere makes it ambiguous; the edge must vanish
+  // rather than fan out to both (speculative edges caused false interprocedural
+  // findings through unrelated classes' methods).
+  files.push_back(MakeFile("b.cc", "class B { public: void Ping() {} };\n"));
+  CallGraph ambiguous;
+  ambiguous.Build(files);
+  site = FindSite(ambiguous, FindFn(files, "use.cc", "Use"), "Ping");
+  ASSERT_NE(site, nullptr);
+  EXPECT_TRUE(site->targets.empty());
+}
+
+TEST(CallGraphTest, BareCallFallsBackAcrossFilesUpToTheCap) {
+  std::vector<SourceFile> files;
+  files.push_back(MakeFile("lib.cc", "void Helper() {}\n"));
+  files.push_back(MakeFile("main.cc", "void Main() { Helper(); }\n"));
+  CallGraph graph;
+  graph.Build(files);
+
+  const CallSite* site = FindSite(graph, FindFn(files, "main.cc", "Main"), "Helper");
+  ASSERT_NE(site, nullptr);
+  ASSERT_EQ(site->targets.size(), 1u);
+  EXPECT_EQ(site->targets[0], FindFn(files, "lib.cc", "Helper"));
+
+  // Push the name past kMaxCrossFileCandidates definitions: the bare call
+  // must stay unresolved instead of fanning out to every `Helper`.
+  for (size_t i = 0; i < CallGraph::kMaxCrossFileCandidates; ++i) {
+    files.push_back(MakeFile("extra" + std::to_string(i) + ".cc", "void Helper() {}\n"));
+  }
+  CallGraph capped;
+  capped.Build(files);
+  site = FindSite(capped, FindFn(files, "main.cc", "Main"), "Helper");
+  ASSERT_NE(site, nullptr);
+  EXPECT_TRUE(site->targets.empty());
+}
+
+TEST(CallGraphTest, SameFileDefinitionWinsOverCrossFile) {
+  std::vector<SourceFile> files;
+  files.push_back(MakeFile("local.cc", "void Reset() {}\nvoid Run() { Reset(); }\n"));
+  files.push_back(MakeFile("remote.cc", "void Reset() {}\n"));
+  CallGraph graph;
+  graph.Build(files);
+
+  const CallSite* site = FindSite(graph, FindFn(files, "local.cc", "Run"), "Reset");
+  ASSERT_NE(site, nullptr);
+  ASSERT_EQ(site->targets.size(), 1u);
+  EXPECT_EQ(site->targets[0], FindFn(files, "local.cc", "Reset"));
+}
+
+// The chain the whole-program refactor exists for: the live server's cancel
+// initiator reaches the AbortCell CAS through three translation units.
+TEST(CallGraphTest, RealTreeAbortChainResolvesAcrossThreeFiles) {
+  std::vector<SourceFile> files;
+  files.push_back(LoadRepoFile("src/live/live_server.cc"));
+  files.push_back(LoadRepoFile("src/live/cancel_board.h"));
+  files.push_back(LoadRepoFile("src/sync/abort_cell.h"));
+  CallGraph graph;
+  graph.Build(files);
+
+  // Hop 1: LiveServer::DeliverCancel -> CancelBoard::RequestCancel.
+  const FunctionRef deliver =
+      FindFn(files, "src/live/live_server.cc", "DeliverCancel");
+  ASSERT_TRUE(deliver.valid());
+  const CallSite* hop1 = FindSite(graph, deliver, "RequestCancel");
+  ASSERT_NE(hop1, nullptr);
+  const FunctionRef request_cancel =
+      FindFn(files, "src/live/cancel_board.h", "RequestCancel");
+  ASSERT_TRUE(request_cancel.valid());
+  ASSERT_EQ(hop1->targets.size(), 1u);
+  EXPECT_EQ(hop1->targets[0], request_cancel);
+  EXPECT_EQ(graph.ClassOf(request_cancel), "CancelBoard");
+
+  // Hop 2: RequestCancel -> TryDeliver (same class, same file).
+  const CallSite* hop2 = FindSite(graph, request_cancel, "TryDeliver");
+  ASSERT_NE(hop2, nullptr);
+  const FunctionRef try_deliver =
+      FindFn(files, "src/live/cancel_board.h", "TryDeliver");
+  ASSERT_TRUE(try_deliver.valid());
+  ASSERT_EQ(hop2->targets.size(), 1u);
+  EXPECT_EQ(hop2->targets[0], try_deliver);
+
+  // Hop 3: TryDeliver -> AbortCell::TryAbort, back across the layer boundary.
+  const CallSite* hop3 = FindSite(graph, try_deliver, "TryAbort");
+  ASSERT_NE(hop3, nullptr);
+  const FunctionRef try_abort = FindFn(files, "src/sync/abort_cell.h", "TryAbort");
+  ASSERT_TRUE(try_abort.valid());
+  ASSERT_EQ(hop3->targets.size(), 1u);
+  EXPECT_EQ(hop3->targets[0], try_abort);
+  EXPECT_EQ(graph.ClassOf(try_abort), "AbortCell");
+}
+
+}  // namespace
+}  // namespace atropos::lint

@@ -1,0 +1,47 @@
+// atropos-lint: atomics-protocol
+// Bad fixture for atomics-protocol (opted in via the marker above): weak
+// memory orders on protocol words (macro and enum spellings), an initiator
+// cancel-word store with no key re-load afterwards, and a waiter that parks
+// without re-checking the cancel signal after publishing its key.
+// Golden: atomics_protocol_bad.expected.
+
+#include <atomic>
+#include <cstdint>
+
+namespace {
+
+struct Slot {
+  std::atomic<uint64_t> key{0};
+  std::atomic<uint64_t> cancel_key{0};
+};
+
+struct Waiter {
+  std::atomic<uint32_t> state{0};
+
+  void BeginWait(uint64_t key);
+  bool Raised() const;
+  void Park();
+};
+
+uint64_t SnoopKey(const Slot& s) {
+  return s.key.load(std::memory_order_relaxed);  // weak order, macro form
+}
+
+void PublishState(Waiter& w) {
+  w.state.store(1, std::memory_order::release);  // weak order, enum form
+}
+
+void MarkCancelledNoRecheck(Slot& s, uint64_t key) {
+  s.cancel_key.store(key, std::memory_order_seq_cst);
+  // Missing the Dekker re-load of s.key: a pop racing this mark can miss it
+  // and the initiator still reports a delivered abort.
+}
+
+void WaitForGrantNoRecheck(Waiter& w, uint64_t key) {
+  w.BeginWait(key);
+  // Missing Raised()/cancel-word re-check: a cancel that landed between the
+  // key publish and the park is never observed and the waiter sleeps forever.
+  w.Park();
+}
+
+}  // namespace

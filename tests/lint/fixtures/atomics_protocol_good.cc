@@ -1,0 +1,51 @@
+// atropos-lint: atomics-protocol
+// Good fixture for atomics-protocol (opted in via the marker above): every
+// operation on a protocol word is seq_cst (explicitly or by default), the
+// initiator's cancel-word store is followed by the key re-load, the waiter
+// re-checks the cancel signal between its key publish (BeginWait) and Park,
+// and weak orders on non-protocol words (plain counters, timestamps) stay
+// allowed. atropos_lint must report nothing here.
+
+#include <atomic>
+#include <cstdint>
+
+namespace {
+
+struct Slot {
+  std::atomic<uint64_t> key{0};
+  std::atomic<uint64_t> cancel_key{0};
+  std::atomic<uint64_t> cancel_time{0};  // observational; exempt by name
+  std::atomic<uint64_t> hits{0};         // not a protocol word
+};
+
+struct Waiter {
+  std::atomic<uint32_t> state{0};
+
+  void BeginWait(uint64_t key);
+  bool Raised() const;
+  void Park() { state.wait(1, std::memory_order_seq_cst); }
+};
+
+bool MarkCancelled(Slot& s, uint64_t key) {
+  s.cancel_key.store(key, std::memory_order_seq_cst);
+  s.cancel_time.store(key, std::memory_order_relaxed);  // timestamp: exempt
+  s.hits.fetch_add(1, std::memory_order_relaxed);       // counter: exempt
+  // Dekker re-load: the occupant key is a different protocol word.
+  return s.key.load(std::memory_order_seq_cst) == key;
+}
+
+void RetractMark(Slot& s) {
+  s.cancel_key.store(0, std::memory_order_seq_cst);  // zero store: a retract
+}
+
+void WaitForGrant(Waiter& w, uint64_t key) {
+  w.BeginWait(key);
+  if (w.Raised()) {
+    return;  // cancelled before parking
+  }
+  w.Park();
+}
+
+uint64_t ReadKey(const Slot& s) { return s.key.load(); }  // implicit seq_cst
+
+}  // namespace

@@ -1,0 +1,46 @@
+// Bad fixture for guarded-by: accesses to ATROPOS_GUARDED_BY members without
+// the named mutex held, an access after the guard's block closed, an access
+// after .unlock(), and a call into an ATROPOS_REQUIRES function with the lock
+// not held. Golden: guarded_by_bad.expected.
+
+#include <mutex>
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // no lock at all
+  }
+
+  int PeekThenRead() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      balance_ += 1;  // fine: inside the guard's block
+    }
+    return balance_;  // guard released at the closing brace
+  }
+
+  int UnlockThenRead() {
+    mu_.lock();
+    int a = balance_;  // fine: bare lock held
+    mu_.unlock();
+    return a + this->balance_;  // this-> form, lock already released
+  }
+
+  int DrainLocked() ATROPOS_REQUIRES(mu_) {
+    int out = balance_;
+    balance_ = 0;
+    return out;
+  }
+
+  int DrainWithoutLock() {
+    return DrainLocked();  // REQUIRES(mu_) but mu_ is not held
+  }
+
+ private:
+  std::mutex mu_;
+  int balance_ ATROPOS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace

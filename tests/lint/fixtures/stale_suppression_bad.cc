@@ -1,0 +1,20 @@
+// atropos-lint: allow-file(capi-pairing)
+// Bad fixture for stale-suppression: every marker in this file names a check
+// that reports nothing here, so each suppression is dead weight — the
+// allow-file above, a standalone allow, and an end-of-line allow. Golden:
+// stale_suppression_bad.expected.
+
+#include <mutex>
+
+namespace {
+
+std::mutex g_mu;
+
+// atropos-lint: allow(lock-order)
+void TakeOne() {
+  std::lock_guard<std::mutex> lk(g_mu);
+}
+
+int Identity(int v) { return v; }  // atropos-lint: allow(determinism)
+
+}  // namespace

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <string>
 
+#include "tools/atropos_lint/check.h"
 #include "tools/atropos_lint/driver.h"
 
 #ifndef ATROPOS_LINT_TEST_DATA_DIR
@@ -77,6 +78,27 @@ TEST(GoldenTest, AbortEntryBadMatchesGolden) {
   EXPECT_EQ(LintFixture("abort_entry_bad.cc"), Golden("abort_entry_bad.expected"));
 }
 
+// Lockset verification of ATROPOS_GUARDED_BY / ATROPOS_REQUIRES annotations:
+// unguarded member accesses, accesses after the guard scope closed or after
+// .unlock(), and calls into REQUIRES functions without the lock.
+TEST(GoldenTest, GuardedByBadMatchesGolden) {
+  EXPECT_EQ(LintFixture("guarded_by_bad.cc"), Golden("guarded_by_bad.expected"));
+}
+
+// The AbortCell/CancelBoard Dekker discipline (DESIGN.md §16): weak orders on
+// protocol words, an initiator store with no key re-load, and a Park with no
+// cancel re-check after the key publish.
+TEST(GoldenTest, AtomicsProtocolBadMatchesGolden) {
+  EXPECT_EQ(LintFixture("atomics_protocol_bad.cc"),
+            Golden("atomics_protocol_bad.expected"));
+}
+
+// Suppressions that no longer suppress anything are themselves findings.
+TEST(GoldenTest, StaleSuppressionBadMatchesGolden) {
+  EXPECT_EQ(LintFixture("stale_suppression_bad.cc"),
+            Golden("stale_suppression_bad.expected"));
+}
+
 TEST(GoldenTest, GoodFixturesLintClean) {
   EXPECT_EQ(LintFixture("alloc_free_good.cc"), "");
   EXPECT_EQ(LintFixture("capi_pairing_good.cc"), "");
@@ -85,6 +107,8 @@ TEST(GoldenTest, GoodFixturesLintClean) {
   EXPECT_EQ(LintFixture("lock_order_good.cc"), "");
   EXPECT_EQ(LintFixture("live_initiator_good.cc"), "");
   EXPECT_EQ(LintFixture("abort_entry_good.cc"), "");
+  EXPECT_EQ(LintFixture("guarded_by_good.cc"), "");
+  EXPECT_EQ(LintFixture("atomics_protocol_good.cc"), "");
 }
 
 // Suppression directives neutralize findings and are counted, end to end.
@@ -110,7 +134,8 @@ TEST(GoldenTest, AllowFileDirectiveSuppressesWholeFile) {
 }
 
 // A directive for one check must not mask another check's finding on the
-// same line.
+// same line — and since it masks nothing at all here, the stale-suppression
+// pass flags the directive itself.
 TEST(GoldenTest, AllowIsPerCheck) {
   const std::string source =
       "// atropos-lint: digest-path\n"
@@ -119,8 +144,35 @@ TEST(GoldenTest, AllowIsPerCheck) {
       "  int x = rand();\n"
       "}\n";
   RunResult result = LintBuffer("suppressed.cc", source);
-  ASSERT_EQ(result.diagnostics.size(), 1u);
-  EXPECT_EQ(result.diagnostics[0].check, "determinism");
+  ASSERT_EQ(result.diagnostics.size(), 2u);
+  EXPECT_EQ(result.diagnostics[0].check, kStaleSuppressionCheck);
+  EXPECT_EQ(result.diagnostics[0].line, 3);
+  EXPECT_EQ(result.diagnostics[1].check, "determinism");
+}
+
+// A suppression that fires is live: no stale-suppression finding, and the
+// count reflects the masked diagnostic.
+TEST(GoldenTest, LiveSuppressionIsNotStale) {
+  const std::string source =
+      "// atropos-lint: digest-path\n"
+      "// atropos-lint: allow(determinism)\n"
+      "int x = rand();\n";
+  RunResult result = LintBuffer("suppressed.cc", source);
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.suppressed, 1u);
+}
+
+// Staleness is only decidable when every check ran: under a restricted
+// --checks set a marker for an unselected check is skipped, not flagged.
+TEST(GoldenTest, StaleSuppressionSkippedUnderRestrictedChecks) {
+  const std::string source =
+      "void F() {\n"
+      "  // atropos-lint: allow(capi-pairing)\n"
+      "  int x = 0;\n"
+      "  (void)x;\n"
+      "}\n";
+  RunResult result = LintBuffer("suppressed.cc", source, {"lock-order"});
+  EXPECT_TRUE(result.diagnostics.empty());
 }
 
 // Restricting --checks to a subset runs only that subset.

@@ -1,0 +1,269 @@
+#include "tools/atropos_lint/call_graph.h"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <string_view>
+
+#include "tools/atropos_lint/check.h"
+
+namespace atropos::lint {
+
+namespace {
+
+bool IsCallPositionKeyword(std::string_view s) {
+  constexpr std::array<std::string_view, 16> kSkip = {
+      "if",       "while",    "for",      "switch",   "catch",     "return",
+      "sizeof",   "alignof",  "alignas",  "decltype", "noexcept",  "static_assert",
+      "co_return", "co_await", "co_yield", "defined",
+  };
+  for (std::string_view k : kSkip) {
+    if (s == k) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// The class qualifier immediately before the method name in an out-of-line
+// qualified definition: "atropos::CancelBoard::TryDeliver" -> "CancelBoard".
+std::string ImmediateQualifier(const std::string& qualified, const std::string& name) {
+  if (qualified.size() <= name.size() + 2) {
+    return "";
+  }
+  std::string_view prefix(qualified);
+  prefix.remove_suffix(name.size() + 2);  // drop "::name"
+  size_t last = prefix.rfind("::");
+  return std::string(last == std::string_view::npos ? prefix : prefix.substr(last + 2));
+}
+
+void SortUnique(std::vector<FunctionRef>* refs) {
+  std::sort(refs->begin(), refs->end());
+  refs->erase(std::unique(refs->begin(), refs->end()), refs->end());
+}
+
+}  // namespace
+
+void CallGraph::Build(const std::vector<SourceFile>& files) {
+  calls_.assign(files.size(), {});
+  class_of_.assign(files.size(), {});
+  by_name_.clear();
+  methods_.clear();
+
+  // Pass 1: class names known anywhere in the program — from class-like block
+  // outlines and from the qualifiers of out-of-line method definitions.
+  std::set<std::string> known_classes;
+  for (const SourceFile& file : files) {
+    for (const ClassInfo& cls : file.outline.classes) {
+      if (!cls.name.empty()) {
+        known_classes.insert(cls.name);
+      }
+    }
+    for (const FunctionInfo& fn : file.outline.functions) {
+      std::string cls = ImmediateQualifier(fn.qualified, fn.name);
+      if (!cls.empty()) {
+        known_classes.insert(cls);
+      }
+    }
+  }
+
+  // Pass 2: definition indexes (by name, by class) and per-definition class.
+  for (size_t fi = 0; fi < files.size(); fi++) {
+    const Outline& outline = files[fi].outline;
+    class_of_[fi].resize(outline.functions.size());
+    for (size_t fj = 0; fj < outline.functions.size(); fj++) {
+      const FunctionInfo& fn = outline.functions[fj];
+      if (fn.is_lambda) {
+        continue;
+      }
+      FunctionRef ref{static_cast<int>(fi), static_cast<int>(fj)};
+      by_name_[fn.name].push_back(ref);
+      std::string cls = ImmediateQualifier(fn.qualified, fn.name);
+      if (cls.empty()) {
+        cls = outline.EnclosingClass(fn.body_begin);
+      }
+      class_of_[fi][fj] = cls;
+      if (!cls.empty()) {
+        methods_[cls][fn.name].push_back(ref);
+      }
+    }
+  }
+
+  // Pass 3: per-file variable/member declared types, restricted to types that
+  // are known program classes ("CancelBoard board_;" -> board_: CancelBoard).
+  std::vector<std::map<std::string, std::string>> var_types(files.size());
+  for (size_t fi = 0; fi < files.size(); fi++) {
+    const std::vector<Token>& toks = files[fi].tokens();
+    for (size_t i = 0; i + 1 < toks.size(); i++) {
+      if (toks[i].kind != TokenKind::kIdentifier || known_classes.count(toks[i].text) == 0) {
+        continue;
+      }
+      if (i > 0 && (toks[i - 1].IsPunct("::") || toks[i - 1].IsPunct(".") ||
+                    toks[i - 1].IsPunct("->") || toks[i - 1].IsIdent("class") ||
+                    toks[i - 1].IsIdent("struct") || toks[i - 1].IsIdent("enum"))) {
+        continue;  // qualifier use or the type's own definition, not a declaration
+      }
+      size_t j = i + 1;
+      if (j < toks.size() && toks[j].IsPunct("<")) {  // template arguments
+        int depth = 0;
+        for (; j < toks.size(); j++) {
+          if (toks[j].IsPunct("<")) {
+            depth++;
+          } else if (toks[j].IsPunct(">") && --depth == 0) {
+            j++;
+            break;
+          } else if (toks[j].IsPunct(";") || toks[j].IsPunct("{")) {
+            break;  // stray comparison, not template args
+          }
+        }
+      }
+      while (j < toks.size() &&
+             (toks[j].IsPunct("*") || toks[j].IsPunct("&") || toks[j].IsPunct("&&") ||
+              toks[j].IsIdent("const"))) {
+        j++;
+      }
+      if (j + 1 >= toks.size() || toks[j].kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      const Token& after = toks[j + 1];
+      if (after.IsPunct(";") || after.IsPunct("=") || after.IsPunct("{") || after.IsPunct(",") ||
+          after.IsPunct(")") || after.IsPunct("(")) {
+        var_types[fi].emplace(toks[j].text, toks[i].text);
+      }
+    }
+  }
+
+  // Pass 4: call sites, resolved.
+  for (size_t fi = 0; fi < files.size(); fi++) {
+    const SourceFile& file = files[fi];
+    const std::vector<Token>& toks = file.tokens();
+    calls_[fi].resize(file.outline.functions.size());
+    for (size_t fj = 0; fj < file.outline.functions.size(); fj++) {
+      const FunctionInfo& fn = file.outline.functions[fj];
+      std::string cls_context = fn.is_lambda
+                                    ? file.outline.EnclosingClass(fn.body_begin)
+                                    : class_of_[fi][fj];
+      for (size_t i = fn.body_begin + 1; i < fn.body_end && i + 1 < toks.size(); i++) {
+        if (toks[i].kind != TokenKind::kIdentifier || !toks[i + 1].IsPunct("(") ||
+            IsCallPositionKeyword(toks[i].text)) {
+          continue;
+        }
+        CallSite site;
+        site.name = toks[i].text;
+        site.line = toks[i].line;
+        site.token = i;
+
+        std::string receiver_type;
+        std::string qualifier;
+        if (i >= 2 && toks[i - 1].IsPunct("::") && toks[i - 2].kind == TokenKind::kIdentifier) {
+          qualifier = toks[i - 2].text;
+        } else if (i >= 2 && (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->"))) {
+          if (toks[i - 2].kind == TokenKind::kIdentifier) {
+            const std::string& recv = toks[i - 2].text;
+            if (recv == "this") {
+              receiver_type = cls_context;
+            } else {
+              auto it = var_types[fi].find(recv);
+              if (it != var_types[fi].end()) {
+                receiver_type = it->second;
+              }
+            }
+          }
+          if (receiver_type.empty()) {
+            receiver_type = "?";  // member call on an unknown receiver
+          }
+        }
+
+        if (!qualifier.empty()) {
+          site.targets = MethodsOf(qualifier, site.name);
+        } else if (!receiver_type.empty() && receiver_type != "?") {
+          site.targets = MethodsOf(receiver_type, site.name);
+          if (site.targets.empty()) {
+            // Virtual dispatch through a base type: fall back to name lookup
+            // so overrides defined on derived classes stay reachable.
+            site.targets =
+                Resolve(files, static_cast<int>(fi), "", site.name, kMaxCrossFileCandidates);
+          }
+        } else if (receiver_type == "?") {
+          // A member call on a receiver whose type we could not infer: a
+          // cross-file fallback is accepted only when the method name is
+          // unambiguous program-wide — fanning out to every class that
+          // happens to define e.g. a `Cancel` method creates speculative
+          // edges into unrelated subsystems.
+          site.targets = Resolve(files, static_cast<int>(fi), "", site.name, 1);
+        } else {
+          site.targets = Resolve(files, static_cast<int>(fi), cls_context, site.name,
+                                 kMaxCrossFileCandidates);
+        }
+        SortUnique(&site.targets);
+        calls_[fi][fj].push_back(std::move(site));
+      }
+    }
+  }
+}
+
+std::vector<FunctionRef> CallGraph::Resolve(const std::vector<SourceFile>& files, int file_index,
+                                            const std::string& cls_context,
+                                            const std::string& name,
+                                            size_t max_cross_file) const {
+  // Same-class methods win for bare calls inside a method body.
+  if (!cls_context.empty()) {
+    std::vector<FunctionRef> same_class = MethodsOf(cls_context, name);
+    if (!same_class.empty()) {
+      return same_class;
+    }
+  }
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return {};
+  }
+  std::vector<FunctionRef> same_file;
+  for (const FunctionRef& ref : it->second) {
+    if (ref.file == file_index) {
+      same_file.push_back(ref);
+    }
+  }
+  if (!same_file.empty()) {
+    return same_file;
+  }
+  if (it->second.size() > max_cross_file) {
+    return {};  // too ambiguous to fan out
+  }
+  (void)files;
+  return it->second;
+}
+
+const std::vector<CallSite>& CallGraph::CallsIn(const FunctionRef& ref) const {
+  static const std::vector<CallSite> kEmpty;
+  if (!ref.valid() || static_cast<size_t>(ref.file) >= calls_.size() ||
+      static_cast<size_t>(ref.fn) >= calls_[static_cast<size_t>(ref.file)].size()) {
+    return kEmpty;
+  }
+  return calls_[static_cast<size_t>(ref.file)][static_cast<size_t>(ref.fn)];
+}
+
+std::vector<FunctionRef> CallGraph::DefinitionsNamed(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? std::vector<FunctionRef>{} : it->second;
+}
+
+std::vector<FunctionRef> CallGraph::MethodsOf(const std::string& cls,
+                                              const std::string& name) const {
+  auto ci = methods_.find(cls);
+  if (ci == methods_.end()) {
+    return {};
+  }
+  auto mi = ci->second.find(name);
+  return mi == ci->second.end() ? std::vector<FunctionRef>{} : mi->second;
+}
+
+const std::string& CallGraph::ClassOf(const FunctionRef& ref) const {
+  static const std::string kEmpty;
+  if (!ref.valid() || static_cast<size_t>(ref.file) >= class_of_.size() ||
+      static_cast<size_t>(ref.fn) >= class_of_[static_cast<size_t>(ref.file)].size()) {
+    return kEmpty;
+  }
+  return class_of_[static_cast<size_t>(ref.file)][static_cast<size_t>(ref.fn)];
+}
+
+}  // namespace atropos::lint

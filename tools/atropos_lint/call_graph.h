@@ -1,0 +1,101 @@
+// Whole-program call graph for atropos_lint.
+//
+// Indexes every function/method definition across the analyzed file set and
+// resolves call sites across translation units, so interprocedural checks
+// (cancel-action-safety's blocking-reachability walk) can follow real
+// multi-file chains like DeliverCancel -> CancelBoard::TryDeliver ->
+// AbortableQueue::AbortKey instead of stopping at file boundaries.
+//
+// Resolution is token-level and deliberately conservative:
+//
+//   obj.F(...) / obj->F(...)   when `obj`'s declared type T is a class known
+//                              to the program (its declaration was seen in
+//                              the same file), resolve F among T's methods;
+//                              otherwise fall back to name-based lookup
+//   Cls::F(...)                resolve F among Cls's methods
+//   F(...)                     methods of the enclosing class first, then
+//                              same-file definitions, then all cross-file
+//                              definitions of that name
+//
+// Name-based cross-file fallback is capped: a name with more than
+// kMaxCrossFileCandidates definitions program-wide stays unresolved rather
+// than fanning out to everything called `get`. All target lists are sorted by
+// (file index, function index), so traversals are deterministic.
+
+#ifndef TOOLS_ATROPOS_LINT_CALL_GRAPH_H_
+#define TOOLS_ATROPOS_LINT_CALL_GRAPH_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace atropos::lint {
+
+struct SourceFile;
+
+// A function definition: index into Program::files and into that file's
+// outline.functions.
+struct FunctionRef {
+  int file = -1;
+  int fn = -1;
+
+  bool valid() const { return file >= 0 && fn >= 0; }
+  bool operator<(const FunctionRef& o) const {
+    return file != o.file ? file < o.file : fn < o.fn;
+  }
+  bool operator==(const FunctionRef& o) const { return file == o.file && fn == o.fn; }
+};
+
+// One call site inside a function body: the callee name as written, plus
+// every definition it may resolve to (empty when unresolved or ambiguous).
+struct CallSite {
+  std::string name;
+  int line = 0;
+  size_t token = 0;  // index of the callee identifier token
+  std::vector<FunctionRef> targets;
+};
+
+class CallGraph {
+ public:
+  // Names with more definitions than this program-wide stay unresolved under
+  // the name-based fallback (type- and class-qualified lookups are exempt).
+  static constexpr size_t kMaxCrossFileCandidates = 4;
+
+  void Build(const std::vector<SourceFile>& files);
+
+  // Call sites lexically inside `ref`'s body span, in token order. Nested
+  // lambda bodies are included in their enclosing function's list.
+  const std::vector<CallSite>& CallsIn(const FunctionRef& ref) const;
+
+  // Every non-lambda definition named `name` across the program.
+  std::vector<FunctionRef> DefinitionsNamed(const std::string& name) const;
+
+  // Definitions of method `name` on class `cls`: out-of-line `Cls::name`
+  // definitions plus bodies defined inside `class Cls { ... }`.
+  std::vector<FunctionRef> MethodsOf(const std::string& cls, const std::string& name) const;
+
+  // The class a definition belongs to: its `Cls::` qualifier when written
+  // out-of-line, else the innermost named class enclosing its body, else "".
+  const std::string& ClassOf(const FunctionRef& ref) const;
+
+ private:
+  // Name-based fallback resolution: same-class, then same-file, then
+  // program-wide when at most `max_cross_file` definitions share the name
+  // (1 for member calls on unknown receivers, kMaxCrossFileCandidates for
+  // bare calls and virtual-dispatch fallbacks).
+  std::vector<FunctionRef> Resolve(const std::vector<SourceFile>& files, int file_index,
+                                   const std::string& cls_context, const std::string& name,
+                                   size_t max_cross_file) const;
+
+  // calls_[file][fn] -> call sites in that function.
+  std::vector<std::vector<std::vector<CallSite>>> calls_;
+  // class_of_[file][fn] -> owning class name ("" for free functions/lambdas).
+  std::vector<std::vector<std::string>> class_of_;
+  std::map<std::string, std::vector<FunctionRef>> by_name_;
+  std::map<std::string, std::map<std::string, std::vector<FunctionRef>>> methods_;
+};
+
+}  // namespace atropos::lint
+
+#endif  // TOOLS_ATROPOS_LINT_CALL_GRAPH_H_

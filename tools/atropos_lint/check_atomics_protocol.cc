@@ -1,0 +1,319 @@
+// atomics-protocol: the AbortCell / CancelBoard Dekker discipline, checked.
+//
+// DESIGN.md §16 states the lost-wakeup-freedom argument of the abortable-sync
+// layer in prose: every operation on a protocol word is seq_cst, the
+// initiator stores the keyed cancel word and then re-checks the waiter's key
+// (store-then-re-load), and the waiter publishes its wait key and then
+// re-checks the cancel signal before parking (publish-then-re-check). Each of
+// the last three PRs shipped a race that was a violation of exactly one of
+// those sentences; this check encodes them as token rules so the next
+// violation is a lint finding, not a TSan storm repro.
+//
+// Scope: files under src/sync/ and src/live/ (the abortable-sync layer and
+// its live-mode consumers), plus any file opting in with a standalone
+// `// atropos-lint: atomics-protocol` marker. Protocol words are recognized
+// by name: atomic members containing "state", "key", or "word"; names
+// containing "time" are exempt (timestamps are observational).
+//
+// Rules:
+//   (a) no weak memory order on a protocol word: .load/.store/.exchange/
+//       .compare_exchange_*/.fetch_*/.wait on a protocol word with an
+//       explicit relaxed/acquire/release/acq_rel/consume order is a finding
+//       (implicit = seq_cst is fine);
+//   (b) initiator handshake: a non-zero .store to a *cancel* word must be
+//       followed, in the same function, by a TryAbort/AbortKey call or a
+//       .load of a different protocol word (the key re-load half of the
+//       Dekker pair);
+//   (c) waiter handshake: a Park() call must be preceded, in the same
+//       function and after the last BeginWait, by a cancel-signal re-check
+//       (Raised() or a cancel-word .load) — re-checking before publishing
+//       the key does not close the race.
+//
+// Token-level limits: receiver identity is the member's *name*, so a
+// protocol word on a different object aliases one on `this` (fine in
+// practice — the rules are per-function and the functions touch one cell),
+// and rule (b) cannot see a re-load delegated to a callee (the reference
+// implementations keep store and re-load in one function precisely so the
+// pairing is locally auditable).
+
+#include <array>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/atropos_lint/check.h"
+#include "tools/atropos_lint/guard_scope.h"
+
+namespace atropos::lint {
+
+namespace {
+
+constexpr char kCheckName[] = "atomics-protocol";
+
+bool InScope(const SourceFile& file) {
+  return file.repo_path.find("src/sync/") != std::string::npos ||
+         file.repo_path.find("src/live/") != std::string::npos ||
+         file.lex.atomics_protocol_marker;
+}
+
+std::string Lowered(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') {
+      c = static_cast<char>(c - 'A' + 'a');
+    }
+  }
+  return out;
+}
+
+// A state/key/cancel word participating in the abort protocol, by name.
+bool IsProtocolWord(const std::string& name) {
+  std::string n = Lowered(name);
+  if (n.find("time") != std::string::npos) {
+    return false;  // timestamps ride along, observational only
+  }
+  return n.find("state") != std::string::npos || n.find("key") != std::string::npos ||
+         n.find("word") != std::string::npos;
+}
+
+// The initiator-side cancel word specifically (rule b).
+bool IsCancelWord(const std::string& name) {
+  std::string n = Lowered(name);
+  if (n.find("time") != std::string::npos) {
+    return false;
+  }
+  return n.find("cancel") != std::string::npos &&
+         (n.find("key") != std::string::npos || n.find("word") != std::string::npos);
+}
+
+bool IsAtomicOp(const std::string& s) {
+  constexpr std::array<std::string_view, 11> kOps = {
+      "load",      "store",     "exchange",  "compare_exchange_strong",
+      "compare_exchange_weak", "fetch_add", "fetch_sub", "fetch_or",
+      "fetch_and", "fetch_xor", "wait",
+  };
+  for (std::string_view op : kOps) {
+    if (s == op) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsWeakOrderName(const std::string& s, std::string* shown) {
+  constexpr std::array<std::string_view, 5> kWeak = {
+      "memory_order_relaxed", "memory_order_acquire", "memory_order_release",
+      "memory_order_acq_rel", "memory_order_consume",
+  };
+  for (std::string_view w : kWeak) {
+    if (s == w) {
+      *shown = std::string(w);
+      return true;
+    }
+  }
+  return false;
+}
+
+// Last member segment of a normalized receiver expression: "s.cell.state_"
+// -> "state_".
+std::string LastSegment(const std::string& expr) {
+  size_t dot = expr.rfind('.');
+  return dot == std::string::npos ? expr : expr.substr(dot + 1);
+}
+
+// Index of the ")" matching the "(" at `open` (forward scan), or `limit`.
+size_t MatchingCloseParen(const std::vector<Token>& toks, size_t open, size_t limit) {
+  int depth = 0;
+  for (size_t i = open; i < limit; i++) {
+    if (toks[i].IsPunct("(")) {
+      depth++;
+    } else if (toks[i].IsPunct(")") && --depth == 0) {
+      return i;
+    }
+  }
+  return limit;
+}
+
+class AtomicsProtocolCheck final : public Check {
+ public:
+  std::string_view name() const override { return kCheckName; }
+
+  void Analyze(const SourceFile& file, DiagnosticSink* sink) override {
+    if (!InScope(file)) {
+      return;
+    }
+    CheckOrders(file, sink);
+    for (const FunctionInfo& fn : file.outline.functions) {
+      if (fn.parent != -1) {
+        continue;  // nested lambdas are scanned within their root's span
+      }
+      CheckInitiatorHandshake(file, fn, sink);
+      CheckWaiterHandshake(file, fn, sink);
+    }
+  }
+
+ private:
+  // An atomic member-op call at token `i` ("op" preceded by . or ->, followed
+  // by "("): fills the receiver word name and the arg-list close paren.
+  static bool AtomicOpAt(const SourceFile& file, size_t i, std::string* word, size_t* close) {
+    const std::vector<Token>& toks = file.tokens();
+    if (toks[i].kind != TokenKind::kIdentifier || !IsAtomicOp(toks[i].text) || i < 2 ||
+        (!toks[i - 1].IsPunct(".") && !toks[i - 1].IsPunct("->")) || i + 1 >= toks.size() ||
+        !toks[i + 1].IsPunct("(")) {
+      return false;
+    }
+    size_t begin = LockExprStart(toks, i - 1, 0);
+    *word = LastSegment(NormalizeMutexExpr(toks, begin, i - 1));
+    *close = MatchingCloseParen(toks, i + 1, toks.size());
+    return !word->empty();
+  }
+
+  // Rule (a): explicit weak orders on protocol words, anywhere in the file.
+  void CheckOrders(const SourceFile& file, DiagnosticSink* sink) {
+    const std::vector<Token>& toks = file.tokens();
+    for (size_t i = 0; i < toks.size(); i++) {
+      std::string word;
+      size_t close = 0;
+      if (!AtomicOpAt(file, i, &word, &close) || !IsProtocolWord(word)) {
+        continue;
+      }
+      for (size_t j = i + 2; j < close; j++) {
+        std::string shown;
+        if (toks[j].kind == TokenKind::kIdentifier && IsWeakOrderName(toks[j].text, &shown)) {
+          // fallthrough to report
+        } else if (toks[j].kind == TokenKind::kIdentifier && j >= 2 &&
+                   toks[j - 1].IsPunct("::") && toks[j - 2].IsIdent("memory_order") &&
+                   (toks[j].text == "relaxed" || toks[j].text == "acquire" ||
+                    toks[j].text == "release" || toks[j].text == "acq_rel" ||
+                    toks[j].text == "consume")) {
+          shown = "memory_order::" + toks[j].text;
+        } else {
+          continue;
+        }
+        sink->Report(file.path, toks[j].line, kCheckName,
+                     "weak order '" + shown + "' on protocol word '" + word +
+                         "'; abort-protocol words are seq_cst only (DESIGN.md §16)");
+      }
+    }
+  }
+
+  // Rule (b): non-zero cancel-word store must be followed by TryAbort /
+  // AbortKey / a re-load of a different protocol word in the same function.
+  void CheckInitiatorHandshake(const SourceFile& file, const FunctionInfo& fn,
+                               DiagnosticSink* sink) {
+    const std::vector<Token>& toks = file.tokens();
+    struct PendingStore {
+      std::string word;
+      int line;
+      size_t pos;
+    };
+    std::vector<PendingStore> stores;
+    struct Reload {
+      std::string word;  // "" for TryAbort/AbortKey calls
+      size_t pos;
+    };
+    std::vector<Reload> reloads;
+
+    for (size_t i = fn.body_begin + 1; i < fn.body_end; i++) {
+      if (toks[i].kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      if ((toks[i].text == "TryAbort" || toks[i].text == "AbortKey") && i + 1 < toks.size() &&
+          toks[i + 1].IsPunct("(")) {
+        reloads.push_back(Reload{"", i});
+        continue;
+      }
+      std::string word;
+      size_t close = 0;
+      if (!AtomicOpAt(file, i, &word, &close)) {
+        continue;
+      }
+      if (toks[i].text == "store" && IsCancelWord(word)) {
+        // Zero stores clear the word (retract), not a cancellation publish.
+        bool zero_store = i + 2 < toks.size() && toks[i + 2].Is(TokenKind::kNumber, "0");
+        if (!zero_store) {
+          stores.push_back(PendingStore{word, toks[i].line, i});
+        }
+      } else if (toks[i].text == "load" && IsProtocolWord(word)) {
+        reloads.push_back(Reload{word, i});
+      }
+    }
+
+    for (const PendingStore& s : stores) {
+      bool validated = false;
+      for (const Reload& r : reloads) {
+        if (r.pos > s.pos && (r.word.empty() || r.word != s.word)) {
+          validated = true;
+          break;
+        }
+      }
+      if (!validated) {
+        sink->Report(file.path, s.line, kCheckName,
+                     "cancel-word store to '" + s.word +
+                         "' without a key re-load or TryAbort afterwards in this function; "
+                         "the initiator handshake is store-then-re-load (DESIGN.md §16)");
+      }
+    }
+  }
+
+  // Rule (c): Park() must be preceded by a cancel-signal re-check after the
+  // last BeginWait (publish-then-re-check).
+  void CheckWaiterHandshake(const SourceFile& file, const FunctionInfo& fn,
+                            DiagnosticSink* sink) {
+    const std::vector<Token>& toks = file.tokens();
+    std::vector<size_t> parks;
+    std::vector<size_t> publishes;  // BeginWait call sites
+    std::vector<size_t> rechecks;   // Raised() calls or cancel-word loads
+
+    for (size_t i = fn.body_begin + 1; i < fn.body_end; i++) {
+      if (toks[i].kind != TokenKind::kIdentifier || i + 1 >= toks.size() ||
+          !toks[i + 1].IsPunct("(")) {
+        continue;
+      }
+      if (toks[i].text == "Park" &&
+          (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->"))) {
+        parks.push_back(i);
+      } else if (toks[i].text == "BeginWait") {
+        publishes.push_back(i);
+      } else if (toks[i].text == "Raised") {
+        rechecks.push_back(i);
+      } else if (toks[i].text == "load") {
+        std::string word;
+        size_t close = 0;
+        if (AtomicOpAt(file, i, &word, &close) && IsCancelWord(word)) {
+          rechecks.push_back(i);
+        }
+      }
+    }
+
+    for (size_t park : parks) {
+      size_t last_publish = fn.body_begin;
+      for (size_t p : publishes) {
+        if (p < park && p > last_publish) {
+          last_publish = p;
+        }
+      }
+      bool rechecked = false;
+      for (size_t r : rechecks) {
+        if (r > last_publish && r < park) {
+          rechecked = true;
+          break;
+        }
+      }
+      if (!rechecked) {
+        sink->Report(file.path, toks[park].line, kCheckName,
+                     "Park() without re-checking the cancel signal after the key publish; "
+                     "the waiter handshake is publish-then-re-check (DESIGN.md §16)");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> MakeAtomicsProtocolCheck() {
+  return std::make_unique<AtomicsProtocolCheck>();
+}
+
+}  // namespace atropos::lint

@@ -6,8 +6,9 @@
 // under exactly the overload conditions it exists for.
 //
 // The check finds every registration site whose argument is a lambda or a
-// function (`&F` / `F`) defined in the same file, then walks the initiator
-// body plus same-file callees (DFS, nested lambdas included) flagging:
+// function (`&F` / `F`), then walks the initiator body plus callees resolved
+// through the whole-program call graph (DFS, nested lambdas included,
+// cross-file edges followed) flagging:
 //   - throw statements and co_await suspensions,
 //   - blocking calls: sleeps, joins, condition-variable waits, explicit
 //     mutex locking (.lock(), std::lock_guard/unique_lock/scoped_lock),
@@ -20,8 +21,11 @@
 // roots wherever they are *defined*, registration site or not: SetCancelAction
 // installs DeliverCancel, and the others are the paths it fans out to, so a
 // lock or allocation added to any of them reintroduces the §3.6 hazard even
-// though the registration lives in another file.
+// though the registration lives in another file. With the call graph the walk
+// follows the real chain DeliverCancel -> CancelBoard::TryDeliver ->
+// AbortCell::TryAbort across translation units.
 
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -33,6 +37,11 @@ namespace atropos::lint {
 namespace {
 
 constexpr char kCheckName[] = "cancel-action-safety";
+
+// Interprocedural DFS depth. Cross-file chains are longer than the old
+// same-file walks (registration -> DeliverCancel -> board -> cell), so this
+// is deeper than the historical limit of 4.
+constexpr int kMaxWalkDepth = 6;
 
 const char* BlockingCallReason(const std::string& name) {
   static const std::set<std::string> kBlocking = {
@@ -56,46 +65,52 @@ class CancelActionSafetyCheck final : public Check {
  public:
   std::string_view name() const override { return kCheckName; }
 
-  void Analyze(const SourceFile& file, DiagnosticSink* sink) override {
-    const std::vector<Token>& toks = file.tokens();
-    std::set<int> analyzed;  // function indices already walked
+  void AnalyzeProgram(const Program& program, DiagnosticSink* sink) override {
+    std::set<FunctionRef> analyzed;
 
-    for (size_t i = 0; i + 1 < toks.size(); i++) {
-      if (toks[i].kind != TokenKind::kIdentifier ||
-          (toks[i].text != "setCancelAction" && toks[i].text != "SetCancelAction") ||
-          !toks[i + 1].IsPunct("(")) {
-        continue;
-      }
-      // Registration *call sites* only: a definition's parameter list is
-      // followed by `{` (or `)` ... `{`), and its name is preceded by a type.
-      // Distinguish cheaply: a call is inside some function body.
-      if (file.outline.EnclosingFunction(i) < 0) {
-        continue;
-      }
-      size_t arg = i + 2;
-      if (toks[arg].IsPunct("&") && toks[arg + 1].kind == TokenKind::kIdentifier) {
-        AnalyzeNamedInitiator(file, toks[arg + 1].text, toks[arg + 1].line, &analyzed, sink);
-      } else if (toks[arg].kind == TokenKind::kIdentifier && toks[arg + 1].IsPunct(")")) {
-        AnalyzeNamedInitiator(file, toks[arg].text, toks[arg].line, &analyzed, sink);
-      } else if (toks[arg].IsPunct("[")) {
-        // Lambda argument: the outline has a lambda whose body starts after
-        // this capture list; find the first lambda at or after `arg`.
-        int lambda = FindLambdaAt(file, arg);
-        if (lambda >= 0) {
-          Walk(file, static_cast<size_t>(lambda), 0, &analyzed, sink);
+    for (size_t fi = 0; fi < program.files.size(); fi++) {
+      const SourceFile& file = program.files[fi];
+      const std::vector<Token>& toks = file.tokens();
+
+      for (size_t i = 0; i + 1 < toks.size(); i++) {
+        if (toks[i].kind != TokenKind::kIdentifier ||
+            (toks[i].text != "setCancelAction" && toks[i].text != "SetCancelAction") ||
+            !toks[i + 1].IsPunct("(")) {
+          continue;
+        }
+        // Registration *call sites* only: a definition's parameter list is
+        // followed by `{` (or `)` ... `{`), and its name is preceded by a type.
+        // Distinguish cheaply: a call is inside some function body.
+        if (file.outline.EnclosingFunction(i) < 0) {
+          continue;
+        }
+        size_t arg = i + 2;
+        if (toks[arg].IsPunct("&") && toks[arg + 1].kind == TokenKind::kIdentifier) {
+          WalkNamedInitiator(program, static_cast<int>(fi), toks[arg + 1].text, &analyzed, sink);
+        } else if (toks[arg].kind == TokenKind::kIdentifier && toks[arg + 1].IsPunct(")")) {
+          WalkNamedInitiator(program, static_cast<int>(fi), toks[arg].text, &analyzed, sink);
+        } else if (toks[arg].IsPunct("[")) {
+          // Lambda argument: the outline has a lambda whose body starts after
+          // this capture list; find the first lambda at or after `arg`.
+          int lambda = FindLambdaAt(file, arg);
+          if (lambda >= 0) {
+            Walk(program, FunctionRef{static_cast<int>(fi), lambda}, 0, &analyzed, sink);
+          }
         }
       }
-    }
 
-    // Initiator-root rule: the abortable-sync entry points are reachable from
-    // the cancel action by contract; walk their definitions unconditionally.
-    static const std::set<std::string> kInitiatorRoots = {
-        "DeliverCancel", "RequestCancel", "RequestCancelAll", "TryAbort", "AbortKey",
-    };
-    for (size_t f = 0; f < file.outline.functions.size(); f++) {
-      const FunctionInfo& fn = file.outline.functions[f];
-      if (!fn.is_lambda && kInitiatorRoots.count(fn.name) > 0) {
-        Walk(file, f, 0, &analyzed, sink);
+      // Initiator-root rule: the abortable-sync entry points are reachable
+      // from the cancel action by contract; walk their definitions
+      // unconditionally.
+      static const std::set<std::string> kInitiatorRoots = {
+          "DeliverCancel", "RequestCancel", "RequestCancelAll", "TryAbort", "AbortKey",
+      };
+      for (size_t f = 0; f < file.outline.functions.size(); f++) {
+        const FunctionInfo& fn = file.outline.functions[f];
+        if (!fn.is_lambda && kInitiatorRoots.count(fn.name) > 0) {
+          Walk(program, FunctionRef{static_cast<int>(fi), static_cast<int>(f)}, 0, &analyzed,
+               sink);
+        }
       }
     }
   }
@@ -114,30 +129,44 @@ class CancelActionSafetyCheck final : public Check {
     return best;
   }
 
-  void AnalyzeNamedInitiator(const SourceFile& file, const std::string& name, int line,
-                             std::set<int>* analyzed, DiagnosticSink* sink) {
-    bool found = false;
-    for (size_t f = 0; f < file.outline.functions.size(); f++) {
-      if (!file.outline.functions[f].is_lambda && file.outline.functions[f].name == name) {
-        Walk(file, f, 0, analyzed, sink);
-        found = true;
+  // A named initiator (`SetCancelAction(&Kill)`): same-file definitions win;
+  // otherwise every program-wide definition of the name is a candidate root,
+  // capped like any other name-based resolution.
+  void WalkNamedInitiator(const Program& program, int file_index, const std::string& name,
+                          std::set<FunctionRef>* analyzed, DiagnosticSink* sink) {
+    std::vector<FunctionRef> defs = program.call_graph.DefinitionsNamed(name);
+    std::vector<FunctionRef> same_file;
+    for (const FunctionRef& ref : defs) {
+      if (ref.file == file_index) {
+        same_file.push_back(ref);
       }
     }
-    (void)found;
-    (void)line;  // initiators defined in another file are out of scope here
+    const std::vector<FunctionRef>& roots =
+        !same_file.empty()
+            ? same_file
+            : (defs.size() <= CallGraph::kMaxCrossFileCandidates ? defs : same_file);
+    for (const FunctionRef& ref : roots) {
+      Walk(program, ref, 0, analyzed, sink);
+    }
   }
 
-  // Walks function `f`'s body (including nested lambdas, which belong to the
-  // initiator's execution), recursing into same-file callees.
-  void Walk(const SourceFile& file, size_t f, int depth, std::set<int>* analyzed,
+  // Walks a function's body (including nested lambdas, which belong to the
+  // initiator's execution), recursing into call-graph-resolved callees.
+  void Walk(const Program& program, FunctionRef ref, int depth, std::set<FunctionRef>* analyzed,
             DiagnosticSink* sink) {
-    if (depth > 4 || !analyzed->insert(static_cast<int>(f)).second) {
+    if (depth > kMaxWalkDepth || !analyzed->insert(ref).second) {
       return;
     }
-    const FunctionInfo& fn = file.outline.functions[f];
+    const SourceFile& file = program.files[static_cast<size_t>(ref.file)];
+    const FunctionInfo& fn = file.outline.functions[static_cast<size_t>(ref.fn)];
     const std::vector<Token>& toks = file.tokens();
     const std::string where =
         fn.is_lambda ? "cancellation initiator" : "initiator path through '" + fn.name + "'";
+
+    std::map<size_t, const CallSite*> sites;
+    for (const CallSite& site : program.call_graph.CallsIn(ref)) {
+      sites[site.token] = &site;
+    }
 
     for (size_t i = fn.body_begin + 1; i < fn.body_end; i++) {
       const Token& t = toks[i];
@@ -176,14 +205,14 @@ class CancelActionSafetyCheck final : public Check {
                      std::string(reason) + " '" + t.text + "' inside the " + where);
         continue;
       }
-      // Recurse into callees resolvable in this file by simple name. Member
-      // calls (obj.Kill(), ptr->Kill()) resolve the same way: within one
-      // translation unit a name collision is unlikely, and the reference
-      // integration shape routes the initiator through a same-file method.
-      for (size_t g = 0; g < file.outline.functions.size(); g++) {
-        if (!file.outline.functions[g].is_lambda && g != f &&
-            file.outline.functions[g].name == t.text) {
-          Walk(file, g, depth + 1, analyzed, sink);
+      // Recurse into every definition the call graph resolves this call to —
+      // same-file by preference, across translation units otherwise.
+      auto site = sites.find(i);
+      if (site != sites.end()) {
+        for (const FunctionRef& target : site->second->targets) {
+          if (!(target == ref)) {
+            Walk(program, target, depth + 1, analyzed, sink);
+          }
         }
       }
     }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "tools/atropos_lint/check.h"
+#include "tools/atropos_lint/guard_scope.h"
 #include "tools/atropos_lint/lock_graph.h"
 
 namespace atropos::lint {
@@ -24,40 +25,6 @@ namespace atropos::lint {
 namespace {
 
 constexpr char kCheckName[] = "lock-order";
-
-bool IsGuardType(const std::string& s) {
-  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock" || s == "shared_lock";
-}
-
-bool IsLockTag(const std::string& s) {
-  return s == "defer_lock" || s == "adopt_lock" || s == "try_to_lock";
-}
-
-// Normalizes the mutex expression tokens [begin, end): joins identifiers and
-// member accesses, dropping `this->`, `std::`, `&`, and `*`.
-std::string NormalizeMutexExpr(const std::vector<Token>& toks, size_t begin, size_t end) {
-  std::string out;
-  for (size_t i = begin; i < end; i++) {
-    const Token& t = toks[i];
-    if (t.IsIdent("this") || t.IsIdent("std") || t.IsPunct("&") || t.IsPunct("*")) {
-      continue;
-    }
-    if (t.IsPunct("->") || t.IsPunct("::")) {
-      if (!out.empty()) {
-        out += t.text == "->" ? "." : "::";
-      }
-      continue;
-    }
-    if (t.kind == TokenKind::kIdentifier || t.IsPunct(".")) {
-      out += t.text;
-    }
-  }
-  // `this->mu_` normalized above leaves a leading "." — strip it.
-  while (!out.empty() && out.front() == '.') {
-    out.erase(out.begin());
-  }
-  return out;
-}
 
 struct Acquisition {
   std::string mutex;
@@ -155,25 +122,11 @@ class LockOrderCheck final : public Check {
       }
 
       // Guard declaration: [std::] guard_type [<...>] var ( args ) ;
-      if (IsGuardType(t.text)) {
-        size_t j = i + 1;
-        if (toks[j].IsPunct("<")) {  // skip template arguments
-          int tdepth = 0;
-          for (; j < fn.body_end; j++) {
-            if (toks[j].IsPunct("<")) {
-              tdepth++;
-            } else if (toks[j].IsPunct(">") || toks[j].Is(TokenKind::kPunct, ">>")) {
-              tdepth -= toks[j].text == ">>" ? 2 : 1;
-              if (tdepth <= 0) {
-                j++;
-                break;
-              }
-            }
-          }
-        }
+      if (IsStdGuardType(t.text)) {
+        size_t j = SkipTemplateArgs(toks, i + 1, fn.body_end);
         if (toks[j].kind == TokenKind::kIdentifier && toks[j + 1].IsPunct("(")) {
           size_t open = j + 1;
-          acquire(SplitArgs(toks, open, fn.body_end), t.line, depth);
+          acquire(SplitLockArgs(toks, open, fn.body_end), t.line, depth);
           i = open;
         }
         continue;
@@ -183,13 +136,13 @@ class LockOrderCheck final : public Check {
       if ((t.text == "lock" || t.text == "lock_shared") && i > 0 &&
           (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->")) && toks[i + 1].IsPunct("(") &&
           toks[i + 2].IsPunct(")")) {
-        size_t begin = ExprStart(toks, i - 1, fn.body_begin);
+        size_t begin = LockExprStart(toks, i - 1, fn.body_begin);
         acquire({NormalizeMutexExpr(toks, begin, i - 1)}, t.line, -1);
         continue;
       }
       if ((t.text == "unlock" || t.text == "unlock_shared") && i > 0 &&
           (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->")) && toks[i + 1].IsPunct("(")) {
-        size_t begin = ExprStart(toks, i - 1, fn.body_begin);
+        size_t begin = LockExprStart(toks, i - 1, fn.body_begin);
         std::string m = NormalizeMutexExpr(toks, begin, i - 1);
         for (size_t h = held.size(); h-- > 0;) {
           if (held[h].mutex == m) {
@@ -223,24 +176,10 @@ class LockOrderCheck final : public Check {
         }
         depth--;
       } else if (t.kind == TokenKind::kIdentifier) {
-        if (IsGuardType(t.text)) {
-          size_t j = i + 1;
-          if (toks[j].IsPunct("<")) {
-            int tdepth = 0;
-            for (; j < fn.body_end; j++) {
-              if (toks[j].IsPunct("<")) {
-                tdepth++;
-              } else if (toks[j].IsPunct(">") || toks[j].Is(TokenKind::kPunct, ">>")) {
-                tdepth -= toks[j].text == ">>" ? 2 : 1;
-                if (tdepth <= 0) {
-                  j++;
-                  break;
-                }
-              }
-            }
-          }
+        if (IsStdGuardType(t.text)) {
+          size_t j = SkipTemplateArgs(toks, i + 1, fn.body_end);
           if (toks[j].kind == TokenKind::kIdentifier && toks[j + 1].IsPunct("(")) {
-            for (std::string& m : SplitArgs(toks, j + 1, fn.body_end)) {
+            for (std::string& m : SplitLockArgs(toks, j + 1, fn.body_end)) {
               if (!m.empty()) {
                 held.push_back(Acquisition{std::move(m), t.line, depth});
               }
@@ -250,11 +189,11 @@ class LockOrderCheck final : public Check {
         } else if ((t.text == "lock" || t.text == "lock_shared") && i > 0 &&
                    (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->")) &&
                    toks[i + 1].IsPunct("(") && toks[i + 2].IsPunct(")")) {
-          size_t begin = ExprStart(toks, i - 1, fn.body_begin);
+          size_t begin = LockExprStart(toks, i - 1, fn.body_begin);
           held.push_back(Acquisition{NormalizeMutexExpr(toks, begin, i - 1), t.line, -1});
         } else if ((t.text == "unlock" || t.text == "unlock_shared") && i > 0 &&
                    (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->"))) {
-          size_t begin = ExprStart(toks, i - 1, fn.body_begin);
+          size_t begin = LockExprStart(toks, i - 1, fn.body_begin);
           std::string m = NormalizeMutexExpr(toks, begin, i - 1);
           for (size_t h = held.size(); h-- > 0;) {
             if (held[h].mutex == m) {
@@ -277,58 +216,6 @@ class LockOrderCheck final : public Check {
     }
   }
 
-  // Start index of the member-access expression ending just before `end`
-  // (exclusive): scans back over identifiers, ".", "->", "::", and "this".
-  static size_t ExprStart(const std::vector<Token>& toks, size_t end, size_t floor) {
-    size_t begin = end;
-    while (begin > floor + 1) {
-      const Token& p = toks[begin - 1];
-      if (p.kind == TokenKind::kIdentifier || p.IsPunct(".") || p.IsPunct("->") ||
-          p.IsPunct("::")) {
-        begin--;
-      } else {
-        break;
-      }
-    }
-    return begin;
-  }
-
-  // Splits the top-level comma-separated arguments of the call whose "(" is
-  // at `open`, normalized as mutex identities; lock tags are dropped.
-  static std::vector<std::string> SplitArgs(const std::vector<Token>& toks, size_t open,
-                                            size_t limit) {
-    std::vector<std::string> out;
-    int depth = 0;
-    size_t arg_begin = open + 1;
-    for (size_t i = open; i < limit; i++) {
-      if (toks[i].IsPunct("(") || toks[i].IsPunct("[")) {
-        depth++;
-      } else if (toks[i].IsPunct(")") || toks[i].IsPunct("]")) {
-        depth--;
-        if (depth == 0) {
-          AppendArg(toks, arg_begin, i, &out);
-          break;
-        }
-      } else if (depth == 1 && toks[i].IsPunct(",")) {
-        AppendArg(toks, arg_begin, i, &out);
-        arg_begin = i + 1;
-      }
-    }
-    return out;
-  }
-
-  static void AppendArg(const std::vector<Token>& toks, size_t begin, size_t end,
-                        std::vector<std::string>* out) {
-    for (size_t i = begin; i < end; i++) {
-      if (toks[i].kind == TokenKind::kIdentifier && IsLockTag(toks[i].text)) {
-        return;  // std::defer_lock etc.: not an acquisition
-      }
-    }
-    std::string m = NormalizeMutexExpr(toks, begin, end);
-    if (!m.empty()) {
-      out->push_back(std::move(m));
-    }
-  }
 };
 
 }  // namespace

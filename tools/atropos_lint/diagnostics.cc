@@ -8,7 +8,7 @@ std::string Diagnostic::Format() const {
 
 void DiagnosticSink::ApplySuppressions(
     const std::string& path, const std::map<int, std::set<std::string>>& line_suppressions,
-    const std::set<std::string>& file_suppressions) {
+    const std::set<std::string>& file_suppressions, SuppressionUsage* usage) {
   auto matches = [](const std::set<std::string>& set, const std::string& check) {
     return set.count(check) > 0 || set.count("*") > 0;
   };
@@ -19,9 +19,25 @@ void DiagnosticSink::ApplySuppressions(
     if (d.path == path) {
       if (matches(file_suppressions, d.check)) {
         drop = true;
+        if (usage != nullptr) {
+          if (file_suppressions.count(d.check) > 0) {
+            usage->file_used.insert(d.check);
+          }
+          if (file_suppressions.count("*") > 0) {
+            usage->file_used.insert("*");
+          }
+        }
       } else {
         auto it = line_suppressions.find(d.line);
         drop = it != line_suppressions.end() && matches(it->second, d.check);
+        if (drop && usage != nullptr) {
+          if (it->second.count(d.check) > 0) {
+            usage->line_used.emplace(d.line, d.check);
+          }
+          if (it->second.count("*") > 0) {
+            usage->line_used.emplace(d.line, "*");
+          }
+        }
       }
     }
     if (drop) {

@@ -28,6 +28,14 @@ struct Diagnostic {
   }
 };
 
+// Which suppression grants actually dropped a diagnostic, recorded per file
+// during ApplySuppressions. The driver's stale-suppression pass flags any
+// grant that is absent here.
+struct SuppressionUsage {
+  std::set<std::pair<int, std::string>> line_used;  // (code line, check name or "*")
+  std::set<std::string> file_used;                  // check name or "*"
+};
+
 class DiagnosticSink {
  public:
   void Report(std::string path, int line, std::string check, std::string message) {
@@ -35,10 +43,12 @@ class DiagnosticSink {
   }
 
   // Drops diagnostics matched by `allow` / `allow-file` directives and counts
-  // them separately. "*" in a suppression set matches every check.
+  // them separately. "*" in a suppression set matches every check. When
+  // `usage` is non-null, records which grants matched at least one diagnostic.
   void ApplySuppressions(const std::string& path,
                          const std::map<int, std::set<std::string>>& line_suppressions,
-                         const std::set<std::string>& file_suppressions);
+                         const std::set<std::string>& file_suppressions,
+                         SuppressionUsage* usage = nullptr);
 
   // Sorts by (path, line, check, message) for deterministic output.
   void Finalize() { std::sort(diags_.begin(), diags_.end()); }

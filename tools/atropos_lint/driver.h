@@ -5,6 +5,7 @@
 
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tools/atropos_lint/diagnostics.h"
@@ -31,6 +32,11 @@ RunResult RunLint(const DriverOptions& options);
 // `display_path` is used both for diagnostics and digest-path matching.
 RunResult LintBuffer(const std::string& display_path, const std::string& contents,
                      const std::set<std::string>& checks = {});
+
+// Analyzes several in-memory buffers as one program, so tests can exercise
+// cross-file call-graph resolution. Buffers are (display_path, contents).
+RunResult LintBuffers(const std::vector<std::pair<std::string, std::string>>& buffers,
+                      const std::set<std::string>& checks = {});
 
 }  // namespace atropos::lint
 

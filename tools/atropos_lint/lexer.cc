@@ -25,6 +25,7 @@ struct Directive {
   std::set<std::string> allow_file;  // file-wide suppressions
   bool digest_path = false;
   bool alloc_free = false;
+  bool atomics_protocol = false;
 };
 
 std::string Trimmed(std::string_view s) {
@@ -37,10 +38,13 @@ std::string Trimmed(std::string_view s) {
 }
 
 // Parses the body of an `atropos-lint:` directive out of a comment's text.
+// The tag must START the comment (after whitespace): comments that merely
+// mention the directive syntax mid-prose are documentation, not directives.
 void ParseDirective(std::string_view comment, Directive* out) {
   constexpr std::string_view kTag = "atropos-lint:";
-  size_t at = comment.find(kTag);
-  if (at == std::string_view::npos) {
+  size_t at = comment.find_first_not_of(" \t");
+  if (at == std::string_view::npos || comment.substr(at).size() < kTag.size() ||
+      comment.substr(at, kTag.size()) != kTag) {
     return;
   }
   std::string_view rest = comment.substr(at + kTag.size());
@@ -77,9 +81,12 @@ void ParseDirective(std::string_view comment, Directive* out) {
   }
   // The alloc-free marker must be the directive's entire body, so that
   // `allow(alloc-free)` (a suppression naming the check) is not mistaken for
-  // a marker.
+  // a marker. Same for the atomics-protocol opt-in marker.
   if (Trimmed(rest) == "alloc-free") {
     out->alloc_free = true;
+  }
+  if (Trimmed(rest) == "atomics-protocol") {
+    out->atomics_protocol = true;
   }
 }
 
@@ -102,7 +109,8 @@ LexedFile Lex(std::string_view src) {
     d.line = at_line;
     d.code_before = (last_token_line == at_line);
     ParseDirective(text, &d);
-    if (!d.allow.empty() || !d.allow_file.empty() || d.digest_path || d.alloc_free) {
+    if (!d.allow.empty() || !d.allow_file.empty() || d.digest_path || d.alloc_free ||
+        d.atomics_protocol) {
       directives.push_back(std::move(d));
     }
   };
@@ -243,9 +251,13 @@ LexedFile Lex(std::string_view src) {
   for (const Directive& d : directives) {
     for (const std::string& check : d.allow_file) {
       out.file_suppressions.insert(check);
+      out.file_suppression_lines.emplace(check, d.line);  // first marker wins
     }
     if (d.digest_path) {
       out.digest_path_marker = true;
+    }
+    if (d.atomics_protocol) {
+      out.atomics_protocol_marker = true;
     }
     if (d.alloc_free) {
       out.alloc_free_lines.push_back(d.line);
@@ -267,6 +279,9 @@ LexedFile Lex(std::string_view src) {
       }
     }
     out.line_suppressions[target].insert(d.allow.begin(), d.allow.end());
+    for (const std::string& check : d.allow) {
+      out.suppression_sites.push_back(SuppressionSite{d.line, target, check});
+    }
   }
   return out;
 }

@@ -12,9 +12,15 @@
 //   // atropos-lint: alloc-free                mark the next function as a
 //                                              steady-state allocation-free
 //                                              hot path (alloc-free check)
+//   // atropos-lint: atomics-protocol          opt this file into the
+//                                              atomics-protocol check (src/sync
+//                                              and src/live are always in)
 //
-// Comments and preprocessor lines are consumed here and never reach the
-// checks, so API names mentioned in prose don't trigger findings.
+// A directive only counts when `atropos-lint:` starts the comment's text
+// (leading whitespace aside): prose that merely *mentions* the syntax, as this
+// header does above, never registers a directive. Comments and preprocessor
+// lines are consumed here and never reach the checks, so API names mentioned
+// in prose don't trigger findings.
 
 #ifndef TOOLS_ATROPOS_LINT_LEXER_H_
 #define TOOLS_ATROPOS_LINT_LEXER_H_
@@ -29,13 +35,27 @@
 
 namespace atropos::lint {
 
+// One `allow(check)` grant: the line of the directive comment itself plus the
+// code line it suppresses on. Kept alongside the resolved line_suppressions
+// map so the stale-suppression pass can point its finding at the marker.
+struct SuppressionSite {
+  int directive_line = 0;
+  int target_line = 0;
+  std::string check;
+};
+
 struct LexedFile {
   std::vector<Token> tokens;  // terminated by a kEof token
 
   // line -> checks suppressed on that line ("*" suppresses all checks).
   std::map<int, std::set<std::string>> line_suppressions;
   std::set<std::string> file_suppressions;
+  // Audit trail for the stale-suppression pass: every per-line grant with the
+  // directive's own line, and the declaration line of each allow-file grant.
+  std::vector<SuppressionSite> suppression_sites;
+  std::map<std::string, int> file_suppression_lines;
   bool digest_path_marker = false;
+  bool atomics_protocol_marker = false;
   // Lines carrying a standalone `alloc-free` marker; each binds to the next
   // function definition (resolved by the alloc-free check against the
   // outline).

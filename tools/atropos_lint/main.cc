@@ -1,18 +1,29 @@
 // atropos_lint — domain-specific static analyzer for Atropos API contracts.
 //
-//   atropos_lint [--checks=a,b] [--dir=DIR]... [FILE]...
+//   atropos_lint [--checks=a,b] [--dir=DIR]... [--json] [FILE]...
 //
 // Checks (all enabled by default):
+//   atomics-protocol      seq_cst-only protocol words and Dekker handshake
+//                         ordering in the abortable-sync layer (DESIGN.md §16)
 //   capi-pairing          createCancel/freeCancel and getResource/freeResource
 //                         balance per scope; double-frees and leaks
-//   cancel-action-safety  no blocking, allocation, or throw in cancellation
-//                         initiators registered via setCancelAction
+//   cancel-action-safety  no blocking, allocation, or throw reachable from
+//                         cancellation initiators, across translation units
 //   determinism           no ambient time/randomness in digest paths
+//   guarded-by            ATROPOS_GUARDED_BY / ATROPOS_REQUIRES annotations
+//                         verified against the lock scopes actually held
 //   lock-order            cycles in the static mutex acquisition graph
+//   stale-suppression     allow()/allow-file() markers that no longer match
+//                         any diagnostic (full runs only)
 //
 // Exit status: 0 when no findings, 1 when findings were reported, 2 on usage
 // errors. Suppress individual findings with `// atropos-lint: allow(check)`.
+//
+// --json emits a machine-readable report on stdout instead of the plain
+// diagnostic lines; scripts/check.sh uses it to track lint wall time in the
+// perf trajectory.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -39,9 +50,40 @@ void SplitCommaList(const char* list, std::set<std::string>* out) {
   }
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: atropos_lint [--checks=a,b] [--list-checks] [--dir=DIR]... [FILE]...\n");
+               "usage: atropos_lint [--checks=a,b] [--list-checks] [--json] [--dir=DIR]... "
+               "[FILE]...\n");
   return 2;
 }
 
@@ -50,6 +92,7 @@ int Usage() {
 int main(int argc, char** argv) {
   atropos::lint::DriverOptions options;
   bool quiet = false;
+  bool json = false;
   for (int i = 1; i < argc; i++) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--checks=", 9) == 0) {
@@ -62,7 +105,10 @@ int main(int argc, char** argv) {
       for (const auto& check : atropos::lint::MakeAllChecks()) {
         std::printf("%s\n", std::string(check->name()).c_str());
       }
+      std::printf("%s\n", std::string(atropos::lint::kStaleSuppressionCheck).c_str());
       return 0;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {
       quiet = true;
     } else if (std::strncmp(arg, "--", 2) == 0) {
@@ -75,13 +121,33 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
+  auto start = std::chrono::steady_clock::now();
   atropos::lint::RunResult result = atropos::lint::RunLint(options);
-  for (const atropos::lint::Diagnostic& d : result.diagnostics) {
-    std::printf("%s\n", d.Format().c_str());
+  double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (json) {
+    std::printf("{\n  \"files\": %zu,\n  \"suppressed\": %zu,\n  \"wall_ms\": %.3f,\n",
+                result.files_analyzed, result.suppressed, wall_ms);
+    std::printf("  \"findings\": [");
+    for (size_t i = 0; i < result.diagnostics.size(); i++) {
+      const atropos::lint::Diagnostic& d = result.diagnostics[i];
+      std::printf("%s\n    {\"path\": \"%s\", \"line\": %d, \"check\": \"%s\", "
+                  "\"message\": \"%s\"}",
+                  i == 0 ? "" : ",", JsonEscape(d.path).c_str(), d.line,
+                  JsonEscape(d.check).c_str(), JsonEscape(d.message).c_str());
+    }
+    std::printf("%s]\n}\n", result.diagnostics.empty() ? "" : "\n  ");
+  } else {
+    for (const atropos::lint::Diagnostic& d : result.diagnostics) {
+      std::printf("%s\n", d.Format().c_str());
+    }
   }
   if (!quiet) {
-    std::fprintf(stderr, "atropos_lint: %zu file(s), %zu finding(s), %zu suppressed\n",
-                 result.files_analyzed, result.diagnostics.size(), result.suppressed);
+    std::fprintf(stderr,
+                 "atropos_lint: %zu file(s), %zu finding(s), %zu suppressed, %.0f ms\n",
+                 result.files_analyzed, result.diagnostics.size(), result.suppressed, wall_ms);
   }
   return result.diagnostics.empty() ? 0 : 1;
 }

@@ -158,6 +158,40 @@ Classified Classify(const std::vector<Token>& toks, size_t open) {
       } else if (depth == 0 && (toks[p].IsIdent("class") || toks[p].IsIdent("struct") ||
                                 toks[p].IsIdent("union") || toks[p].IsIdent("enum"))) {
         out.kind = BlockKind::kClass;
+        out.line = toks[p].line;
+        // Class name: the last top-level identifier before the body/base
+        // clause, skipping capability macros (`IDENT(...)`), attributes, and
+        // the `class` of `enum class`.
+        int d = 0;
+        for (size_t q = p + 1; q < he; q++) {
+          if (toks[q].IsPunct("<") || toks[q].IsPunct("[")) {
+            d++;
+          } else if (toks[q].IsPunct(">") || toks[q].IsPunct("]")) {
+            d--;
+          } else if (d == 0 && toks[q].IsPunct(":")) {
+            break;  // base clause / enum underlying type
+          } else if (d == 0 && toks[q].kind == TokenKind::kIdentifier) {
+            if (toks[q].IsIdent("class") || toks[q].IsIdent("struct") ||
+                toks[q].IsIdent("final") || toks[q].IsIdent("alignas")) {
+              continue;
+            }
+            if (q + 1 < he && toks[q + 1].IsPunct("(")) {
+              // Macro invocation in the header (e.g. ATROPOS_CAPABILITY(...)).
+              int pd = 0;
+              size_t r = q + 1;
+              for (; r < he; r++) {
+                if (toks[r].IsPunct("(")) {
+                  pd++;
+                } else if (toks[r].IsPunct(")") && --pd == 0) {
+                  break;
+                }
+              }
+              q = r;
+              continue;
+            }
+            out.name = toks[q].text;
+          }
+        }
         return out;
       }
     }
@@ -178,10 +212,26 @@ Classified Classify(const std::vector<Token>& toks, size_t open) {
   }
 
   // Function: header ends `name ( params )` (after the qualifier skip above,
-  // which may have moved `k` inside the truncated header).
+  // which may have moved `k` inside the truncated header), possibly followed
+  // by thread-safety annotation macros — `ATROPOS_REQUIRES(mu_)` attaches to
+  // the declaration but its argument list is not the parameter list.
   size_t end = he - 1;
-  while (end > hs && IsTrailingQualifier(toks[end])) {
-    end--;
+  while (true) {
+    while (end > hs && (IsTrailingQualifier(toks[end]) ||
+                        (toks[end].kind == TokenKind::kIdentifier &&
+                         toks[end].text.rfind("ATROPOS_", 0) == 0))) {
+      end--;  // qualifiers and paren-less macros (ATROPOS_NO_THREAD_SAFETY_ANALYSIS)
+    }
+    if (toks[end].IsPunct(")")) {
+      size_t macro_open = MatchingOpenParen(toks, end);
+      if (macro_open != static_cast<size_t>(-1) && macro_open > hs &&
+          toks[macro_open - 1].kind == TokenKind::kIdentifier &&
+          toks[macro_open - 1].text.rfind("ATROPOS_", 0) == 0) {
+        end = macro_open - 1;  // annotation group: the loop skips its name next
+        continue;
+      }
+    }
+    break;
   }
   if (!toks[end].IsPunct(")")) {
     return out;
@@ -229,6 +279,19 @@ Classified Classify(const std::vector<Token>& toks, size_t open) {
 
 }  // namespace
 
+std::string Outline::EnclosingClass(size_t i) const {
+  const ClassInfo* best = nullptr;
+  for (const ClassInfo& c : classes) {
+    if (c.name.empty() || c.body_begin >= i || i >= c.body_end) {
+      continue;
+    }
+    if (best == nullptr || c.body_end - c.body_begin < best->body_end - best->body_begin) {
+      best = &c;
+    }
+  }
+  return best != nullptr ? best->name : std::string();
+}
+
 int Outline::EnclosingFunction(size_t i) const {
   int best = -1;
   size_t best_span = static_cast<size_t>(-1);
@@ -246,7 +309,9 @@ Outline BuildOutline(const std::vector<Token>& toks) {
   Outline out;
   struct Open {
     bool is_function;  // function or lambda: owns an entry in out.functions
-    int func_index;    // innermost function in scope after this block opens
+    bool is_class;     // class-like: owns an entry in out.classes
+    int index;         // entry owned (function or class), or the innermost
+                       // function in scope after this block opens
   };
   std::vector<Open> stack;
   int current_function = -1;
@@ -264,9 +329,17 @@ Outline BuildOutline(const std::vector<Token>& toks) {
         fn.parent = current_function;
         out.functions.push_back(std::move(fn));
         current_function = static_cast<int>(out.functions.size()) - 1;
-        stack.push_back(Open{true, current_function});
+        stack.push_back(Open{true, false, current_function});
+      } else if (c.kind == BlockKind::kClass) {
+        ClassInfo cls;
+        cls.name = c.name;
+        cls.line = c.line;
+        cls.body_begin = i;
+        out.classes.push_back(std::move(cls));
+        stack.push_back(
+            Open{false, true, static_cast<int>(out.classes.size()) - 1});
       } else {
-        stack.push_back(Open{false, current_function});
+        stack.push_back(Open{false, false, current_function});
       }
     } else if (toks[i].IsPunct("}")) {
       if (stack.empty()) {
@@ -275,8 +348,10 @@ Outline BuildOutline(const std::vector<Token>& toks) {
       Open top = stack.back();
       stack.pop_back();
       if (top.is_function) {
-        out.functions[static_cast<size_t>(top.func_index)].body_end = i;
-        current_function = out.functions[static_cast<size_t>(top.func_index)].parent;
+        out.functions[static_cast<size_t>(top.index)].body_end = i;
+        current_function = out.functions[static_cast<size_t>(top.index)].parent;
+      } else if (top.is_class) {
+        out.classes[static_cast<size_t>(top.index)].body_end = i;
       }
     }
   }
@@ -284,6 +359,11 @@ Outline BuildOutline(const std::vector<Token>& toks) {
   for (FunctionInfo& fn : out.functions) {
     if (fn.body_end == 0) {
       fn.body_end = toks.size() - 1;
+    }
+  }
+  for (ClassInfo& cls : out.classes) {
+    if (cls.body_end == 0) {
+      cls.body_end = toks.size() - 1;
     }
   }
   return out;

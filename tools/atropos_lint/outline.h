@@ -29,11 +29,23 @@ struct FunctionInfo {
   int parent = -1;        // index of the lexically enclosing function, or -1
 };
 
+struct ClassInfo {
+  std::string name;       // simple name; "" for anonymous class-like blocks
+  int line = 0;           // line of the opening brace
+  size_t body_begin = 0;  // token index of '{'
+  size_t body_end = 0;    // token index of the matching '}'
+};
+
 struct Outline {
   std::vector<FunctionInfo> functions;
+  std::vector<ClassInfo> classes;
 
   // Innermost function whose body span contains token index `i`, or -1.
   int EnclosingFunction(size_t i) const;
+
+  // Name of the innermost named class/struct whose body span contains token
+  // index `i`, or "" when not inside a class body.
+  std::string EnclosingClass(size_t i) const;
 };
 
 Outline BuildOutline(const std::vector<Token>& tokens);
